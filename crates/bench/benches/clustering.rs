@@ -1,0 +1,43 @@
+//! Criterion micro-benchmark: throughput of the single-pass incremental
+//! clusterer on realistic feature vectors (the ingest-time hot loop of §4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use focus_cluster::IncrementalClusterer;
+use focus_cnn::{CheapCnn, Classifier};
+use focus_video::profile::profile_by_name;
+use focus_video::VideoDataset;
+
+fn feature_set(objects: usize) -> Vec<Vec<f32>> {
+    let dataset = VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 240.0);
+    let model = CheapCnn::cheap_cnn_1();
+    dataset
+        .objects()
+        .take(objects)
+        .map(|o| model.extract_features(o).0)
+        .collect()
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let features = feature_set(4000);
+    let mut group = c.benchmark_group("incremental_clustering");
+    for &max_active in &[64usize, 256, 512] {
+        group.throughput(Throughput::Elements(features.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("objects_4000", max_active),
+            &max_active,
+            |b, &max_active| {
+                b.iter(|| {
+                    let mut clusterer = IncrementalClusterer::new(1.5, max_active);
+                    for (i, f) in features.iter().enumerate() {
+                        clusterer.add(i as u64, 0, f);
+                    }
+                    clusterer.finish().1.clusters
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmark: simulated CNN classification and feature
+//! extraction (the per-object ingest work).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use focus_cnn::specialize::SpecializationLevel;
+use focus_cnn::{CheapCnn, Classifier, GroundTruthCnn, SpecializedCnn};
+use focus_video::profile::profile_by_name;
+use focus_video::{ObjectObservation, VideoDataset};
+
+fn sample_objects(n: usize) -> Vec<ObjectObservation> {
+    let dataset = VideoDataset::generate(profile_by_name("jacksonh").unwrap(), 120.0);
+    dataset.objects().take(n).cloned().collect()
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let objects = sample_objects(2000);
+    let gt = GroundTruthCnn::resnet152();
+    let cheap = CheapCnn::cheap_cnn_2();
+    let labelled: Vec<_> = objects.iter().map(|o| (o.clone(), gt.classify_top1(o))).collect();
+    let specialized =
+        SpecializedCnn::train("jacksonh", SpecializationLevel::Medium, &labelled, 15).unwrap();
+
+    let mut group = c.benchmark_group("cnn_inference");
+    group.throughput(Throughput::Elements(objects.len() as u64));
+    group.bench_function("ground_truth_top1", |b| {
+        b.iter(|| {
+            objects
+                .iter()
+                .map(|o| gt.classify_top1(o).0 as u64)
+                .sum::<u64>()
+        })
+    });
+    group.bench_function("cheap_cnn_top60", |b| {
+        b.iter(|| {
+            objects
+                .iter()
+                .map(|o| cheap.classify_top_k(o, 60).ranked.len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("specialized_top4", |b| {
+        b.iter(|| {
+            objects
+                .iter()
+                .map(|o| specialized.classify_top_k(o, 4).ranked.len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("feature_extraction", |b| {
+        b.iter(|| {
+            objects
+                .iter()
+                .map(|o| cheap.extract_features(o).0[0])
+                .sum::<f32>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmark: query-time latency over an ingested stream
+//! and the end-to-end quick experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use focus_cnn::{GroundTruthCnn, ModelSpec};
+use focus_core::{
+    ExperimentConfig, ExperimentRunner, IngestCnn, IngestEngine, IngestParams, QueryEngine,
+};
+use focus_index::QueryFilter;
+use focus_runtime::{GpuClusterSpec, GpuMeter};
+use focus_video::profile::profile_by_name;
+use focus_video::VideoDataset;
+
+fn bench_query(c: &mut Criterion) {
+    let dataset = VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 120.0);
+    let classes = dataset.dominant_classes(3);
+    let ingest = IngestEngine::new(
+        IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+        IngestParams {
+            k: 10,
+            ..IngestParams::default()
+        },
+    )
+    .ingest(&dataset, &GpuMeter::new());
+    let engine = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(10));
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("query_dominant_classes", |b| {
+        b.iter(|| {
+            classes
+                .iter()
+                .map(|class| {
+                    engine
+                        .query(&ingest, *class, &QueryFilter::any(), &GpuMeter::new())
+                        .frames
+                        .len()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("quick_experiment_auburn_c", |b| {
+        let profile = profile_by_name("auburn_c").unwrap();
+        let runner = ExperimentRunner::new(ExperimentConfig {
+            duration_secs: 90.0,
+            sample_secs: 45.0,
+            target: focus_core::AccuracyTarget::both(0.9),
+            ..ExperimentConfig::quick()
+        });
+        b.iter(|| {
+            runner
+                .run_stream(&profile)
+                .map(|r| r.clusters)
+                .unwrap_or(0)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmark: top-K index insertion and lookup.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use focus_core::{IngestCnn, IngestEngine, IngestParams};
+use focus_cnn::ModelSpec;
+use focus_index::{QueryFilter, TopKIndex};
+use focus_runtime::GpuMeter;
+use focus_video::profile::profile_by_name;
+use focus_video::VideoDataset;
+
+fn build_index() -> (TopKIndex, Vec<focus_video::ClassId>) {
+    let dataset = VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 240.0);
+    let classes = dataset.dominant_classes(5);
+    let engine = IngestEngine::new(
+        IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+        IngestParams {
+            k: 20,
+            ..IngestParams::default()
+        },
+    );
+    let out = engine.ingest(&dataset, &GpuMeter::new());
+    (out.index, classes)
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let (index, classes) = build_index();
+    let mut group = c.benchmark_group("topk_index");
+    group.throughput(Throughput::Elements(classes.len() as u64));
+    group.bench_function("lookup_dominant_classes", |b| {
+        b.iter(|| {
+            classes
+                .iter()
+                .map(|class| index.lookup(*class, &QueryFilter::any()).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("lookup_with_time_filter", |b| {
+        let filter = QueryFilter::any().with_time_range(0.0, 60.0);
+        b.iter(|| {
+            classes
+                .iter()
+                .map(|class| index.lookup(*class, &filter).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("reinsert_all_records", |b| {
+        let records: Vec<_> = index.clusters().cloned().collect();
+        b.iter(|| {
+            let mut fresh = TopKIndex::new();
+            for r in &records {
+                fresh.insert(r.clone());
+            }
+            fresh.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmark: the full ingest pipeline (motion filtering,
+//! pixel differencing, cheap-CNN classification, clustering, index
+//! construction) on a short recording.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use focus_cnn::ModelSpec;
+use focus_core::{IngestCnn, IngestEngine, IngestParams};
+use focus_runtime::GpuMeter;
+use focus_video::profile::profile_by_name;
+use focus_video::VideoDataset;
+
+fn bench_ingest(c: &mut Criterion) {
+    let dataset = VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 120.0);
+    let objects = dataset.object_count() as u64;
+    let mut group = c.benchmark_group("ingest_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(objects));
+    for (label, k) in [("k4", 4usize), ("k60", 60)] {
+        group.bench_with_input(BenchmarkId::new("auburn_c_120s", label), &k, |b, &k| {
+            let engine = IngestEngine::new(
+                IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+                IngestParams {
+                    k,
+                    ..IngestParams::default()
+                },
+            );
+            b.iter(|| engine.ingest(&dataset, &GpuMeter::new()).clusters)
+        });
+    }
+    group.bench_function("auburn_c_120s_no_clustering", |b| {
+        let engine = IngestEngine::new(
+            IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+            IngestParams {
+                enable_clustering: false,
+                ..IngestParams::default()
+            },
+        );
+        b.iter(|| engine.ingest(&dataset, &GpuMeter::new()).clusters)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

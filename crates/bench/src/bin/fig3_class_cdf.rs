@@ -1,0 +1,64 @@
+//! Regenerates Figure 3 of the paper: the CDF of object-class frequency.
+//!
+//! For the six characterization streams the binary prints the cumulative
+//! fraction of objects covered by the most frequent classes (the x-axis of
+//! Figure 3 is the fraction of the 1,000-class label space, truncated at
+//! 10%), plus the §2.2.2 headline numbers: how many classes cover 95% of
+//! objects and the average pairwise Jaccard overlap of class sets.
+
+use focus_bench::{banner, experiment_duration_secs, fmt_percent, TextTable};
+use focus_video::dataset::average_pairwise_jaccard;
+use focus_video::profile::characterization_six;
+use focus_video::{VideoDataset, NUM_CLASSES};
+
+fn main() {
+    banner(
+        "Figure 3: CDF of object-class frequency",
+        "Figure 3 and §2.2.2 of the paper",
+    );
+    let duration = experiment_duration_secs();
+    let datasets: Vec<VideoDataset> = characterization_six()
+        .into_iter()
+        .map(|p| VideoDataset::generate(p, duration))
+        .collect();
+
+    // CDF sampled at fixed fractions of the 1,000-class label space.
+    let fractions = [0.005, 0.01, 0.02, 0.03, 0.05, 0.10];
+    let mut table = TextTable::new(vec![
+        "stream",
+        "0.5% of classes",
+        "1%",
+        "2%",
+        "3%",
+        "5%",
+        "10%",
+        "classes for 95%",
+    ]);
+    for ds in &datasets {
+        let cdf = ds.class_frequency_cdf();
+        let mut row = vec![ds.profile.name.clone()];
+        for fraction in fractions {
+            let classes = ((NUM_CLASSES as f64) * fraction).round() as usize;
+            let covered = if classes == 0 {
+                0.0
+            } else if classes > cdf.len() {
+                1.0
+            } else {
+                cdf[classes - 1]
+            };
+            row.push(fmt_percent(covered));
+        }
+        row.push(ds.classes_covering(0.95).to_string());
+        table.row(row);
+    }
+    table.print();
+
+    println!();
+    println!(
+        "average pairwise Jaccard index of class sets: {:.2} (paper: 0.46)",
+        average_pairwise_jaccard(&datasets)
+    );
+    println!(
+        "Paper headline: 3%-10% of the most frequent classes cover >=95% of objects."
+    );
+}

@@ -1,0 +1,58 @@
+//! Regenerates Figure 5 of the paper: recall as a function of K for three
+//! cheap CNNs on the `lausanne` stream.
+//!
+//! Recall here is the probability that the ground-truth CNN's top-most
+//! class for an object appears within the cheap CNN's top-K results — the
+//! quantity that determines how large the top-K ingest index must be.
+
+use focus_bench::{banner, experiment_duration_secs, fmt_percent, TextTable};
+use focus_cnn::{Classifier, GroundTruthCnn, ModelZoo};
+use focus_video::profile::profile_by_name;
+use focus_video::VideoDataset;
+
+fn main() {
+    banner(
+        "Figure 5: effect of K on recall for three cheap CNNs (lausanne)",
+        "Figure 5 of the paper",
+    );
+    let dataset = VideoDataset::generate(
+        profile_by_name("lausanne").expect("lausanne profile exists"),
+        experiment_duration_secs(),
+    );
+    let gt = GroundTruthCnn::resnet152();
+    let objects: Vec<_> = dataset.objects().cloned().collect();
+    let gt_labels: Vec<_> = objects.iter().map(|o| gt.classify_top1(o)).collect();
+    println!("objects evaluated: {}\n", objects.len());
+
+    let ks = [10usize, 20, 60, 100, 200];
+    let mut table = TextTable::new(vec![
+        "model (cheaper than GT by)",
+        "K=10",
+        "K=20",
+        "K=60",
+        "K=100",
+        "K=200",
+    ]);
+    for model in ModelZoo::new().figure5_models() {
+        let mut row = vec![format!(
+            "{} ({:.0}x)",
+            model.name(),
+            model.cheapness_vs_gt()
+        )];
+        for k in ks {
+            let hits = objects
+                .iter()
+                .zip(gt_labels.iter())
+                .filter(|(obj, label)| model.classify_top_k(obj, k).contains_in_top(**label, k))
+                .count();
+            row.push(fmt_percent(hits as f64 / objects.len() as f64));
+        }
+        table.row(row);
+    }
+    table.print();
+    println!();
+    println!(
+        "Paper anchors: the 7x/28x/58x-cheaper models reach ~90% recall at \
+         K >= 60, K >= 100 and K >= 200 respectively."
+    );
+}

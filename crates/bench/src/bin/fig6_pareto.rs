@@ -1,0 +1,77 @@
+//! Regenerates Figure 6 of the paper: the viable configurations of the
+//! parameter sweep and their Pareto boundary for `auburn_c`.
+//!
+//! Every point is a (cheap CNN, K, T) configuration that meets the accuracy
+//! targets; the Pareto boundary is the subset no other point improves on in
+//! both ingest cost and query latency. The three policy picks are marked.
+
+use focus_bench::{banner, standard_config, TextTable};
+use focus_cnn::GroundTruthCnn;
+use focus_core::{ExperimentRunner, TradeoffPolicy};
+use focus_video::profile::profile_by_name;
+
+fn main() {
+    banner(
+        "Figure 6: parameter selection and the Pareto boundary (auburn_c)",
+        "Figure 6 of the paper",
+    );
+    let profile = profile_by_name("auburn_c").expect("auburn_c profile exists");
+    let runner = ExperimentRunner::new(standard_config());
+    let dataset = runner.dataset_for(&profile);
+    let gt = GroundTruthCnn::resnet152();
+    let (selection, _) = runner.select_parameters(&dataset, &gt);
+
+    println!(
+        "evaluated configurations: {}   viable (meet 95%/95%): {}   on Pareto boundary: {}\n",
+        selection.evaluated.len(),
+        selection.viable.len(),
+        selection.pareto.len()
+    );
+
+    let chosen: Vec<(TradeoffPolicy, _)> = TradeoffPolicy::all()
+        .into_iter()
+        .filter_map(|p| selection.choose(p).map(|c| (p, c.point)))
+        .collect();
+
+    let mut table = TextTable::new(vec![
+        "model",
+        "K",
+        "T",
+        "norm. ingest cost",
+        "norm. query latency",
+        "precision",
+        "recall",
+        "pareto",
+        "chosen by",
+    ]);
+    for point in &selection.viable {
+        let on_pareto = selection.pareto.iter().any(|p| {
+            p.model == point.model && p.k == point.k && (p.threshold - point.threshold).abs() < 1e-6
+        });
+        let picked: Vec<&str> = chosen
+            .iter()
+            .filter(|(_, c)| {
+                c.model == point.model && c.k == point.k && (c.threshold - point.threshold).abs() < 1e-6
+            })
+            .map(|(p, _)| p.name())
+            .collect();
+        table.row(vec![
+            point.model.display_name(),
+            point.k.to_string(),
+            format!("{:.2}", point.threshold),
+            format!("{:.4}", point.ingest_cost_norm),
+            format!("{:.4}", point.query_latency_norm),
+            format!("{:.3}", point.precision),
+            format!("{:.3}", point.recall),
+            if on_pareto { "*".to_string() } else { String::new() },
+            picked.join(", "),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "Paper behaviour: the Balance policy picks the Pareto point minimizing \
+         the sum of normalized ingest cost and query latency; Opt-Ingest and \
+         Opt-Query pick the endpoints of the boundary."
+    );
+}

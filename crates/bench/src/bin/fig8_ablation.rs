@@ -1,0 +1,78 @@
+//! Regenerates Figure 8 of the paper: the contribution of each Focus
+//! component (generic compressed model, per-stream specialization,
+//! clustering) to the ingest-cost and query-latency improvements.
+
+use focus_bench::{banner, fmt_factor, standard_config, TextTable};
+use focus_core::{AblationMode, ExperimentRunner};
+use focus_video::profile::representative_nine;
+
+fn main() {
+    banner(
+        "Figure 8: effect of different Focus components",
+        "Figure 8 and §6.3 of the paper",
+    );
+    let mut ingest_table = TextTable::new(vec![
+        "stream",
+        "compressed model",
+        "+ specialized model",
+        "+ clustering",
+    ]);
+    let mut query_table = ingest_table.clone();
+    let mut sums = [[0.0f64; 3]; 2];
+    let mut counted = 0usize;
+
+    for profile in representative_nine() {
+        let mut ingest_row = vec![profile.name.clone()];
+        let mut query_row = vec![profile.name.clone()];
+        let mut complete = true;
+        for (i, mode) in AblationMode::all().into_iter().enumerate() {
+            let config = focus_core::ExperimentConfig {
+                ablation: mode,
+                ..standard_config()
+            };
+            match ExperimentRunner::new(config).run_stream(&profile) {
+                Ok(report) => {
+                    ingest_row.push(fmt_factor(report.ingest_cheaper_factor));
+                    query_row.push(fmt_factor(report.query_faster_factor));
+                    sums[0][i] += report.ingest_cheaper_factor;
+                    sums[1][i] += report.query_faster_factor;
+                }
+                Err(err) => {
+                    ingest_row.push(format!("error: {err}"));
+                    query_row.push("-".to_string());
+                    complete = false;
+                }
+            }
+        }
+        if complete {
+            counted += 1;
+        }
+        ingest_table.row(ingest_row);
+        query_table.row(query_row);
+    }
+
+    println!("(a) ingest cost: cheaper than Ingest-all by");
+    ingest_table.print();
+    println!();
+    println!("(b) query latency: faster than Query-all by");
+    query_table.print();
+    if counted > 0 {
+        println!();
+        println!(
+            "averages over {counted} streams - ingest: {} / {} / {}   query: {} / {} / {}",
+            fmt_factor(sums[0][0] / counted as f64),
+            fmt_factor(sums[0][1] / counted as f64),
+            fmt_factor(sums[0][2] / counted as f64),
+            fmt_factor(sums[1][0] / counted as f64),
+            fmt_factor(sums[1][1] / counted as f64),
+            fmt_factor(sums[1][2] / counted as f64),
+        );
+    }
+    println!();
+    println!(
+        "Paper behaviour: generic compressed models help but are not the major \
+         source of improvement; specialization delivers most of the ingest \
+         savings (7x-71x cheaper models) and speeds queries 5x-25x; clustering \
+         adds up to 56x query speed-up at negligible ingest cost."
+    );
+}

@@ -1,0 +1,65 @@
+//! Regenerates the §2.2.3 measurement: the fraction of objects whose nearest
+//! neighbour in cheap-CNN feature space belongs to the same class.
+//!
+//! The paper reports this fraction to be above 99% for every stream, which
+//! is what justifies clustering on cheap-CNN features.
+
+use focus_bench::{banner, fmt_percent, TextTable};
+use focus_cnn::{CheapCnn, Classifier};
+use focus_video::profile::table1_profiles;
+use focus_video::VideoDataset;
+
+/// Number of objects sampled per stream for the O(n²) nearest-neighbour
+/// scan.
+const SAMPLE_OBJECTS: usize = 1500;
+
+fn main() {
+    banner(
+        "§2.2.3: nearest-neighbour same-class fraction of cheap-CNN features",
+        "the feature-vector robustness measurement in §2.2.3",
+    );
+    let model = CheapCnn::cheap_cnn_1();
+    println!("feature extractor: {} (ResNet18-class model)\n", model.name());
+    let mut table = TextTable::new(vec!["stream", "objects", "NN same-class fraction"]);
+    let mut worst: f64 = 1.0;
+    for profile in table1_profiles() {
+        let name = profile.name.clone();
+        let dataset = VideoDataset::generate(profile, 180.0);
+        let objects: Vec<_> = dataset.objects().take(SAMPLE_OBJECTS).cloned().collect();
+        if objects.len() < 10 {
+            continue;
+        }
+        let features: Vec<_> = objects.iter().map(|o| model.extract_features(o)).collect();
+        let mut same = 0usize;
+        for (i, fi) in features.iter().enumerate() {
+            let mut best = f32::MAX;
+            let mut best_j = usize::MAX;
+            for (j, fj) in features.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let d = fi.l2_distance_sq(fj);
+                if d < best {
+                    best = d;
+                    best_j = j;
+                }
+            }
+            if objects[i].true_class == objects[best_j].true_class {
+                same += 1;
+            }
+        }
+        let fraction = same as f64 / objects.len() as f64;
+        worst = worst.min(fraction);
+        table.row(vec![
+            name,
+            objects.len().to_string(),
+            fmt_percent(fraction),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "worst stream: {} (paper: over 99% in each video)",
+        fmt_percent(worst)
+    );
+}

@@ -1,0 +1,54 @@
+//! Regenerates Table 1 of the paper: the video dataset characteristics.
+//!
+//! For each of the 13 built-in stream profiles the binary materializes a
+//! recording and reports the measured characteristics (frames, objects,
+//! distinct classes, empty-frame fraction, classes covering 95% of
+//! objects), alongside the descriptive metadata the paper tabulates.
+
+use focus_bench::{banner, experiment_duration_secs, fmt_percent, TextTable};
+use focus_video::profile::table1_profiles;
+use focus_video::VideoDataset;
+
+fn main() {
+    banner(
+        "Table 1: video dataset characteristics",
+        "Table 1 and §2.2 of the paper",
+    );
+    let duration = experiment_duration_secs();
+    println!("recording length per stream: {duration} seconds\n");
+    let mut table = TextTable::new(vec![
+        "type",
+        "name",
+        "location",
+        "frames",
+        "objects",
+        "tracks",
+        "classes",
+        "empty frames",
+        "classes for 95%",
+    ]);
+    for profile in table1_profiles() {
+        let domain = profile.domain.to_string();
+        let location = profile.location.clone();
+        let dataset = VideoDataset::generate(profile, duration);
+        let stats = dataset.stats();
+        table.row(vec![
+            domain,
+            stats.stream.clone(),
+            location,
+            stats.frames.to_string(),
+            stats.objects.to_string(),
+            stats.tracks.to_string(),
+            stats.distinct_classes.to_string(),
+            fmt_percent(stats.empty_frame_fraction),
+            stats.classes_covering_95pct.to_string(),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "Paper context: 12-hour recordings at 30 fps; one-third to one-half of \
+         frames have no moving objects (§2.2.1); 3%-10% of classes cover >=95% \
+         of objects (§2.2.2)."
+    );
+}

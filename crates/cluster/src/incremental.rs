@@ -1,0 +1,508 @@
+//! The threshold-based single-pass incremental clusterer.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a cluster, unique within one clusterer instance.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClusterId(pub u64);
+
+/// An item that was assigned to a cluster. The clusterer is generic over
+/// what an item *is* (Focus stores object and frame identifiers); it only
+/// needs an opaque 64-bit payload pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClusterMember {
+    /// Primary identifier of the member (Focus: the object id).
+    pub item: u64,
+    /// Secondary identifier carried along (Focus: the frame id).
+    pub tag: u64,
+}
+
+/// A cluster: its running centroid and its members. The first member is the
+/// cluster's representative (the object whose features opened or currently
+/// anchor the cluster); Focus classifies exactly that representative with
+/// the ground-truth CNN at query time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Cluster identifier.
+    pub id: ClusterId,
+    /// Running mean of the members' feature vectors.
+    pub centroid: Vec<f32>,
+    /// Members in insertion order; the first member is the representative.
+    pub members: Vec<ClusterMember>,
+}
+
+impl Cluster {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the cluster is empty (never true for sealed clusters).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The representative member classified by the GT-CNN at query time.
+    pub fn representative(&self) -> ClusterMember {
+        self.members[0]
+    }
+}
+
+/// Statistics describing a finished clustering run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClusteringStats {
+    /// Objects added.
+    pub objects: usize,
+    /// Clusters produced (active + spilled).
+    pub clusters: usize,
+    /// Number of clusters spilled because the active set exceeded its cap.
+    pub spilled: usize,
+    /// Average members per cluster.
+    pub mean_cluster_size: f64,
+    /// Total number of centroid distance evaluations performed (the `O(M·n)`
+    /// work term).
+    pub distance_evaluations: u64,
+}
+
+/// The single-pass incremental clusterer.
+///
+/// Distances are Euclidean (L2), matching §4.2 of the paper. The clusterer
+/// never re-assigns an object once placed, which is what keeps it single
+/// pass.
+#[derive(Debug, Clone)]
+pub struct IncrementalClusterer {
+    threshold: f32,
+    max_active: usize,
+    dim: Option<usize>,
+    active: Vec<ClusterState>,
+    sealed: Vec<Cluster>,
+    next_id: u64,
+    objects: usize,
+    spilled: usize,
+    distance_evaluations: u64,
+}
+
+/// How many recent additions protect a cluster from being spilled. A
+/// cluster that absorbed an object within this window is still "hot" (the
+/// object it tracks is probably still in view), so sealing it would split
+/// what should be one cluster into many.
+const SPILL_RECENCY_GRACE: u64 = 32;
+
+#[derive(Debug, Clone)]
+struct ClusterState {
+    id: ClusterId,
+    centroid: Vec<f32>,
+    sum: Vec<f32>,
+    members: Vec<ClusterMember>,
+    /// Value of the clusterer's add counter when this cluster last absorbed
+    /// an object.
+    last_update: u64,
+}
+
+impl ClusterState {
+    fn to_cluster(&self) -> Cluster {
+        Cluster {
+            id: self.id,
+            centroid: self.centroid.clone(),
+            members: self.members.clone(),
+        }
+    }
+}
+
+impl IncrementalClusterer {
+    /// Creates a clusterer with distance threshold `threshold` and at most
+    /// `max_active` concurrently open clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative/NaN or `max_active` is zero.
+    pub fn new(threshold: f32, max_active: usize) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "threshold must be a non-negative finite number"
+        );
+        assert!(max_active > 0, "max_active must be positive");
+        Self {
+            threshold,
+            max_active,
+            dim: None,
+            active: Vec::new(),
+            sealed: Vec::new(),
+            next_id: 0,
+            objects: 0,
+            spilled: 0,
+            distance_evaluations: 0,
+        }
+    }
+
+    /// The distance threshold `T`.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// The active-set cap `M`.
+    pub fn max_active(&self) -> usize {
+        self.max_active
+    }
+
+    /// Number of objects added so far.
+    pub fn objects_added(&self) -> usize {
+        self.objects
+    }
+
+    /// Number of clusters currently active (not yet sealed).
+    pub fn active_clusters(&self) -> usize {
+        self.active.len()
+    }
+
+    fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    /// Adds one object (identified by `item`/`tag`) with feature vector
+    /// `features`; returns the cluster it was assigned to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is empty or its dimension differs from earlier
+    /// objects.
+    pub fn add(&mut self, item: u64, tag: u64, features: &[f32]) -> ClusterId {
+        assert!(!features.is_empty(), "features must not be empty");
+        match self.dim {
+            None => self.dim = Some(features.len()),
+            Some(d) => assert_eq!(d, features.len(), "feature dimension changed mid-stream"),
+        }
+        self.objects += 1;
+        let member = ClusterMember { item, tag };
+        let threshold_sq = self.threshold * self.threshold;
+        let mut best: Option<(usize, f32)> = None;
+        for (idx, cluster) in self.active.iter().enumerate() {
+            self.distance_evaluations += 1;
+            let d = Self::squared_distance(&cluster.centroid, features);
+            if d <= threshold_sq && best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((idx, d));
+            }
+        }
+        if let Some((idx, _)) = best {
+            let cluster = &mut self.active[idx];
+            for (s, f) in cluster.sum.iter_mut().zip(features.iter()) {
+                *s += f;
+            }
+            cluster.members.push(member);
+            cluster.last_update = self.objects as u64;
+            let n = cluster.members.len() as f32;
+            for (c, s) in cluster.centroid.iter_mut().zip(cluster.sum.iter()) {
+                *c = s / n;
+            }
+            return cluster.id;
+        }
+        // No cluster close enough: open a new one.
+        let id = ClusterId(self.next_id);
+        self.next_id += 1;
+        self.active.push(ClusterState {
+            id,
+            centroid: features.to_vec(),
+            sum: features.to_vec(),
+            members: vec![member],
+            last_update: self.objects as u64,
+        });
+        if self.active.len() > self.max_active {
+            self.spill_one();
+        }
+        id
+    }
+
+    /// Seals one active cluster, moving it to the output set. This is the
+    /// paper's "keep the number of clusters at a constant M by removing the
+    /// smallest ones and storing their data in the top-K index", with one
+    /// refinement for small `M`: clusters that absorbed an object very
+    /// recently are protected, because the smallest cluster is otherwise
+    /// almost always the one that is *currently being formed* (evicting it
+    /// would shatter ongoing tracks into singleton clusters). Among the
+    /// non-recent clusters the smallest is sealed, oldest first on ties.
+    fn spill_one(&mut self) {
+        if self.active.is_empty() {
+            return;
+        }
+        let cutoff = (self.objects as u64).saturating_sub(SPILL_RECENCY_GRACE);
+        let (idx, _) = self
+            .active
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| {
+                let recently_updated = c.last_update >= cutoff;
+                (recently_updated, c.members.len(), c.last_update)
+            })
+            .expect("active set is non-empty");
+        let state = self.active.swap_remove(idx);
+        self.sealed.push(state.to_cluster());
+        self.spilled += 1;
+    }
+
+    /// Finishes clustering, returning every cluster (sealed and active).
+    pub fn finish(mut self) -> (Vec<Cluster>, ClusteringStats) {
+        let mut clusters = std::mem::take(&mut self.sealed);
+        clusters.extend(self.active.iter().map(ClusterState::to_cluster));
+        clusters.sort_by_key(|c| c.id);
+        let stats = ClusteringStats {
+            objects: self.objects,
+            clusters: clusters.len(),
+            spilled: self.spilled,
+            mean_cluster_size: if clusters.is_empty() {
+                0.0
+            } else {
+                self.objects as f64 / clusters.len() as f64
+            },
+            distance_evaluations: self.distance_evaluations,
+        };
+        (clusters, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(values: &[f32]) -> Vec<f32> {
+        values.to_vec()
+    }
+
+    #[test]
+    fn first_object_opens_first_cluster() {
+        let mut c = IncrementalClusterer::new(1.0, 16);
+        let id = c.add(1, 100, &point(&[0.0, 0.0]));
+        assert_eq!(id, ClusterId(0));
+        let (clusters, stats) = c.finish();
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(stats.objects, 1);
+        assert_eq!(clusters[0].representative(), ClusterMember { item: 1, tag: 100 });
+    }
+
+    #[test]
+    fn close_objects_join_far_objects_split() {
+        let mut c = IncrementalClusterer::new(1.0, 16);
+        let a = c.add(1, 0, &point(&[0.0, 0.0]));
+        let b = c.add(2, 0, &point(&[0.1, 0.1]));
+        let d = c.add(3, 0, &point(&[10.0, 10.0]));
+        assert_eq!(a, b);
+        assert_ne!(a, d);
+        let (clusters, stats) = c.finish();
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(stats.clusters, 2);
+        assert!((stats.mean_cluster_size - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_is_running_mean() {
+        let mut c = IncrementalClusterer::new(10.0, 16);
+        c.add(1, 0, &point(&[0.0, 0.0]));
+        c.add(2, 0, &point(&[2.0, 0.0]));
+        c.add(3, 0, &point(&[4.0, 0.0]));
+        let (clusters, _) = c.finish();
+        assert_eq!(clusters.len(), 1);
+        assert!((clusters[0].centroid[0] - 2.0).abs() < 1e-6);
+        assert!((clusters[0].centroid[1] - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_threshold_separates_distinct_points() {
+        let mut c = IncrementalClusterer::new(0.0, 100);
+        c.add(1, 0, &point(&[0.0]));
+        c.add(2, 0, &point(&[0.0]));
+        c.add(3, 0, &point(&[1.0]));
+        let (clusters, _) = c.finish();
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn active_set_is_capped_and_spills_smallest() {
+        let mut c = IncrementalClusterer::new(0.1, 2);
+        // Three mutually distant clusters; the cap is 2, so one gets sealed.
+        for i in 0..5 {
+            c.add(i, 0, &point(&[0.0, 0.0]));
+        }
+        c.add(100, 0, &point(&[100.0, 0.0]));
+        assert_eq!(c.active_clusters(), 2);
+        c.add(200, 0, &point(&[200.0, 0.0]));
+        assert_eq!(c.active_clusters(), 2, "cap must hold after spill");
+        let (clusters, stats) = c.finish();
+        assert_eq!(clusters.len(), 3);
+        assert_eq!(stats.spilled, 1);
+        // Every object is in exactly one cluster.
+        let total: usize = clusters.iter().map(|cl| cl.len()).sum();
+        assert_eq!(total, stats.objects);
+    }
+
+    #[test]
+    fn spilled_cluster_does_not_absorb_new_members() {
+        let mut c = IncrementalClusterer::new(0.5, 1);
+        c.add(1, 0, &point(&[0.0]));
+        c.add(2, 0, &point(&[50.0])); // spills the first cluster
+        c.add(3, 0, &point(&[0.0])); // first cluster is sealed; opens a new one
+        let (clusters, _) = c.finish();
+        assert_eq!(clusters.len(), 3);
+    }
+
+    #[test]
+    fn stats_count_distance_evaluations_linear_in_active_set() {
+        let mut c = IncrementalClusterer::new(0.1, 4);
+        for i in 0..100u64 {
+            c.add(i, 0, &point(&[(i % 4) as f32 * 100.0, 0.0]));
+        }
+        let (_, stats) = c.finish();
+        // Each add scans at most `max_active` centroids.
+        assert!(stats.distance_evaluations <= 100 * 4);
+        assert_eq!(stats.objects, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension changed")]
+    fn dimension_mismatch_panics() {
+        let mut c = IncrementalClusterer::new(1.0, 4);
+        c.add(1, 0, &point(&[0.0, 0.0]));
+        c.add(2, 0, &point(&[0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "features must not be empty")]
+    fn empty_features_panic() {
+        let mut c = IncrementalClusterer::new(1.0, 4);
+        c.add(1, 0, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_active must be positive")]
+    fn zero_cap_panics() {
+        let _ = IncrementalClusterer::new(1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be a non-negative finite number")]
+    fn negative_threshold_panics() {
+        let _ = IncrementalClusterer::new(-1.0, 4);
+    }
+
+    #[test]
+    fn finish_on_empty_clusterer() {
+        let (clusters, stats) = IncrementalClusterer::new(1.0, 4).finish();
+        assert!(clusters.is_empty());
+        assert_eq!(stats.objects, 0);
+        assert_eq!(stats.mean_cluster_size, 0.0);
+    }
+
+    #[test]
+    fn object_joins_nearest_qualifying_cluster() {
+        let mut c = IncrementalClusterer::new(2.0, 16);
+        let a = c.add(1, 0, &point(&[0.0]));
+        let b = c.add(2, 0, &point(&[3.0]));
+        assert_ne!(a, b, "3.0 exceeds the threshold, so a new cluster opens");
+        // 1.9 is within the threshold of both centroids (0 and 3) but closer
+        // to the second one.
+        let joined = c.add(3, 0, &point(&[1.9]));
+        assert_eq!(joined, b);
+        assert_ne!(joined, a);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arbitrary_points() -> impl Strategy<Value = Vec<Vec<f32>>> {
+        prop::collection::vec(
+            prop::collection::vec(-100.0f32..100.0, 4),
+            1..200,
+        )
+    }
+
+    proptest! {
+        /// Every object ends up in exactly one cluster, regardless of the
+        /// threshold or cap.
+        #[test]
+        fn every_object_assigned_exactly_once(
+            points in arbitrary_points(),
+            threshold in 0.0f32..50.0,
+            cap in 1usize..32,
+        ) {
+            let mut c = IncrementalClusterer::new(threshold, cap);
+            for (i, p) in points.iter().enumerate() {
+                c.add(i as u64, 0, p);
+            }
+            let (clusters, stats) = c.finish();
+            let mut seen = std::collections::HashSet::new();
+            for cluster in &clusters {
+                prop_assert!(!cluster.is_empty());
+                for m in &cluster.members {
+                    prop_assert!(seen.insert(m.item), "object assigned twice");
+                }
+            }
+            prop_assert_eq!(seen.len(), points.len());
+            prop_assert_eq!(stats.objects, points.len());
+            prop_assert_eq!(stats.clusters, clusters.len());
+        }
+
+        /// The number of active clusters never exceeds the cap, and total
+        /// distance evaluations stay linear in (objects × cap).
+        #[test]
+        fn active_cap_and_linear_work(
+            points in arbitrary_points(),
+            cap in 1usize..16,
+        ) {
+            let mut c = IncrementalClusterer::new(1.0, cap);
+            for (i, p) in points.iter().enumerate() {
+                c.add(i as u64, 0, p);
+                prop_assert!(c.active_clusters() <= cap);
+            }
+            let n = points.len() as u64;
+            let (_, stats) = c.finish();
+            prop_assert!(stats.distance_evaluations <= n * cap as u64);
+        }
+
+        /// Cluster centroids lie within the bounding box of the data.
+        #[test]
+        fn centroids_inside_data_hull(
+            points in arbitrary_points(),
+            threshold in 0.1f32..20.0,
+        ) {
+            let mut c = IncrementalClusterer::new(threshold, 64);
+            for (i, p) in points.iter().enumerate() {
+                c.add(i as u64, 0, p);
+            }
+            let (clusters, _) = c.finish();
+            for d in 0..4 {
+                let lo = points.iter().map(|p| p[d]).fold(f32::INFINITY, f32::min);
+                let hi = points.iter().map(|p| p[d]).fold(f32::NEG_INFINITY, f32::max);
+                for cluster in &clusters {
+                    prop_assert!(cluster.centroid[d] >= lo - 1e-3);
+                    prop_assert!(cluster.centroid[d] <= hi + 1e-3);
+                }
+            }
+        }
+
+        /// With an infinite threshold everything lands in one cluster; with a
+        /// zero threshold distinct points never merge.
+        #[test]
+        fn threshold_extremes(points in arbitrary_points()) {
+            let mut all = IncrementalClusterer::new(f32::MAX.sqrt() / 4.0, 8);
+            for (i, p) in points.iter().enumerate() {
+                all.add(i as u64, 0, p);
+            }
+            let (clusters, _) = all.finish();
+            prop_assert_eq!(clusters.len(), 1);
+
+            let mut none = IncrementalClusterer::new(0.0, usize::MAX >> 1);
+            for (i, p) in points.iter().enumerate() {
+                none.add(i as u64, 0, p);
+            }
+            let (clusters, _) = none.finish();
+            let distinct: std::collections::HashSet<Vec<u32>> = points
+                .iter()
+                .map(|p| p.iter().map(|f| f.to_bits()).collect())
+                .collect();
+            prop_assert_eq!(clusters.len(), distinct.len());
+        }
+    }
+}

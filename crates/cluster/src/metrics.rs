@@ -1,0 +1,154 @@
+//! Cluster quality metrics.
+//!
+//! Clustering can reduce both precision and recall (§4.2 of the paper): if a
+//! cluster mixes classes, the centroid's label is applied to objects of a
+//! different class (hurting precision) and objects of the queried class can
+//! hide in clusters whose centroid is labelled otherwise (hurting recall).
+//! These helpers quantify that impurity; Focus's parameter selection uses
+//! them indirectly by measuring end-to-end precision/recall on a sample, and
+//! the test-suite uses them directly to validate clustering behaviour.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::incremental::Cluster;
+
+/// Purity of one cluster given a labelling of its members: the fraction of
+/// members that share the cluster's majority label.
+///
+/// `label_of` maps a member's `item` identifier to its label. Members with
+/// no label are ignored; an unlabelled or empty cluster has purity 1.0 by
+/// convention (there is nothing to get wrong).
+pub fn purity<L, F>(cluster: &Cluster, mut label_of: F) -> f64
+where
+    L: Eq + std::hash::Hash,
+    F: FnMut(u64) -> Option<L>,
+{
+    let mut counts: HashMap<L, usize> = HashMap::new();
+    let mut labelled = 0usize;
+    for member in &cluster.members {
+        if let Some(label) = label_of(member.item) {
+            *counts.entry(label).or_insert(0) += 1;
+            labelled += 1;
+        }
+    }
+    if labelled == 0 {
+        return 1.0;
+    }
+    let majority = counts.values().copied().max().unwrap_or(0);
+    majority as f64 / labelled as f64
+}
+
+/// Aggregate quality report over a set of clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ClusterQualityReport {
+    /// Number of clusters examined.
+    pub clusters: usize,
+    /// Number of labelled members across all clusters.
+    pub members: usize,
+    /// Mean purity, weighted by cluster size.
+    pub weighted_purity: f64,
+    /// Fraction of clusters that are perfectly pure.
+    pub pure_cluster_fraction: f64,
+    /// Size of the largest cluster.
+    pub largest_cluster: usize,
+}
+
+impl ClusterQualityReport {
+    /// Computes the report for `clusters` under the labelling `label_of`.
+    pub fn compute<L, F>(clusters: &[Cluster], mut label_of: F) -> Self
+    where
+        L: Eq + std::hash::Hash,
+        F: FnMut(u64) -> Option<L>,
+    {
+        if clusters.is_empty() {
+            return Self::default();
+        }
+        let mut weighted = 0.0;
+        let mut members = 0usize;
+        let mut pure = 0usize;
+        let mut largest = 0usize;
+        for cluster in clusters {
+            let p = purity(cluster, &mut label_of);
+            weighted += p * cluster.len() as f64;
+            members += cluster.len();
+            largest = largest.max(cluster.len());
+            if p >= 1.0 - 1e-12 {
+                pure += 1;
+            }
+        }
+        Self {
+            clusters: clusters.len(),
+            members,
+            weighted_purity: if members == 0 {
+                1.0
+            } else {
+                weighted / members as f64
+            },
+            pure_cluster_fraction: pure as f64 / clusters.len() as f64,
+            largest_cluster: largest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::{ClusterId, ClusterMember};
+
+    fn cluster(id: u64, items: &[u64]) -> Cluster {
+        Cluster {
+            id: ClusterId(id),
+            centroid: vec![0.0],
+            members: items
+                .iter()
+                .map(|&item| ClusterMember { item, tag: 0 })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn purity_of_uniform_cluster_is_one() {
+        let c = cluster(0, &[1, 2, 3]);
+        assert_eq!(purity(&c, |_| Some("car")), 1.0);
+    }
+
+    #[test]
+    fn purity_of_mixed_cluster() {
+        let c = cluster(0, &[1, 2, 3, 4]);
+        // Items 1-3 are cars, item 4 is a bus.
+        let p = purity(&c, |item| Some(if item <= 3 { "car" } else { "bus" }));
+        assert!((p - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unlabelled_members_are_ignored() {
+        let c = cluster(0, &[1, 2, 3, 4]);
+        let p = purity(&c, |item| if item <= 2 { Some("car") } else { None });
+        assert_eq!(p, 1.0);
+        let p_none = purity(&c, |_| Option::<&str>::None);
+        assert_eq!(p_none, 1.0);
+    }
+
+    #[test]
+    fn report_aggregates_weighted_purity() {
+        let clusters = vec![cluster(0, &[1, 2, 3, 4]), cluster(1, &[10, 11])];
+        // First cluster: 3 cars, 1 bus (purity 0.75). Second: pure (1.0).
+        let report = ClusterQualityReport::compute(&clusters, |item| {
+            Some(if item == 4 { "bus" } else { "car" })
+        });
+        assert_eq!(report.clusters, 2);
+        assert_eq!(report.members, 6);
+        assert!((report.weighted_purity - (0.75 * 4.0 + 1.0 * 2.0) / 6.0).abs() < 1e-9);
+        assert!((report.pure_cluster_fraction - 0.5).abs() < 1e-9);
+        assert_eq!(report.largest_cluster, 4);
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = ClusterQualityReport::compute::<&str, _>(&[], |_| None);
+        assert_eq!(report.clusters, 0);
+        assert_eq!(report.members, 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Model architectures, compression specifications and model specs.
+//!
+//! Focus's search space for the ingest-time CNN starts from a family of
+//! classifier architectures (ResNet, AlexNet, VGG — §4.1) and applies
+//! compression: removing convolutional layers and shrinking the input
+//! resolution (§2.1). A [`ModelSpec`] pins down one concrete member of that
+//! space together with its cost relative to the ground-truth CNN and its
+//! *rank quality*, the scalar that drives the top-K error model in
+//! [`crate::model`].
+
+use serde::{Deserialize, Serialize};
+
+/// A CNN architecture family member, ordered roughly by inference cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Architecture {
+    /// ResNet152 — the ground-truth CNN in the paper.
+    ResNet152,
+    /// VGG16 — accurate but nearly as expensive as ResNet152.
+    Vgg16,
+    /// ResNet50 — mid-size residual network.
+    ResNet50,
+    /// ResNet18 — the 8×-cheaper compressed starting point used in Figure 5.
+    ResNet18,
+    /// AlexNet — the cheapest stock architecture considered.
+    AlexNet,
+}
+
+impl Architecture {
+    /// All architectures, cheapest last.
+    pub fn all() -> [Architecture; 5] {
+        [
+            Architecture::ResNet152,
+            Architecture::Vgg16,
+            Architecture::ResNet50,
+            Architecture::ResNet18,
+            Architecture::AlexNet,
+        ]
+    }
+
+    /// How many times cheaper one inference of this architecture is compared
+    /// to ResNet152, at full input resolution and with no layers removed.
+    pub fn base_cheapness(self) -> f64 {
+        match self {
+            Architecture::ResNet152 => 1.0,
+            Architecture::Vgg16 => 1.4,
+            Architecture::ResNet50 => 2.9,
+            Architecture::ResNet18 => 8.0,
+            Architecture::AlexNet => 15.0,
+        }
+    }
+
+    /// Baseline rank quality in `[0, 1]`: how reliably the architecture
+    /// places the ground-truth class at rank 1 before any compression.
+    pub fn base_rank_quality(self) -> f64 {
+        match self {
+            Architecture::ResNet152 => 1.0,
+            Architecture::Vgg16 => 0.95,
+            Architecture::ResNet50 => 0.92,
+            Architecture::ResNet18 => 0.86,
+            Architecture::AlexNet => 0.74,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Architecture::ResNet152 => "ResNet152",
+            Architecture::Vgg16 => "VGG16",
+            Architecture::ResNet50 => "ResNet50",
+            Architecture::ResNet18 => "ResNet18",
+            Architecture::AlexNet => "AlexNet",
+        }
+    }
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Compression applied to an architecture: removing convolutional layers and
+/// rescaling the input image (§2.1, §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CompressionSpec {
+    /// Number of convolutional layers removed from the architecture.
+    pub layers_removed: u8,
+    /// Input image resolution in pixels (224 is the uncompressed ImageNet
+    /// input; the paper also evaluates 112 and 56).
+    pub input_resolution: u16,
+}
+
+impl CompressionSpec {
+    /// No compression: all layers, 224-pixel inputs.
+    pub const NONE: CompressionSpec = CompressionSpec {
+        layers_removed: 0,
+        input_resolution: 224,
+    };
+
+    /// Multiplier (> 1) by which this compression makes inference cheaper.
+    pub fn cost_reduction(&self) -> f64 {
+        let resolution_gain = (224.0 / self.input_resolution.max(16) as f64).powf(1.1);
+        let layer_gain = 1.0 + 0.12 * self.layers_removed as f64;
+        resolution_gain * layer_gain
+    }
+
+    /// Multiplier (≤ 1) by which this compression degrades rank quality.
+    pub fn quality_retention(&self) -> f64 {
+        let resolution_loss = (self.input_resolution.max(16) as f64 / 224.0).powf(0.18);
+        let layer_loss = (1.0 - 0.035 * self.layers_removed as f64).max(0.4);
+        (resolution_loss * layer_loss).min(1.0)
+    }
+}
+
+impl std::fmt::Display for CompressionSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "-{}L@{}px", self.layers_removed, self.input_resolution)
+    }
+}
+
+/// A fully specified (possibly compressed) generic classifier model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Base architecture.
+    pub architecture: Architecture,
+    /// Compression applied to it.
+    pub compression: CompressionSpec,
+}
+
+impl ModelSpec {
+    /// The uncompressed ground-truth model (ResNet152).
+    pub fn ground_truth() -> ModelSpec {
+        ModelSpec {
+            architecture: Architecture::ResNet152,
+            compression: CompressionSpec::NONE,
+        }
+    }
+
+    /// A spec for an architecture with a given compression.
+    pub fn new(architecture: Architecture, compression: CompressionSpec) -> ModelSpec {
+        ModelSpec {
+            architecture,
+            compression,
+        }
+    }
+
+    /// CheapCNN1 of Figure 5: ResNet18, no layers removed, 224-pixel input —
+    /// about 7× cheaper than the ground truth.
+    pub fn cheap_cnn_1() -> ModelSpec {
+        ModelSpec::new(
+            Architecture::ResNet18,
+            CompressionSpec {
+                layers_removed: 0,
+                input_resolution: 224,
+            },
+        )
+    }
+
+    /// CheapCNN2 of Figure 5: ResNet18 with 3 layers removed, 112-pixel
+    /// input — about 28× cheaper than the ground truth.
+    pub fn cheap_cnn_2() -> ModelSpec {
+        ModelSpec::new(
+            Architecture::ResNet18,
+            CompressionSpec {
+                layers_removed: 3,
+                input_resolution: 112,
+            },
+        )
+    }
+
+    /// CheapCNN3 of Figure 5: ResNet18 with 5 layers removed, 56-pixel
+    /// input — about 58× cheaper than the ground truth.
+    pub fn cheap_cnn_3() -> ModelSpec {
+        ModelSpec::new(
+            Architecture::ResNet18,
+            CompressionSpec {
+                layers_removed: 5,
+                input_resolution: 56,
+            },
+        )
+    }
+
+    /// How many times cheaper one inference of this model is than the
+    /// ground-truth CNN.
+    pub fn cheapness(&self) -> f64 {
+        self.architecture.base_cheapness() * self.compression.cost_reduction()
+    }
+
+    /// Rank quality in `(0, 1]`; drives the top-K error model.
+    pub fn rank_quality(&self) -> f64 {
+        (self.architecture.base_rank_quality() * self.compression.quality_retention())
+            .clamp(0.05, 1.0)
+    }
+
+    /// Display name, e.g. `ResNet18-3L@112px`.
+    pub fn display_name(&self) -> String {
+        if self.compression == CompressionSpec::NONE {
+            self.architecture.name().to_string()
+        } else {
+            format!("{}{}", self.architecture.name(), self.compression)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_is_unit_cost() {
+        let gt = ModelSpec::ground_truth();
+        assert!((gt.cheapness() - 1.0).abs() < 1e-9);
+        assert!((gt.rank_quality() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn canonical_cheap_cnns_match_paper_factors() {
+        // Figure 5 annotates the three cheap models as 7×, 28× and 58×
+        // cheaper than ResNet152. The calibrated cost model must land close.
+        let c1 = ModelSpec::cheap_cnn_1().cheapness();
+        let c2 = ModelSpec::cheap_cnn_2().cheapness();
+        let c3 = ModelSpec::cheap_cnn_3().cheapness();
+        assert!((6.0..=9.0).contains(&c1), "CheapCNN1 cheapness {c1}");
+        assert!((22.0..=34.0).contains(&c2), "CheapCNN2 cheapness {c2}");
+        assert!((48.0..=70.0).contains(&c3), "CheapCNN3 cheapness {c3}");
+        assert!(c1 < c2 && c2 < c3);
+    }
+
+    #[test]
+    fn cheaper_models_have_lower_rank_quality() {
+        let q1 = ModelSpec::cheap_cnn_1().rank_quality();
+        let q2 = ModelSpec::cheap_cnn_2().rank_quality();
+        let q3 = ModelSpec::cheap_cnn_3().rank_quality();
+        assert!(q1 > q2 && q2 > q3, "{q1} {q2} {q3}");
+        assert!(q3 > 0.3);
+    }
+
+    #[test]
+    fn architectures_ordered_by_cheapness_and_quality() {
+        let all = Architecture::all();
+        for pair in all.windows(2) {
+            assert!(pair[0].base_cheapness() <= pair[1].base_cheapness());
+            assert!(pair[0].base_rank_quality() >= pair[1].base_rank_quality());
+        }
+    }
+
+    #[test]
+    fn compression_none_is_identity() {
+        assert!((CompressionSpec::NONE.cost_reduction() - 1.0).abs() < 1e-9);
+        assert!((CompressionSpec::NONE.quality_retention() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_compression_is_cheaper_and_worse() {
+        let light = CompressionSpec {
+            layers_removed: 1,
+            input_resolution: 224,
+        };
+        let heavy = CompressionSpec {
+            layers_removed: 5,
+            input_resolution: 56,
+        };
+        assert!(heavy.cost_reduction() > light.cost_reduction());
+        assert!(heavy.quality_retention() < light.quality_retention());
+        assert!(heavy.quality_retention() > 0.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ModelSpec::ground_truth().display_name(), "ResNet152");
+        assert_eq!(
+            ModelSpec::cheap_cnn_2().display_name(),
+            "ResNet18-3L@112px"
+        );
+        assert_eq!(Architecture::AlexNet.to_string(), "AlexNet");
+    }
+
+    #[test]
+    fn tiny_resolution_does_not_divide_by_zero() {
+        let spec = CompressionSpec {
+            layers_removed: 0,
+            input_resolution: 0,
+        };
+        assert!(spec.cost_reduction().is_finite());
+        assert!(spec.quality_retention() > 0.0);
+    }
+}

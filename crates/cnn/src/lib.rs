@@ -1,0 +1,44 @@
+//! Simulated CNN substrate for the Focus reproduction.
+//!
+//! The paper runs real CNNs (ResNet152 as the ground-truth model, ResNet18 /
+//! AlexNet / VGG compressions as cheap ingest models, plus per-stream
+//! specialized variants) on GPUs. Neither the models nor GPUs are available
+//! here, so this crate provides a *calibrated simulation* that reproduces
+//! exactly the properties Focus depends on:
+//!
+//! 1. **A GPU cost model** ([`cost`]): every inference consumes a known
+//!    amount of GPU time; ResNet152 processes 77 images/second on an NVIDIA
+//!    K80, and each cheap model is characterized by how many times cheaper
+//!    it is than that baseline.
+//! 2. **A top-K error model** ([`model`]): the ground-truth top-1 class of
+//!    an object appears within the top-K output of a cheap model with a
+//!    probability that grows with K and shrinks as the model gets cheaper —
+//!    the behaviour plotted in Figure 5 of the paper. The model family is
+//!    calibrated against the three published points (7×, 28× and 58×
+//!    cheaper models reaching ~90% recall at K ≈ 60, 100 and 200).
+//! 3. **Per-stream specialization** ([`specialize`]): a model retrained on a
+//!    stream's dominant Ls classes (plus an OTHER class) is roughly an order
+//!    of magnitude cheaper again and needs only K = 2–4 (§4.3).
+//! 4. **Feature vectors** ([`features`]): the penultimate-layer features of
+//!    visually similar objects are close in L2 distance; nearest neighbours
+//!    share a class >99% of the time (§2.2.3), which is what makes
+//!    ingest-time clustering work.
+//!
+//! All classification outcomes are deterministic functions of (model,
+//! object appearance), so repeated runs — and in particular running the
+//! ground-truth CNN at ingest time for a baseline and at query time for
+//! Focus — agree with each other, just as a real frozen model would.
+
+pub mod architecture;
+pub mod cost;
+pub mod features;
+pub mod model;
+pub mod specialize;
+pub mod zoo;
+
+pub use architecture::{Architecture, CompressionSpec, ModelSpec};
+pub use cost::{GpuCost, GT_CNN_IMAGES_PER_SECOND};
+pub use features::{FeatureExtractor, FeatureVector, FEATURE_DIM};
+pub use model::{CheapCnn, Classifier, GroundTruthCnn, RankedClasses};
+pub use specialize::{SpecializedCnn, OTHER_CLASS};
+pub use zoo::ModelZoo;

@@ -1,0 +1,464 @@
+//! Per-stream CNN specialization (§4.3 of the paper).
+//!
+//! A specialized model is retrained for one specific video stream on its
+//! `Ls` most frequent object classes plus a catch-all `OTHER` class. Because
+//! it differentiates among a few dozen constrained-appearance classes rather
+//! than a thousand generic ones, it is both substantially cheaper (the paper
+//! reports specialized models 7×–71× cheaper than the ground truth) and
+//! accurate enough that a top-K index with K = 2–4 reaches the recall that a
+//! generic compressed model only reaches at K = 60–200.
+//!
+//! [`SpecializedCnn::train`] mirrors the paper's retraining procedure: it
+//! takes a ground-truth-labelled sample of the stream (the paper samples
+//! frames periodically and labels them with the GT-CNN), derives the class
+//! frequency distribution, picks the top `Ls` classes, and produces a model
+//! whose error model is *tight* for those classes and which maps everything
+//! else to [`OTHER_CLASS`].
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+use focus_video::{ClassId, ObjectObservation, NUM_CLASSES};
+
+use crate::cost::GpuCost;
+use crate::features::{FeatureExtractor, FeatureVector};
+use crate::model::{Classifier, RankedClasses};
+
+/// The synthetic class id reserved for the specialized models' "OTHER"
+/// output (§4.3, "OTHER class"). It lies outside the ground-truth label
+/// space on purpose.
+pub const OTHER_CLASS: ClassId = ClassId(NUM_CLASSES);
+
+/// How aggressively the specialized model is compressed. More aggressive
+/// levels are cheaper but need a slightly larger K to reach the same recall,
+/// which is exactly the ingest-cost/query-latency trade-off Focus's
+/// parameter selection navigates (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpecializationLevel {
+    /// Few layers removed, larger inputs: most accurate, least cheap.
+    Light,
+    /// The balanced default.
+    Medium,
+    /// Aggressive compression: cheapest, needs the largest K.
+    Aggressive,
+}
+
+impl SpecializationLevel {
+    /// All levels, cheapest last.
+    pub fn all() -> [SpecializationLevel; 3] {
+        [
+            SpecializationLevel::Light,
+            SpecializationLevel::Medium,
+            SpecializationLevel::Aggressive,
+        ]
+    }
+
+    /// How many times cheaper than the ground-truth CNN a specialized model
+    /// at this level is, before the (small) adjustment for `Ls`.
+    fn base_cheapness(self) -> f64 {
+        match self {
+            SpecializationLevel::Light => 26.0,
+            SpecializationLevel::Medium => 45.0,
+            SpecializationLevel::Aggressive => 68.0,
+        }
+    }
+
+    /// Probability that the true class (when among the specialized classes)
+    /// is ranked top-most.
+    fn in_set_top1(self) -> f64 {
+        match self {
+            SpecializationLevel::Light => 0.93,
+            SpecializationLevel::Medium => 0.88,
+            SpecializationLevel::Aggressive => 0.80,
+        }
+    }
+
+    /// Geometric decay of the rank when the true class is not top-most.
+    fn in_set_decay(self) -> f64 {
+        match self {
+            SpecializationLevel::Light => 0.60,
+            SpecializationLevel::Medium => 0.50,
+            SpecializationLevel::Aggressive => 0.38,
+        }
+    }
+
+    /// Probability that an object whose class is *not* among the specialized
+    /// classes is correctly recognized as OTHER at rank 1.
+    fn other_top1(self) -> f64 {
+        match self {
+            SpecializationLevel::Light => 0.92,
+            SpecializationLevel::Medium => 0.88,
+            SpecializationLevel::Aggressive => 0.82,
+        }
+    }
+
+    /// Display name of the level.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecializationLevel::Light => "light",
+            SpecializationLevel::Medium => "medium",
+            SpecializationLevel::Aggressive => "aggressive",
+        }
+    }
+}
+
+fn hash64(parts: &[u64]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for p in parts {
+        p.hash(&mut h);
+    }
+    h.finish()
+}
+
+fn unit_from_hash(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn drift_bucket(drift: f32) -> u64 {
+    // One bucket corresponds to roughly one second of accumulated
+    // appearance drift: the same physical object keeps (or misses) its
+    // classification for about a second at a time, so errors are correlated
+    // across the near-duplicate observations the way a real frozen model's
+    // errors are.
+    (drift / 0.6).floor() as u64
+}
+
+/// A per-stream specialized classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpecializedCnn {
+    name: String,
+    stream_name: String,
+    level: SpecializationLevel,
+    /// The Ls specialized classes, most frequent first.
+    classes: Vec<ClassId>,
+    cheapness: f64,
+    in_set_top1: f64,
+    in_set_decay: f64,
+    other_top1: f64,
+    features: FeatureExtractor,
+}
+
+impl SpecializedCnn {
+    /// Trains a specialized model for one stream.
+    ///
+    /// * `stream_name` — the stream this model is specialized for (part of
+    ///   the model identity).
+    /// * `level` — compression aggressiveness.
+    /// * `labelled_sample` — `(observation, ground-truth class)` pairs
+    ///   obtained by running the GT-CNN on a sampled slice of the stream
+    ///   (the paper retrains periodically from such samples).
+    /// * `ls` — number of most-frequent classes to specialize for.
+    ///
+    /// Returns `None` if the sample is empty or `ls` is zero — there is
+    /// nothing to specialize on.
+    pub fn train(
+        stream_name: &str,
+        level: SpecializationLevel,
+        labelled_sample: &[(ObjectObservation, ClassId)],
+        ls: usize,
+    ) -> Option<Self> {
+        if labelled_sample.is_empty() || ls == 0 {
+            return None;
+        }
+        let mut freq: HashMap<ClassId, usize> = HashMap::new();
+        for (_, class) in labelled_sample {
+            *freq.entry(*class).or_insert(0) += 1;
+        }
+        let mut ranked: Vec<(ClassId, usize)> = freq.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let classes: Vec<ClassId> = ranked.into_iter().take(ls).map(|(c, _)| c).collect();
+        let ls_actual = classes.len();
+        // Specializing over fewer classes is a simpler task, hence slightly
+        // cheaper and slightly more accurate (§4.3).
+        let ls_factor = 1.0 + 0.25 * (20.0 / (ls_actual as f64 + 20.0));
+        let cheapness = level.base_cheapness() * ls_factor;
+        let accuracy_bonus = 0.02 * (20.0 / (ls_actual as f64 + 20.0));
+        let name = format!(
+            "Specialized[{}|{}|Ls={}]",
+            stream_name,
+            level.name(),
+            ls_actual
+        );
+        Some(Self {
+            features: FeatureExtractor::new(name.clone(), 0.035),
+            name,
+            stream_name: stream_name.to_string(),
+            level,
+            classes,
+            cheapness,
+            in_set_top1: (level.in_set_top1() + accuracy_bonus).min(0.99),
+            in_set_decay: level.in_set_decay(),
+            other_top1: level.other_top1(),
+        })
+    }
+
+    /// The classes this model was specialized for, most frequent first.
+    pub fn specialized_classes(&self) -> &[ClassId] {
+        &self.classes
+    }
+
+    /// Whether `class` is among the specialized classes.
+    pub fn is_specialized_for(&self, class: ClassId) -> bool {
+        self.classes.contains(&class)
+    }
+
+    /// Number of specialized classes (the realized `Ls`).
+    pub fn ls(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The specialization level the model was trained at.
+    pub fn level(&self) -> SpecializationLevel {
+        self.level
+    }
+
+    /// The stream this model was specialized for.
+    pub fn stream_name(&self) -> &str {
+        &self.stream_name
+    }
+
+    fn model_seed(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.name.hash(&mut h);
+        h.finish()
+    }
+
+    /// The label the model is *trying* to produce for this object: the true
+    /// class when specialized for it, OTHER otherwise.
+    fn target_label(&self, obj: &ObjectObservation) -> ClassId {
+        if self.is_specialized_for(obj.true_class) {
+            obj.true_class
+        } else {
+            OTHER_CLASS
+        }
+    }
+
+    /// Rank of the target label in this model's output. Deterministic per
+    /// (model, track, drift bucket).
+    fn target_rank(&self, obj: &ObjectObservation) -> usize {
+        let seed = self.model_seed();
+        let key = hash64(&[
+            seed,
+            0x5BEC,
+            obj.appearance.track_signature,
+            drift_bucket(obj.appearance.drift),
+        ]);
+        let u = unit_from_hash(key);
+        let in_set = self.is_specialized_for(obj.true_class);
+        let top1 = if in_set { self.in_set_top1 } else { self.other_top1 };
+        if u < top1 {
+            return 1;
+        }
+        let decay = if in_set { self.in_set_decay } else { self.in_set_decay * 0.8 };
+        let v = unit_from_hash(hash64(&[key, 0x7A11]));
+        let extra = ((1.0 - v).ln() / (1.0 - decay.clamp(1e-3, 0.999)).ln())
+            .ceil()
+            .max(1.0);
+        1 + extra as usize
+    }
+}
+
+impl Classifier for SpecializedCnn {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn cost_per_inference(&self) -> GpuCost {
+        GpuCost::inference_with_cheapness(self.cheapness)
+    }
+
+    fn cheapness_vs_gt(&self) -> f64 {
+        self.cheapness
+    }
+
+    fn classify_top_k(&self, obj: &ObjectObservation, k: usize) -> RankedClasses {
+        let k = k.max(1);
+        let target = self.target_label(obj);
+        let target_rank = self.target_rank(obj);
+        // The output label space is the Ls specialized classes plus OTHER.
+        let seed = self.model_seed();
+        let mut candidates: Vec<ClassId> = self.classes.clone();
+        candidates.push(OTHER_CLASS);
+        // Deterministic per-object ordering of the distractor labels.
+        let obj_seed = hash64(&[
+            seed,
+            obj.appearance.track_signature,
+            drift_bucket(obj.appearance.drift),
+        ]);
+        candidates.retain(|c| *c != target);
+        candidates.sort_by_key(|c| hash64(&[obj_seed, c.0 as u64]));
+        let mut ranked = Vec::with_capacity(k.min(self.classes.len() + 1));
+        let mut distractors = candidates.into_iter();
+        let mut position = 1usize;
+        while ranked.len() < k && ranked.len() <= self.classes.len() {
+            let class = if position == target_rank {
+                Some(target)
+            } else {
+                distractors.next()
+            };
+            let Some(class) = class else { break };
+            let confidence = 1.0 / position as f32;
+            ranked.push((class, confidence));
+            position += 1;
+        }
+        // If the target's rank fell beyond the label-space size it simply
+        // does not appear — the specialized model "missed" the object.
+        RankedClasses { ranked }
+    }
+
+    fn extract_features(&self, obj: &ObjectObservation) -> FeatureVector {
+        self.features.extract(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GroundTruthCnn;
+    use focus_video::{profile, VideoDataset};
+
+    fn labelled_sample(stream: &str, secs: f64) -> Vec<(ObjectObservation, ClassId)> {
+        let ds = VideoDataset::generate(profile::profile_by_name(stream).unwrap(), secs);
+        let gt = GroundTruthCnn::resnet152();
+        ds.objects()
+            .map(|o| (o.clone(), gt.classify_top1(o)))
+            .collect()
+    }
+
+    #[test]
+    fn training_requires_data() {
+        assert!(SpecializedCnn::train("auburn_c", SpecializationLevel::Medium, &[], 10).is_none());
+        let sample = labelled_sample("auburn_c", 60.0);
+        assert!(SpecializedCnn::train("auburn_c", SpecializationLevel::Medium, &sample, 0).is_none());
+    }
+
+    #[test]
+    fn specialized_classes_are_the_most_frequent() {
+        let sample = labelled_sample("auburn_c", 300.0);
+        let model =
+            SpecializedCnn::train("auburn_c", SpecializationLevel::Medium, &sample, 10).unwrap();
+        assert_eq!(model.ls(), 10);
+        // The most frequent class in the sample must be specialized for.
+        let mut freq: HashMap<ClassId, usize> = HashMap::new();
+        for (_, c) in &sample {
+            *freq.entry(*c).or_insert(0) += 1;
+        }
+        let top = freq.iter().max_by_key(|(_, n)| **n).map(|(c, _)| *c).unwrap();
+        assert!(model.is_specialized_for(top));
+    }
+
+    #[test]
+    fn specialized_model_is_much_cheaper_than_gt() {
+        let sample = labelled_sample("auburn_c", 120.0);
+        for level in SpecializationLevel::all() {
+            let model = SpecializedCnn::train("auburn_c", level, &sample, 20).unwrap();
+            assert!(
+                model.cheapness_vs_gt() > 20.0 && model.cheapness_vs_gt() < 100.0,
+                "{}: cheapness {}",
+                model.name(),
+                model.cheapness_vs_gt()
+            );
+        }
+        // Aggressive is cheaper than light.
+        let light =
+            SpecializedCnn::train("auburn_c", SpecializationLevel::Light, &sample, 20).unwrap();
+        let aggressive =
+            SpecializedCnn::train("auburn_c", SpecializationLevel::Aggressive, &sample, 20)
+                .unwrap();
+        assert!(aggressive.cheapness_vs_gt() > light.cheapness_vs_gt());
+    }
+
+    #[test]
+    fn small_k_reaches_high_recall_for_specialized_classes() {
+        // §4.3: specialized models can use K = 2–4 instead of K = 60–200.
+        let sample = labelled_sample("auburn_c", 600.0);
+        let model =
+            SpecializedCnn::train("auburn_c", SpecializationLevel::Medium, &sample, 15).unwrap();
+        let in_set: Vec<&ObjectObservation> = sample
+            .iter()
+            .map(|(o, _)| o)
+            .filter(|o| model.is_specialized_for(o.true_class))
+            .collect();
+        assert!(in_set.len() > 100);
+        let recall_at = |k: usize| {
+            in_set
+                .iter()
+                .filter(|o| model.classify_top_k(o, k).contains_in_top(o.true_class, k))
+                .count() as f64
+                / in_set.len() as f64
+        };
+        assert!(recall_at(2) > 0.90, "recall@2 = {}", recall_at(2));
+        assert!(recall_at(4) > 0.95, "recall@4 = {}", recall_at(4));
+        assert!(recall_at(4) >= recall_at(2));
+    }
+
+    #[test]
+    fn out_of_set_objects_map_to_other() {
+        let sample = labelled_sample("auburn_c", 600.0);
+        let model =
+            SpecializedCnn::train("auburn_c", SpecializationLevel::Medium, &sample, 5).unwrap();
+        let out_of_set: Vec<&ObjectObservation> = sample
+            .iter()
+            .map(|(o, _)| o)
+            .filter(|o| !model.is_specialized_for(o.true_class))
+            .collect();
+        assert!(!out_of_set.is_empty());
+        let hits = out_of_set
+            .iter()
+            .filter(|o| model.classify_top_k(o, 3).contains_in_top(OTHER_CLASS, 3))
+            .count();
+        let fraction = hits as f64 / out_of_set.len() as f64;
+        assert!(fraction > 0.85, "OTHER recall@3 = {fraction}");
+    }
+
+    #[test]
+    fn output_label_space_is_ls_plus_other() {
+        let sample = labelled_sample("auburn_c", 120.0);
+        let model =
+            SpecializedCnn::train("auburn_c", SpecializationLevel::Light, &sample, 8).unwrap();
+        for (obj, _) in sample.iter().take(200) {
+            let out = model.classify_top_k(obj, 50);
+            assert!(out.ranked.len() <= model.ls() + 1);
+            for (c, _) in &out.ranked {
+                assert!(
+                    *c == OTHER_CLASS || model.is_specialized_for(*c),
+                    "unexpected label {c:?}"
+                );
+            }
+            // No duplicates.
+            let mut seen = std::collections::HashSet::new();
+            for (c, _) in &out.ranked {
+                assert!(seen.insert(*c));
+            }
+        }
+    }
+
+    #[test]
+    fn other_class_is_outside_gt_label_space() {
+        assert!(!OTHER_CLASS.is_valid());
+        assert_eq!(OTHER_CLASS.0, 1000);
+    }
+
+    #[test]
+    fn classification_is_deterministic() {
+        let sample = labelled_sample("lausanne", 120.0);
+        let model =
+            SpecializedCnn::train("lausanne", SpecializationLevel::Medium, &sample, 10).unwrap();
+        for (obj, _) in sample.iter().take(100) {
+            assert_eq!(model.classify_top_k(obj, 5), model.classify_top_k(obj, 5));
+        }
+    }
+
+    #[test]
+    fn smaller_ls_is_cheaper() {
+        let sample = labelled_sample("auburn_c", 120.0);
+        let small =
+            SpecializedCnn::train("auburn_c", SpecializationLevel::Medium, &sample, 5).unwrap();
+        let large =
+            SpecializedCnn::train("auburn_c", SpecializationLevel::Medium, &sample, 60).unwrap();
+        assert!(small.cheapness_vs_gt() >= large.cheapness_vs_gt());
+    }
+}

@@ -1,0 +1,155 @@
+//! The model zoo: the candidate set of ingest-time CNNs that Focus's
+//! parameter selection searches over (§4.1, §4.4).
+//!
+//! The zoo has two parts:
+//!
+//! * **Generic compressed models** — architecture family members with
+//!   varying compression, built once and shared by every stream.
+//! * **Specialized models** — retrained per stream from a ground-truth
+//!   labelled sample, for each combination of specialization level and `Ls`.
+
+use focus_video::{ClassId, ObjectObservation};
+
+use crate::architecture::{Architecture, CompressionSpec, ModelSpec};
+use crate::model::CheapCnn;
+use crate::specialize::{SpecializationLevel, SpecializedCnn};
+
+/// Factory for ingest-CNN candidates.
+#[derive(Debug, Clone, Default)]
+pub struct ModelZoo;
+
+impl ModelZoo {
+    /// Creates the zoo.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The generic compressed candidate specs, cheapest last.
+    ///
+    /// Includes the three canonical CheapCNNs from Figure 5 plus a few other
+    /// points in the architecture × compression space to give the parameter
+    /// sweep a non-trivial search space.
+    pub fn generic_specs(&self) -> Vec<ModelSpec> {
+        let mut specs = vec![
+            ModelSpec::new(Architecture::ResNet50, CompressionSpec::NONE),
+            ModelSpec::cheap_cnn_1(),
+            ModelSpec::new(
+                Architecture::ResNet18,
+                CompressionSpec {
+                    layers_removed: 2,
+                    input_resolution: 160,
+                },
+            ),
+            ModelSpec::cheap_cnn_2(),
+            ModelSpec::new(
+                Architecture::AlexNet,
+                CompressionSpec {
+                    layers_removed: 1,
+                    input_resolution: 112,
+                },
+            ),
+            ModelSpec::cheap_cnn_3(),
+        ];
+        specs.sort_by(|a, b| a.cheapness().partial_cmp(&b.cheapness()).unwrap());
+        specs
+    }
+
+    /// Instantiates every generic compressed candidate.
+    pub fn generic_models(&self) -> Vec<CheapCnn> {
+        self.generic_specs()
+            .into_iter()
+            .map(CheapCnn::from_spec)
+            .collect()
+    }
+
+    /// The three canonical cheap CNNs annotated in Figure 5 of the paper.
+    pub fn figure5_models(&self) -> [CheapCnn; 3] {
+        [
+            CheapCnn::cheap_cnn_1(),
+            CheapCnn::cheap_cnn_2(),
+            CheapCnn::cheap_cnn_3(),
+        ]
+    }
+
+    /// The `Ls` values (number of specialized classes) explored per stream.
+    pub fn ls_candidates(&self) -> Vec<usize> {
+        vec![10, 20, 40]
+    }
+
+    /// Trains the specialized candidates for one stream from a ground-truth
+    /// labelled sample: every combination of specialization level and `Ls`.
+    pub fn specialized_models(
+        &self,
+        stream_name: &str,
+        labelled_sample: &[(ObjectObservation, ClassId)],
+    ) -> Vec<SpecializedCnn> {
+        let mut models = Vec::new();
+        for level in SpecializationLevel::all() {
+            for ls in self.ls_candidates() {
+                if let Some(model) =
+                    SpecializedCnn::train(stream_name, level, labelled_sample, ls)
+                {
+                    models.push(model);
+                }
+            }
+        }
+        models
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Classifier, GroundTruthCnn};
+    use focus_video::{profile, VideoDataset};
+
+    #[test]
+    fn generic_specs_are_sorted_and_include_figure5_models() {
+        let zoo = ModelZoo::new();
+        let specs = zoo.generic_specs();
+        assert!(specs.len() >= 4);
+        for w in specs.windows(2) {
+            assert!(w[0].cheapness() <= w[1].cheapness());
+        }
+        let names: Vec<String> = specs.iter().map(|s| s.display_name()).collect();
+        assert!(names.contains(&ModelSpec::cheap_cnn_1().display_name()));
+        assert!(names.contains(&ModelSpec::cheap_cnn_3().display_name()));
+    }
+
+    #[test]
+    fn generic_models_match_specs() {
+        let zoo = ModelZoo::new();
+        let models = zoo.generic_models();
+        assert_eq!(models.len(), zoo.generic_specs().len());
+        for m in &models {
+            assert!(m.cheapness_vs_gt() > 1.0);
+        }
+    }
+
+    #[test]
+    fn figure5_models_have_increasing_cheapness() {
+        let [a, b, c] = ModelZoo::new().figure5_models();
+        assert!(a.cheapness_vs_gt() < b.cheapness_vs_gt());
+        assert!(b.cheapness_vs_gt() < c.cheapness_vs_gt());
+    }
+
+    #[test]
+    fn specialized_models_cover_levels_and_ls() {
+        let zoo = ModelZoo::new();
+        let ds = VideoDataset::generate(profile::profile_by_name("auburn_c").unwrap(), 120.0);
+        let gt = GroundTruthCnn::resnet152();
+        let sample: Vec<_> = ds.objects().map(|o| (o.clone(), gt.classify_top1(o))).collect();
+        let models = zoo.specialized_models("auburn_c", &sample);
+        assert_eq!(models.len(), 3 * zoo.ls_candidates().len());
+        for m in &models {
+            assert!(m.ls() > 0);
+            assert!(m.cheapness_vs_gt() > 10.0);
+        }
+    }
+
+    #[test]
+    fn specialized_models_with_empty_sample_is_empty() {
+        let zoo = ModelZoo::new();
+        assert!(zoo.specialized_models("auburn_c", &[]).is_empty());
+    }
+}

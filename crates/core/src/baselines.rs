@@ -1,0 +1,229 @@
+//! The comparison baselines of the paper's evaluation (§6.1) and the
+//! query-rate analysis of §6.7.
+//!
+//! * **Ingest-all** — run the ground-truth CNN on every (motion-filtered)
+//!   object at ingest time and store an inverted index; queries are index
+//!   lookups with zero GPU cost.
+//! * **Query-all** — do nothing at ingest time; at query time run the
+//!   ground-truth CNN on every (motion-filtered) object in the queried
+//!   interval.
+//!
+//! Both baselines are strengthened with motion detection, as in the paper
+//! (this is the core technique of NoScope that the paper credits).
+//!
+//! For §6.7 the module also models the two extreme query rates: *everything
+//! is queried* (compare total GPU cycles of Focus against Ingest-all) and
+//! *almost nothing is queried* (run all of Focus's work lazily at query
+//! time and compare against Query-all).
+
+use serde::{Deserialize, Serialize};
+
+use focus_cnn::{Classifier, GpuCost, GroundTruthCnn};
+use focus_runtime::GpuClusterSpec;
+use focus_video::VideoDataset;
+
+/// GPU costs of the two baselines on one dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineCosts {
+    /// Total frames in the dataset.
+    pub frames_total: usize,
+    /// Frames that passed motion detection.
+    pub frames_with_motion: usize,
+    /// Object observations in motion frames (the unit of CNN work).
+    pub objects: usize,
+    /// GPU time of Ingest-all: one GT-CNN inference per object at ingest.
+    pub ingest_all_gpu: GpuCost,
+    /// GPU time of Query-all for a query spanning the dataset: one GT-CNN
+    /// inference per object at query time.
+    pub query_all_gpu: GpuCost,
+    /// Wall-clock latency of Query-all on the configured GPU cluster.
+    pub query_all_latency_secs: f64,
+}
+
+impl BaselineCosts {
+    /// Computes the baseline costs for a dataset.
+    ///
+    /// Both baselines use background subtraction, so only objects in frames
+    /// with motion are counted; frames without moving objects cost nothing.
+    pub fn compute(dataset: &VideoDataset, gt: &GroundTruthCnn, gpus: GpuClusterSpec) -> Self {
+        let frames_total = dataset.frames.len();
+        let frames_with_motion = dataset.frames_with_motion();
+        let objects = dataset.object_count();
+        let per_inference = gt.cost_per_inference();
+        let work = per_inference * objects;
+        Self {
+            frames_total,
+            frames_with_motion,
+            objects,
+            ingest_all_gpu: work,
+            query_all_gpu: work,
+            query_all_latency_secs: gpus.latency_secs(work),
+        }
+    }
+
+    /// How many times cheaper an ingest cost of `focus_ingest` is than
+    /// Ingest-all.
+    pub fn ingest_cheaper_factor(&self, focus_ingest: GpuCost) -> f64 {
+        focus_ingest.ratio_of(self.ingest_all_gpu)
+    }
+
+    /// How many times faster a query latency of `focus_latency_secs` is than
+    /// Query-all.
+    pub fn query_faster_factor(&self, focus_latency_secs: f64) -> f64 {
+        if focus_latency_secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.query_all_latency_secs / focus_latency_secs
+        }
+    }
+}
+
+/// §6.7, first extreme: every class of every video is queried. In that case
+/// Ingest-all amortizes its cost over all queries, so the fair comparison is
+/// total GPU cycles: Focus's ingest cost plus the query cost of verifying
+/// every cluster once, against Ingest-all's ingest cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllQueriedComparison {
+    /// Focus: ingest GPU time plus one GT-CNN inference per cluster.
+    pub focus_total_gpu: GpuCost,
+    /// Ingest-all: one GT-CNN inference per object.
+    pub ingest_all_gpu: GpuCost,
+    /// How many times cheaper Focus remains overall.
+    pub focus_cheaper_factor: f64,
+}
+
+impl AllQueriedComparison {
+    /// Builds the comparison from Focus's ingest cost, its cluster count and
+    /// the baseline costs.
+    pub fn compute(
+        focus_ingest: GpuCost,
+        clusters: usize,
+        gt: &GroundTruthCnn,
+        baselines: &BaselineCosts,
+    ) -> Self {
+        let focus_total = focus_ingest + gt.cost_per_inference() * clusters;
+        Self {
+            focus_total_gpu: focus_total,
+            ingest_all_gpu: baselines.ingest_all_gpu,
+            focus_cheaper_factor: focus_total.ratio_of(baselines.ingest_all_gpu),
+        }
+    }
+}
+
+/// §6.7, second extreme: a vanishing fraction of videos is ever queried, so
+/// doing *anything* at ingest time can be wasted work. Focus can defer its
+/// whole pipeline to query time: the query then pays cheap-CNN indexing of
+/// the interval plus GT-CNN verification of the resulting clusters, which is
+/// still far cheaper than Query-all's GT-CNN on every object.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryTimeOnlyComparison {
+    /// GPU time of running Focus's ingest lazily at query time plus the
+    /// usual query-time verification.
+    pub focus_query_gpu: GpuCost,
+    /// Wall-clock latency of that work on the configured GPU cluster.
+    pub focus_query_latency_secs: f64,
+    /// Query-all GPU time.
+    pub query_all_gpu: GpuCost,
+    /// How many times faster the deferred-Focus query remains.
+    pub focus_faster_factor: f64,
+}
+
+impl QueryTimeOnlyComparison {
+    /// Builds the comparison from Focus's (deferred) ingest cost, its
+    /// query-time verification cost and the baseline costs.
+    pub fn compute(
+        focus_ingest: GpuCost,
+        focus_query: GpuCost,
+        gpus: GpuClusterSpec,
+        baselines: &BaselineCosts,
+    ) -> Self {
+        let total = focus_ingest + focus_query;
+        let latency = gpus.latency_secs(total);
+        Self {
+            focus_query_gpu: total,
+            focus_query_latency_secs: latency,
+            query_all_gpu: baselines.query_all_gpu,
+            focus_faster_factor: if latency <= 0.0 {
+                f64::INFINITY
+            } else {
+                baselines.query_all_latency_secs / latency
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_video::profile::profile_by_name;
+
+    fn dataset() -> VideoDataset {
+        VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 120.0)
+    }
+
+    #[test]
+    fn baselines_count_only_motion_objects() {
+        let ds = dataset();
+        let gt = GroundTruthCnn::resnet152();
+        let costs = BaselineCosts::compute(&ds, &gt, GpuClusterSpec::new(10));
+        assert_eq!(costs.frames_total, ds.frames.len());
+        assert!(costs.frames_with_motion < costs.frames_total);
+        assert_eq!(costs.objects, ds.object_count());
+        assert!((costs.ingest_all_gpu.seconds() - costs.query_all_gpu.seconds()).abs() < 1e-12);
+        assert!(
+            (costs.query_all_latency_secs - costs.query_all_gpu.seconds() / 10.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn factors_behave() {
+        let ds = dataset();
+        let gt = GroundTruthCnn::resnet152();
+        let costs = BaselineCosts::compute(&ds, &gt, GpuClusterSpec::new(10));
+        let cheap = costs.ingest_all_gpu * 0.01;
+        assert!((costs.ingest_cheaper_factor(cheap) - 100.0).abs() < 1e-6);
+        assert!(costs.query_faster_factor(costs.query_all_latency_secs / 50.0) > 49.0);
+        assert!(costs.query_faster_factor(0.0).is_infinite());
+    }
+
+    #[test]
+    fn all_queried_extreme_keeps_focus_cheaper() {
+        // §6.7: even when everything is queried, Focus's overall cost stays
+        // several times below Ingest-all because the cheap CNN indexes the
+        // video and the GT-CNN runs once per cluster, not per object.
+        let ds = dataset();
+        let gt = GroundTruthCnn::resnet152();
+        let costs = BaselineCosts::compute(&ds, &gt, GpuClusterSpec::new(10));
+        let focus_ingest = costs.ingest_all_gpu * (1.0 / 60.0);
+        let clusters = costs.objects / 12;
+        let cmp = AllQueriedComparison::compute(focus_ingest, clusters, &gt, &costs);
+        assert!(
+            cmp.focus_cheaper_factor > 2.0,
+            "factor = {}",
+            cmp.focus_cheaper_factor
+        );
+        assert!(cmp.focus_total_gpu < cmp.ingest_all_gpu);
+    }
+
+    #[test]
+    fn query_time_only_extreme_still_beats_query_all() {
+        let ds = dataset();
+        let gt = GroundTruthCnn::resnet152();
+        let costs = BaselineCosts::compute(&ds, &gt, GpuClusterSpec::new(10));
+        let deferred_ingest = costs.query_all_gpu * (1.0 / 60.0);
+        let verification = costs.query_all_gpu * (1.0 / 40.0);
+        let cmp = QueryTimeOnlyComparison::compute(
+            deferred_ingest,
+            verification,
+            GpuClusterSpec::new(10),
+            &costs,
+        );
+        assert!(
+            cmp.focus_faster_factor > 10.0,
+            "factor = {}",
+            cmp.focus_faster_factor
+        );
+        assert!(cmp.focus_query_gpu < cmp.query_all_gpu);
+        assert!(cmp.focus_query_latency_secs > 0.0);
+    }
+}

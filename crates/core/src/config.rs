@@ -1,0 +1,183 @@
+//! System-level configuration: accuracy targets and trade-off policies.
+
+use serde::{Deserialize, Serialize};
+
+/// The user-specified accuracy targets relative to the ground-truth CNN
+/// (§3 of the paper). Defaults to 95% precision and 95% recall, the paper's
+/// default evaluation setting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyTarget {
+    /// Minimum precision: of the frames returned, the fraction that really
+    /// contain the queried class according to the ground-truth CNN.
+    pub precision: f64,
+    /// Minimum recall: of the frames that contain the queried class
+    /// according to the ground-truth CNN, the fraction that is returned.
+    pub recall: f64,
+}
+
+impl Default for AccuracyTarget {
+    fn default() -> Self {
+        Self {
+            precision: 0.95,
+            recall: 0.95,
+        }
+    }
+}
+
+impl AccuracyTarget {
+    /// A target with the given precision and recall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is outside `[0, 1]`.
+    pub fn new(precision: f64, recall: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&precision) && (0.0..=1.0).contains(&recall),
+            "accuracy targets must lie in [0, 1]"
+        );
+        Self { precision, recall }
+    }
+
+    /// A symmetric target (the paper evaluates 95%, 97%, 98% and 99%).
+    pub fn both(value: f64) -> Self {
+        Self::new(value, value)
+    }
+
+    /// Whether a measured (precision, recall) pair meets this target.
+    pub fn met_by(&self, precision: f64, recall: f64) -> bool {
+        precision + 1e-9 >= self.precision && recall + 1e-9 >= self.recall
+    }
+}
+
+/// How Focus balances ingest cost against query latency once the accuracy
+/// targets are met (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TradeoffPolicy {
+    /// Minimize ingest cost (`Focus-Opt-Ingest`): best when most videos are
+    /// never queried.
+    OptIngest,
+    /// Minimize the sum of ingest and query GPU cycles (`Focus-Balance`),
+    /// the paper's default.
+    #[default]
+    Balance,
+    /// Minimize query latency (`Focus-Opt-Query`): best when fast query
+    /// turnaround matters more than ingest cost.
+    OptQuery,
+}
+
+impl TradeoffPolicy {
+    /// All policies, in the order the paper presents them.
+    pub fn all() -> [TradeoffPolicy; 3] {
+        [
+            TradeoffPolicy::OptIngest,
+            TradeoffPolicy::Balance,
+            TradeoffPolicy::OptQuery,
+        ]
+    }
+
+    /// Display name matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TradeoffPolicy::OptIngest => "Focus-Opt-Ingest",
+            TradeoffPolicy::Balance => "Focus-Balance",
+            TradeoffPolicy::OptQuery => "Focus-Opt-Query",
+        }
+    }
+}
+
+impl std::fmt::Display for TradeoffPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which of Focus's ingest-time components are enabled. Used for the
+/// component-breakdown ablation of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AblationMode {
+    /// Generic compressed ingest CNN only; no specialization, no clustering
+    /// (every object is its own cluster).
+    CompressedOnly,
+    /// Compressed + per-stream specialized ingest CNN; no clustering.
+    CompressedSpecialized,
+    /// The full system: compressed + specialized + clustering.
+    Full,
+}
+
+impl AblationMode {
+    /// All modes, in the order Figure 8 stacks them.
+    pub fn all() -> [AblationMode; 3] {
+        [
+            AblationMode::CompressedOnly,
+            AblationMode::CompressedSpecialized,
+            AblationMode::Full,
+        ]
+    }
+
+    /// Whether specialization is part of this mode.
+    pub fn specialization(&self) -> bool {
+        !matches!(self, AblationMode::CompressedOnly)
+    }
+
+    /// Whether ingest-time clustering is part of this mode.
+    pub fn clustering(&self) -> bool {
+        matches!(self, AblationMode::Full)
+    }
+
+    /// Display label matching Figure 8.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AblationMode::CompressedOnly => "Compressed model",
+            AblationMode::CompressedSpecialized => "+ Specialized model",
+            AblationMode::Full => "+ Clustering",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_target_is_95_95() {
+        let t = AccuracyTarget::default();
+        assert_eq!(t.precision, 0.95);
+        assert_eq!(t.recall, 0.95);
+    }
+
+    #[test]
+    fn met_by_compares_both_metrics() {
+        let t = AccuracyTarget::both(0.95);
+        assert!(t.met_by(0.95, 0.95));
+        assert!(t.met_by(1.0, 0.99));
+        assert!(!t.met_by(0.94, 0.99));
+        assert!(!t.met_by(0.99, 0.90));
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy targets must lie in [0, 1]")]
+    fn invalid_target_panics() {
+        let _ = AccuracyTarget::new(1.5, 0.9);
+    }
+
+    #[test]
+    fn policies_and_names() {
+        assert_eq!(TradeoffPolicy::all().len(), 3);
+        assert_eq!(TradeoffPolicy::default(), TradeoffPolicy::Balance);
+        assert_eq!(TradeoffPolicy::Balance.to_string(), "Focus-Balance");
+        assert_eq!(TradeoffPolicy::OptIngest.name(), "Focus-Opt-Ingest");
+        assert_eq!(TradeoffPolicy::OptQuery.name(), "Focus-Opt-Query");
+    }
+
+    #[test]
+    fn ablation_modes_enable_components_cumulatively() {
+        assert!(!AblationMode::CompressedOnly.specialization());
+        assert!(!AblationMode::CompressedOnly.clustering());
+        assert!(AblationMode::CompressedSpecialized.specialization());
+        assert!(!AblationMode::CompressedSpecialized.clustering());
+        assert!(AblationMode::Full.specialization());
+        assert!(AblationMode::Full.clustering());
+        assert_eq!(AblationMode::all().len(), 3);
+        assert_eq!(AblationMode::Full.label(), "+ Clustering");
+    }
+}

@@ -1,0 +1,84 @@
+//! Focus: low-latency, low-cost querying on large video datasets.
+//!
+//! This crate is the reproduction of the system described in *"Focus:
+//! Querying Large Video Datasets with Low Latency and Low Cost"* (Hsieh et
+//! al., OSDI 2018). It ties the workspace's substrates together into the
+//! paper's architecture (Figure 4):
+//!
+//! * **Ingest time** ([`ingest`]): motion filtering, pixel differencing,
+//!   classification with a cheap (compressed + per-stream specialized) CNN,
+//!   single-pass clustering of the CNN feature vectors, and construction of
+//!   the approximate top-K index.
+//! * **Query time** ([`query`]): index lookup for the queried class,
+//!   ground-truth-CNN verification of only the cluster centroids, and
+//!   return of all frames of the confirmed clusters.
+//! * **Parameter selection** ([`params`]): the sweep over (cheap CNN, K,
+//!   Ls, T) on a GT-labelled sample, the Pareto frontier of ingest cost vs
+//!   query latency, and the Opt-Ingest / Balance / Opt-Query policies.
+//! * **Evaluation machinery** ([`accuracy`], [`baselines`],
+//!   [`experiment`]): the paper's one-second-segment ground-truth rule, the
+//!   Ingest-all and Query-all baselines, and the end-to-end experiment
+//!   runner every table and figure is regenerated from.
+//!
+//! # Quick start
+//!
+//! ```
+//! use focus_core::prelude::*;
+//! use focus_video::profile::profile_by_name;
+//!
+//! // A one-minute recording of a busy traffic camera.
+//! let dataset = focus_video::VideoDataset::generate(
+//!     profile_by_name("auburn_c").unwrap(),
+//!     60.0,
+//! );
+//!
+//! // Ingest it with a generic compressed CNN and a top-10 index.
+//! let model = IngestCnn::generic(focus_cnn::ModelSpec::cheap_cnn_1());
+//! let params = IngestParams { k: 10, ..IngestParams::default() };
+//! let meter = focus_runtime::GpuMeter::new();
+//! let ingested = IngestEngine::new(model, params).ingest(&dataset, &meter);
+//!
+//! // Query for the dominant class and check the result is non-empty.
+//! let class = dataset.dominant_classes(1)[0];
+//! let engine = QueryEngine::new(
+//!     focus_cnn::GroundTruthCnn::resnet152(),
+//!     focus_runtime::GpuClusterSpec::new(10),
+//! );
+//! let outcome = engine.query(&ingested, class, &focus_index::QueryFilter::any(), &meter);
+//! assert!(!outcome.frames.is_empty());
+//! ```
+
+pub mod accuracy;
+pub mod baselines;
+pub mod config;
+pub mod experiment;
+pub mod ingest;
+pub mod params;
+pub mod query;
+pub mod worker;
+
+pub use accuracy::{AccuracyReport, GroundTruthLabels};
+pub use baselines::{AllQueriedComparison, BaselineCosts, QueryTimeOnlyComparison};
+pub use config::{AblationMode, AccuracyTarget, TradeoffPolicy};
+pub use experiment::{
+    AggregateFactors, ExperimentConfig, ExperimentError, ExperimentRunner, QueryReportEntry,
+    StreamExperimentReport,
+};
+pub use ingest::{IngestCnn, IngestEngine, IngestModelDescriptor, IngestOutput, IngestParams};
+pub use params::{
+    pareto_boundary, ConfigurationPoint, ModelChoice, ParameterSelector, SelectedConfiguration,
+    SelectionResult, SweepSpace,
+};
+pub use query::{QueryEngine, QueryOutcome};
+pub use worker::{StreamWorker, StreamWorkerConfig, StreamWorkerStats};
+
+/// Convenience prelude re-exporting the types most applications need.
+pub mod prelude {
+    pub use crate::accuracy::GroundTruthLabels;
+    pub use crate::config::{AblationMode, AccuracyTarget, TradeoffPolicy};
+    pub use crate::experiment::{ExperimentConfig, ExperimentRunner, StreamExperimentReport};
+    pub use crate::ingest::{IngestCnn, IngestEngine, IngestParams};
+    pub use crate::params::{ParameterSelector, SweepSpace};
+    pub use crate::query::{QueryEngine, QueryOutcome};
+    pub use crate::worker::{StreamWorker, StreamWorkerConfig};
+}

@@ -1,0 +1,697 @@
+//! Parameter selection: the sweep over (ingest CNN, K, Ls, T) and the
+//! ingest-cost / query-latency trade-off (§4.4 and Figure 6 of the paper).
+//!
+//! Focus samples a representative slice of each stream, labels it with the
+//! ground-truth CNN, and evaluates every candidate configuration on that
+//! sample: expected precision, expected recall, ingest cost and query
+//! latency. Configurations that miss the accuracy targets are discarded;
+//! the Pareto boundary of the remainder is computed, and one configuration
+//! is chosen per trade-off policy (Opt-Ingest / Balance / Opt-Query).
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use focus_cluster::IncrementalClusterer;
+use focus_cnn::specialize::SpecializationLevel;
+use focus_cnn::{Classifier, GroundTruthCnn, ModelSpec, ModelZoo};
+use focus_video::{ClassId, FrameId, MotionFilter, ObjectObservation, PixelDiff, VideoDataset};
+use focus_video::motion::PixelDiffOutcome;
+
+use crate::accuracy::GroundTruthLabels;
+use crate::config::{AblationMode, AccuracyTarget, TradeoffPolicy};
+use crate::ingest::{IngestCnn, IngestParams};
+
+/// Which part of the candidate space a sweep explores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpace {
+    /// Generic compressed model candidates.
+    pub generic_specs: Vec<ModelSpec>,
+    /// Specialization levels to train per stream.
+    pub specialization_levels: Vec<SpecializationLevel>,
+    /// `Ls` values (number of specialized classes) to train per stream.
+    pub ls_values: Vec<usize>,
+    /// K candidates for generic models.
+    pub generic_k: Vec<usize>,
+    /// K candidates for specialized models.
+    pub specialized_k: Vec<usize>,
+    /// Clustering distance thresholds `T` to evaluate.
+    pub thresholds: Vec<f32>,
+    /// Whether generic models participate in the sweep.
+    pub include_generic: bool,
+    /// Whether specialized models participate in the sweep.
+    pub include_specialized: bool,
+    /// Whether ingest-time clustering is applied (disabled for the
+    /// Figure-8 ablations).
+    pub clustering: bool,
+    /// Cap on active clusters during the sweep.
+    pub max_active_clusters: usize,
+    /// How many of the stream's dominant classes the expected accuracy and
+    /// query latency are averaged over.
+    pub dominant_classes: usize,
+}
+
+impl SweepSpace {
+    /// The full sweep used by the benchmark harness.
+    pub fn full() -> Self {
+        let zoo = ModelZoo::new();
+        Self {
+            generic_specs: zoo.generic_specs(),
+            specialization_levels: SpecializationLevel::all().to_vec(),
+            ls_values: zoo.ls_candidates(),
+            generic_k: vec![10, 20, 60, 100, 200],
+            specialized_k: vec![1, 2, 4, 8],
+            thresholds: vec![0.5, 1.0, 1.5, 2.0, 2.5],
+            include_generic: true,
+            include_specialized: true,
+            clustering: true,
+            max_active_clusters: 256,
+            dominant_classes: 5,
+        }
+    }
+
+    /// A reduced sweep for unit/integration tests: fewer candidates, same
+    /// structure.
+    pub fn quick() -> Self {
+        Self {
+            generic_specs: vec![ModelSpec::cheap_cnn_1(), ModelSpec::cheap_cnn_3()],
+            specialization_levels: vec![SpecializationLevel::Medium],
+            ls_values: vec![15],
+            generic_k: vec![20, 60, 200],
+            specialized_k: vec![2, 4],
+            thresholds: vec![1.0, 2.0],
+            include_generic: true,
+            include_specialized: true,
+            clustering: true,
+            max_active_clusters: 128,
+            dominant_classes: 3,
+        }
+    }
+
+    /// Restricts the sweep to what an ablation mode allows.
+    pub fn for_ablation(mut self, mode: AblationMode) -> Self {
+        self.include_specialized = mode.specialization();
+        // The compressed-only ablation still needs *some* model family, so
+        // generic models stay enabled; when specialization is on, generic
+        // models remain in the space and simply lose the competition.
+        self.clustering = mode.clustering();
+        if !self.clustering {
+            self.thresholds = vec![0.0];
+        }
+        self
+    }
+}
+
+/// A serializable identifier of which ingest model a configuration uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelChoice {
+    /// A generic compressed model.
+    Generic(ModelSpec),
+    /// A per-stream specialized model.
+    Specialized {
+        /// Compression level of the specialized model.
+        level: SpecializationLevel,
+        /// Number of specialized classes.
+        ls: usize,
+    },
+}
+
+impl ModelChoice {
+    /// Human-readable name.
+    pub fn display_name(&self) -> String {
+        match self {
+            ModelChoice::Generic(spec) => spec.display_name(),
+            ModelChoice::Specialized { level, ls } => {
+                format!("Specialized[{}|Ls={ls}]", level.name())
+            }
+        }
+    }
+}
+
+/// One evaluated configuration: the knob settings and the expected metrics
+/// on the labelled sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigurationPoint {
+    /// Which ingest model the configuration uses.
+    pub model: ModelChoice,
+    /// The top-K index width.
+    pub k: usize,
+    /// Clustering threshold `T`.
+    pub threshold: f32,
+    /// Ingest cost normalized to ingesting every sampled object with the
+    /// ground-truth CNN (the Ingest-all baseline).
+    pub ingest_cost_norm: f64,
+    /// Query latency normalized to classifying every sampled object with the
+    /// ground-truth CNN at query time (the Query-all baseline), averaged
+    /// over the dominant classes.
+    pub query_latency_norm: f64,
+    /// Expected precision on the sample, averaged over the dominant classes.
+    pub precision: f64,
+    /// Expected recall on the sample, averaged over the dominant classes.
+    pub recall: f64,
+    /// Expected precision of the worst dominant class. Viability is judged
+    /// on the worst class (the paper computes the expectation "for each of
+    /// the object classes"), so no queried class falls below the target.
+    #[serde(default)]
+    pub worst_precision: f64,
+    /// Expected recall of the worst dominant class.
+    #[serde(default)]
+    pub worst_recall: f64,
+}
+
+impl ConfigurationPoint {
+    /// Whether this point dominates `other` (no worse in both costs, better
+    /// in at least one).
+    pub fn dominates(&self, other: &ConfigurationPoint) -> bool {
+        let no_worse = self.ingest_cost_norm <= other.ingest_cost_norm
+            && self.query_latency_norm <= other.query_latency_norm;
+        let better = self.ingest_cost_norm < other.ingest_cost_norm
+            || self.query_latency_norm < other.query_latency_norm;
+        no_worse && better
+    }
+}
+
+/// The outcome of parameter selection for one stream.
+#[derive(Debug, Clone)]
+pub struct SelectionResult {
+    /// Every configuration that met the accuracy targets.
+    pub viable: Vec<ConfigurationPoint>,
+    /// The subset of `viable` on the Pareto boundary (sorted by ingest
+    /// cost).
+    pub pareto: Vec<ConfigurationPoint>,
+    /// All evaluated configurations (including non-viable ones), for
+    /// plotting the full trade-off space (Figure 6).
+    pub evaluated: Vec<ConfigurationPoint>,
+    /// The dominant classes the expectations were averaged over.
+    pub dominant_classes: Vec<ClassId>,
+    /// Trained/instantiated models keyed by their display name, so the
+    /// chosen configuration can be turned into a runnable [`IngestCnn`].
+    models: HashMap<String, IngestCnn>,
+}
+
+/// The configuration chosen for a policy, ready to run.
+#[derive(Debug, Clone)]
+pub struct SelectedConfiguration {
+    /// The evaluated point that was chosen.
+    pub point: ConfigurationPoint,
+    /// The runnable ingest model.
+    pub model: IngestCnn,
+    /// Ingest parameters implied by the point.
+    pub params: IngestParams,
+    /// Whether the configuration met the accuracy targets on the sample
+    /// (`false` only for best-effort fall-back choices).
+    pub met_targets: bool,
+}
+
+impl SelectionResult {
+    /// Chooses a viable configuration according to `policy`; returns `None`
+    /// when no configuration met the accuracy targets.
+    pub fn choose(&self, policy: TradeoffPolicy) -> Option<SelectedConfiguration> {
+        let candidates = if self.pareto.is_empty() {
+            &self.viable
+        } else {
+            &self.pareto
+        };
+        self.choose_among(policy, candidates, true)
+    }
+
+    /// Like [`choose`](Self::choose), but when no configuration meets the
+    /// accuracy targets it falls back to the *most accurate* configurations
+    /// evaluated and picks among them by `policy`. The returned
+    /// configuration then has `met_targets == false`.
+    ///
+    /// The paper's streams always admit a viable configuration; with other
+    /// workloads (or very high targets) the best-effort choice keeps the
+    /// system operational and lets the caller report the shortfall.
+    pub fn choose_or_best_effort(&self, policy: TradeoffPolicy) -> Option<SelectedConfiguration> {
+        if let Some(chosen) = self.choose(policy) {
+            return Some(chosen);
+        }
+        let best = self
+            .evaluated
+            .iter()
+            .map(|p| p.worst_precision.min(p.worst_recall))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !best.is_finite() {
+            return None;
+        }
+        let best_effort: Vec<ConfigurationPoint> = self
+            .evaluated
+            .iter()
+            .filter(|p| p.worst_precision.min(p.worst_recall) >= best - 0.01)
+            .cloned()
+            .collect();
+        self.choose_among(policy, &best_effort, false)
+    }
+
+    fn choose_among(
+        &self,
+        policy: TradeoffPolicy,
+        candidates: &[ConfigurationPoint],
+        met_targets: bool,
+    ) -> Option<SelectedConfiguration> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let point = match policy {
+            TradeoffPolicy::OptIngest => candidates.iter().min_by(|a, b| {
+                (a.ingest_cost_norm, a.query_latency_norm)
+                    .partial_cmp(&(b.ingest_cost_norm, b.query_latency_norm))
+                    .unwrap()
+            }),
+            TradeoffPolicy::OptQuery => candidates.iter().min_by(|a, b| {
+                (a.query_latency_norm, a.ingest_cost_norm)
+                    .partial_cmp(&(b.query_latency_norm, b.ingest_cost_norm))
+                    .unwrap()
+            }),
+            TradeoffPolicy::Balance => candidates.iter().min_by(|a, b| {
+                (a.ingest_cost_norm + a.query_latency_norm)
+                    .partial_cmp(&(b.ingest_cost_norm + b.query_latency_norm))
+                    .unwrap()
+            }),
+        }?
+        .clone();
+        let model = self.models.get(&point.model.display_name())?.clone();
+        let params = IngestParams {
+            k: point.k,
+            cluster_threshold: point.threshold,
+            max_active_clusters: 512,
+            pixel_differencing: true,
+            enable_clustering: point.threshold > 0.0,
+        };
+        Some(SelectedConfiguration {
+            point,
+            model,
+            params,
+            met_targets,
+        })
+    }
+}
+
+/// Computes the Pareto boundary (minimal ingest cost and query latency) of a
+/// set of configurations.
+pub fn pareto_boundary(points: &[ConfigurationPoint]) -> Vec<ConfigurationPoint> {
+    let mut boundary: Vec<ConfigurationPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.dominates(p)))
+        .cloned()
+        .collect();
+    boundary.sort_by(|a, b| {
+        a.ingest_cost_norm
+            .partial_cmp(&b.ingest_cost_norm)
+            .unwrap()
+            .then(a.query_latency_norm.partial_cmp(&b.query_latency_norm).unwrap())
+    });
+    boundary.dedup_by(|a, b| {
+        a.ingest_cost_norm == b.ingest_cost_norm && a.query_latency_norm == b.query_latency_norm
+    });
+    boundary
+}
+
+/// The parameter selector: evaluates the sweep space on a labelled sample of
+/// one stream.
+#[derive(Debug, Clone)]
+pub struct ParameterSelector {
+    space: SweepSpace,
+    target: AccuracyTarget,
+}
+
+/// Pre-processed sample object: its observation, ground-truth label and
+/// whether pixel differencing would have skipped its inference.
+struct SampleObject {
+    observation: ObjectObservation,
+    gt_label: ClassId,
+    frame: FrameId,
+    needs_inference: bool,
+}
+
+impl ParameterSelector {
+    /// Creates a selector for a sweep space and accuracy target.
+    pub fn new(space: SweepSpace, target: AccuracyTarget) -> Self {
+        Self { space, target }
+    }
+
+    /// The sweep space used.
+    pub fn space(&self) -> &SweepSpace {
+        &self.space
+    }
+
+    /// Runs the sweep on `sample` (a representative slice of the stream) and
+    /// returns the viable configurations, the Pareto boundary and the
+    /// runnable models.
+    pub fn select(&self, sample: &VideoDataset, gt: &GroundTruthCnn) -> SelectionResult {
+        // Ground-truth label every sampled object once; this is the paper's
+        // "sample a representative fraction of frames and classify them with
+        // GT-CNN for the ground truth".
+        let mut motion = MotionFilter::new();
+        let mut pixel_diff = PixelDiff::new();
+        let mut objects: Vec<SampleObject> = Vec::new();
+        for frame in &sample.frames {
+            if !motion.admit(frame) {
+                continue;
+            }
+            for obj in &frame.objects {
+                let needs_inference = !matches!(
+                    pixel_diff.check(obj),
+                    PixelDiffOutcome::DuplicateOf(_)
+                );
+                objects.push(SampleObject {
+                    observation: obj.clone(),
+                    gt_label: gt.classify_top1(obj),
+                    frame: obj.frame_id,
+                    needs_inference,
+                });
+            }
+        }
+        let labelled: Vec<(ObjectObservation, ClassId)> = objects
+            .iter()
+            .map(|o| (o.observation.clone(), o.gt_label))
+            .collect();
+
+        // Ground-truth segments (the paper's one-second / 50% smoothing
+        // rule) and the dominant classes the expectations are averaged over.
+        let labels = GroundTruthLabels::compute(sample, gt);
+        let dominant: Vec<ClassId> = labels.dominant_classes(self.space.dominant_classes);
+
+        // Build the candidate models.
+        let mut candidates: Vec<(ModelChoice, IngestCnn, Vec<usize>)> = Vec::new();
+        if self.space.include_generic {
+            for spec in &self.space.generic_specs {
+                candidates.push((
+                    ModelChoice::Generic(*spec),
+                    IngestCnn::generic(*spec),
+                    self.space.generic_k.clone(),
+                ));
+            }
+        }
+        if self.space.include_specialized && !labelled.is_empty() {
+            for level in &self.space.specialization_levels {
+                for ls in &self.space.ls_values {
+                    if let Some(model) = focus_cnn::SpecializedCnn::train(
+                        &sample.profile.name,
+                        *level,
+                        &labelled,
+                        *ls,
+                    ) {
+                        candidates.push((
+                            ModelChoice::Specialized {
+                                level: *level,
+                                ls: *ls,
+                            },
+                            IngestCnn::specialized(model),
+                            self.space.specialized_k.clone(),
+                        ));
+                    }
+                }
+            }
+        }
+
+        let gt_cost = gt.cost_per_inference().seconds();
+        let total_objects = objects.len().max(1);
+        let normalizer = gt_cost * total_objects as f64;
+        let inferences_needed = objects.iter().filter(|o| o.needs_inference).count();
+
+        let mut evaluated = Vec::new();
+        let mut models: HashMap<String, IngestCnn> = HashMap::new();
+
+        for (choice, ingest_cnn, k_values) in &candidates {
+            models.insert(choice.display_name(), ingest_cnn.clone());
+            let classifier = ingest_cnn.classifier.as_ref();
+            let max_k = k_values.iter().copied().max().unwrap_or(1);
+            // Classify and featurize every sampled object once per model.
+            let ranked_classes: Vec<Vec<ClassId>> = objects
+                .iter()
+                .map(|o| classifier.classify_top_k(&o.observation, max_k).classes())
+                .collect();
+            let features: Vec<Vec<f32>> = objects
+                .iter()
+                .map(|o| classifier.extract_features(&o.observation).0)
+                .collect();
+            let ingest_cost =
+                classifier.cost_per_inference().seconds() * inferences_needed as f64;
+            let ingest_cost_norm = ingest_cost / normalizer;
+
+            for &threshold in &self.space.thresholds {
+                // Cluster once per (model, T); cluster membership does not
+                // depend on K.
+                let clusters: Vec<Vec<usize>> = if self.space.clustering && threshold > 0.0 {
+                    let mut clusterer =
+                        IncrementalClusterer::new(threshold, self.space.max_active_clusters);
+                    for (i, f) in features.iter().enumerate() {
+                        clusterer.add(i as u64, 0, f);
+                    }
+                    let (clusters, _) = clusterer.finish();
+                    clusters
+                        .into_iter()
+                        .map(|c| c.members.iter().map(|m| m.item as usize).collect())
+                        .collect()
+                } else {
+                    (0..objects.len()).map(|i| vec![i]).collect()
+                };
+
+                for &k in k_values {
+                    let point = self.evaluate_configuration(
+                        choice,
+                        ingest_cnn,
+                        k,
+                        threshold,
+                        ingest_cost_norm,
+                        &objects,
+                        &ranked_classes,
+                        &clusters,
+                        &dominant,
+                        &labels,
+                        gt_cost,
+                        normalizer,
+                    );
+                    evaluated.push(point);
+                }
+            }
+        }
+
+        let viable: Vec<ConfigurationPoint> = evaluated
+            .iter()
+            .filter(|p| self.target.met_by(p.worst_precision, p.worst_recall))
+            .cloned()
+            .collect();
+        let pareto = pareto_boundary(&viable);
+        SelectionResult {
+            viable,
+            pareto,
+            evaluated,
+            dominant_classes: dominant,
+            models,
+        }
+    }
+
+    /// Evaluates a single (model, K, T) configuration on the pre-processed
+    /// sample. Precision and recall are measured the same way the end-to-end
+    /// evaluation measures them — over one-second ground-truth segments —
+    /// so the expectations used for selection are unbiased estimates of what
+    /// the full run will achieve.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_configuration(
+        &self,
+        choice: &ModelChoice,
+        ingest_cnn: &IngestCnn,
+        k: usize,
+        threshold: f32,
+        ingest_cost_norm: f64,
+        objects: &[SampleObject],
+        ranked_classes: &[Vec<ClassId>],
+        clusters: &[Vec<usize>],
+        dominant: &[ClassId],
+        labels: &GroundTruthLabels,
+        gt_cost: f64,
+        normalizer: f64,
+    ) -> ConfigurationPoint {
+        let mut precision_sum = 0.0;
+        let mut recall_sum = 0.0;
+        let mut worst_precision = 1.0f64;
+        let mut worst_recall = 1.0f64;
+        let mut query_cost_sum = 0.0;
+        let mut classes_counted = 0usize;
+
+        for &class in dominant {
+            let lookup_class = ingest_cnn.effective_query_class(class);
+            let mut matched_clusters = 0usize;
+            let mut retrieved_frames: HashSet<FrameId> = HashSet::new();
+            for members in clusters {
+                let representative = members[0];
+                let rep_classes = &ranked_classes[representative];
+                let in_top_k = rep_classes.iter().take(k).any(|c| *c == lookup_class);
+                if !in_top_k {
+                    continue;
+                }
+                matched_clusters += 1;
+                // Query-time GT confirmation of the representative.
+                if objects[representative].gt_label == class {
+                    retrieved_frames.extend(members.iter().map(|&i| objects[i].frame));
+                }
+            }
+            let frames: Vec<FrameId> = retrieved_frames.into_iter().collect();
+            let report = labels.evaluate(class, &frames);
+            if report.truth_segments == 0 {
+                continue;
+            }
+            classes_counted += 1;
+            precision_sum += report.precision;
+            recall_sum += report.recall;
+            worst_precision = worst_precision.min(report.precision);
+            worst_recall = worst_recall.min(report.recall);
+            query_cost_sum += matched_clusters as f64 * gt_cost;
+        }
+
+        let divisor = classes_counted.max(1) as f64;
+        ConfigurationPoint {
+            model: choice.clone(),
+            k,
+            threshold,
+            ingest_cost_norm,
+            query_latency_norm: (query_cost_sum / divisor) / normalizer,
+            precision: precision_sum / divisor,
+            recall: recall_sum / divisor,
+            worst_precision,
+            worst_recall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_video::profile::profile_by_name;
+
+    fn sample(stream: &str, secs: f64) -> VideoDataset {
+        VideoDataset::generate(profile_by_name(stream).unwrap(), secs)
+    }
+
+    fn point(i: f64, q: f64) -> ConfigurationPoint {
+        ConfigurationPoint {
+            model: ModelChoice::Generic(ModelSpec::cheap_cnn_1()),
+            k: 10,
+            threshold: 1.0,
+            ingest_cost_norm: i,
+            query_latency_norm: q,
+            precision: 0.99,
+            recall: 0.99,
+            worst_precision: 0.99,
+            worst_recall: 0.99,
+        }
+    }
+
+    #[test]
+    fn pareto_boundary_removes_dominated_points() {
+        let points = vec![point(0.1, 0.5), point(0.2, 0.2), point(0.3, 0.3), point(0.05, 0.9)];
+        let pareto = pareto_boundary(&points);
+        // (0.3, 0.3) is dominated by (0.2, 0.2); the rest are incomparable.
+        assert_eq!(pareto.len(), 3);
+        assert!(pareto.iter().all(|p| {
+            !(p.ingest_cost_norm == 0.3 && p.query_latency_norm == 0.3)
+        }));
+        // Sorted by ingest cost.
+        for w in pareto.windows(2) {
+            assert!(w[0].ingest_cost_norm <= w[1].ingest_cost_norm);
+        }
+    }
+
+    #[test]
+    fn dominates_is_strict() {
+        assert!(point(0.1, 0.1).dominates(&point(0.2, 0.2)));
+        assert!(point(0.1, 0.2).dominates(&point(0.1, 0.3)));
+        assert!(!point(0.1, 0.3).dominates(&point(0.2, 0.2)));
+        assert!(!point(0.1, 0.1).dominates(&point(0.1, 0.1)));
+    }
+
+    #[test]
+    fn quick_sweep_finds_viable_configurations() {
+        let ds = sample("auburn_c", 90.0);
+        let selector = ParameterSelector::new(SweepSpace::quick(), AccuracyTarget::both(0.9));
+        let gt = GroundTruthCnn::resnet152();
+        let result = selector.select(&ds, &gt);
+        assert!(!result.evaluated.is_empty());
+        assert!(
+            !result.viable.is_empty(),
+            "no viable configurations out of {}",
+            result.evaluated.len()
+        );
+        assert!(!result.pareto.is_empty());
+        assert!(result.pareto.len() <= result.viable.len());
+        assert!(!result.dominant_classes.is_empty());
+        // Every viable point meets the target.
+        for p in &result.viable {
+            assert!(p.precision >= 0.9 - 1e-9);
+            assert!(p.recall >= 0.9 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn policies_pick_configurations_with_expected_ordering() {
+        let ds = sample("auburn_c", 90.0);
+        let selector = ParameterSelector::new(SweepSpace::quick(), AccuracyTarget::both(0.9));
+        let gt = GroundTruthCnn::resnet152();
+        let result = selector.select(&ds, &gt);
+        let opt_ingest = result.choose(TradeoffPolicy::OptIngest).unwrap();
+        let balance = result.choose(TradeoffPolicy::Balance).unwrap();
+        let opt_query = result.choose(TradeoffPolicy::OptQuery).unwrap();
+        assert!(opt_ingest.point.ingest_cost_norm <= balance.point.ingest_cost_norm + 1e-12);
+        assert!(opt_ingest.point.ingest_cost_norm <= opt_query.point.ingest_cost_norm + 1e-12);
+        assert!(opt_query.point.query_latency_norm <= balance.point.query_latency_norm + 1e-12);
+        assert!(opt_query.point.query_latency_norm <= opt_ingest.point.query_latency_norm + 1e-12);
+        // The chosen configurations are runnable.
+        assert!(opt_ingest.params.k >= 1);
+        assert!(balance.model.classifier.cheapness_vs_gt() > 1.0);
+    }
+
+    #[test]
+    fn specialized_models_win_when_available() {
+        // §6.3: specialization is the main source of ingest savings; when
+        // the sweep includes specialized candidates the balanced choice
+        // should use one of them.
+        let ds = sample("auburn_c", 120.0);
+        let selector = ParameterSelector::new(SweepSpace::quick(), AccuracyTarget::both(0.9));
+        let gt = GroundTruthCnn::resnet152();
+        let result = selector.select(&ds, &gt);
+        let balance = result.choose(TradeoffPolicy::Balance).unwrap();
+        assert!(
+            matches!(balance.point.model, ModelChoice::Specialized { .. }),
+            "balanced choice was {:?}",
+            balance.point.model
+        );
+    }
+
+    #[test]
+    fn ablation_without_clustering_uses_zero_threshold() {
+        let space = SweepSpace::quick().for_ablation(AblationMode::CompressedSpecialized);
+        assert!(!space.clustering);
+        assert_eq!(space.thresholds, vec![0.0]);
+        assert!(space.include_specialized);
+        let compressed_only = SweepSpace::quick().for_ablation(AblationMode::CompressedOnly);
+        assert!(!compressed_only.include_specialized);
+        let full = SweepSpace::quick().for_ablation(AblationMode::Full);
+        assert!(full.clustering);
+    }
+
+    #[test]
+    fn no_viable_configuration_yields_none() {
+        let ds = sample("bend", 30.0);
+        // An impossible accuracy target: nothing can be viable.
+        let selector = ParameterSelector::new(SweepSpace::quick(), AccuracyTarget::both(1.0));
+        let gt = GroundTruthCnn::resnet152();
+        let result = selector.select(&ds, &gt);
+        if result.viable.is_empty() {
+            assert!(result.choose(TradeoffPolicy::Balance).is_none());
+        }
+    }
+
+    #[test]
+    fn higher_accuracy_targets_shrink_the_viable_set() {
+        let ds = sample("auburn_c", 90.0);
+        let gt = GroundTruthCnn::resnet152();
+        let loose = ParameterSelector::new(SweepSpace::quick(), AccuracyTarget::both(0.85))
+            .select(&ds, &gt);
+        let strict = ParameterSelector::new(SweepSpace::quick(), AccuracyTarget::both(0.97))
+            .select(&ds, &gt);
+        assert!(strict.viable.len() <= loose.viable.len());
+    }
+}

@@ -1,0 +1,345 @@
+//! The query-time pipeline (QT1–QT4 in Figure 4 of the paper).
+//!
+//! A query names an object class (and optionally a camera subset, a time
+//! range, and a dynamic `Kx`). Focus
+//!
+//! 1. looks up the matching clusters in the top-K index,
+//! 2. classifies only the cluster centroids with the ground-truth CNN
+//!    (parallelised across the GPU cluster / worker pool),
+//! 3. keeps the clusters whose centroid the GT-CNN confirms as the queried
+//!    class, and
+//! 4. returns all frames of the confirmed clusters.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use focus_cnn::{Classifier, GpuCost, GroundTruthCnn};
+use focus_index::QueryFilter;
+use focus_runtime::{GpuClusterSpec, GpuMeter, WorkerPool};
+use focus_video::{ClassId, FrameId, ObjectId};
+
+use crate::ingest::IngestOutput;
+
+/// The result of one class query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// The class that was queried.
+    pub class: ClassId,
+    /// Frames returned to the user, sorted and de-duplicated.
+    pub frames: Vec<FrameId>,
+    /// Objects belonging to the returned frames' confirmed clusters.
+    pub objects: Vec<ObjectId>,
+    /// Clusters whose top-K matched the query (the candidate set).
+    pub matched_clusters: usize,
+    /// Clusters whose centroid the GT-CNN confirmed as the queried class.
+    pub confirmed_clusters: usize,
+    /// Ground-truth CNN inferences performed (one per matched cluster).
+    pub centroid_inferences: usize,
+    /// GPU time consumed by the query.
+    pub gpu_cost: GpuCost,
+    /// Wall-clock latency of the query on the configured GPU cluster.
+    pub latency_secs: f64,
+}
+
+/// The query engine: owns the ground-truth CNN, the GPU-cluster model and
+/// the worker pool that parallelises centroid classification.
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    gt: Arc<GroundTruthCnn>,
+    gpus: GpuClusterSpec,
+    pool: WorkerPool,
+}
+
+impl QueryEngine {
+    /// Creates a query engine around the given ground-truth CNN and GPU
+    /// cluster.
+    pub fn new(gt: GroundTruthCnn, gpus: GpuClusterSpec) -> Self {
+        let pool = WorkerPool::new(gpus.num_gpus.clamp(1, 16));
+        Self {
+            gt: Arc::new(gt),
+            gpus,
+            pool,
+        }
+    }
+
+    /// The GPU cluster serving queries.
+    pub fn gpus(&self) -> GpuClusterSpec {
+        self.gpus
+    }
+
+    /// The ground-truth CNN used to confirm centroids.
+    pub fn ground_truth(&self) -> &GroundTruthCnn {
+        &self.gt
+    }
+
+    /// Runs the query `class` over the ingested stream `ingest`, restricted
+    /// by `filter`. GPU time is charged to `meter` under the phase
+    /// `"query"`.
+    pub fn query(
+        &self,
+        ingest: &IngestOutput,
+        class: ClassId,
+        filter: &QueryFilter,
+        meter: &GpuMeter,
+    ) -> QueryOutcome {
+        // QT1/QT2: map the class through the specialized model's OTHER
+        // handling and retrieve the matching clusters from the index.
+        let lookup_class = ingest.model.effective_query_class(class);
+        let matched = ingest.index.lookup(lookup_class, filter);
+
+        // QT3: classify only the centroids with the GT-CNN, in parallel
+        // across the worker pool.
+        let centroid_objects: Vec<_> = matched
+            .iter()
+            .map(|record| {
+                ingest
+                    .centroids
+                    .get(&record.centroid_object)
+                    .cloned()
+                    .expect("ingest stored every centroid observation")
+            })
+            .collect();
+        let gt = Arc::clone(&self.gt);
+        let labels: Vec<ClassId> = self
+            .pool
+            .map(centroid_objects, move |obj| gt.classify_top1(obj));
+        let inferences = labels.len();
+        let gpu_cost = self.gt.cost_per_inference() * inferences;
+        meter.charge("query", gpu_cost);
+
+        // QT4: keep clusters confirmed by the GT-CNN and return their
+        // frames.
+        let mut frames: HashSet<FrameId> = HashSet::new();
+        let mut objects: Vec<ObjectId> = Vec::new();
+        let mut confirmed = 0usize;
+        for (record, label) in matched.iter().zip(labels.iter()) {
+            if *label != class {
+                continue;
+            }
+            confirmed += 1;
+            for member in &record.members {
+                frames.insert(member.frame);
+                objects.push(member.object);
+            }
+        }
+        let mut frames: Vec<FrameId> = frames.into_iter().collect();
+        frames.sort();
+        objects.sort();
+        objects.dedup();
+
+        QueryOutcome {
+            class,
+            frames,
+            objects,
+            matched_clusters: matched.len(),
+            confirmed_clusters: confirmed,
+            centroid_inferences: inferences,
+            gpu_cost,
+            latency_secs: self.gpus.latency_secs(gpu_cost),
+        }
+    }
+
+    /// Runs several class queries and returns the outcomes in order.
+    pub fn query_many(
+        &self,
+        ingest: &IngestOutput,
+        classes: &[ClassId],
+        filter: &QueryFilter,
+        meter: &GpuMeter,
+    ) -> Vec<QueryOutcome> {
+        classes
+            .iter()
+            .map(|c| self.query(ingest, *c, filter, meter))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::GroundTruthLabels;
+    use crate::ingest::{IngestCnn, IngestEngine, IngestParams};
+    use focus_cnn::specialize::SpecializationLevel;
+    use focus_cnn::{ModelSpec, SpecializedCnn};
+    use focus_video::profile::profile_by_name;
+    use focus_video::VideoDataset;
+
+    fn dataset() -> VideoDataset {
+        VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 120.0)
+    }
+
+    fn ingest_generic(ds: &VideoDataset, k: usize) -> IngestOutput {
+        IngestEngine::new(
+            IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+            IngestParams {
+                k,
+                ..IngestParams::default()
+            },
+        )
+        .ingest(ds, &GpuMeter::new())
+    }
+
+    fn ingest_specialized(ds: &VideoDataset, k: usize, ls: usize) -> IngestOutput {
+        let gt = GroundTruthCnn::resnet152();
+        let sample: Vec<_> = ds
+            .objects()
+            .map(|o| (o.clone(), gt.classify_top1(o)))
+            .collect();
+        let model = IngestCnn::specialized(
+            SpecializedCnn::train(&ds.profile.name, SpecializationLevel::Medium, &sample, ls)
+                .unwrap(),
+        );
+        IngestEngine::new(
+            model,
+            IngestParams {
+                k,
+                ..IngestParams::default()
+            },
+        )
+        .ingest(ds, &GpuMeter::new())
+    }
+
+    #[test]
+    fn query_returns_frames_of_dominant_class_with_high_accuracy() {
+        let ds = dataset();
+        let gt = GroundTruthCnn::resnet152();
+        let labels = GroundTruthLabels::compute(&ds, &gt);
+        let class = labels.dominant_classes(1)[0];
+        let ingest = ingest_specialized(&ds, 2, 15);
+        let engine = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(10));
+        let meter = GpuMeter::new();
+        let outcome = engine.query(&ingest, class, &QueryFilter::any(), &meter);
+        assert!(!outcome.frames.is_empty());
+        assert!(outcome.confirmed_clusters <= outcome.matched_clusters);
+        assert_eq!(outcome.centroid_inferences, outcome.matched_clusters);
+        let report = labels.evaluate(class, &outcome.frames);
+        assert!(report.recall > 0.8, "recall = {}", report.recall);
+        assert!(report.precision > 0.8, "precision = {}", report.precision);
+        // The meter was charged for the GT work.
+        assert!((meter.phase("query").seconds() - outcome.gpu_cost.seconds()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_is_much_cheaper_than_classifying_every_object() {
+        let ds = dataset();
+        let ingest = ingest_specialized(&ds, 2, 15);
+        let class = ds.dominant_classes(1)[0];
+        let engine = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(10));
+        let outcome = engine.query(&ingest, class, &QueryFilter::any(), &GpuMeter::new());
+        let query_all_cost =
+            GroundTruthCnn::resnet152().cost_per_inference() * ingest.objects_total;
+        assert!(
+            outcome.gpu_cost.seconds() * 5.0 < query_all_cost.seconds(),
+            "query cost {} vs query-all {}",
+            outcome.gpu_cost.seconds(),
+            query_all_cost.seconds()
+        );
+        assert!(outcome.latency_secs > 0.0);
+        assert!(outcome.latency_secs < query_all_cost.seconds());
+    }
+
+    #[test]
+    fn rare_class_query_goes_through_other() {
+        let ds = dataset();
+        let ingest = ingest_specialized(&ds, 2, 6);
+        // Pick a class that occurs but was not specialized for.
+        let hist = ds.class_histogram();
+        let specialized = ingest.model.specialized_classes.clone().unwrap();
+        let rare = hist
+            .iter()
+            .filter(|(c, _)| !specialized.contains(c))
+            .max_by_key(|(_, n)| **n)
+            .map(|(c, _)| *c);
+        let Some(rare) = rare else {
+            // Every observed class was specialized for; nothing to test.
+            return;
+        };
+        let engine = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(10));
+        let outcome = engine.query(&ingest, rare, &QueryFilter::any(), &GpuMeter::new());
+        // The OTHER path still finds the class (recall may be lower, but the
+        // class must be reachable).
+        assert!(outcome.matched_clusters > 0);
+    }
+
+    #[test]
+    fn time_range_filter_limits_results() {
+        let ds = dataset();
+        let ingest = ingest_generic(&ds, 10);
+        let class = ds.dominant_classes(1)[0];
+        let engine = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4));
+        let all = engine.query(&ingest, class, &QueryFilter::any(), &GpuMeter::new());
+        let first_half = engine.query(
+            &ingest,
+            class,
+            &QueryFilter::any().with_time_range(0.0, 60.0),
+            &GpuMeter::new(),
+        );
+        assert!(first_half.matched_clusters <= all.matched_clusters);
+        assert!(first_half.frames.len() <= all.frames.len());
+        for f in &first_half.frames {
+            // Frames can extend slightly past the cut-off because clusters
+            // only need to overlap the range, but they must start within it.
+            assert!(f.0 <= (65.0 * ds.profile.fps as f64) as u64);
+        }
+    }
+
+    #[test]
+    fn dynamic_kx_trades_recall_for_latency() {
+        let ds = dataset();
+        let ingest = ingest_generic(&ds, 20);
+        let class = ds.dominant_classes(1)[0];
+        let engine = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4));
+        let full = engine.query(&ingest, class, &QueryFilter::any(), &GpuMeter::new());
+        let narrow = engine.query(
+            &ingest,
+            class,
+            &QueryFilter::any().with_kx(2),
+            &GpuMeter::new(),
+        );
+        assert!(narrow.matched_clusters <= full.matched_clusters);
+        assert!(narrow.gpu_cost <= full.gpu_cost);
+    }
+
+    #[test]
+    fn query_for_absent_class_returns_nothing() {
+        let ds = dataset();
+        let ingest = ingest_generic(&ds, 4);
+        let engine = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4));
+        // Class 850 is far outside the traffic palette's dominant classes;
+        // even if a stray top-K posting matches, GT-CNN confirmation must
+        // reject it.
+        let outcome = engine.query(&ingest, ClassId(850), &QueryFilter::any(), &GpuMeter::new());
+        assert_eq!(outcome.confirmed_clusters, 0);
+        assert!(outcome.frames.is_empty());
+        assert!(outcome.objects.is_empty());
+    }
+
+    #[test]
+    fn query_many_preserves_order() {
+        let ds = dataset();
+        let ingest = ingest_generic(&ds, 10);
+        let classes = ds.dominant_classes(3);
+        let engine = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4));
+        let outcomes = engine.query_many(&ingest, &classes, &QueryFilter::any(), &GpuMeter::new());
+        assert_eq!(outcomes.len(), 3);
+        for (outcome, class) in outcomes.iter().zip(classes.iter()) {
+            assert_eq!(outcome.class, *class);
+        }
+    }
+
+    #[test]
+    fn more_gpus_reduce_latency_not_cost() {
+        let ds = dataset();
+        let ingest = ingest_generic(&ds, 10);
+        let class = ds.dominant_classes(1)[0];
+        let few = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(2));
+        let many = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(20));
+        let a = few.query(&ingest, class, &QueryFilter::any(), &GpuMeter::new());
+        let b = many.query(&ingest, class, &QueryFilter::any(), &GpuMeter::new());
+        assert!((a.gpu_cost.seconds() - b.gpu_cost.seconds()).abs() < 1e-9);
+        assert!(b.latency_secs < a.latency_secs);
+        assert_eq!(few.gpus().num_gpus, 2);
+    }
+}

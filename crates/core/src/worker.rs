@@ -1,0 +1,494 @@
+//! Live, frame-by-frame stream ingestion: the per-stream worker process of
+//! §5 of the paper, including bootstrap specialization and periodic
+//! retraining (§4.3).
+//!
+//! [`IngestEngine`](crate::ingest::IngestEngine) processes an
+//! already-recorded dataset in one call; [`StreamWorker`] is its streaming
+//! counterpart for live cameras:
+//!
+//! 1. **Bootstrap** — the first `bootstrap_secs` of video are indexed with a
+//!    generic compressed CNN while a ground-truth-labelled sample is
+//!    collected.
+//! 2. **Specialize** — once enough labelled objects exist, a per-stream
+//!    specialized model is trained and becomes the ingest CNN.
+//! 3. **Steady state** — frames are indexed with the specialized model;
+//!    a small fraction of objects keeps being GT-labelled so the model can
+//!    be **retrained periodically** (the paper retrains every few days; the
+//!    interval here is configurable in stream-seconds).
+//!
+//! Each model epoch uses its own clusterer (feature spaces of different
+//! models are not comparable), and sealed epochs are merged into one top-K
+//! index, so queries spanning epochs behave exactly like queries over a
+//! batch-ingested recording.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use focus_cluster::IncrementalClusterer;
+use focus_cnn::specialize::SpecializationLevel;
+use focus_cnn::{Classifier, GroundTruthCnn, ModelSpec, SpecializedCnn};
+use focus_index::{ClusterKey, ClusterRecord, MemberRef, TopKIndex};
+use focus_runtime::GpuMeter;
+use focus_video::motion::PixelDiffOutcome;
+use focus_video::{
+    ClassId, Frame, MotionFilter, ObjectId, ObjectObservation, PixelDiff, StreamId,
+};
+
+use crate::ingest::{IngestCnn, IngestOutput, IngestParams};
+
+/// Configuration of a live stream worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamWorkerConfig {
+    /// Ingest parameters (K, clustering threshold, pixel differencing, ...).
+    pub params: IngestParams,
+    /// Generic compressed model used before the first specialization.
+    pub bootstrap_model: ModelSpec,
+    /// Seconds of video to observe before training the first specialized
+    /// model.
+    pub bootstrap_secs: f64,
+    /// How often (in stream-seconds) the specialized model is retrained.
+    pub retrain_interval_secs: f64,
+    /// Fraction of objects sent to the ground-truth CNN to maintain the
+    /// labelled sample used for (re)training.
+    pub gt_label_fraction: f64,
+    /// Specialization compression level.
+    pub level: SpecializationLevel,
+    /// Number of specialized classes.
+    pub ls: usize,
+}
+
+impl Default for StreamWorkerConfig {
+    fn default() -> Self {
+        Self {
+            params: IngestParams {
+                k: 2,
+                ..IngestParams::default()
+            },
+            bootstrap_model: ModelSpec::cheap_cnn_1(),
+            bootstrap_secs: 60.0,
+            retrain_interval_secs: 600.0,
+            gt_label_fraction: 0.02,
+            level: SpecializationLevel::Medium,
+            ls: 20,
+        }
+    }
+}
+
+/// Counters describing the worker's activity so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamWorkerStats {
+    /// Frames pushed to the worker.
+    pub frames: usize,
+    /// Frames with at least one moving object.
+    pub frames_with_motion: usize,
+    /// Object observations seen.
+    pub objects: usize,
+    /// Objects classified by the ingest CNN (after pixel differencing).
+    pub objects_classified: usize,
+    /// Objects additionally labelled by the ground-truth CNN for
+    /// (re)training.
+    pub objects_gt_labelled: usize,
+    /// Number of times a specialized model was (re)trained.
+    pub retrains: usize,
+    /// Model epochs sealed into the index so far (excluding the live one).
+    pub sealed_epochs: usize,
+}
+
+/// Per-epoch streaming state: the clusterer plus the classification caches
+/// for the objects ingested during the epoch.
+struct Epoch {
+    clusterer: IncrementalClusterer,
+    top_k: HashMap<ObjectId, Vec<ClassId>>,
+    observations: HashMap<ObjectId, ObjectObservation>,
+}
+
+impl Epoch {
+    fn new(params: &IngestParams) -> Self {
+        Self {
+            clusterer: IncrementalClusterer::new(
+                params.cluster_threshold.max(f32::EPSILON),
+                params.max_active_clusters,
+            ),
+            top_k: HashMap::new(),
+            observations: HashMap::new(),
+        }
+    }
+}
+
+/// A live ingestion worker for one video stream.
+pub struct StreamWorker {
+    stream_id: StreamId,
+    fps: u32,
+    config: StreamWorkerConfig,
+    gt: GroundTruthCnn,
+    model: IngestCnn,
+    epoch: Epoch,
+    motion: MotionFilter,
+    pixel_diff: PixelDiff,
+    index: TopKIndex,
+    centroids: HashMap<ObjectId, ObjectObservation>,
+    labelled_sample: Vec<(ObjectObservation, ClassId)>,
+    next_cluster_key: u64,
+    next_retrain_at_secs: f64,
+    specialized_once: bool,
+    meter: GpuMeter,
+    stats: StreamWorkerStats,
+}
+
+impl std::fmt::Debug for StreamWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamWorker")
+            .field("stream_id", &self.stream_id)
+            .field("model", &self.model.descriptor)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl StreamWorker {
+    /// Creates a worker for one stream.
+    pub fn new(
+        stream_id: StreamId,
+        fps: u32,
+        config: StreamWorkerConfig,
+        gt: GroundTruthCnn,
+        meter: GpuMeter,
+    ) -> Self {
+        let model = IngestCnn::generic(config.bootstrap_model);
+        let epoch = Epoch::new(&config.params);
+        Self {
+            stream_id,
+            fps: fps.max(1),
+            next_retrain_at_secs: config.bootstrap_secs,
+            config,
+            gt,
+            model,
+            epoch,
+            motion: MotionFilter::new(),
+            pixel_diff: PixelDiff::new(),
+            index: TopKIndex::new(),
+            centroids: HashMap::new(),
+            labelled_sample: Vec::new(),
+            next_cluster_key: 0,
+            specialized_once: false,
+            meter,
+            stats: StreamWorkerStats::default(),
+        }
+    }
+
+    /// The model currently used for ingestion.
+    pub fn current_model(&self) -> &IngestCnn {
+        &self.model
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> StreamWorkerStats {
+        self.stats
+    }
+
+    /// The GPU meter charged by this worker (`ingest` and `specialization`
+    /// phases).
+    pub fn meter(&self) -> &GpuMeter {
+        &self.meter
+    }
+
+    /// Pushes one live frame into the worker.
+    pub fn push_frame(&mut self, frame: &Frame) {
+        self.stats.frames += 1;
+        if !self.motion.admit(frame) {
+            self.maybe_retrain(frame.timestamp_secs);
+            return;
+        }
+        self.stats.frames_with_motion += 1;
+        for obj in &frame.objects {
+            self.ingest_object(obj);
+        }
+        self.maybe_retrain(frame.timestamp_secs);
+    }
+
+    fn ingest_object(&mut self, obj: &ObjectObservation) {
+        self.stats.objects += 1;
+        let source = if self.config.params.pixel_differencing {
+            match self.pixel_diff.check(obj) {
+                PixelDiffOutcome::DuplicateOf(original)
+                    if self.epoch.top_k.contains_key(&original) =>
+                {
+                    Some(original)
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let classifier = self.model.classifier.as_ref();
+        let (classes, features) = match source {
+            Some(original) => (
+                self.epoch.top_k[&original].clone(),
+                classifier.extract_features(&self.epoch.observations[&original]),
+            ),
+            None => {
+                self.stats.objects_classified += 1;
+                self.meter
+                    .charge("ingest", classifier.cost_per_inference());
+                let ranked = classifier.classify_top_k(obj, self.config.params.k);
+                (ranked.classes(), classifier.extract_features(obj))
+            }
+        };
+        self.epoch.top_k.insert(obj.object_id, classes);
+        self.epoch.observations.insert(obj.object_id, obj.clone());
+        if self.config.params.enable_clustering {
+            self.epoch
+                .clusterer
+                .add(obj.object_id.0, obj.frame_id.0, &features.0);
+        } else {
+            // Without clustering, objects are sealed immediately as
+            // singleton clusters.
+            let record = self.record_for(
+                obj.object_id,
+                vec![MemberRef {
+                    object: obj.object_id,
+                    frame: obj.frame_id,
+                }],
+            );
+            self.index.insert(record);
+        }
+
+        // Maintain the labelled sample used for (re)training by sending a
+        // small fraction of objects through the ground-truth CNN.
+        let labelling_due = (self.stats.objects as f64 * self.config.gt_label_fraction).floor()
+            > self.stats.objects_gt_labelled as f64;
+        if labelling_due {
+            self.stats.objects_gt_labelled += 1;
+            self.meter
+                .charge("specialization", self.gt.cost_per_inference());
+            let label = self.gt.classify_top1(obj);
+            self.labelled_sample.push((obj.clone(), label));
+        }
+    }
+
+    fn record_for(&mut self, representative: ObjectId, members: Vec<MemberRef>) -> ClusterRecord {
+        let classes = self
+            .epoch
+            .top_k
+            .get(&representative)
+            .cloned()
+            .unwrap_or_default();
+        let start = members.iter().map(|m| m.frame.0).min().unwrap_or(0) as f64 / self.fps as f64;
+        let end = members.iter().map(|m| m.frame.0).max().unwrap_or(0) as f64 / self.fps as f64;
+        let centroid_frame = self.epoch.observations[&representative].frame_id;
+        self.centroids.insert(
+            representative,
+            self.epoch.observations[&representative].clone(),
+        );
+        let key = ClusterKey::new(self.stream_id, self.next_cluster_key);
+        self.next_cluster_key += 1;
+        ClusterRecord {
+            key,
+            centroid_object: representative,
+            centroid_frame,
+            top_k_classes: classes,
+            members,
+            start_secs: start,
+            end_secs: end,
+        }
+    }
+
+    /// Seals the current epoch's clusters into the index and starts a new
+    /// epoch (used when the model changes and at finalize).
+    fn seal_epoch(&mut self) {
+        let finished = std::mem::replace(&mut self.epoch, Epoch::new(&self.config.params));
+        let Epoch {
+            clusterer,
+            top_k,
+            observations,
+        } = finished;
+        // Re-attach the caches the record builder needs.
+        self.epoch.top_k = top_k;
+        self.epoch.observations = observations;
+        if self.config.params.enable_clustering {
+            let (clusters, _) = clusterer.finish();
+            for cluster in clusters {
+                let representative = ObjectId(cluster.representative().item);
+                let members: Vec<MemberRef> = cluster
+                    .members
+                    .iter()
+                    .map(|m| MemberRef {
+                        object: ObjectId(m.item),
+                        frame: focus_video::FrameId(m.tag),
+                    })
+                    .collect();
+                let record = self.record_for(representative, members);
+                self.index.insert(record);
+            }
+        }
+        // The caches belong to the sealed epoch; the fresh epoch starts
+        // empty.
+        self.epoch.top_k = HashMap::new();
+        self.epoch.observations = HashMap::new();
+        self.stats.sealed_epochs += 1;
+    }
+
+    fn maybe_retrain(&mut self, now_secs: f64) {
+        if now_secs < self.next_retrain_at_secs {
+            return;
+        }
+        if self.labelled_sample.is_empty() {
+            // Nothing to train on yet (the stream may have been quiet since
+            // start-up); retry shortly instead of waiting a full interval.
+            self.next_retrain_at_secs = now_secs + 10.0;
+            return;
+        }
+        self.next_retrain_at_secs = now_secs + self.config.retrain_interval_secs;
+        let Some(specialized) = SpecializedCnn::train(
+            &format!("stream-{}", self.stream_id.0),
+            self.config.level,
+            &self.labelled_sample,
+            self.config.ls,
+        ) else {
+            return;
+        };
+        // Seal the clusters built with the previous model before switching:
+        // feature vectors of different models are not comparable.
+        self.seal_epoch();
+        self.model = IngestCnn::specialized(specialized);
+        self.specialized_once = true;
+        self.stats.retrains += 1;
+    }
+
+    /// Seals the live epoch and returns the accumulated index and
+    /// statistics, consuming the worker.
+    pub fn finalize(mut self) -> IngestOutput {
+        self.seal_epoch();
+        let motion_stats = self.motion.stats();
+        let clusters = self.index.len();
+        IngestOutput {
+            index: self.index,
+            centroids: self.centroids,
+            model: self.model,
+            params: self.config.params,
+            gpu_cost: self.meter.phase("ingest"),
+            frames_total: motion_stats.total_frames,
+            frames_with_motion: motion_stats.frames_with_motion,
+            objects_total: self.stats.objects,
+            objects_classified: self.stats.objects_classified,
+            clusters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_index::QueryFilter;
+    use focus_video::profile::profile_by_name;
+    use focus_video::VideoDataset;
+
+    fn run_worker(duration_secs: f64, config: StreamWorkerConfig) -> (VideoDataset, IngestOutput) {
+        let profile = profile_by_name("auburn_c").unwrap();
+        let dataset = VideoDataset::generate(profile.clone(), duration_secs);
+        let mut worker = StreamWorker::new(
+            profile.stream_id,
+            profile.fps,
+            config,
+            GroundTruthCnn::resnet152(),
+            GpuMeter::new(),
+        );
+        for frame in &dataset.frames {
+            worker.push_frame(frame);
+        }
+        (dataset, worker.finalize())
+    }
+
+    #[test]
+    fn worker_specializes_after_bootstrap() {
+        let profile = profile_by_name("auburn_c").unwrap();
+        let dataset = VideoDataset::generate(profile.clone(), 150.0);
+        let mut worker = StreamWorker::new(
+            profile.stream_id,
+            profile.fps,
+            StreamWorkerConfig {
+                bootstrap_secs: 30.0,
+                retrain_interval_secs: 60.0,
+                ..StreamWorkerConfig::default()
+            },
+            GroundTruthCnn::resnet152(),
+            GpuMeter::new(),
+        );
+        assert!(!worker.current_model().descriptor.is_specialized());
+        for frame in &dataset.frames {
+            worker.push_frame(frame);
+        }
+        assert!(worker.current_model().descriptor.is_specialized());
+        let stats = worker.stats();
+        assert!(stats.retrains >= 2, "retrains = {}", stats.retrains);
+        assert!(stats.objects_gt_labelled > 0);
+        assert!(stats.objects_gt_labelled < stats.objects / 10);
+        assert!(worker.meter().phase("specialization").seconds() > 0.0);
+    }
+
+    #[test]
+    fn finalized_index_covers_every_object_and_answers_queries() {
+        let (dataset, output) = run_worker(120.0, StreamWorkerConfig::default());
+        assert_eq!(output.objects_total, dataset.object_count());
+        let indexed: usize = output.index.clusters().map(|c| c.len()).sum();
+        assert_eq!(indexed, output.objects_total);
+        // Querying the dominant class through the index finds clusters.
+        let class = dataset.dominant_classes(1)[0];
+        let lookup_class = output.model.effective_query_class(class);
+        assert!(!output.index.lookup(lookup_class, &QueryFilter::any()).is_empty());
+        // Every centroid observation was retained for query-time
+        // verification.
+        for record in output.index.clusters() {
+            assert!(output.centroids.contains_key(&record.centroid_object));
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_ingest_for_a_fixed_model() {
+        // With retraining disabled (interval beyond the recording) and the
+        // same generic model, the streaming worker and the batch engine
+        // produce indexes of identical size and cost.
+        let profile = profile_by_name("lausanne").unwrap();
+        let dataset = VideoDataset::generate(profile.clone(), 90.0);
+        let params = IngestParams {
+            k: 10,
+            ..IngestParams::default()
+        };
+        let batch = crate::ingest::IngestEngine::new(
+            IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+            params,
+        )
+        .ingest(&dataset, &GpuMeter::new());
+
+        let mut worker = StreamWorker::new(
+            profile.stream_id,
+            profile.fps,
+            StreamWorkerConfig {
+                params,
+                bootstrap_model: ModelSpec::cheap_cnn_1(),
+                bootstrap_secs: 1e9,
+                retrain_interval_secs: 1e9,
+                gt_label_fraction: 0.0,
+                ..StreamWorkerConfig::default()
+            },
+            GroundTruthCnn::resnet152(),
+            GpuMeter::new(),
+        );
+        for frame in &dataset.frames {
+            worker.push_frame(frame);
+        }
+        let streamed = worker.finalize();
+        assert_eq!(streamed.objects_total, batch.objects_total);
+        assert_eq!(streamed.objects_classified, batch.objects_classified);
+        assert_eq!(streamed.index.len(), batch.index.len());
+        assert!((streamed.gpu_cost.seconds() - batch.gpu_cost.seconds()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clusters_counter_matches_index() {
+        let (_, output) = run_worker(60.0, StreamWorkerConfig::default());
+        assert_eq!(output.clusters, output.index.len());
+        assert!(output.clusters > 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Top-K index substrate (the output of Focus's ingest-time processing).
+//!
+//! The paper stores, per video stream, a mapping
+//!
+//! ```text
+//! object class → ⟨cluster ID⟩
+//! cluster ID   → [centroid object, ⟨objects⟩ in cluster, ⟨frame IDs⟩ of objects]
+//! ```
+//!
+//! in MongoDB (§5). This crate provides the equivalent embedded store: an
+//! inverted index from class to cluster records with camera / time-range /
+//! dynamic-Kx filtering at lookup time and a serde-based snapshot format for
+//! persistence. GPU-time accounting in the paper excludes index I/O, so an
+//! in-process store preserves the measured quantities while keeping the
+//! system self-contained.
+
+pub mod cluster_store;
+pub mod persist;
+pub mod query;
+pub mod topk;
+
+pub use cluster_store::{ClusterKey, ClusterRecord, MemberRef};
+pub use query::QueryFilter;
+pub use topk::{IndexStats, TopKIndex};

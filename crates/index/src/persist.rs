@@ -1,0 +1,190 @@
+//! Snapshot persistence for the top-K index.
+//!
+//! The paper stores the index in MongoDB; here the index lives in memory and
+//! can be snapshotted to a JSON file. The format is self-describing and
+//! versioned so future layout changes can be detected instead of silently
+//! misread.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::topk::TopKIndex;
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Errors produced by snapshot save/load.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// The snapshot could not be encoded or decoded.
+    Format(serde_json::Error),
+    /// The snapshot was written by an incompatible version of this crate.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "index snapshot I/O error: {e}"),
+            PersistError::Format(e) => write!(f, "index snapshot format error: {e}"),
+            PersistError::VersionMismatch { found, expected } => write!(
+                f,
+                "index snapshot version mismatch: found {found}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Snapshot {
+    version: u32,
+    index: TopKIndex,
+}
+
+/// Serializes `index` to a JSON string.
+pub fn to_json(index: &TopKIndex) -> Result<String, PersistError> {
+    let snapshot = Snapshot {
+        version: SNAPSHOT_VERSION,
+        index: index.clone(),
+    };
+    Ok(serde_json::to_string(&snapshot)?)
+}
+
+/// Deserializes an index from a JSON string produced by [`to_json`].
+pub fn from_json(json: &str) -> Result<TopKIndex, PersistError> {
+    let snapshot: Snapshot = serde_json::from_str(json)?;
+    if snapshot.version != SNAPSHOT_VERSION {
+        return Err(PersistError::VersionMismatch {
+            found: snapshot.version,
+            expected: SNAPSHOT_VERSION,
+        });
+    }
+    Ok(snapshot.index)
+}
+
+/// Writes a snapshot of `index` to `path`.
+pub fn save(index: &TopKIndex, path: &Path) -> Result<(), PersistError> {
+    let json = to_json(index)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads an index snapshot from `path`.
+pub fn load(path: &Path) -> Result<TopKIndex, PersistError> {
+    let json = fs::read_to_string(path)?;
+    from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_store::{ClusterKey, ClusterRecord, MemberRef};
+    use crate::query::QueryFilter;
+    use focus_video::{ClassId, FrameId, ObjectId, StreamId};
+
+    fn sample_index() -> TopKIndex {
+        let mut idx = TopKIndex::new();
+        for local in 0..5u64 {
+            idx.insert(ClusterRecord {
+                key: ClusterKey::new(StreamId(0), local),
+                centroid_object: ObjectId(local),
+                centroid_frame: FrameId(local),
+                top_k_classes: vec![ClassId(local as u16), ClassId(0)],
+                members: vec![MemberRef {
+                    object: ObjectId(local),
+                    frame: FrameId(local),
+                }],
+                start_secs: local as f64,
+                end_secs: local as f64 + 1.0,
+            });
+        }
+        idx
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_lookups() {
+        let idx = sample_index();
+        let json = to_json(&idx).unwrap();
+        let restored = from_json(&json).unwrap();
+        assert_eq!(restored.len(), idx.len());
+        assert_eq!(
+            restored.lookup(ClassId(0), &QueryFilter::any()).len(),
+            idx.lookup(ClassId(0), &QueryFilter::any()).len()
+        );
+        assert_eq!(restored.stats(), idx.stats());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let idx = sample_index();
+        let dir = std::env::temp_dir().join("focus_index_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.json");
+        save(&idx, &path).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(restored.len(), idx.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_detected() {
+        let idx = sample_index();
+        let json = to_json(&idx).unwrap();
+        let tampered = json.replace("\"version\":1", "\"version\":999");
+        match from_json(&tampered) {
+            Err(PersistError::VersionMismatch { found, expected }) => {
+                assert_eq!(found, 999);
+                assert_eq!(expected, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(matches!(
+            from_json("{not json"),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let missing = Path::new("/nonexistent/focus-index.json");
+        assert!(matches!(load(missing), Err(PersistError::Io(_))));
+        let errors = [
+            PersistError::Io(io::Error::new(io::ErrorKind::NotFound, "x")),
+            PersistError::VersionMismatch {
+                found: 2,
+                expected: 1,
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Query filters applied at index-lookup time.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use focus_video::StreamId;
+
+use crate::cluster_store::ClusterRecord;
+
+/// Restricts which clusters an index lookup returns.
+///
+/// Mirrors the paper's query formulation (§3): a query names an object class
+/// and may optionally be restricted to a subset of cameras and a time range.
+/// `kx` implements the "dynamically adjusting K at query time" enhancement
+/// (§5): only clusters whose stored ranking contains the class within the
+/// first `kx` entries match, trading a little recall for lower latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct QueryFilter {
+    /// If set, only clusters from these streams match.
+    pub streams: Option<HashSet<StreamId>>,
+    /// If set, only clusters overlapping `[from, to]` (seconds since stream
+    /// start) match.
+    pub time_range: Option<(f64, f64)>,
+    /// If set, the class must appear within the first `kx` stored top-K
+    /// entries; otherwise the full stored K is used.
+    pub kx: Option<usize>,
+}
+
+impl QueryFilter {
+    /// A filter that matches everything (the full stored K, all cameras, all
+    /// time).
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Restricts the filter to a single stream.
+    pub fn for_stream(stream: StreamId) -> Self {
+        Self {
+            streams: Some([stream].into_iter().collect()),
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy restricted to the time interval `[from, to]` seconds.
+    pub fn with_time_range(mut self, from_secs: f64, to_secs: f64) -> Self {
+        self.time_range = Some((from_secs, to_secs));
+        self
+    }
+
+    /// Returns a copy restricted to a dynamic `kx`.
+    pub fn with_kx(mut self, kx: usize) -> Self {
+        self.kx = Some(kx);
+        self
+    }
+
+    /// Returns a copy restricted to the given streams.
+    pub fn with_streams(mut self, streams: impl IntoIterator<Item = StreamId>) -> Self {
+        self.streams = Some(streams.into_iter().collect());
+        self
+    }
+
+    /// Whether `record` passes the camera and time restrictions (class
+    /// matching is done by the index, which also applies `kx`).
+    pub fn admits(&self, record: &ClusterRecord) -> bool {
+        if let Some(streams) = &self.streams {
+            if !streams.contains(&record.key.stream) {
+                return false;
+            }
+        }
+        if let Some((from, to)) = self.time_range {
+            if !record.overlaps_time(from, to) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_store::{ClusterKey, MemberRef};
+    use focus_video::{ClassId, FrameId, ObjectId};
+
+    fn record(stream: u32, start: f64, end: f64) -> ClusterRecord {
+        ClusterRecord {
+            key: ClusterKey::new(StreamId(stream), 0),
+            centroid_object: ObjectId(0),
+            centroid_frame: FrameId(0),
+            top_k_classes: vec![ClassId(0)],
+            members: vec![MemberRef {
+                object: ObjectId(0),
+                frame: FrameId(0),
+            }],
+            start_secs: start,
+            end_secs: end,
+        }
+    }
+
+    #[test]
+    fn any_filter_admits_everything() {
+        let f = QueryFilter::any();
+        assert!(f.admits(&record(0, 0.0, 1.0)));
+        assert!(f.admits(&record(9, 100.0, 200.0)));
+    }
+
+    #[test]
+    fn stream_filter() {
+        let f = QueryFilter::for_stream(StreamId(1));
+        assert!(f.admits(&record(1, 0.0, 1.0)));
+        assert!(!f.admits(&record(2, 0.0, 1.0)));
+        let multi = QueryFilter::any().with_streams([StreamId(1), StreamId(2)]);
+        assert!(multi.admits(&record(2, 0.0, 1.0)));
+        assert!(!multi.admits(&record(3, 0.0, 1.0)));
+    }
+
+    #[test]
+    fn time_filter() {
+        let f = QueryFilter::any().with_time_range(10.0, 20.0);
+        assert!(f.admits(&record(0, 15.0, 16.0)));
+        assert!(f.admits(&record(0, 5.0, 12.0)));
+        assert!(!f.admits(&record(0, 21.0, 25.0)));
+    }
+
+    #[test]
+    fn combined_filters() {
+        let f = QueryFilter::for_stream(StreamId(3)).with_time_range(0.0, 10.0);
+        assert!(f.admits(&record(3, 1.0, 2.0)));
+        assert!(!f.admits(&record(3, 11.0, 12.0)));
+        assert!(!f.admits(&record(4, 1.0, 2.0)));
+    }
+
+    #[test]
+    fn kx_builder() {
+        let f = QueryFilter::any().with_kx(2);
+        assert_eq!(f.kx, Some(2));
+    }
+}

@@ -1,0 +1,322 @@
+//! The top-K inverted index.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use focus_video::{ClassId, StreamId};
+
+use crate::cluster_store::{ClusterKey, ClusterRecord};
+use crate::query::QueryFilter;
+
+/// Summary statistics of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct IndexStats {
+    /// Number of cluster records stored.
+    pub clusters: usize,
+    /// Total number of object members across all clusters.
+    pub objects: usize,
+    /// Number of distinct classes with at least one posting.
+    pub classes: usize,
+    /// Total number of postings (class → cluster pairs).
+    pub postings: usize,
+}
+
+/// The top-K index: an inverted mapping from object class to the clusters
+/// whose ingest-time top-K contains that class, plus the cluster records
+/// themselves.
+///
+/// Serialization stores only the cluster records; the inverted postings are
+/// rebuilt on deserialization (they are derived data, and JSON maps require
+/// string keys anyway).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "SerializedIndex", into = "SerializedIndex")]
+pub struct TopKIndex {
+    clusters: HashMap<ClusterKey, ClusterRecord>,
+    postings: HashMap<ClassId, Vec<ClusterKey>>,
+}
+
+/// On-disk shape of [`TopKIndex`]: just the records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SerializedIndex {
+    clusters: Vec<ClusterRecord>,
+}
+
+impl From<SerializedIndex> for TopKIndex {
+    fn from(s: SerializedIndex) -> Self {
+        let mut index = TopKIndex::new();
+        for record in s.clusters {
+            index.insert(record);
+        }
+        index
+    }
+}
+
+impl From<TopKIndex> for SerializedIndex {
+    fn from(index: TopKIndex) -> Self {
+        let mut clusters: Vec<ClusterRecord> = index.clusters.into_values().collect();
+        clusters.sort_by_key(|r| r.key);
+        SerializedIndex { clusters }
+    }
+}
+
+impl TopKIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a cluster record, updating the inverted index.
+    ///
+    /// Replacing an existing key removes its old postings first, so the
+    /// index never accumulates stale entries.
+    pub fn insert(&mut self, record: ClusterRecord) {
+        if self.clusters.contains_key(&record.key) {
+            self.remove(record.key);
+        }
+        for class in &record.top_k_classes {
+            self.postings.entry(*class).or_default().push(record.key);
+        }
+        self.clusters.insert(record.key, record);
+    }
+
+    /// Removes a cluster record and its postings; returns the record if it
+    /// existed.
+    pub fn remove(&mut self, key: ClusterKey) -> Option<ClusterRecord> {
+        let record = self.clusters.remove(&key)?;
+        for class in &record.top_k_classes {
+            if let Some(list) = self.postings.get_mut(class) {
+                list.retain(|k| *k != key);
+                if list.is_empty() {
+                    self.postings.remove(class);
+                }
+            }
+        }
+        Some(record)
+    }
+
+    /// Looks up a cluster record by key.
+    pub fn get(&self, key: ClusterKey) -> Option<&ClusterRecord> {
+        self.clusters.get(&key)
+    }
+
+    /// All cluster records, in unspecified order.
+    pub fn clusters(&self) -> impl Iterator<Item = &ClusterRecord> {
+        self.clusters.values()
+    }
+
+    /// Number of clusters stored.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The classes that have at least one posting.
+    pub fn indexed_classes(&self) -> Vec<ClassId> {
+        let mut classes: Vec<ClassId> = self.postings.keys().copied().collect();
+        classes.sort();
+        classes
+    }
+
+    /// Clusters matching `class` under `filter`, sorted by key for
+    /// deterministic iteration order.
+    ///
+    /// A cluster matches when `class` appears within the first
+    /// `filter.kx.unwrap_or(stored K)` entries of its stored ranking and the
+    /// camera/time restrictions admit it.
+    pub fn lookup(&self, class: ClassId, filter: &QueryFilter) -> Vec<&ClusterRecord> {
+        let Some(keys) = self.postings.get(&class) else {
+            return Vec::new();
+        };
+        let mut result: Vec<&ClusterRecord> = keys
+            .iter()
+            .filter_map(|k| self.clusters.get(k))
+            .filter(|r| match filter.kx {
+                Some(kx) => r.matches_class(class, kx),
+                None => true,
+            })
+            .filter(|r| filter.admits(r))
+            .collect();
+        result.sort_by_key(|r| r.key);
+        result.dedup_by_key(|r| r.key);
+        result
+    }
+
+    /// Total number of objects (members) that would be returned for `class`
+    /// under `filter`, without deduplicating objects shared between clusters
+    /// (clusters never share objects in practice).
+    pub fn matching_objects(&self, class: ClassId, filter: &QueryFilter) -> usize {
+        self.lookup(class, filter).iter().map(|r| r.len()).sum()
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            clusters: self.clusters.len(),
+            objects: self.clusters.values().map(|c| c.len()).sum(),
+            classes: self.postings.len(),
+            postings: self.postings.values().map(|v| v.len()).sum(),
+        }
+    }
+
+    /// The streams that contributed at least one cluster.
+    pub fn streams(&self) -> Vec<StreamId> {
+        let mut streams: Vec<StreamId> = self.clusters.keys().map(|k| k.stream).collect();
+        streams.sort();
+        streams.dedup();
+        streams
+    }
+
+    /// Merges another index into this one (used to combine per-stream ingest
+    /// outputs into a multi-camera index).
+    pub fn merge(&mut self, other: TopKIndex) {
+        for (_, record) in other.clusters {
+            self.insert(record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_store::MemberRef;
+    use focus_video::{FrameId, ObjectId};
+
+    fn record(stream: u32, local: u64, classes: &[u16], members: usize, start: f64) -> ClusterRecord {
+        ClusterRecord {
+            key: ClusterKey::new(StreamId(stream), local),
+            centroid_object: ObjectId(local * 1000),
+            centroid_frame: FrameId(local * 10),
+            top_k_classes: classes.iter().map(|c| ClassId(*c)).collect(),
+            members: (0..members)
+                .map(|i| MemberRef {
+                    object: ObjectId(local * 1000 + i as u64),
+                    frame: FrameId(local * 10 + i as u64),
+                })
+                .collect(),
+            start_secs: start,
+            end_secs: start + 1.0,
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut idx = TopKIndex::new();
+        idx.insert(record(0, 1, &[0, 2, 5], 3, 0.0));
+        idx.insert(record(0, 2, &[2, 7], 2, 5.0));
+        idx.insert(record(1, 3, &[0], 4, 0.0));
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.lookup(ClassId(0), &QueryFilter::any()).len(), 2);
+        assert_eq!(idx.lookup(ClassId(2), &QueryFilter::any()).len(), 2);
+        assert_eq!(idx.lookup(ClassId(7), &QueryFilter::any()).len(), 1);
+        assert!(idx.lookup(ClassId(99), &QueryFilter::any()).is_empty());
+    }
+
+    #[test]
+    fn lookup_respects_stream_and_time_filters() {
+        let mut idx = TopKIndex::new();
+        idx.insert(record(0, 1, &[0], 3, 0.0));
+        idx.insert(record(1, 2, &[0], 2, 100.0));
+        let only_s1 = QueryFilter::for_stream(StreamId(1));
+        let found = idx.lookup(ClassId(0), &only_s1);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].key.stream, StreamId(1));
+        let early = QueryFilter::any().with_time_range(0.0, 10.0);
+        assert_eq!(idx.lookup(ClassId(0), &early).len(), 1);
+    }
+
+    #[test]
+    fn lookup_respects_dynamic_kx() {
+        let mut idx = TopKIndex::new();
+        idx.insert(record(0, 1, &[3, 0, 9], 3, 0.0));
+        // Class 0 is at rank 2; with kx = 1 it must not match.
+        assert_eq!(
+            idx.lookup(ClassId(0), &QueryFilter::any().with_kx(1)).len(),
+            0
+        );
+        assert_eq!(
+            idx.lookup(ClassId(0), &QueryFilter::any().with_kx(2)).len(),
+            1
+        );
+        assert_eq!(idx.lookup(ClassId(0), &QueryFilter::any()).len(), 1);
+    }
+
+    #[test]
+    fn matching_objects_counts_members() {
+        let mut idx = TopKIndex::new();
+        idx.insert(record(0, 1, &[0], 3, 0.0));
+        idx.insert(record(0, 2, &[0], 5, 0.0));
+        assert_eq!(idx.matching_objects(ClassId(0), &QueryFilter::any()), 8);
+        assert_eq!(idx.matching_objects(ClassId(1), &QueryFilter::any()), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_postings() {
+        let mut idx = TopKIndex::new();
+        idx.insert(record(0, 1, &[0, 1], 3, 0.0));
+        idx.insert(record(0, 1, &[2], 3, 0.0));
+        assert_eq!(idx.len(), 1);
+        assert!(idx.lookup(ClassId(0), &QueryFilter::any()).is_empty());
+        assert!(idx.lookup(ClassId(1), &QueryFilter::any()).is_empty());
+        assert_eq!(idx.lookup(ClassId(2), &QueryFilter::any()).len(), 1);
+        let stats = idx.stats();
+        assert_eq!(stats.postings, 1);
+        assert_eq!(stats.classes, 1);
+    }
+
+    #[test]
+    fn remove_cleans_postings() {
+        let mut idx = TopKIndex::new();
+        idx.insert(record(0, 1, &[0, 1], 3, 0.0));
+        let removed = idx.remove(ClusterKey::new(StreamId(0), 1));
+        assert!(removed.is_some());
+        assert!(idx.is_empty());
+        assert!(idx.indexed_classes().is_empty());
+        assert!(idx.remove(ClusterKey::new(StreamId(0), 1)).is_none());
+    }
+
+    #[test]
+    fn stats_and_streams() {
+        let mut idx = TopKIndex::new();
+        idx.insert(record(0, 1, &[0, 2], 3, 0.0));
+        idx.insert(record(1, 2, &[2], 2, 0.0));
+        let stats = idx.stats();
+        assert_eq!(stats.clusters, 2);
+        assert_eq!(stats.objects, 5);
+        assert_eq!(stats.classes, 2);
+        assert_eq!(stats.postings, 3);
+        assert_eq!(idx.streams(), vec![StreamId(0), StreamId(1)]);
+        assert_eq!(idx.indexed_classes(), vec![ClassId(0), ClassId(2)]);
+    }
+
+    #[test]
+    fn merge_combines_indexes() {
+        let mut a = TopKIndex::new();
+        a.insert(record(0, 1, &[0], 3, 0.0));
+        let mut b = TopKIndex::new();
+        b.insert(record(1, 1, &[0], 2, 0.0));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.lookup(ClassId(0), &QueryFilter::any()).len(), 2);
+    }
+
+    #[test]
+    fn lookup_order_is_deterministic() {
+        let mut idx = TopKIndex::new();
+        for local in (0..20).rev() {
+            idx.insert(record(0, local, &[0], 1, local as f64));
+        }
+        let keys: Vec<ClusterKey> = idx
+            .lookup(ClassId(0), &QueryFilter::any())
+            .iter()
+            .map(|r| r.key)
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

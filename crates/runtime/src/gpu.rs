@@ -1,0 +1,180 @@
+//! GPU-time accounting and the cluster latency model.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use focus_cnn::GpuCost;
+
+/// Per-phase breakdown of GPU time charged to a meter.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// GPU seconds charged per phase name.
+    pub phases: HashMap<String, f64>,
+}
+
+impl PhaseBreakdown {
+    /// Total GPU seconds across all phases.
+    pub fn total(&self) -> GpuCost {
+        GpuCost(self.phases.values().sum())
+    }
+
+    /// GPU time of one phase (zero if the phase never ran).
+    pub fn phase(&self, name: &str) -> GpuCost {
+        GpuCost(self.phases.get(name).copied().unwrap_or(0.0))
+    }
+}
+
+/// Thread-safe accumulator of GPU time.
+///
+/// Cloning a meter yields a handle to the same underlying counters, so
+/// worker threads can charge the meter concurrently.
+#[derive(Debug, Clone, Default)]
+pub struct GpuMeter {
+    inner: Arc<Mutex<PhaseBreakdown>>,
+}
+
+impl GpuMeter {
+    /// Creates a meter with no charges.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `cost` GPU seconds to the phase `phase`.
+    pub fn charge(&self, phase: &str, cost: GpuCost) {
+        let mut inner = self.inner.lock();
+        *inner.phases.entry(phase.to_string()).or_insert(0.0) += cost.seconds();
+    }
+
+    /// Charges the cost of `count` inferences of `per_inference` cost.
+    pub fn charge_inferences(&self, phase: &str, per_inference: GpuCost, count: usize) {
+        self.charge(phase, per_inference * count);
+    }
+
+    /// Total GPU time charged so far.
+    pub fn total(&self) -> GpuCost {
+        self.inner.lock().total()
+    }
+
+    /// GPU time charged to one phase.
+    pub fn phase(&self, name: &str) -> GpuCost {
+        self.inner.lock().phase(name)
+    }
+
+    /// Snapshot of the per-phase breakdown.
+    pub fn breakdown(&self) -> PhaseBreakdown {
+        self.inner.lock().clone()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.inner.lock().phases.clear();
+    }
+}
+
+/// The provisioned GPU fleet that serves queries.
+///
+/// The paper notes that organisations provision a few tens to hundreds of
+/// GPUs and parallelize a query's GT-CNN work across whatever is idle; the
+/// resulting wall-clock latency is the GPU work divided by that parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GpuClusterSpec {
+    /// Number of GPUs available to a query.
+    pub num_gpus: usize,
+}
+
+impl Default for GpuClusterSpec {
+    fn default() -> Self {
+        // The paper's end-to-end walkthrough uses a 10-GPU cluster ("with a
+        // 10-GPU cluster, the query latency on a 24-hour video goes down
+        // from one hour to less than two minutes").
+        Self { num_gpus: 10 }
+    }
+}
+
+impl GpuClusterSpec {
+    /// A cluster of `num_gpus` GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus` is zero.
+    pub fn new(num_gpus: usize) -> Self {
+        assert!(num_gpus > 0, "a GPU cluster needs at least one GPU");
+        Self { num_gpus }
+    }
+
+    /// Wall-clock latency (seconds) of executing `work` GPU seconds spread
+    /// perfectly across the cluster.
+    pub fn latency_secs(&self, work: GpuCost) -> f64 {
+        work.seconds() / self.num_gpus as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_accumulates_phases() {
+        let meter = GpuMeter::new();
+        meter.charge("ingest", GpuCost(1.0));
+        meter.charge("ingest", GpuCost(0.5));
+        meter.charge("query", GpuCost(2.0));
+        assert!((meter.total().seconds() - 3.5).abs() < 1e-12);
+        assert!((meter.phase("ingest").seconds() - 1.5).abs() < 1e-12);
+        assert!((meter.phase("query").seconds() - 2.0).abs() < 1e-12);
+        assert_eq!(meter.phase("other").seconds(), 0.0);
+        let breakdown = meter.breakdown();
+        assert_eq!(breakdown.phases.len(), 2);
+        meter.reset();
+        assert_eq!(meter.total().seconds(), 0.0);
+    }
+
+    #[test]
+    fn charge_inferences_multiplies() {
+        let meter = GpuMeter::new();
+        meter.charge_inferences("ingest", GpuCost(0.01), 100);
+        assert!((meter.total().seconds() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cloned_meters_share_state() {
+        let meter = GpuMeter::new();
+        let clone = meter.clone();
+        clone.charge("x", GpuCost(1.0));
+        assert_eq!(meter.total().seconds(), 1.0);
+    }
+
+    #[test]
+    fn meters_are_thread_safe() {
+        let meter = GpuMeter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let m = meter.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        m.charge("p", GpuCost(0.001));
+                    }
+                });
+            }
+        });
+        assert!((meter.total().seconds() - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cluster_latency_divides_work() {
+        let cluster = GpuClusterSpec::new(10);
+        assert!((cluster.latency_secs(GpuCost(100.0)) - 10.0).abs() < 1e-12);
+        let single = GpuClusterSpec::new(1);
+        assert_eq!(single.latency_secs(GpuCost(7.0)), 7.0);
+        assert_eq!(GpuClusterSpec::default().num_gpus, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_panics() {
+        let _ = GpuClusterSpec::new(0);
+    }
+}

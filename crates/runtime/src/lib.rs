@@ -1,0 +1,21 @@
+//! Execution-model substrate: GPU accounting, the GPU cluster model and a
+//! worker pool.
+//!
+//! The paper's two metrics are GPU time: *ingest cost* is the GPU time spent
+//! indexing a stream, and *query latency* is the GPU time of a query divided
+//! across the GPUs that serve it (§6.1 measures GPU time only and notes the
+//! GPU is the bottleneck resource; §5 parallelizes query work across idle
+//! worker processes). This crate provides:
+//!
+//! * [`GpuMeter`] — thread-safe accounting of GPU time per named phase.
+//! * [`GpuClusterSpec`] — the provisioned GPU fleet, which converts a
+//!   query's total GPU work into wall-clock latency.
+//! * [`WorkerPool`] — a real thread pool (crossbeam channels) used to
+//!   parallelize query-time classification across workers, mirroring the
+//!   paper's worker processes.
+
+pub mod gpu;
+pub mod workers;
+
+pub use gpu::{GpuClusterSpec, GpuMeter, PhaseBreakdown};
+pub use workers::WorkerPool;

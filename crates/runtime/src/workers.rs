@@ -1,0 +1,147 @@
+//! A small worker pool used to parallelize query-time classification.
+//!
+//! The paper's implementation (§5) runs one ingest worker process per stream
+//! and parallelizes a query's GT-CNN work across idle worker processes. The
+//! [`WorkerPool`] here reproduces that structure with threads: jobs are
+//! distributed over crossbeam channels, results are gathered and returned in
+//! the original submission order so callers stay deterministic regardless of
+//! scheduling.
+
+use crossbeam::channel;
+
+/// A fixed-size pool of worker threads executing independent jobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool that will use `workers` threads per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "worker pool needs at least one worker");
+        Self { workers }
+    }
+
+    /// Number of worker threads used per batch.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes `job` for every item of `items` across the pool and returns
+    /// the results in the original item order.
+    ///
+    /// The job function must be `Sync` because multiple worker threads call
+    /// it concurrently.
+    pub fn map<T, R, F>(&self, items: Vec<T>, job: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let n = items.len();
+        let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
+        let (result_tx, result_rx) = channel::unbounded::<(usize, R)>();
+        for pair in items.into_iter().enumerate() {
+            task_tx.send(pair).expect("task channel open");
+        }
+        drop(task_tx);
+        let workers = self.workers.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let task_rx = task_rx.clone();
+                let result_tx = result_tx.clone();
+                let job = &job;
+                scope.spawn(move || {
+                    while let Ok((idx, item)) = task_rx.recv() {
+                        let result = job(&item);
+                        if result_tx.send((idx, result)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(result_tx);
+            drop(task_rx);
+        });
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        while let Ok((idx, result)) = result_rx.recv() {
+            slots[idx] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job produced a result"))
+            .collect()
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<u64> = (0..1000).collect();
+        let results = pool.map(items.clone(), |x| x * 2);
+        let expected: Vec<u64> = items.iter().map(|x| x * 2).collect();
+        assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn map_runs_every_job_exactly_once() {
+        let pool = WorkerPool::new(8);
+        let counter = AtomicUsize::new(0);
+        let results = pool.map((0..500).collect::<Vec<_>>(), |_| {
+            counter.fetch_add(1, Ordering::SeqCst)
+        });
+        assert_eq!(results.len(), 500);
+        assert_eq!(counter.load(Ordering::SeqCst), 500);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let pool = WorkerPool::new(2);
+        let results: Vec<u64> = pool.map(Vec::<u64>::new(), |x| *x);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn single_worker_pool_works() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.workers(), 1);
+        let results = pool.map(vec![1, 2, 3], |x| x + 1);
+        assert_eq!(results, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn default_pool_has_workers() {
+        assert!(WorkerPool::default().workers() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let pool = WorkerPool::new(64);
+        let results = pool.map(vec![5, 6], |x| x * x);
+        assert_eq!(results, vec![25, 36]);
+    }
+}

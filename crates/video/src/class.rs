@@ -1,0 +1,215 @@
+//! The object-class label space.
+//!
+//! Focus indexes video by object class. The paper's ground-truth CNN
+//! (ResNet152) recognizes the 1,000 ImageNet classes; this module provides
+//! an equivalent synthetic label space with the first few dozen classes
+//! given meaningful names (the classes that actually dominate traffic,
+//! surveillance and news streams) and the rest named generically.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of object classes recognized by the ground-truth CNN.
+///
+/// Matches the 1,000 ImageNet classes recognized by ResNet152 in the paper.
+pub const NUM_CLASSES: u16 = 1000;
+
+/// Identifier of an object class, in `0..NUM_CLASSES`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClassId(pub u16);
+
+impl ClassId {
+    /// Returns the raw class index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if the identifier is within the recognized label space.
+    pub fn is_valid(self) -> bool {
+        self.0 < NUM_CLASSES
+    }
+}
+
+impl std::fmt::Display for ClassId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// Human-readable names for the well-known classes that dominate the
+/// evaluated video domains. Index in this table equals the class id.
+const NAMED_CLASSES: &[&str] = &[
+    "car",
+    "person",
+    "truck",
+    "bus",
+    "bicycle",
+    "motorcycle",
+    "traffic_light",
+    "pedestrian_crossing",
+    "van",
+    "taxi",
+    "dog",
+    "stroller",
+    "backpack",
+    "handbag",
+    "suitcase",
+    "umbrella",
+    "bench",
+    "fire_hydrant",
+    "stop_sign",
+    "parking_meter",
+    "news_anchor",
+    "microphone",
+    "studio_desk",
+    "tv_screen",
+    "podium",
+    "flag",
+    "suit",
+    "tie",
+    "chart_graphic",
+    "caption_banner",
+    "shopping_bag",
+    "shopping_cart",
+    "storefront",
+    "street_lamp",
+    "mailbox",
+    "trash_can",
+    "scooter",
+    "skateboard",
+    "wheelchair",
+    "delivery_cart",
+    "pigeon",
+    "cat",
+    "horse",
+    "boat",
+    "train",
+    "tram",
+    "ambulance",
+    "police_car",
+    "fire_truck",
+    "construction_crane",
+];
+
+/// Registry mapping [`ClassId`]s to human-readable labels.
+///
+/// The registry is cheap to construct and immutable; a single global label
+/// space is shared by every stream and CNN model in the system.
+#[derive(Debug, Clone)]
+pub struct ClassRegistry {
+    labels: Vec<String>,
+}
+
+impl Default for ClassRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClassRegistry {
+    /// Builds the standard 1,000-class registry.
+    pub fn new() -> Self {
+        let mut labels = Vec::with_capacity(NUM_CLASSES as usize);
+        for i in 0..NUM_CLASSES {
+            let label = match NAMED_CLASSES.get(i as usize) {
+                Some(name) => (*name).to_string(),
+                None => format!("class_{i:03}"),
+            };
+            labels.push(label);
+        }
+        Self { labels }
+    }
+
+    /// Number of classes in the registry.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the registry is empty (never the case for the
+    /// standard registry).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Returns the label of `class`, or `"<unknown>"` if out of range.
+    pub fn label(&self, class: ClassId) -> &str {
+        self.labels
+            .get(class.index())
+            .map(String::as_str)
+            .unwrap_or("<unknown>")
+    }
+
+    /// Looks up a class by its label.
+    pub fn find(&self, label: &str) -> Option<ClassId> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| ClassId(i as u16))
+    }
+
+    /// Iterates over all `(ClassId, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &str)> {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (ClassId(i as u16), l.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_one_thousand_classes() {
+        let reg = ClassRegistry::new();
+        assert_eq!(reg.len(), 1000);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn well_known_classes_have_names() {
+        let reg = ClassRegistry::new();
+        assert_eq!(reg.label(ClassId(0)), "car");
+        assert_eq!(reg.label(ClassId(1)), "person");
+        assert_eq!(reg.label(ClassId(3)), "bus");
+    }
+
+    #[test]
+    fn generic_classes_have_generated_names() {
+        let reg = ClassRegistry::new();
+        assert_eq!(reg.label(ClassId(999)), "class_999");
+        assert_eq!(reg.label(ClassId(500)), "class_500");
+    }
+
+    #[test]
+    fn find_inverts_label() {
+        let reg = ClassRegistry::new();
+        assert_eq!(reg.find("car"), Some(ClassId(0)));
+        assert_eq!(reg.find("class_123"), Some(ClassId(123)));
+        assert_eq!(reg.find("no_such_class"), None);
+    }
+
+    #[test]
+    fn out_of_range_label_is_unknown() {
+        let reg = ClassRegistry::new();
+        assert_eq!(reg.label(ClassId(5000)), "<unknown>");
+        assert!(!ClassId(5000).is_valid());
+        assert!(ClassId(999).is_valid());
+    }
+
+    #[test]
+    fn iter_covers_all_classes() {
+        let reg = ClassRegistry::new();
+        assert_eq!(reg.iter().count(), 1000);
+        let (first_id, first_label) = reg.iter().next().unwrap();
+        assert_eq!(first_id, ClassId(0));
+        assert_eq!(first_label, "car");
+    }
+
+    #[test]
+    fn class_id_display() {
+        assert_eq!(ClassId(42).to_string(), "class#42");
+    }
+}

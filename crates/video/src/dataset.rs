@@ -1,0 +1,287 @@
+//! Materialized video datasets and the characterization statistics of §2.2.
+//!
+//! A [`VideoDataset`] is a recorded slice of one stream: the frames, the
+//! objects they contain, and helpers for the statistics the paper reports —
+//! class-frequency CDFs (Figure 3), the fraction of empty frames (§2.2.1),
+//! dominant classes, and the Jaccard overlap of class sets between streams
+//! (§2.2.2).
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::class::ClassId;
+use crate::profile::StreamProfile;
+use crate::stream::VideoStream;
+use crate::types::{Frame, ObjectObservation};
+
+/// A recorded, materialized slice of a single video stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VideoDataset {
+    /// The stream profile this dataset was generated from.
+    pub profile: StreamProfile,
+    /// Duration of the recording in seconds.
+    pub duration_secs: f64,
+    /// All frames of the recording, in order.
+    pub frames: Vec<Frame>,
+}
+
+/// Summary statistics of a dataset, mirroring what §2.2 of the paper
+/// measures on the real videos.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Stream name.
+    pub stream: String,
+    /// Total number of frames.
+    pub frames: usize,
+    /// Number of frames with at least one moving object.
+    pub frames_with_motion: usize,
+    /// Total number of object observations.
+    pub objects: usize,
+    /// Number of distinct object tracks.
+    pub tracks: usize,
+    /// Number of distinct classes observed.
+    pub distinct_classes: usize,
+    /// Fraction of frames with no moving objects.
+    pub empty_frame_fraction: f64,
+    /// Smallest number of classes covering 95% of all object observations.
+    pub classes_covering_95pct: usize,
+    /// Most frequent classes, most frequent first.
+    pub dominant_classes: Vec<ClassId>,
+}
+
+impl VideoDataset {
+    /// Records `duration_secs` seconds of the stream described by `profile`.
+    pub fn generate(profile: StreamProfile, duration_secs: f64) -> Self {
+        let frames: Vec<Frame> = VideoStream::recording(profile.clone(), duration_secs).collect();
+        Self {
+            profile,
+            duration_secs,
+            frames,
+        }
+    }
+
+    /// Builds a dataset directly from frames (used by frame-sampling and by
+    /// tests).
+    pub fn from_frames(profile: StreamProfile, duration_secs: f64, frames: Vec<Frame>) -> Self {
+        Self {
+            profile,
+            duration_secs,
+            frames,
+        }
+    }
+
+    /// Iterates over every object observation in the dataset.
+    pub fn objects(&self) -> impl Iterator<Item = &ObjectObservation> {
+        self.frames.iter().flat_map(|f| f.objects.iter())
+    }
+
+    /// Total number of object observations.
+    pub fn object_count(&self) -> usize {
+        self.frames.iter().map(|f| f.objects.len()).sum()
+    }
+
+    /// Number of frames that contain at least one moving object.
+    pub fn frames_with_motion(&self) -> usize {
+        self.frames.iter().filter(|f| f.has_motion()).count()
+    }
+
+    /// Histogram of object observations per class.
+    pub fn class_histogram(&self) -> HashMap<ClassId, usize> {
+        let mut hist = HashMap::new();
+        for obj in self.objects() {
+            *hist.entry(obj.true_class).or_insert(0) += 1;
+        }
+        hist
+    }
+
+    /// Set of classes that occur at least once.
+    pub fn class_set(&self) -> HashSet<ClassId> {
+        self.objects().map(|o| o.true_class).collect()
+    }
+
+    /// The `n` most frequent classes, most frequent first.
+    pub fn dominant_classes(&self, n: usize) -> Vec<ClassId> {
+        let hist = self.class_histogram();
+        let mut entries: Vec<(ClassId, usize)> = hist.into_iter().collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        entries.into_iter().take(n).map(|(c, _)| c).collect()
+    }
+
+    /// Cumulative distribution of class frequency: element `i` is the
+    /// fraction of all object observations covered by the `i+1` most
+    /// frequent classes. This is the curve plotted in Figure 3.
+    pub fn class_frequency_cdf(&self) -> Vec<f64> {
+        let hist = self.class_histogram();
+        let mut counts: Vec<usize> = hist.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut cdf = Vec::with_capacity(counts.len());
+        let mut acc = 0usize;
+        for c in counts {
+            acc += c;
+            cdf.push(acc as f64 / total as f64);
+        }
+        cdf
+    }
+
+    /// Smallest number of classes whose observations cover `fraction` of all
+    /// objects.
+    pub fn classes_covering(&self, fraction: f64) -> usize {
+        self.class_frequency_cdf()
+            .iter()
+            .position(|&c| c >= fraction)
+            .map(|i| i + 1)
+            .unwrap_or(0)
+    }
+
+    /// Summary statistics for this dataset.
+    pub fn stats(&self) -> DatasetStats {
+        let tracks: HashSet<_> = self.objects().map(|o| o.track_id).collect();
+        let frames_with_motion = self.frames_with_motion();
+        DatasetStats {
+            stream: self.profile.name.clone(),
+            frames: self.frames.len(),
+            frames_with_motion,
+            objects: self.object_count(),
+            tracks: tracks.len(),
+            distinct_classes: self.class_set().len(),
+            empty_frame_fraction: if self.frames.is_empty() {
+                0.0
+            } else {
+                1.0 - frames_with_motion as f64 / self.frames.len() as f64
+            },
+            classes_covering_95pct: self.classes_covering(0.95),
+            dominant_classes: self.dominant_classes(5),
+        }
+    }
+}
+
+/// Jaccard index (intersection over union) of the class sets of two
+/// datasets. The paper reports an average of 0.46 between its streams
+/// (§2.2.2), i.e. streams share some classes but differ substantially.
+pub fn class_jaccard(a: &VideoDataset, b: &VideoDataset) -> f64 {
+    let sa = a.class_set();
+    let sb = b.class_set();
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Average pairwise Jaccard index across a collection of datasets.
+pub fn average_pairwise_jaccard(datasets: &[VideoDataset]) -> f64 {
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..datasets.len() {
+        for j in (i + 1)..datasets.len() {
+            total += class_jaccard(&datasets[i], &datasets[j]);
+            pairs += 1;
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{characterization_six, profile_by_name};
+
+    fn small_dataset(name: &str) -> VideoDataset {
+        VideoDataset::generate(profile_by_name(name).unwrap(), 240.0)
+    }
+
+    #[test]
+    fn dataset_generation_counts() {
+        let ds = small_dataset("auburn_c");
+        assert_eq!(ds.frames.len(), 7200);
+        assert!(ds.object_count() > 1000);
+        let stats = ds.stats();
+        assert_eq!(stats.frames, 7200);
+        assert!(stats.tracks > 10);
+        assert!(stats.objects >= stats.tracks);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let ds = small_dataset("jacksonh");
+        let cdf = ds.class_frequency_cdf();
+        assert!(!cdf.is_empty());
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn few_classes_cover_most_objects() {
+        // Figure 3: a small fraction of classes covers ≥95% of objects.
+        let ds = small_dataset("auburn_c");
+        let covering = ds.classes_covering(0.95);
+        let distinct = ds.class_set().len();
+        assert!(covering >= 1);
+        assert!(
+            covering <= distinct / 2,
+            "covering {covering} of {distinct} distinct classes"
+        );
+    }
+
+    #[test]
+    fn dominant_classes_are_sorted_by_frequency() {
+        let ds = small_dataset("auburn_c");
+        let hist = ds.class_histogram();
+        let dom = ds.dominant_classes(3);
+        assert_eq!(dom.len(), 3);
+        assert!(hist[&dom[0]] >= hist[&dom[1]]);
+        assert!(hist[&dom[1]] >= hist[&dom[2]]);
+    }
+
+    #[test]
+    fn jaccard_between_same_dataset_is_one() {
+        let ds = small_dataset("cnn");
+        assert!((class_jaccard(&ds, &ds) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jaccard_between_different_streams_is_partial() {
+        let a = small_dataset("auburn_c");
+        let b = small_dataset("lausanne");
+        let j = class_jaccard(&a, &b);
+        assert!(j > 0.0 && j < 1.0, "jaccard = {j}");
+    }
+
+    #[test]
+    fn average_pairwise_jaccard_is_moderate() {
+        // §2.2.2 reports an average Jaccard index of 0.46 between streams;
+        // we only require the same qualitative regime (clearly below 1,
+        // clearly above 0).
+        let datasets: Vec<VideoDataset> = characterization_six()
+            .into_iter()
+            .map(|p| VideoDataset::generate(p, 120.0))
+            .collect();
+        let j = average_pairwise_jaccard(&datasets);
+        assert!(j > 0.05 && j < 0.95, "average jaccard = {j}");
+    }
+
+    #[test]
+    fn empty_dataset_stats_are_safe() {
+        let profile = profile_by_name("bend").unwrap();
+        let ds = VideoDataset::from_frames(profile, 0.0, vec![]);
+        let stats = ds.stats();
+        assert_eq!(stats.frames, 0);
+        assert_eq!(stats.objects, 0);
+        assert_eq!(stats.empty_frame_fraction, 0.0);
+        assert_eq!(ds.classes_covering(0.95), 0);
+        assert!(ds.class_frequency_cdf().is_empty());
+    }
+}

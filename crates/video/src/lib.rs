@@ -1,0 +1,48 @@
+//! Synthetic video stream substrate for the Focus reproduction.
+//!
+//! The Focus paper (OSDI'18) evaluates on 13 real video streams from traffic
+//! cameras, surveillance cameras and news channels. Those streams are not
+//! available here, so this crate provides a *statistically faithful*
+//! substitute: a synthetic stream generator whose output reproduces the
+//! properties the paper itself measures and relies on (§2.2 of the paper):
+//!
+//! 1. One-third to one-half of frames contain no moving objects.
+//! 2. Each stream only contains a limited subset of the 1,000 recognizable
+//!    object classes, and a handful of classes dominate (3%–10% of classes
+//!    cover ≥95% of the objects).
+//! 3. Objects persist across frames for seconds (a pedestrian takes a minute
+//!    to cross the street), so consecutive observations of the same object
+//!    are near-duplicates.
+//!
+//! Everything downstream — cheap-CNN indexing, top-K selection, clustering,
+//! the ingest/query cost trade-off — only depends on these distributions, so
+//! a generator calibrated to them exercises the same design space as the
+//! real videos.
+//!
+//! The crate exposes:
+//!
+//! * [`ClassId`] / [`ClassRegistry`] — the 1,000-class label space.
+//! * [`StreamProfile`] — per-stream workload description, with the 13
+//!   built-in profiles of Table 1 in [`profile`].
+//! * [`VideoStream`] / [`VideoDataset`] — frame/object/track generation and
+//!   materialized datasets with characterization helpers (Figure 3, §2.2).
+//! * [`motion`] — background-subtraction-style motion filtering and pixel
+//!   differencing.
+//! * [`sampling`] — frame-rate subsampling (30/10/5/1 fps, §6.6).
+
+pub mod class;
+pub mod dataset;
+pub mod motion;
+pub mod profile;
+pub mod sampling;
+pub mod stream;
+pub mod types;
+
+pub use class::{ClassId, ClassRegistry, NUM_CLASSES};
+pub use dataset::{DatasetStats, VideoDataset};
+pub use motion::{MotionFilter, PixelDiff};
+pub use profile::{StreamDomain, StreamProfile};
+pub use stream::{StreamGenerator, VideoStream};
+pub use types::{
+    Appearance, BoundingBox, Frame, FrameId, ObjectId, ObjectObservation, StreamId, TrackId,
+};

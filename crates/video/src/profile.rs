@@ -1,0 +1,485 @@
+//! Stream profiles: the workload description of a single camera.
+//!
+//! A [`StreamProfile`] captures the statistical properties the Focus paper
+//! measures for its 13 evaluation streams (Table 1 and §2.2): how busy the
+//! camera is, what fraction of frames is empty, how many distinct object
+//! classes appear, how skewed their frequencies are, and how long objects
+//! dwell in the field of view. [`table1_profiles`] provides the 13 built-in
+//! profiles used throughout the benchmark harness.
+
+use serde::{Deserialize, Serialize};
+
+use crate::class::NUM_CLASSES;
+use crate::types::StreamId;
+
+/// The application domain of a camera, mirroring Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamDomain {
+    /// Traffic intersections and road-side cameras.
+    Traffic,
+    /// Surveillance cameras: plazas, markets, shopping streets.
+    Surveillance,
+    /// News channels (studio shots, field reports).
+    News,
+}
+
+impl std::fmt::Display for StreamDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StreamDomain::Traffic => "Traffic",
+            StreamDomain::Surveillance => "Surveillance",
+            StreamDomain::News => "News",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Statistical description of a single video stream.
+///
+/// All quantities are the ones the paper reports or relies on; the stream
+/// generator ([`crate::stream::StreamGenerator`]) turns a profile into a
+/// concrete sequence of frames and object observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamProfile {
+    /// Short machine name (e.g. `auburn_c`), matching Table 1.
+    pub name: String,
+    /// Where the camera is located (informational, Table 1).
+    pub location: String,
+    /// Free-text description (informational, Table 1).
+    pub description: String,
+    /// Domain of the camera.
+    pub domain: StreamDomain,
+    /// Identifier assigned to this stream.
+    pub stream_id: StreamId,
+    /// Native frame rate of the camera, frames per second.
+    pub fps: u32,
+    /// Number of distinct object classes that ever appear in the stream.
+    /// The paper observes 22%–33% of the 1,000 classes for quiet streams and
+    /// 50%–69% for busy news streams (§2.2.2).
+    pub distinct_classes: usize,
+    /// Zipf skew exponent of the class-frequency distribution. Higher means
+    /// a few classes dominate more strongly. The paper observes that 3%–10%
+    /// of classes cover ≥95% of objects.
+    pub zipf_exponent: f64,
+    /// Long-run fraction of frames with no moving objects (1/3–1/2 in the
+    /// paper's streams, §2.2.1).
+    pub empty_frame_fraction: f64,
+    /// Mean number of concurrently visible moving objects during busy
+    /// periods.
+    pub mean_objects_per_busy_frame: f64,
+    /// Mean time an object stays in the camera's view, in seconds.
+    pub mean_dwell_secs: f64,
+    /// Seed controlling which subset of the label space occurs in this
+    /// stream and the per-stream randomness of the generator.
+    pub seed: u64,
+}
+
+impl StreamProfile {
+    /// Total number of frames for a recording of `duration_secs` seconds at
+    /// the profile's native frame rate.
+    pub fn frames_for_duration(&self, duration_secs: f64) -> u64 {
+        (duration_secs * self.fps as f64).round() as u64
+    }
+
+    /// Mean dwell time expressed in frames at the native frame rate.
+    pub fn mean_dwell_frames(&self) -> f64 {
+        (self.mean_dwell_secs * self.fps as f64).max(1.0)
+    }
+
+    /// Sanity-checks the profile parameters, returning a description of the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fps == 0 {
+            return Err(format!("stream {}: fps must be positive", self.name));
+        }
+        if self.distinct_classes == 0 || self.distinct_classes > NUM_CLASSES as usize {
+            return Err(format!(
+                "stream {}: distinct_classes must be in 1..={NUM_CLASSES}",
+                self.name
+            ));
+        }
+        if !(0.0..1.0).contains(&self.empty_frame_fraction) {
+            return Err(format!(
+                "stream {}: empty_frame_fraction must be in [0, 1)",
+                self.name
+            ));
+        }
+        if self.mean_objects_per_busy_frame <= 0.0 {
+            return Err(format!(
+                "stream {}: mean_objects_per_busy_frame must be positive",
+                self.name
+            ));
+        }
+        if self.mean_dwell_secs <= 0.0 {
+            return Err(format!(
+                "stream {}: mean_dwell_secs must be positive",
+                self.name
+            ));
+        }
+        if self.zipf_exponent <= 0.0 {
+            return Err(format!(
+                "stream {}: zipf_exponent must be positive",
+                self.name
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn profile(
+    id: u32,
+    name: &str,
+    location: &str,
+    description: &str,
+    domain: StreamDomain,
+    distinct_classes: usize,
+    zipf_exponent: f64,
+    empty_frame_fraction: f64,
+    mean_objects_per_busy_frame: f64,
+    mean_dwell_secs: f64,
+) -> StreamProfile {
+    StreamProfile {
+        name: name.to_string(),
+        location: location.to_string(),
+        description: description.to_string(),
+        domain,
+        stream_id: StreamId(id),
+        fps: 30,
+        distinct_classes,
+        zipf_exponent,
+        empty_frame_fraction,
+        mean_objects_per_busy_frame,
+        mean_dwell_secs,
+        // Distinct deterministic seed per stream so datasets are reproducible
+        // but streams are not clones of each other.
+        seed: 0x70C0_5000 + id as u64 * 0x9E37_79B9,
+    }
+}
+
+/// The 13 video streams of Table 1 in the paper, expressed as synthetic
+/// stream profiles.
+///
+/// Busy-ness, empty-frame fraction, class diversity and dwell times follow
+/// the qualitative description in the paper: busy commercial intersections
+/// (`auburn_c`, `city_a_d`, `jacksonh`) see many short-dwell vehicles;
+/// residential intersections and road-side cameras are quieter; pedestrian
+/// plazas have long dwell times; news channels are busy, class-diverse and
+/// dominated by people/studio objects.
+pub fn table1_profiles() -> Vec<StreamProfile> {
+    vec![
+        profile(
+            0,
+            "auburn_c",
+            "AL, USA",
+            "A commercial area intersection in the City of Auburn",
+            StreamDomain::Traffic,
+            260,
+            1.95,
+            0.33,
+            3.0,
+            8.0,
+        ),
+        profile(
+            1,
+            "auburn_r",
+            "AL, USA",
+            "A residential area intersection in the City of Auburn",
+            StreamDomain::Traffic,
+            230,
+            2.20,
+            0.48,
+            1.4,
+            9.0,
+        ),
+        profile(
+            2,
+            "city_a_d",
+            "USA",
+            "A downtown intersection in City A",
+            StreamDomain::Traffic,
+            270,
+            1.95,
+            0.34,
+            3.2,
+            7.0,
+        ),
+        profile(
+            3,
+            "city_a_r",
+            "USA",
+            "A residential area intersection in City A",
+            StreamDomain::Traffic,
+            240,
+            2.15,
+            0.45,
+            1.6,
+            8.5,
+        ),
+        profile(
+            4,
+            "bend",
+            "OR, USA",
+            "A road-side camera in the City of Bend",
+            StreamDomain::Traffic,
+            220,
+            2.25,
+            0.47,
+            1.2,
+            6.5,
+        ),
+        profile(
+            5,
+            "jacksonh",
+            "WY, USA",
+            "A busy intersection (Town Square) in Jackson Hole",
+            StreamDomain::Traffic,
+            280,
+            1.90,
+            0.33,
+            3.5,
+            9.0,
+        ),
+        profile(
+            6,
+            "church_st",
+            "VT, USA",
+            "A rotating camera in a shopping mall (Church Street Marketplace)",
+            StreamDomain::Surveillance,
+            300,
+            2.00,
+            0.36,
+            2.6,
+            12.0,
+        ),
+        profile(
+            7,
+            "lausanne",
+            "Switzerland",
+            "A pedestrian plaza (Place de la Palud) in Lausanne",
+            StreamDomain::Surveillance,
+            250,
+            2.15,
+            0.44,
+            1.8,
+            20.0,
+        ),
+        profile(
+            8,
+            "oxford",
+            "England",
+            "A bookshop street in the University of Oxford",
+            StreamDomain::Surveillance,
+            230,
+            2.20,
+            0.46,
+            1.5,
+            15.0,
+        ),
+        profile(
+            9,
+            "sittard",
+            "Netherlands",
+            "A market square in Sittard",
+            StreamDomain::Surveillance,
+            255,
+            2.05,
+            0.40,
+            2.2,
+            18.0,
+        ),
+        profile(
+            10,
+            "cnn",
+            "USA",
+            "News channel",
+            StreamDomain::News,
+            560,
+            1.80,
+            0.34,
+            3.0,
+            10.0,
+        ),
+        profile(
+            11,
+            "foxnews",
+            "USA",
+            "News channel",
+            StreamDomain::News,
+            540,
+            1.82,
+            0.35,
+            2.8,
+            10.0,
+        ),
+        profile(
+            12,
+            "msnbc",
+            "USA",
+            "News channel",
+            StreamDomain::News,
+            620,
+            1.78,
+            0.33,
+            3.2,
+            11.0,
+        ),
+    ]
+}
+
+/// The nine representative streams the paper uses for the component and
+/// policy breakdown figures (Figures 8 and 9).
+pub fn representative_nine() -> Vec<StreamProfile> {
+    let wanted = [
+        "auburn_c",
+        "city_a_r",
+        "jacksonh",
+        "church_st",
+        "lausanne",
+        "sittard",
+        "cnn",
+        "foxnews",
+        "msnbc",
+    ];
+    table1_profiles()
+        .into_iter()
+        .filter(|p| wanted.contains(&p.name.as_str()))
+        .collect()
+}
+
+/// The six streams used for the dataset characterization in §2.2 / Figure 3.
+pub fn characterization_six() -> Vec<StreamProfile> {
+    let wanted = [
+        "auburn_c",
+        "jacksonh",
+        "lausanne",
+        "sittard",
+        "cnn",
+        "msnbc",
+    ];
+    table1_profiles()
+        .into_iter()
+        .filter(|p| wanted.contains(&p.name.as_str()))
+        .collect()
+}
+
+/// Looks up a built-in profile by its Table-1 name.
+pub fn profile_by_name(name: &str) -> Option<StreamProfile> {
+    table1_profiles().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_profiles_matching_table1() {
+        let profiles = table1_profiles();
+        assert_eq!(profiles.len(), 13);
+        let traffic = profiles
+            .iter()
+            .filter(|p| p.domain == StreamDomain::Traffic)
+            .count();
+        let surveillance = profiles
+            .iter()
+            .filter(|p| p.domain == StreamDomain::Surveillance)
+            .count();
+        let news = profiles
+            .iter()
+            .filter(|p| p.domain == StreamDomain::News)
+            .count();
+        assert_eq!(traffic, 6);
+        assert_eq!(surveillance, 4);
+        assert_eq!(news, 3);
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in table1_profiles() {
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn profiles_have_unique_ids_names_and_seeds() {
+        let profiles = table1_profiles();
+        let mut ids: Vec<_> = profiles.iter().map(|p| p.stream_id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 13);
+        let mut names: Vec<_> = profiles.iter().map(|p| p.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+        let mut seeds: Vec<_> = profiles.iter().map(|p| p.seed).collect();
+        seeds.sort();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 13);
+    }
+
+    #[test]
+    fn empty_frame_fraction_matches_paper_range() {
+        // §2.2.1: one-third to one-half of frames have no moving objects.
+        for p in table1_profiles() {
+            assert!(
+                (0.30..=0.50).contains(&p.empty_frame_fraction),
+                "{} has empty fraction {}",
+                p.name,
+                p.empty_frame_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn class_diversity_matches_paper_range() {
+        // §2.2.2: 22%–33% of classes occur in less busy videos, 50%–69% in
+        // busy news videos.
+        for p in table1_profiles() {
+            let fraction = p.distinct_classes as f64 / 1000.0;
+            match p.domain {
+                StreamDomain::News => assert!(
+                    (0.50..=0.69).contains(&fraction),
+                    "{}: {fraction}",
+                    p.name
+                ),
+                _ => assert!((0.20..=0.35).contains(&fraction), "{}: {fraction}", p.name),
+            }
+        }
+    }
+
+    #[test]
+    fn representative_and_characterization_subsets() {
+        assert_eq!(representative_nine().len(), 9);
+        assert_eq!(characterization_six().len(), 6);
+        assert!(profile_by_name("auburn_c").is_some());
+        assert!(profile_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn frames_and_dwell_helpers() {
+        let p = profile_by_name("auburn_c").unwrap();
+        assert_eq!(p.frames_for_duration(60.0), 1800);
+        assert!(p.mean_dwell_frames() >= 30.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_profiles() {
+        let mut p = profile_by_name("auburn_c").unwrap();
+        p.fps = 0;
+        assert!(p.validate().is_err());
+        let mut p = profile_by_name("auburn_c").unwrap();
+        p.distinct_classes = 0;
+        assert!(p.validate().is_err());
+        let mut p = profile_by_name("auburn_c").unwrap();
+        p.empty_frame_fraction = 1.0;
+        assert!(p.validate().is_err());
+        let mut p = profile_by_name("auburn_c").unwrap();
+        p.mean_dwell_secs = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = profile_by_name("auburn_c").unwrap();
+        p.zipf_exponent = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = profile_by_name("auburn_c").unwrap();
+        p.mean_objects_per_busy_frame = 0.0;
+        assert!(p.validate().is_err());
+    }
+}

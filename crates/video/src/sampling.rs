@@ -1,0 +1,96 @@
+//! Frame-rate subsampling (§6.6 of the paper).
+//!
+//! A common cost-reduction technique is to process only every n-th frame.
+//! The paper studies how Focus behaves at 30, 10, 5 and 1 fps; this module
+//! provides the subsampling primitive used by that experiment.
+
+use crate::dataset::VideoDataset;
+use crate::types::Frame;
+
+/// Selects frames from `frames` (recorded at `original_fps`) so that the
+/// result corresponds to `target_fps`.
+///
+/// Selection keeps every k-th frame with `k = original_fps / target_fps`
+/// (rounded to at least 1), which matches the paper's "periodically select a
+/// frame to process" description. Passing `target_fps >= original_fps`
+/// returns all frames.
+pub fn sample_frames(frames: &[Frame], original_fps: u32, target_fps: u32) -> Vec<Frame> {
+    let stride = sample_stride(original_fps, target_fps);
+    frames
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride == 0)
+        .map(|(_, f)| f.clone())
+        .collect()
+}
+
+/// The stride between retained frames for a given original and target rate.
+pub fn sample_stride(original_fps: u32, target_fps: u32) -> usize {
+    if target_fps == 0 {
+        return usize::MAX;
+    }
+    ((original_fps.max(1) + target_fps - 1) / target_fps).max(1) as usize
+}
+
+/// Subsamples a full dataset to `target_fps`, preserving profile metadata.
+///
+/// The returned dataset keeps the original profile (including its native
+/// fps) so time-based computations such as one-second ground-truth segments
+/// remain anchored to wall-clock time; only the frame list is thinned.
+pub fn sample_dataset(dataset: &VideoDataset, target_fps: u32) -> VideoDataset {
+    let frames = sample_frames(&dataset.frames, dataset.profile.fps, target_fps);
+    VideoDataset::from_frames(dataset.profile.clone(), dataset.duration_secs, frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_by_name;
+
+    #[test]
+    fn stride_computation() {
+        assert_eq!(sample_stride(30, 30), 1);
+        assert_eq!(sample_stride(30, 10), 3);
+        assert_eq!(sample_stride(30, 5), 6);
+        assert_eq!(sample_stride(30, 1), 30);
+        assert_eq!(sample_stride(30, 60), 1);
+        assert_eq!(sample_stride(30, 0), usize::MAX);
+    }
+
+    #[test]
+    fn sampling_reduces_frames_proportionally() {
+        let ds = VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 60.0);
+        assert_eq!(ds.frames.len(), 1800);
+        let at10 = sample_dataset(&ds, 10);
+        let at1 = sample_dataset(&ds, 1);
+        assert_eq!(at10.frames.len(), 600);
+        assert_eq!(at1.frames.len(), 60);
+        // Sampling preserves frame identity of the retained frames.
+        assert_eq!(at10.frames[0], ds.frames[0]);
+        assert_eq!(at10.frames[1], ds.frames[3]);
+    }
+
+    #[test]
+    fn sampling_at_or_above_native_rate_is_identity() {
+        let ds = VideoDataset::generate(profile_by_name("bend").unwrap(), 10.0);
+        let sampled = sample_dataset(&ds, 30);
+        assert_eq!(sampled.frames.len(), ds.frames.len());
+        let oversampled = sample_dataset(&ds, 120);
+        assert_eq!(oversampled.frames.len(), ds.frames.len());
+    }
+
+    #[test]
+    fn sampling_to_zero_fps_keeps_nothing_beyond_first() {
+        let ds = VideoDataset::generate(profile_by_name("bend").unwrap(), 5.0);
+        let sampled = sample_frames(&ds.frames, 30, 0);
+        assert!(sampled.len() <= 1);
+    }
+
+    #[test]
+    fn sampled_dataset_has_fewer_objects() {
+        let ds = VideoDataset::generate(profile_by_name("jacksonh").unwrap(), 120.0);
+        let at5 = sample_dataset(&ds, 5);
+        assert!(at5.object_count() < ds.object_count());
+        assert!(at5.object_count() > 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Live ingestion: frame-by-frame processing of a camera with bootstrap
+//! specialization and periodic retraining.
+//!
+//! The batch examples ingest a recorded dataset in one call. Real
+//! deployments run one worker process per live stream (§5 of the paper);
+//! this example drives [`StreamWorker`] the same way:
+//!
+//! * the first minute is indexed with a generic compressed CNN while a
+//!   ground-truth-labelled sample accumulates,
+//! * the worker then trains a per-stream specialized model and keeps
+//!   retraining it periodically (§4.3),
+//! * at the end the accumulated top-K index answers queries exactly like a
+//!   batch-ingested one.
+//!
+//! Run with `cargo run --release --example live_pipeline`.
+
+use focus::prelude::*;
+use focus::core::IngestParams;
+use focus::video::{ClassRegistry, VideoStream};
+
+fn main() {
+    let profile = focus::video::profile::profile_by_name("jacksonh").expect("built-in profile");
+    println!(
+        "starting live worker for {} ({}), 8 minutes of simulated video",
+        profile.name, profile.description
+    );
+
+    let meter = GpuMeter::new();
+    let mut worker = StreamWorker::new(
+        profile.stream_id,
+        profile.fps,
+        StreamWorkerConfig {
+            params: IngestParams {
+                k: 2,
+                ..IngestParams::default()
+            },
+            bootstrap_secs: 60.0,
+            retrain_interval_secs: 120.0,
+            gt_label_fraction: 0.02,
+            ..StreamWorkerConfig::default()
+        },
+        GroundTruthCnn::resnet152(),
+        meter.clone(),
+    );
+
+    // Drive the live stream one frame at a time, reporting once a minute.
+    let duration_secs = 480.0;
+    let mut frames = Vec::new();
+    for frame in VideoStream::recording(profile.clone(), duration_secs) {
+        worker.push_frame(&frame);
+        if frame.frame_id.0 % (60 * profile.fps as u64) == 0 && frame.frame_id.0 > 0 {
+            let stats = worker.stats();
+            println!(
+                "  t={:>4.0}s  model={:<40} objects={:>6} classified={:>6} GT-labelled={:>4} retrains={}",
+                frame.timestamp_secs,
+                worker.current_model().descriptor.display_name(),
+                stats.objects,
+                stats.objects_classified,
+                stats.objects_gt_labelled,
+                stats.retrains
+            );
+        }
+        frames.push(frame);
+    }
+
+    let output = worker.finalize();
+    println!(
+        "\nfinalized: {} clusters over {} objects; ingest GPU {:.1}s + specialization GPU {:.1}s",
+        output.clusters,
+        output.objects_total,
+        meter.phase("ingest").seconds(),
+        meter.phase("specialization").seconds()
+    );
+
+    // Query the live-built index.
+    let registry = ClassRegistry::new();
+    let person = registry.find("person").expect("person is a known class");
+    let engine = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(10));
+    let outcome = engine.query(&output, person, &QueryFilter::any(), &meter);
+
+    let dataset = VideoDataset::from_frames(profile, duration_secs, frames);
+    let labels = GroundTruthLabels::compute(&dataset, &GroundTruthCnn::resnet152());
+    let report = labels.evaluate(person, &outcome.frames);
+    println!(
+        "query 'person': {} frames in {:.2}s (precision {:.1}%, recall {:.1}%)",
+        outcome.frames.len(),
+        outcome.latency_secs,
+        report.precision * 100.0,
+        report.recall * 100.0
+    );
+}

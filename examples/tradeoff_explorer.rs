@@ -1,0 +1,77 @@
+//! Trade-off explorer: inspect the ingest-cost / query-latency space.
+//!
+//! Runs Focus's parameter selection for one stream, prints every viable
+//! configuration, marks the Pareto boundary and shows what each trade-off
+//! policy (Opt-Ingest / Balance / Opt-Query) would pick — the machinery
+//! behind Figures 1 and 6 of the paper.
+//!
+//! Usage: `cargo run --release --example tradeoff_explorer [stream_name]`
+//! (default stream: `auburn_c`).
+
+use focus::prelude::*;
+use focus::core::TradeoffPolicy;
+
+fn main() {
+    let stream = std::env::args().nth(1).unwrap_or_else(|| "auburn_c".to_string());
+    let Some(profile) = focus::video::profile::profile_by_name(&stream) else {
+        eprintln!("unknown stream '{stream}'; available streams:");
+        for p in focus::video::profile::table1_profiles() {
+            eprintln!("  {}", p.name);
+        }
+        std::process::exit(1);
+    };
+
+    println!("parameter selection for {} ({})", profile.name, profile.description);
+    let runner = ExperimentRunner::new(ExperimentConfig {
+        duration_secs: 300.0,
+        sample_secs: 90.0,
+        ..ExperimentConfig::default()
+    });
+    let dataset = runner.dataset_for(&profile);
+    let (selection, _) = runner.select_parameters(&dataset, &GroundTruthCnn::resnet152());
+
+    println!(
+        "{} configurations evaluated, {} meet the 95%/95% accuracy target, {} on the Pareto boundary\n",
+        selection.evaluated.len(),
+        selection.viable.len(),
+        selection.pareto.len()
+    );
+
+    println!(
+        "{:<42} {:>4} {:>5} {:>12} {:>12} {:>6} {:>6}  pareto",
+        "model", "K", "T", "ingest(norm)", "query(norm)", "prec", "rec"
+    );
+    for point in &selection.viable {
+        let on_pareto = selection
+            .pareto
+            .iter()
+            .any(|p| p.model == point.model && p.k == point.k && p.threshold == point.threshold);
+        println!(
+            "{:<42} {:>4} {:>5.2} {:>12.4} {:>12.4} {:>6.2} {:>6.2}  {}",
+            point.model.display_name(),
+            point.k,
+            point.threshold,
+            point.ingest_cost_norm,
+            point.query_latency_norm,
+            point.precision,
+            point.recall,
+            if on_pareto { "*" } else { "" }
+        );
+    }
+
+    println!("\npolicy picks:");
+    for policy in TradeoffPolicy::all() {
+        match selection.choose(policy) {
+            Some(chosen) => println!(
+                "  {:<18} -> {} (K={}, T={:.1}): ingest {:.0}x cheaper, queries {:.0}x faster than the brute-force baselines",
+                policy.name(),
+                chosen.point.model.display_name(),
+                chosen.point.k,
+                chosen.point.threshold,
+                1.0 / chosen.point.ingest_cost_norm,
+                1.0 / chosen.point.query_latency_norm
+            ),
+            None => println!("  {:<18} -> no viable configuration", policy.name()),
+        }
+    }
+}

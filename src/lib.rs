@@ -1,0 +1,64 @@
+//! Focus — low-latency, low-cost querying on large video datasets.
+//!
+//! This is the façade crate of the workspace: it re-exports every
+//! sub-crate under one roof so applications can depend on `focus` alone.
+//!
+//! The workspace reproduces the system described in *"Focus: Querying Large
+//! Video Datasets with Low Latency and Low Cost"* (Hsieh et al., OSDI
+//! 2018). See `README.md` for the architecture overview, `DESIGN.md` for
+//! the system inventory and the substitutions made for unavailable
+//! hardware/data, and `EXPERIMENTS.md` for the paper-vs-measured record of
+//! every table and figure.
+//!
+//! # Crate map
+//!
+//! | Module | Backing crate | Contents |
+//! |---|---|---|
+//! | [`video`] | `focus-video` | Synthetic stream substrate: the 13 Table-1 stream profiles, frame/object/track generation, motion filtering, frame sampling |
+//! | [`cnn`] | `focus-cnn` | Simulated CNN substrate: ground-truth CNN, compressed cheap CNNs, per-stream specialization, feature vectors, GPU cost model |
+//! | [`cluster`] | `focus-cluster` | Single-pass incremental clustering |
+//! | [`index`] | `focus-index` | The top-K inverted index with camera/time/Kx filtering and persistence |
+//! | [`runtime`] | `focus-runtime` | GPU accounting, the GPU-cluster latency model, the worker pool |
+//! | [`core`] | `focus-core` | The Focus system itself: ingest & query pipelines, parameter selection, policies, baselines, experiment runner |
+//!
+//! # Quick start
+//!
+//! ```
+//! use focus::prelude::*;
+//!
+//! // Record one minute of a busy synthetic traffic camera.
+//! let profile = focus::video::profile::profile_by_name("auburn_c").unwrap();
+//! let dataset = focus::video::VideoDataset::generate(profile, 60.0);
+//!
+//! // Ingest with a cheap compressed CNN, then query the dominant class.
+//! let meter = focus::runtime::GpuMeter::new();
+//! let ingest = IngestEngine::new(
+//!     IngestCnn::generic(focus::cnn::ModelSpec::cheap_cnn_1()),
+//!     IngestParams { k: 10, ..IngestParams::default() },
+//! )
+//! .ingest(&dataset, &meter);
+//!
+//! let engine = QueryEngine::new(
+//!     focus::cnn::GroundTruthCnn::resnet152(),
+//!     focus::runtime::GpuClusterSpec::new(10),
+//! );
+//! let class = dataset.dominant_classes(1)[0];
+//! let result = engine.query(&ingest, class, &focus::index::QueryFilter::any(), &meter);
+//! assert!(!result.frames.is_empty());
+//! ```
+
+pub use focus_cluster as cluster;
+pub use focus_cnn as cnn;
+pub use focus_core as core;
+pub use focus_index as index;
+pub use focus_runtime as runtime;
+pub use focus_video as video;
+
+/// The most commonly used types from across the workspace.
+pub mod prelude {
+    pub use focus_cnn::{Classifier, GroundTruthCnn, ModelSpec};
+    pub use focus_core::prelude::*;
+    pub use focus_index::QueryFilter;
+    pub use focus_runtime::{GpuClusterSpec, GpuMeter};
+    pub use focus_video::{ClassId, StreamProfile, VideoDataset};
+}

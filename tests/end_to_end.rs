@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: the full Focus pipeline against the
+//! paper's baselines, the component ablation ordering and the trade-off
+//! policies.
+
+use focus::core::{
+    AblationMode, AccuracyTarget, ExperimentConfig, ExperimentRunner, TradeoffPolicy,
+};
+use focus::video::profile::profile_by_name;
+
+fn quick_config() -> ExperimentConfig {
+    ExperimentConfig {
+        target: AccuracyTarget::both(0.9),
+        ..ExperimentConfig::quick()
+    }
+}
+
+#[test]
+fn focus_beats_both_baselines_on_a_busy_stream() {
+    let profile = profile_by_name("auburn_c").unwrap();
+    let report = ExperimentRunner::new(quick_config())
+        .run_stream(&profile)
+        .expect("a viable configuration exists");
+    // The headline claim of the paper, in qualitative form: large ingest
+    // savings over Ingest-all and large query speed-ups over Query-all while
+    // staying close to the ground truth.
+    assert!(
+        report.ingest_cheaper_factor > 10.0,
+        "ingest only {}x cheaper",
+        report.ingest_cheaper_factor
+    );
+    assert!(
+        report.query_faster_factor > 5.0,
+        "query only {}x faster",
+        report.query_faster_factor
+    );
+    assert!(report.mean_precision >= 0.85, "precision {}", report.mean_precision);
+    assert!(report.mean_recall >= 0.85, "recall {}", report.mean_recall);
+    // Accounting sanity: Focus's ingest GPU time must be far below the
+    // baseline's, and clusters can never outnumber objects.
+    assert!(report.ingest_gpu_secs < report.ingest_all_gpu_secs);
+    assert!(report.clusters <= report.objects);
+    assert!(report.queries.iter().all(|q| q.latency_secs >= 0.0));
+}
+
+#[test]
+fn ablation_components_compose() {
+    // Figure 8: each component (specialization, clustering) adds query
+    // speed-up on top of the previous one, and specialization is the main
+    // source of ingest savings.
+    let profile = profile_by_name("jacksonh").unwrap();
+    let mut query_factors = Vec::new();
+    let mut ingest_factors = Vec::new();
+    for mode in AblationMode::all() {
+        let report = ExperimentRunner::new(ExperimentConfig {
+            ablation: mode,
+            // The paper's default targets; at 95%/95% the very cheap generic
+            // models are not accurate enough, which is what makes
+            // specialization the main source of ingest savings.
+            target: AccuracyTarget::both(0.95),
+            ..ExperimentConfig::quick()
+        })
+        .run_stream(&profile)
+        .expect("viable configuration for every ablation mode");
+        query_factors.push(report.query_faster_factor);
+        ingest_factors.push(report.ingest_cheaper_factor);
+    }
+    // Query speed-up strictly improves as components are added.
+    assert!(
+        query_factors[1] > query_factors[0] * 0.9,
+        "specialization should not hurt query latency: {query_factors:?}"
+    );
+    assert!(
+        query_factors[2] > query_factors[1],
+        "clustering must further reduce query latency: {query_factors:?}"
+    );
+    // Specialization is the main source of ingest savings.
+    assert!(
+        ingest_factors[1] > ingest_factors[0],
+        "specialization must reduce ingest cost: {ingest_factors:?}"
+    );
+    // Clustering costs (almost) nothing at ingest time.
+    assert!(
+        ingest_factors[2] > ingest_factors[1] * 0.8,
+        "clustering must not add significant ingest cost: {ingest_factors:?}"
+    );
+}
+
+#[test]
+fn tradeoff_policies_are_ordered() {
+    let profile = profile_by_name("sittard").unwrap();
+    let mut by_policy = Vec::new();
+    for policy in TradeoffPolicy::all() {
+        let report = ExperimentRunner::new(ExperimentConfig {
+            policy,
+            ..quick_config()
+        })
+        .run_stream(&profile)
+        .expect("viable configuration for every policy");
+        by_policy.push((policy, report));
+    }
+    let opt_ingest = &by_policy[0].1;
+    let balance = &by_policy[1].1;
+    let opt_query = &by_policy[2].1;
+    // Opt-Ingest never spends more on ingest than the other policies;
+    // Opt-Query is never slower than the other policies.
+    assert!(opt_ingest.ingest_gpu_secs <= balance.ingest_gpu_secs + 1e-9);
+    assert!(opt_ingest.ingest_gpu_secs <= opt_query.ingest_gpu_secs + 1e-9);
+    assert!(opt_query.mean_query_latency_secs <= balance.mean_query_latency_secs + 1e-9);
+    assert!(opt_query.mean_query_latency_secs <= opt_ingest.mean_query_latency_secs + 1e-9);
+    // All policies still meet the accuracy target on average.
+    for (_, report) in &by_policy {
+        assert!(report.mean_precision >= 0.8);
+        assert!(report.mean_recall >= 0.8);
+    }
+}
+
+#[test]
+fn query_rate_extremes_stay_favourable() {
+    // §6.7: Focus remains cheaper than Ingest-all even if everything is
+    // queried, and faster than Query-all even if it defers all work to query
+    // time.
+    let profile = profile_by_name("sittard").unwrap();
+    let report = ExperimentRunner::new(quick_config())
+        .run_stream(&profile)
+        .expect("viable configuration");
+    assert!(
+        report.all_queried_cheaper_factor > 1.5,
+        "all-queried factor {}",
+        report.all_queried_cheaper_factor
+    );
+    assert!(
+        report.query_time_only_faster_factor > 3.0,
+        "query-time-only factor {}",
+        report.query_time_only_faster_factor
+    );
+}
+
+#[test]
+fn lower_frame_rates_reduce_clustering_benefit() {
+    // §6.6: at 1 fps there is far less redundancy between frames, so the
+    // query speed-up shrinks relative to 30 fps (while remaining > 1).
+    let profile = profile_by_name("auburn_c").unwrap();
+    let at_30 = ExperimentRunner::new(quick_config())
+        .run_stream(&profile)
+        .expect("viable at 30 fps");
+    let at_1 = ExperimentRunner::new(ExperimentConfig {
+        frame_rate: Some(1),
+        ..quick_config()
+    })
+    .run_stream(&profile)
+    .expect("viable at 1 fps");
+    assert!(at_1.objects < at_30.objects);
+    assert!(
+        at_1.query_faster_factor < at_30.query_faster_factor,
+        "30 fps {} vs 1 fps {}",
+        at_30.query_faster_factor,
+        at_1.query_faster_factor
+    );
+    assert!(at_1.query_faster_factor > 1.0);
+}

@@ -1,0 +1,72 @@
+//! Integration test: the top-K index produced by ingest survives a
+//! persistence round-trip and keeps answering queries identically.
+
+use focus::cnn::{GroundTruthCnn, ModelSpec};
+use focus::core::{IngestCnn, IngestEngine, IngestParams, QueryEngine};
+use focus::index::{persist, QueryFilter};
+use focus::runtime::{GpuClusterSpec, GpuMeter};
+use focus::video::profile::profile_by_name;
+use focus::video::VideoDataset;
+
+#[test]
+fn index_snapshot_roundtrip_preserves_query_results() {
+    let dataset = VideoDataset::generate(profile_by_name("lausanne").unwrap(), 120.0);
+    let ingest = IngestEngine::new(
+        IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+        IngestParams {
+            k: 10,
+            ..IngestParams::default()
+        },
+    )
+    .ingest(&dataset, &GpuMeter::new());
+
+    // Snapshot the index to JSON and restore it.
+    let json = persist::to_json(&ingest.index).expect("index serializes");
+    let restored = persist::from_json(&json).expect("index deserializes");
+    assert_eq!(restored.len(), ingest.index.len());
+    assert_eq!(restored.stats(), ingest.index.stats());
+
+    // Lookups on the restored index match the original for every indexed
+    // class.
+    for class in ingest.index.indexed_classes() {
+        let original: Vec<_> = ingest
+            .index
+            .lookup(class, &QueryFilter::any())
+            .iter()
+            .map(|r| r.key)
+            .collect();
+        let roundtrip: Vec<_> = restored
+            .lookup(class, &QueryFilter::any())
+            .iter()
+            .map(|r| r.key)
+            .collect();
+        assert_eq!(original, roundtrip, "postings differ for {class}");
+    }
+
+    // A query executed against the restored index returns the same frames.
+    let engine = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4));
+    let class = dataset.dominant_classes(1)[0];
+    let before = engine.query(&ingest, class, &QueryFilter::any(), &GpuMeter::new());
+    let mut swapped = ingest.clone();
+    swapped.index = restored;
+    let after = engine.query(&swapped, class, &QueryFilter::any(), &GpuMeter::new());
+    assert_eq!(before.frames, after.frames);
+    assert_eq!(before.matched_clusters, after.matched_clusters);
+}
+
+#[test]
+fn file_snapshot_roundtrip() {
+    let dataset = VideoDataset::generate(profile_by_name("bend").unwrap(), 60.0);
+    let ingest = IngestEngine::new(
+        IngestCnn::generic(ModelSpec::cheap_cnn_2()),
+        IngestParams::default(),
+    )
+    .ingest(&dataset, &GpuMeter::new());
+    let dir = std::env::temp_dir().join("focus_integration_persist");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("lausanne_index.json");
+    persist::save(&ingest.index, &path).expect("snapshot written");
+    let restored = persist::load(&path).expect("snapshot read");
+    assert_eq!(restored.len(), ingest.index.len());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,80 @@
+//! Integration test: multi-camera ingestion into one merged index with
+//! camera- and time-restricted queries (the paper's query formulation in
+//! §3 allows restricting a query to a subset of cameras and a time range).
+
+use std::collections::HashMap;
+
+use focus::cnn::{GroundTruthCnn, ModelSpec};
+use focus::core::{IngestCnn, IngestEngine, IngestParams, QueryEngine};
+use focus::index::{QueryFilter, TopKIndex};
+use focus::runtime::{GpuClusterSpec, GpuMeter};
+use focus::video::profile::profile_by_name;
+use focus::video::{ObjectId, ObjectObservation, StreamId, VideoDataset};
+
+#[test]
+fn merged_index_answers_camera_and_time_restricted_queries() {
+    let cameras = ["auburn_c", "city_a_d"];
+    let engine = IngestEngine::new(
+        IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+        IngestParams {
+            k: 10,
+            ..IngestParams::default()
+        },
+    );
+    let meter = GpuMeter::new();
+
+    let mut merged = TopKIndex::new();
+    let mut centroids: HashMap<ObjectId, ObjectObservation> = HashMap::new();
+    let mut datasets = Vec::new();
+    let mut stream_ids = Vec::new();
+    for camera in cameras {
+        let dataset = VideoDataset::generate(profile_by_name(camera).unwrap(), 120.0);
+        let output = engine.ingest(&dataset, &meter);
+        stream_ids.push(dataset.profile.stream_id);
+        merged.merge(output.index.clone());
+        centroids.extend(output.centroids.clone());
+        datasets.push((dataset, output));
+    }
+    assert_eq!(merged.streams(), {
+        let mut ids = stream_ids.clone();
+        ids.sort();
+        ids
+    });
+
+    // Build a combined ingest output sharing the merged index so the query
+    // engine can verify centroids from either camera.
+    let mut combined = datasets[0].1.clone();
+    combined.index = merged;
+    combined.centroids = centroids;
+
+    let class = datasets[0].0.dominant_classes(1)[0];
+    let query_engine = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(8));
+
+    // Unrestricted query sees frames from both cameras.
+    let all = query_engine.query(&combined, class, &QueryFilter::any(), &meter);
+    assert!(!all.frames.is_empty());
+
+    // Camera-restricted query only returns clusters of that camera.
+    for (dataset, _) in &datasets {
+        let stream = dataset.profile.stream_id;
+        let filter = QueryFilter::for_stream(stream);
+        let restricted = query_engine.query(&combined, class, &filter, &meter);
+        assert!(restricted.matched_clusters <= all.matched_clusters);
+        for record in combined.index.lookup(class, &filter) {
+            assert_eq!(record.key.stream, stream);
+        }
+    }
+
+    // Time-restricted query to the first 30 seconds never returns clusters
+    // that start after the window.
+    let early = QueryFilter::any().with_time_range(0.0, 30.0);
+    for record in combined.index.lookup(class, &early) {
+        assert!(record.start_secs <= 30.0);
+    }
+
+    // Restricting to a camera that was never ingested returns nothing.
+    let ghost = QueryFilter::for_stream(StreamId(999));
+    let nothing = query_engine.query(&combined, class, &ghost, &meter);
+    assert_eq!(nothing.matched_clusters, 0);
+    assert!(nothing.frames.is_empty());
+}
