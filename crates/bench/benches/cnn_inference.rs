@@ -16,7 +16,10 @@ fn bench_inference(c: &mut Criterion) {
     let objects = sample_objects(2000);
     let gt = GroundTruthCnn::resnet152();
     let cheap = CheapCnn::cheap_cnn_2();
-    let labelled: Vec<_> = objects.iter().map(|o| (o.clone(), gt.classify_top1(o))).collect();
+    let labelled: Vec<_> = objects
+        .iter()
+        .map(|o| (o.clone(), gt.classify_top1(o)))
+        .collect();
     let specialized =
         SpecializedCnn::train("jacksonh", SpecializationLevel::Medium, &labelled, 15).unwrap();
 

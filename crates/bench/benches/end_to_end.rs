@@ -47,12 +47,7 @@ fn bench_query(c: &mut Criterion) {
             target: focus_core::AccuracyTarget::both(0.9),
             ..ExperimentConfig::quick()
         });
-        b.iter(|| {
-            runner
-                .run_stream(&profile)
-                .map(|r| r.clusters)
-                .unwrap_or(0)
-        })
+        b.iter(|| runner.run_stream(&profile).map(|r| r.clusters).unwrap_or(0))
     });
     group.finish();
 }

@@ -1,8 +1,8 @@
 //! Criterion micro-benchmark: top-K index insertion and lookup.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use focus_core::{IngestCnn, IngestEngine, IngestParams};
 use focus_cnn::ModelSpec;
+use focus_core::{IngestCnn, IngestEngine, IngestParams};
 use focus_index::{QueryFilter, TopKIndex};
 use focus_runtime::GpuMeter;
 use focus_video::profile::profile_by_name;

@@ -1,33 +1,59 @@
 //! Criterion micro-benchmark: the full ingest pipeline (motion filtering,
 //! pixel differencing, cheap-CNN classification, clustering, index
-//! construction) on a short recording.
+//! construction), serial vs sharded over a 3-camera workload.
+//!
+//! Besides the usual bench output this writes `BENCH_ingest.json` to the
+//! workspace root with serial and sharded throughput (frames/sec), so the
+//! repository accumulates a perf trajectory across changes.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use focus_cnn::ModelSpec;
-use focus_core::{IngestCnn, IngestEngine, IngestParams};
-use focus_runtime::GpuMeter;
+use focus_core::{ingest_serial, IngestCnn, IngestEngine, IngestParams, ShardedIngest};
+use focus_runtime::{GpuMeter, WorkerPool};
 use focus_video::profile::profile_by_name;
 use focus_video::VideoDataset;
 
+fn workload() -> Vec<VideoDataset> {
+    ["auburn_c", "lausanne", "cnn"]
+        .iter()
+        .map(|name| VideoDataset::generate(profile_by_name(name).unwrap(), 120.0))
+        .collect()
+}
+
+fn engine(k: usize) -> IngestEngine {
+    IngestEngine::new(
+        IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+        IngestParams {
+            k,
+            ..IngestParams::default()
+        },
+    )
+}
+
 fn bench_ingest(c: &mut Criterion) {
-    let dataset = VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 120.0);
-    let objects = dataset.object_count() as u64;
+    let datasets = workload();
+    let frames: u64 = datasets.iter().map(|d| d.frames.len() as u64).sum();
     let mut group = c.benchmark_group("ingest_pipeline");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(objects));
-    for (label, k) in [("k4", 4usize), ("k60", 60)] {
-        group.bench_with_input(BenchmarkId::new("auburn_c_120s", label), &k, |b, &k| {
-            let engine = IngestEngine::new(
-                IngestCnn::generic(ModelSpec::cheap_cnn_1()),
-                IngestParams {
-                    k,
-                    ..IngestParams::default()
-                },
-            );
-            b.iter(|| engine.ingest(&dataset, &GpuMeter::new()).clusters)
-        });
+    group.throughput(Throughput::Elements(frames));
+
+    group.bench_function(BenchmarkId::new("3cam_120s", "serial"), |b| {
+        let engine = engine(4);
+        b.iter(|| ingest_serial(&engine, &datasets, &GpuMeter::new()).clusters())
+    });
+    for shards in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("3cam_120s", format!("sharded{shards}")),
+            &shards,
+            |b, &shards| {
+                let sharded = ShardedIngest::with_pool(engine(4), WorkerPool::new(shards));
+                b.iter(|| sharded.ingest(&datasets, &GpuMeter::new()).clusters())
+            },
+        );
     }
-    group.bench_function("auburn_c_120s_no_clustering", |b| {
+    group.bench_function("3cam_120s_no_clustering", |b| {
         let engine = IngestEngine::new(
             IngestCnn::generic(ModelSpec::cheap_cnn_1()),
             IngestParams {
@@ -35,9 +61,57 @@ fn bench_ingest(c: &mut Criterion) {
                 ..IngestParams::default()
             },
         );
-        b.iter(|| engine.ingest(&dataset, &GpuMeter::new()).clusters)
+        b.iter(|| ingest_serial(&engine, &datasets, &GpuMeter::new()).clusters())
     });
     group.finish();
+
+    write_trajectory(&datasets, frames);
+}
+
+/// Measures serial vs sharded wall-clock directly and writes the
+/// frames-per-second trajectory file for future PRs to compare against.
+fn write_trajectory(datasets: &[VideoDataset], frames: u64) {
+    let time_fn = |f: &dyn Fn() -> usize| {
+        let runs = 3;
+        let start = Instant::now();
+        for _ in 0..runs {
+            std::hint::black_box(f());
+        }
+        start.elapsed().as_secs_f64() / runs as f64
+    };
+
+    let serial_engine = engine(4);
+    let serial_secs =
+        time_fn(&|| ingest_serial(&serial_engine, datasets, &GpuMeter::new()).clusters());
+    let mut entries = vec![("serial".to_string(), serial_secs)];
+    for shards in [2usize, 4] {
+        let sharded = ShardedIngest::with_pool(engine(4), WorkerPool::new(shards));
+        let secs = time_fn(&|| sharded.ingest(datasets, &GpuMeter::new()).clusters());
+        entries.push((format!("sharded_{shards}"), secs));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"streams\": {},\n", datasets.len()));
+    json.push_str(&format!("  \"frames_total\": {frames},\n"));
+    json.push_str(&format!(
+        "  \"objects_total\": {},\n",
+        datasets.iter().map(|d| d.object_count()).sum::<usize>()
+    ));
+    json.push_str("  \"runs\": {\n");
+    for (i, (name, secs)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"secs\": {secs:.4}, \"frames_per_sec\": {:.1} }}{comma}\n",
+            frames as f64 / secs
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_ingest);

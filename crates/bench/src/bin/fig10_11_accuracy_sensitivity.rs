@@ -61,7 +61,11 @@ fn main() {
             .collect::<Vec<_>>()
             .join(" / ")
     };
-    println!("averages at 95/97/98/99%: ingest {}   query {}", fmt_avg(0), fmt_avg(1));
+    println!(
+        "averages at 95/97/98/99%: ingest {}   query {}",
+        fmt_avg(0),
+        fmt_avg(1)
+    );
     println!();
     println!(
         "Paper behaviour: the ingest cost stays roughly constant (62x-64x \

@@ -58,7 +58,5 @@ fn main() {
         "average pairwise Jaccard index of class sets: {:.2} (paper: 0.46)",
         average_pairwise_jaccard(&datasets)
     );
-    println!(
-        "Paper headline: 3%-10% of the most frequent classes cover >=95% of objects."
-    );
+    println!("Paper headline: 3%-10% of the most frequent classes cover >=95% of objects.");
 }

@@ -51,7 +51,9 @@ fn main() {
         let picked: Vec<&str> = chosen
             .iter()
             .filter(|(_, c)| {
-                c.model == point.model && c.k == point.k && (c.threshold - point.threshold).abs() < 1e-6
+                c.model == point.model
+                    && c.k == point.k
+                    && (c.threshold - point.threshold).abs() < 1e-6
             })
             .map(|(p, _)| p.name())
             .collect();
@@ -63,7 +65,11 @@ fn main() {
             format!("{:.4}", point.query_latency_norm),
             format!("{:.3}", point.precision),
             format!("{:.3}", point.recall),
-            if on_pareto { "*".to_string() } else { String::new() },
+            if on_pareto {
+                "*".to_string()
+            } else {
+                String::new()
+            },
             picked.join(", "),
         ]);
     }

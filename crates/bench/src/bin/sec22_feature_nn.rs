@@ -19,7 +19,10 @@ fn main() {
         "the feature-vector robustness measurement in §2.2.3",
     );
     let model = CheapCnn::cheap_cnn_1();
-    println!("feature extractor: {} (ResNet18-class model)\n", model.name());
+    println!(
+        "feature extractor: {} (ResNet18-class model)\n",
+        model.name()
+    );
     let mut table = TextTable::new(vec!["stream", "objects", "NN same-class fraction"]);
     let mut worst: f64 = 1.0;
     for profile in table1_profiles() {
@@ -50,11 +53,7 @@ fn main() {
         }
         let fraction = same as f64 / objects.len() as f64;
         worst = worst.min(fraction);
-        table.row(vec![
-            name,
-            objects.len().to_string(),
-            fmt_percent(fraction),
-        ]);
+        table.row(vec![name, objects.len().to_string(), fmt_percent(fraction)]);
     }
     table.print();
     println!();

@@ -38,7 +38,11 @@ fn main() {
                 counted += 1;
             }
             Err(err) => {
-                table.row(vec![profile.name.clone(), format!("error: {err}"), String::new()]);
+                table.row(vec![
+                    profile.name.clone(),
+                    format!("error: {err}"),
+                    String::new(),
+                ]);
             }
         }
     }

@@ -204,7 +204,7 @@ mod tests {
     #[test]
     fn factor_and_percent_formatting() {
         assert_eq!(fmt_factor(58.4), "58x");
-        assert_eq!(fmt_factor(3.14), "3.1x");
+        assert_eq!(fmt_factor(3.24), "3.2x");
         assert_eq!(fmt_factor(f64::INFINITY), "inf");
         assert_eq!(fmt_percent(0.954), "95.4%");
     }

@@ -277,7 +277,10 @@ mod tests {
         let (clusters, stats) = c.finish();
         assert_eq!(clusters.len(), 1);
         assert_eq!(stats.objects, 1);
-        assert_eq!(clusters[0].representative(), ClusterMember { item: 1, tag: 100 });
+        assert_eq!(
+            clusters[0].representative(),
+            ClusterMember { item: 1, tag: 100 }
+        );
     }
 
     #[test]
@@ -412,10 +415,7 @@ mod property_tests {
     use proptest::prelude::*;
 
     fn arbitrary_points() -> impl Strategy<Value = Vec<Vec<f32>>> {
-        prop::collection::vec(
-            prop::collection::vec(-100.0f32..100.0, 4),
-            1..200,
-        )
+        prop::collection::vec(prop::collection::vec(-100.0f32..100.0, 4), 1..200)
     }
 
     proptest! {

@@ -268,10 +268,7 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(ModelSpec::ground_truth().display_name(), "ResNet152");
-        assert_eq!(
-            ModelSpec::cheap_cnn_2().display_name(),
-            "ResNet18-3L@112px"
-        );
+        assert_eq!(ModelSpec::cheap_cnn_2().display_name(), "ResNet18-3L@112px");
         assert_eq!(Architecture::AlexNet.to_string(), "AlexNet");
     }
 

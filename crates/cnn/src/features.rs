@@ -184,10 +184,8 @@ impl FeatureExtractor {
     pub fn extract(&self, obj: &ObjectObservation) -> FeatureVector {
         let model_seed = self.model_seed();
         let group = obj.true_class.0 / CLASS_GROUP_SIZE;
-        let group_anchor = seeded_unit_vector(
-            hash_seed(&[model_seed, 0x6409, group as u64]),
-            GROUP_SCALE,
-        );
+        let group_anchor =
+            seeded_unit_vector(hash_seed(&[model_seed, 0x6409, group as u64]), GROUP_SCALE);
         let class_offset = seeded_unit_vector(
             hash_seed(&[model_seed, 0xC1A55, obj.appearance.class_signature]),
             CLASS_OFFSET_SCALE,
@@ -226,9 +224,7 @@ impl FeatureExtractor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use focus_video::{
-        Appearance, BoundingBox, ClassId, FrameId, ObjectId, StreamId, TrackId,
-    };
+    use focus_video::{Appearance, BoundingBox, ClassId, FrameId, ObjectId, StreamId, TrackId};
 
     fn obs(object_id: u64, track: u64, class: u64, drift: f32) -> ObjectObservation {
         ObjectObservation {

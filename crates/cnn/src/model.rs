@@ -50,7 +50,10 @@ impl RankedClasses {
 
     /// Rank (1-based) of `class`, if present.
     pub fn rank_of(&self, class: ClassId) -> Option<usize> {
-        self.ranked.iter().position(|(c, _)| *c == class).map(|p| p + 1)
+        self.ranked
+            .iter()
+            .position(|(c, _)| *c == class)
+            .map(|p| p + 1)
     }
 }
 
@@ -75,9 +78,7 @@ pub trait Classifier: Send + Sync {
 
     /// Convenience: the single most confident class.
     fn classify_top1(&self, obj: &ObjectObservation) -> ClassId {
-        self.classify_top_k(obj, 1)
-            .top1()
-            .unwrap_or(ClassId(0))
+        self.classify_top_k(obj, 1).top1().unwrap_or(ClassId(0))
     }
 }
 
@@ -165,7 +166,7 @@ fn drift_bucket(drift: f32) -> u64 {
 pub fn confusion_class(true_class: ClassId, slot: usize, seed: u64) -> ClassId {
     let base = true_class.0 as i32;
     let h = hash64(&[seed, 0xC0FF_E77E, true_class.0 as u64, slot as u64]);
-    if h % 4 == 0 {
+    if h.is_multiple_of(4) {
         let offsets = [1i32, -1, 2, -2, 3, -3, 4, 5];
         // Clamp (rather than wrap) at the label-space edges so confusions
         // stay in the visually similar neighbourhood.
@@ -495,7 +496,11 @@ mod tests {
             let r10 = recall_at_k(model, &objects, 10);
             let r60 = recall_at_k(model, &objects, 60);
             let r200 = recall_at_k(model, &objects, 200);
-            assert!(r10 < r60 && r60 < r200, "{}: {r10} {r60} {r200}", model.name());
+            assert!(
+                r10 < r60 && r60 < r200,
+                "{}: {r10} {r60} {r200}",
+                model.name()
+            );
         }
         // At equal K, the more expensive model has better recall.
         let k = 60;
@@ -512,7 +517,11 @@ mod tests {
         let r1 = recall_at_k(&CheapCnn::cheap_cnn_1(), &objects, 60);
         let r2 = recall_at_k(&CheapCnn::cheap_cnn_2(), &objects, 100);
         let r3 = recall_at_k(&CheapCnn::cheap_cnn_3(), &objects, 200);
-        for (name, r) in [("CheapCNN1@60", r1), ("CheapCNN2@100", r2), ("CheapCNN3@200", r3)] {
+        for (name, r) in [
+            ("CheapCNN1@60", r1),
+            ("CheapCNN2@100", r2),
+            ("CheapCNN3@200", r3),
+        ] {
             assert!((0.82..=0.97).contains(&r), "{name}: recall {r}");
         }
     }

@@ -248,11 +248,19 @@ impl SpecializedCnn {
         ]);
         let u = unit_from_hash(key);
         let in_set = self.is_specialized_for(obj.true_class);
-        let top1 = if in_set { self.in_set_top1 } else { self.other_top1 };
+        let top1 = if in_set {
+            self.in_set_top1
+        } else {
+            self.other_top1
+        };
         if u < top1 {
             return 1;
         }
-        let decay = if in_set { self.in_set_decay } else { self.in_set_decay * 0.8 };
+        let decay = if in_set {
+            self.in_set_decay
+        } else {
+            self.in_set_decay * 0.8
+        };
         let v = unit_from_hash(hash64(&[key, 0x7A11]));
         let extra = ((1.0 - v).ln() / (1.0 - decay.clamp(1e-3, 0.999)).ln())
             .ceil()
@@ -332,7 +340,9 @@ mod tests {
     fn training_requires_data() {
         assert!(SpecializedCnn::train("auburn_c", SpecializationLevel::Medium, &[], 10).is_none());
         let sample = labelled_sample("auburn_c", 60.0);
-        assert!(SpecializedCnn::train("auburn_c", SpecializationLevel::Medium, &sample, 0).is_none());
+        assert!(
+            SpecializedCnn::train("auburn_c", SpecializationLevel::Medium, &sample, 0).is_none()
+        );
     }
 
     #[test]
@@ -346,7 +356,11 @@ mod tests {
         for (_, c) in &sample {
             *freq.entry(*c).or_insert(0) += 1;
         }
-        let top = freq.iter().max_by_key(|(_, n)| **n).map(|(c, _)| *c).unwrap();
+        let top = freq
+            .iter()
+            .max_by_key(|(_, n)| **n)
+            .map(|(c, _)| *c)
+            .unwrap();
         assert!(model.is_specialized_for(top));
     }
 

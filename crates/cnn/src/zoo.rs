@@ -86,8 +86,7 @@ impl ModelZoo {
         let mut models = Vec::new();
         for level in SpecializationLevel::all() {
             for ls in self.ls_candidates() {
-                if let Some(model) =
-                    SpecializedCnn::train(stream_name, level, labelled_sample, ls)
+                if let Some(model) = SpecializedCnn::train(stream_name, level, labelled_sample, ls)
                 {
                     models.push(model);
                 }
@@ -138,7 +137,10 @@ mod tests {
         let zoo = ModelZoo::new();
         let ds = VideoDataset::generate(profile::profile_by_name("auburn_c").unwrap(), 120.0);
         let gt = GroundTruthCnn::resnet152();
-        let sample: Vec<_> = ds.objects().map(|o| (o.clone(), gt.classify_top1(o))).collect();
+        let sample: Vec<_> = ds
+            .objects()
+            .map(|o| (o.clone(), gt.classify_top1(o)))
+            .collect();
         let models = zoo.specialized_models("auburn_c", &sample);
         assert_eq!(models.len(), 3 * zoo.ls_candidates().len());
         for m in &models {

@@ -170,9 +170,7 @@ mod tests {
         assert!(costs.frames_with_motion < costs.frames_total);
         assert_eq!(costs.objects, ds.object_count());
         assert!((costs.ingest_all_gpu.seconds() - costs.query_all_gpu.seconds()).abs() < 1e-12);
-        assert!(
-            (costs.query_all_latency_secs - costs.query_all_gpu.seconds() / 10.0).abs() < 1e-9
-        );
+        assert!((costs.query_all_latency_secs - costs.query_all_gpu.seconds() / 10.0).abs() < 1e-9);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use focus_cnn::GroundTruthCnn;
 use focus_index::QueryFilter;
-use focus_runtime::{GpuClusterSpec, GpuMeter};
+use focus_runtime::{GpuClusterSpec, GpuMeter, WorkerPool};
 use focus_video::sampling::sample_dataset;
 use focus_video::{ClassId, StreamProfile, VideoDataset};
 
@@ -231,7 +231,7 @@ impl ExperimentRunner {
         let frames: Vec<_> = dataset
             .frames
             .iter()
-            .filter(|f| (f.frame_id.0 / fps) % stride == 0)
+            .filter(|f| (f.frame_id.0 / fps).is_multiple_of(stride))
             .cloned()
             .collect();
         let sampled_secs = frames.len() as f64 / fps as f64;
@@ -328,12 +328,8 @@ impl ExperimentRunner {
         let mean_query_gpu = query_gpu_total / n;
 
         // 6. §6.7 extremes.
-        let all_queried = AllQueriedComparison::compute(
-            ingest.gpu_cost,
-            ingest.clusters,
-            &gt,
-            &baselines,
-        );
+        let all_queried =
+            AllQueriedComparison::compute(ingest.gpu_cost, ingest.clusters, &gt, &baselines);
         let query_time_only = QueryTimeOnlyComparison::compute(
             ingest.gpu_cost,
             focus_cnn::GpuCost(mean_query_gpu),
@@ -373,6 +369,21 @@ impl ExperimentRunner {
         profiles: &[StreamProfile],
     ) -> Vec<Result<StreamExperimentReport, ExperimentError>> {
         profiles.iter().map(|p| self.run_stream(p)).collect()
+    }
+
+    /// Like [`run_streams`](Self::run_streams), but runs the per-stream
+    /// experiments concurrently on `pool` (each stream's experiment is
+    /// independent: its own dataset, parameter selection, ingest and
+    /// queries). Results come back in profile order regardless of
+    /// scheduling.
+    pub fn run_streams_parallel(
+        &self,
+        profiles: &[StreamProfile],
+        pool: &WorkerPool,
+    ) -> Vec<Result<StreamExperimentReport, ExperimentError>> {
+        pool.map(profiles.iter().collect(), |profile| {
+            self.run_stream(profile)
+        })
     }
 }
 

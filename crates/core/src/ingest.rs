@@ -1,34 +1,28 @@
-//! The ingest-time pipeline (IT1–IT4 in Figure 4 of the paper).
+//! The batch ingest driver: replays a recorded dataset through the shared
+//! [`FramePipeline`](crate::pipeline::FramePipeline) (IT1–IT4 in Figure 4 of
+//! the paper).
 //!
-//! For every incoming frame, the pipeline
-//!
-//! 1. applies motion filtering (frames without moving objects are skipped —
-//!    both baselines get the same treatment),
-//! 2. applies pixel differencing between objects in adjacent frames so that
-//!    near-identical observations reuse the previous classification,
-//! 3. classifies each remaining object with the cheap ingest CNN, obtaining
-//!    its top-K classes and its feature vector,
-//! 4. clusters objects by feature vector with the single-pass incremental
-//!    clusterer, and
-//! 5. writes one record per cluster into the top-K index: the centroid
-//!    object, the cluster's top-K classes (the representative's) and all
-//!    member objects/frames.
+//! The per-frame work itself — motion filtering, pixel differencing,
+//! cheap-CNN classification, incremental clustering and index-record
+//! emission — lives in [`crate::pipeline`]; this module owns the batch
+//! driver ([`IngestEngine`]), the ingest model handle ([`IngestCnn`]) and
+//! the output bookkeeping ([`IngestOutput`]). The live, frame-by-frame
+//! driver is [`StreamWorker`](crate::worker::StreamWorker); the multi-stream
+//! parallel driver is [`ShardedIngest`](crate::shard::ShardedIngest).
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use focus_cluster::IncrementalClusterer;
 use focus_cnn::{
     CheapCnn, Classifier, GpuCost, GroundTruthCnn, ModelSpec, SpecializedCnn, OTHER_CLASS,
 };
-use focus_index::{ClusterKey, ClusterRecord, MemberRef, TopKIndex};
+use focus_index::TopKIndex;
 use focus_runtime::GpuMeter;
-use focus_video::{
-    ClassId, MotionFilter, ObjectId, ObjectObservation, PixelDiff, VideoDataset,
-};
-use focus_video::motion::PixelDiffOutcome;
+use focus_video::{ClassId, ObjectId, ObjectObservation, VideoDataset};
+
+use crate::pipeline::{FramePipeline, PipelineOutput};
 
 /// Ingest-time parameters chosen by Focus's parameter selection (§4.4).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -197,6 +191,29 @@ pub struct IngestOutput {
 }
 
 impl IngestOutput {
+    /// Assembles the output of a finished pipeline run for `model`.
+    pub fn from_pipeline(output: PipelineOutput, model: IngestCnn) -> Self {
+        let PipelineOutput {
+            index,
+            centroids,
+            gpu_cost,
+            stats,
+            params,
+        } = output;
+        Self {
+            index,
+            centroids,
+            model,
+            params,
+            gpu_cost,
+            frames_total: stats.frames,
+            frames_with_motion: stats.frames_with_motion,
+            objects_total: stats.objects,
+            objects_classified: stats.objects_classified,
+            clusters: stats.clusters,
+        }
+    }
+
     /// Average number of objects per cluster (the redundancy the clustering
     /// step eliminates at query time).
     pub fn mean_cluster_size(&self) -> f64 {
@@ -246,154 +263,17 @@ impl IngestEngine {
     /// accounting. GPU cost is charged to `meter` under the phase
     /// `"ingest"`.
     pub fn ingest(&self, dataset: &VideoDataset, meter: &GpuMeter) -> IngestOutput {
-        let fps = dataset.profile.fps.max(1);
-        let stream = dataset.profile.stream_id;
+        let mut pipeline =
+            FramePipeline::new(dataset.profile.stream_id, dataset.profile.fps, self.params);
         let classifier = self.model.classifier.as_ref();
-        let per_inference = classifier.cost_per_inference();
-
-        let mut motion = MotionFilter::new();
-        let mut pixel_diff = PixelDiff::new();
-        let mut clusterer = IncrementalClusterer::new(
-            self.params.cluster_threshold,
-            self.params.max_active_clusters,
-        );
-
-        // Cache of per-object classification outcomes; duplicates detected
-        // by pixel differencing point at their source's entry.
-        let mut top_k: HashMap<ObjectId, Vec<ClassId>> = HashMap::new();
-        let mut observations: HashMap<ObjectId, ObjectObservation> = HashMap::new();
-        // When clustering is disabled each object forms its own cluster.
-        let mut singleton_clusters: Vec<(ObjectId, Vec<MemberRef>)> = Vec::new();
-        let mut object_cluster: Vec<(u64, ObjectId)> = Vec::new();
-
-        let mut objects_total = 0usize;
-        let mut objects_classified = 0usize;
-
         for frame in &dataset.frames {
-            if !motion.admit(frame) {
-                continue;
-            }
-            for obj in &frame.objects {
-                objects_total += 1;
-                let source = if self.params.pixel_differencing {
-                    match pixel_diff.check(obj) {
-                        PixelDiffOutcome::DuplicateOf(original) if top_k.contains_key(&original) => {
-                            Some(original)
-                        }
-                        _ => None,
-                    }
-                } else {
-                    None
-                };
-                let (classes, features) = match source {
-                    Some(original) => {
-                        // Reuse the source's classification; re-extract the
-                        // (identical-signature) features from the source
-                        // observation so the cluster geometry matches.
-                        let classes = top_k[&original].clone();
-                        let features =
-                            classifier.extract_features(&observations[&original]);
-                        (classes, features)
-                    }
-                    None => {
-                        objects_classified += 1;
-                        let ranked = classifier.classify_top_k(obj, self.params.k);
-                        (ranked.classes(), classifier.extract_features(obj))
-                    }
-                };
-                top_k.insert(obj.object_id, classes);
-                observations.insert(obj.object_id, obj.clone());
-                if self.params.enable_clustering {
-                    let cluster = clusterer.add(obj.object_id.0, obj.frame_id.0, &features.0);
-                    object_cluster.push((cluster.0, obj.object_id));
-                } else {
-                    singleton_clusters.push((
-                        obj.object_id,
-                        vec![MemberRef {
-                            object: obj.object_id,
-                            frame: obj.frame_id,
-                        }],
-                    ));
-                }
-            }
+            pipeline.push_frame(frame, classifier);
         }
-        meter.charge_inferences("ingest", per_inference, objects_classified);
-
-        let mut index = TopKIndex::new();
-        let mut centroids = HashMap::new();
-        let mut clusters_written = 0usize;
-
-        let mut write_cluster =
-            |local: u64, representative: ObjectId, members: Vec<MemberRef>| {
-                let classes = top_k
-                    .get(&representative)
-                    .cloned()
-                    .unwrap_or_default();
-                let start = members
-                    .iter()
-                    .map(|m| m.frame.0)
-                    .min()
-                    .unwrap_or(0) as f64
-                    / fps as f64;
-                let end = members
-                    .iter()
-                    .map(|m| m.frame.0)
-                    .max()
-                    .unwrap_or(0) as f64
-                    / fps as f64;
-                let centroid_frame = observations[&representative].frame_id;
-                let record = ClusterRecord {
-                    key: ClusterKey::new(stream, local),
-                    centroid_object: representative,
-                    centroid_frame,
-                    top_k_classes: classes,
-                    members,
-                    start_secs: start,
-                    end_secs: end,
-                };
-                centroids.insert(representative, observations[&representative].clone());
-                index.insert(record);
-            };
-
-        if self.params.enable_clustering {
-            let (clusters, _stats) = clusterer.finish();
-            for cluster in clusters {
-                let representative = ObjectId(cluster.representative().item);
-                let members: Vec<MemberRef> = cluster
-                    .members
-                    .iter()
-                    .map(|m| MemberRef {
-                        object: ObjectId(m.item),
-                        frame: focus_video::FrameId(m.tag),
-                    })
-                    .collect();
-                write_cluster(cluster.id.0, representative, members);
-                clusters_written += 1;
-            }
-        } else {
-            for (local, (representative, members)) in singleton_clusters.into_iter().enumerate() {
-                write_cluster(local as u64, representative, members);
-                clusters_written += 1;
-            }
-        }
-        // `object_cluster` exists to keep the clustering assignment available
-        // to future extensions (e.g. re-clustering); it is intentionally not
-        // stored in the output today.
-        drop(object_cluster);
-
-        let motion_stats = motion.stats();
-        IngestOutput {
-            index,
-            centroids,
-            model: self.model.clone(),
-            params: self.params,
-            gpu_cost: per_inference * objects_classified,
-            frames_total: motion_stats.total_frames,
-            frames_with_motion: motion_stats.frames_with_motion,
-            objects_total,
-            objects_classified,
-            clusters: clusters_written,
-        }
+        let output = pipeline.finish();
+        // One charge per run: the pipeline accrues cost lock-free, so the
+        // batch hot loop never touches the meter's mutex.
+        meter.charge("ingest", output.gpu_cost);
+        IngestOutput::from_pipeline(output, self.model.clone())
     }
 }
 

@@ -54,7 +54,9 @@ pub mod config;
 pub mod experiment;
 pub mod ingest;
 pub mod params;
+pub mod pipeline;
 pub mod query;
+pub mod shard;
 pub mod worker;
 
 pub use accuracy::{AccuracyReport, GroundTruthLabels};
@@ -69,7 +71,9 @@ pub use params::{
     pareto_boundary, ConfigurationPoint, ModelChoice, ParameterSelector, SelectedConfiguration,
     SelectionResult, SweepSpace,
 };
+pub use pipeline::{FramePipeline, PipelineOutput, PipelineStats};
 pub use query::{QueryEngine, QueryOutcome};
+pub use shard::{ingest_serial, MultiIngestOutput, ShardedIngest};
 pub use worker::{StreamWorker, StreamWorkerConfig, StreamWorkerStats};
 
 /// Convenience prelude re-exporting the types most applications need.
@@ -79,6 +83,8 @@ pub mod prelude {
     pub use crate::experiment::{ExperimentConfig, ExperimentRunner, StreamExperimentReport};
     pub use crate::ingest::{IngestCnn, IngestEngine, IngestParams};
     pub use crate::params::{ParameterSelector, SweepSpace};
+    pub use crate::pipeline::FramePipeline;
     pub use crate::query::{QueryEngine, QueryOutcome};
+    pub use crate::shard::{MultiIngestOutput, ShardedIngest};
     pub use crate::worker::{StreamWorker, StreamWorkerConfig};
 }

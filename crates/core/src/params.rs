@@ -15,8 +15,8 @@ use serde::{Deserialize, Serialize};
 use focus_cluster::IncrementalClusterer;
 use focus_cnn::specialize::SpecializationLevel;
 use focus_cnn::{Classifier, GroundTruthCnn, ModelSpec, ModelZoo};
-use focus_video::{ClassId, FrameId, MotionFilter, ObjectObservation, PixelDiff, VideoDataset};
 use focus_video::motion::PixelDiffOutcome;
+use focus_video::{ClassId, FrameId, MotionFilter, ObjectObservation, PixelDiff, VideoDataset};
 
 use crate::accuracy::GroundTruthLabels;
 use crate::config::{AblationMode, AccuracyTarget, TradeoffPolicy};
@@ -300,7 +300,11 @@ pub fn pareto_boundary(points: &[ConfigurationPoint]) -> Vec<ConfigurationPoint>
         a.ingest_cost_norm
             .partial_cmp(&b.ingest_cost_norm)
             .unwrap()
-            .then(a.query_latency_norm.partial_cmp(&b.query_latency_norm).unwrap())
+            .then(
+                a.query_latency_norm
+                    .partial_cmp(&b.query_latency_norm)
+                    .unwrap(),
+            )
     });
     boundary.dedup_by(|a, b| {
         a.ingest_cost_norm == b.ingest_cost_norm && a.query_latency_norm == b.query_latency_norm
@@ -351,10 +355,8 @@ impl ParameterSelector {
                 continue;
             }
             for obj in &frame.objects {
-                let needs_inference = !matches!(
-                    pixel_diff.check(obj),
-                    PixelDiffOutcome::DuplicateOf(_)
-                );
+                let needs_inference =
+                    !matches!(pixel_diff.check(obj), PixelDiffOutcome::DuplicateOf(_));
                 objects.push(SampleObject {
                     observation: obj.clone(),
                     gt_label: gt.classify_top1(obj),
@@ -427,8 +429,7 @@ impl ParameterSelector {
                 .iter()
                 .map(|o| classifier.extract_features(&o.observation).0)
                 .collect();
-            let ingest_cost =
-                classifier.cost_per_inference().seconds() * inferences_needed as f64;
+            let ingest_cost = classifier.cost_per_inference().seconds() * inferences_needed as f64;
             let ingest_cost_norm = ingest_cost / normalizer;
 
             for &threshold in &self.space.thresholds {
@@ -582,13 +583,18 @@ mod tests {
 
     #[test]
     fn pareto_boundary_removes_dominated_points() {
-        let points = vec![point(0.1, 0.5), point(0.2, 0.2), point(0.3, 0.3), point(0.05, 0.9)];
+        let points = vec![
+            point(0.1, 0.5),
+            point(0.2, 0.2),
+            point(0.3, 0.3),
+            point(0.05, 0.9),
+        ];
         let pareto = pareto_boundary(&points);
         // (0.3, 0.3) is dominated by (0.2, 0.2); the rest are incomparable.
         assert_eq!(pareto.len(), 3);
-        assert!(pareto.iter().all(|p| {
-            !(p.ingest_cost_norm == 0.3 && p.query_latency_norm == 0.3)
-        }));
+        assert!(pareto
+            .iter()
+            .all(|p| { !(p.ingest_cost_norm == 0.3 && p.query_latency_norm == 0.3) }));
         // Sorted by ingest cost.
         for w in pareto.windows(2) {
             assert!(w[0].ingest_cost_norm <= w[1].ingest_cost_norm);

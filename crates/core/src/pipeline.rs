@@ -1,0 +1,452 @@
+//! The shared per-frame ingest pipeline (IT1–IT4 in Figure 4 of the paper).
+//!
+//! [`FramePipeline`] is the single implementation of the per-frame work both
+//! ingest drivers run on:
+//!
+//! * [`IngestEngine`](crate::ingest::IngestEngine) replays a recorded
+//!   dataset through one pipeline (batch driver);
+//! * [`StreamWorker`](crate::worker::StreamWorker) pushes live frames
+//!   through one pipeline, sealing an epoch whenever its model changes
+//!   (streaming driver);
+//! * [`ShardedIngest`](crate::shard::ShardedIngest) runs one pipeline per
+//!   stream shard concurrently on a worker pool.
+//!
+//! For every frame the pipeline
+//!
+//! 1. applies motion filtering (frames without moving objects are skipped),
+//! 2. applies pixel differencing between objects in adjacent frames so
+//!    near-identical observations reuse the previous classification,
+//! 3. classifies each remaining object with the caller-supplied ingest CNN,
+//!    obtaining its top-K classes and feature vector,
+//! 4. clusters objects by feature vector with the single-pass incremental
+//!    clusterer, and
+//! 5. on [`seal_epoch`](FramePipeline::seal_epoch), writes one record per
+//!    cluster into the top-K index (centroid object, the representative's
+//!    top-K classes, and all member objects/frames).
+//!
+//! The classifier is an argument of [`push_frame`](FramePipeline::push_frame)
+//! rather than pipeline state, so the streaming driver can swap models
+//! between epochs (feature spaces of different models are not comparable,
+//! which is why every epoch gets a fresh clusterer).
+//!
+//! Determinism: a pipeline's outputs are a pure function of the frame
+//! sequence, the parameters and the classifier. Cluster keys are assigned
+//! from a per-stream counter in epoch-seal order, so replaying the same
+//! stream always yields byte-identical cluster records — the property the
+//! sharded ingest layer relies on to guarantee serial/parallel equivalence.
+
+use std::collections::HashMap;
+
+use focus_cluster::IncrementalClusterer;
+use focus_cnn::{Classifier, GpuCost};
+use focus_index::{ClusterKey, ClusterRecord, MemberRef, TopKIndex};
+use focus_video::motion::PixelDiffOutcome;
+use focus_video::{
+    ClassId, Frame, FrameId, MotionFilter, ObjectId, ObjectObservation, PixelDiff, StreamId,
+};
+
+use crate::ingest::IngestParams;
+
+/// Counters describing a pipeline's activity so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Frames pushed into the pipeline.
+    pub frames: usize,
+    /// Frames with at least one moving object.
+    pub frames_with_motion: usize,
+    /// Object observations seen in motion frames.
+    pub objects: usize,
+    /// Observations actually classified by the ingest CNN (after pixel
+    /// differencing).
+    pub objects_classified: usize,
+    /// Clusters sealed into the index so far.
+    pub clusters: usize,
+    /// Epochs sealed so far.
+    pub epochs_sealed: usize,
+}
+
+/// Everything a finished pipeline produced.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// The per-stream top-K index.
+    pub index: TopKIndex,
+    /// The centroid observation of every cluster, keyed by object id.
+    pub centroids: HashMap<ObjectId, ObjectObservation>,
+    /// Total GPU time charged for ingest CNN inferences.
+    pub gpu_cost: GpuCost,
+    /// Activity counters.
+    pub stats: PipelineStats,
+    /// Parameters the pipeline ran with.
+    pub params: IngestParams,
+}
+
+/// Per-epoch state: the clusterer plus the classification caches for the
+/// objects ingested during the epoch.
+struct Epoch {
+    clusterer: IncrementalClusterer,
+    top_k: HashMap<ObjectId, Vec<ClassId>>,
+    observations: HashMap<ObjectId, ObjectObservation>,
+}
+
+impl Epoch {
+    fn new(params: &IngestParams) -> Self {
+        Self {
+            clusterer: IncrementalClusterer::new(
+                params.cluster_threshold.max(f32::EPSILON),
+                params.max_active_clusters,
+            ),
+            top_k: HashMap::new(),
+            observations: HashMap::new(),
+        }
+    }
+}
+
+/// The shared per-frame ingest pipeline for one stream.
+pub struct FramePipeline {
+    stream: StreamId,
+    fps: u32,
+    params: IngestParams,
+    motion: MotionFilter,
+    pixel_diff: PixelDiff,
+    epoch: Epoch,
+    index: TopKIndex,
+    centroids: HashMap<ObjectId, ObjectObservation>,
+    next_cluster_key: u64,
+    objects: usize,
+    objects_classified: usize,
+    clusters: usize,
+    epochs_sealed: usize,
+    gpu_cost: GpuCost,
+}
+
+impl std::fmt::Debug for FramePipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FramePipeline")
+            .field("stream", &self.stream)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl FramePipeline {
+    /// Creates a pipeline for one stream.
+    pub fn new(stream: StreamId, fps: u32, params: IngestParams) -> Self {
+        Self {
+            stream,
+            fps: fps.max(1),
+            params,
+            motion: MotionFilter::new(),
+            pixel_diff: PixelDiff::new(),
+            epoch: Epoch::new(&params),
+            index: TopKIndex::new(),
+            centroids: HashMap::new(),
+            next_cluster_key: 0,
+            objects: 0,
+            objects_classified: 0,
+            clusters: 0,
+            epochs_sealed: 0,
+            gpu_cost: GpuCost(0.0),
+        }
+    }
+
+    /// The stream this pipeline ingests.
+    pub fn stream(&self) -> StreamId {
+        self.stream
+    }
+
+    /// The parameters this pipeline runs with.
+    pub fn params(&self) -> IngestParams {
+        self.params
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> PipelineStats {
+        let motion = self.motion.stats();
+        PipelineStats {
+            frames: motion.total_frames,
+            frames_with_motion: motion.frames_with_motion,
+            objects: self.objects,
+            objects_classified: self.objects_classified,
+            clusters: self.clusters,
+            epochs_sealed: self.epochs_sealed,
+        }
+    }
+
+    /// Total GPU time charged so far for ingest inferences.
+    pub fn gpu_cost(&self) -> GpuCost {
+        self.gpu_cost
+    }
+
+    /// Pushes one frame through motion filtering, pixel differencing,
+    /// classification and clustering.
+    ///
+    /// GPU cost accrues lock-free in [`gpu_cost`](Self::gpu_cost); drivers
+    /// decide how to surface it on a [`GpuMeter`](focus_runtime::GpuMeter)
+    /// (the batch driver charges once per run, the streaming driver
+    /// charges per-frame deltas for live accounting).
+    pub fn push_frame(&mut self, frame: &Frame, classifier: &dyn Classifier) {
+        self.push_frame_observed(frame, classifier, |_, _| {});
+    }
+
+    /// Like [`push_frame`](Self::push_frame), but invokes `observer` for
+    /// every object observation that passed motion filtering, together with
+    /// the running count of observed objects (1-based, including the current
+    /// one). The streaming driver uses this hook to maintain its
+    /// ground-truth-labelled retraining sample.
+    pub fn push_frame_observed(
+        &mut self,
+        frame: &Frame,
+        classifier: &dyn Classifier,
+        mut observer: impl FnMut(&ObjectObservation, usize),
+    ) {
+        if !self.motion.admit(frame) {
+            return;
+        }
+        for obj in &frame.objects {
+            self.ingest_object(obj, classifier);
+            observer(obj, self.objects);
+        }
+    }
+
+    /// IT2–IT4 for a single object observation.
+    fn ingest_object(&mut self, obj: &ObjectObservation, classifier: &dyn Classifier) {
+        self.objects += 1;
+        let source = if self.params.pixel_differencing {
+            match self.pixel_diff.check(obj) {
+                // Only duplicates of an object classified in the *current*
+                // epoch can reuse a classification: earlier epochs used a
+                // different model, so their cached outcomes do not apply.
+                PixelDiffOutcome::DuplicateOf(original)
+                    if self.epoch.top_k.contains_key(&original) =>
+                {
+                    Some(original)
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let (classes, features) = match source {
+            Some(original) => {
+                // Reuse the source's classification; re-extract the
+                // (identical-signature) features from the source observation
+                // so the cluster geometry matches.
+                let classes = self.epoch.top_k[&original].clone();
+                let features = classifier.extract_features(&self.epoch.observations[&original]);
+                (classes, features)
+            }
+            None => {
+                self.objects_classified += 1;
+                self.gpu_cost += classifier.cost_per_inference();
+                let ranked = classifier.classify_top_k(obj, self.params.k);
+                (ranked.classes(), classifier.extract_features(obj))
+            }
+        };
+        self.epoch.top_k.insert(obj.object_id, classes);
+        self.epoch.observations.insert(obj.object_id, obj.clone());
+        if self.params.enable_clustering {
+            self.epoch
+                .clusterer
+                .add(obj.object_id.0, obj.frame_id.0, &features.0);
+        } else {
+            // Without clustering every object is sealed immediately as a
+            // singleton cluster.
+            let record = self.record_for(
+                obj.object_id,
+                vec![MemberRef {
+                    object: obj.object_id,
+                    frame: obj.frame_id,
+                }],
+            );
+            self.index.insert(record);
+            self.clusters += 1;
+        }
+    }
+
+    /// Builds the index record for a finished cluster and remembers its
+    /// centroid observation for query-time verification.
+    fn record_for(&mut self, representative: ObjectId, members: Vec<MemberRef>) -> ClusterRecord {
+        let classes = self
+            .epoch
+            .top_k
+            .get(&representative)
+            .cloned()
+            .unwrap_or_default();
+        let start = members.iter().map(|m| m.frame.0).min().unwrap_or(0) as f64 / self.fps as f64;
+        let end = members.iter().map(|m| m.frame.0).max().unwrap_or(0) as f64 / self.fps as f64;
+        let centroid_frame = self.epoch.observations[&representative].frame_id;
+        self.centroids.insert(
+            representative,
+            self.epoch.observations[&representative].clone(),
+        );
+        let key = ClusterKey::new(self.stream, self.next_cluster_key);
+        self.next_cluster_key += 1;
+        ClusterRecord {
+            key,
+            centroid_object: representative,
+            centroid_frame,
+            top_k_classes: classes,
+            members,
+            start_secs: start,
+            end_secs: end,
+        }
+    }
+
+    /// Seals the current epoch's clusters into the index and starts a fresh
+    /// epoch. The streaming driver calls this when its model changes; both
+    /// drivers call it (via [`finish`](Self::finish)) at the end of input.
+    pub fn seal_epoch(&mut self) {
+        let finished = std::mem::replace(&mut self.epoch, Epoch::new(&self.params));
+        let Epoch {
+            clusterer,
+            top_k,
+            observations,
+        } = finished;
+        // Re-attach the sealed epoch's caches so `record_for` can read them
+        // while records are written; the fresh epoch starts empty below.
+        self.epoch.top_k = top_k;
+        self.epoch.observations = observations;
+        if self.params.enable_clustering {
+            let (clusters, _stats) = clusterer.finish();
+            for cluster in clusters {
+                let representative = ObjectId(cluster.representative().item);
+                let members: Vec<MemberRef> = cluster
+                    .members
+                    .iter()
+                    .map(|m| MemberRef {
+                        object: ObjectId(m.item),
+                        frame: FrameId(m.tag),
+                    })
+                    .collect();
+                let record = self.record_for(representative, members);
+                self.index.insert(record);
+                self.clusters += 1;
+            }
+        }
+        self.epoch.top_k = HashMap::new();
+        self.epoch.observations = HashMap::new();
+        self.epochs_sealed += 1;
+    }
+
+    /// Seals the live epoch and returns everything the pipeline produced,
+    /// consuming it.
+    pub fn finish(mut self) -> PipelineOutput {
+        self.seal_epoch();
+        let stats = self.stats();
+        PipelineOutput {
+            index: self.index,
+            centroids: self.centroids,
+            gpu_cost: self.gpu_cost,
+            stats,
+            params: self.params,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::IngestCnn;
+    use focus_cnn::ModelSpec;
+    use focus_video::profile::profile_by_name;
+    use focus_video::VideoDataset;
+
+    fn run_pipeline(params: IngestParams) -> PipelineOutput {
+        let profile = profile_by_name("auburn_c").unwrap();
+        let dataset = VideoDataset::generate(profile.clone(), 60.0);
+        let model = IngestCnn::generic(ModelSpec::cheap_cnn_1());
+        let mut pipeline = FramePipeline::new(profile.stream_id, profile.fps, params);
+        for frame in &dataset.frames {
+            pipeline.push_frame(frame, model.classifier.as_ref());
+        }
+        pipeline.finish()
+    }
+
+    #[test]
+    fn pipeline_indexes_every_object_exactly_once() {
+        let output = run_pipeline(IngestParams::default());
+        let indexed: usize = output.index.clusters().map(|c| c.len()).sum();
+        assert_eq!(indexed, output.stats.objects);
+        assert_eq!(output.stats.clusters, output.index.len());
+        assert_eq!(output.stats.epochs_sealed, 1);
+        for record in output.index.clusters() {
+            assert!(output.centroids.contains_key(&record.centroid_object));
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_motion_object_in_order() {
+        let profile = profile_by_name("lausanne").unwrap();
+        let dataset = VideoDataset::generate(profile.clone(), 45.0);
+        let model = IngestCnn::generic(ModelSpec::cheap_cnn_2());
+        let mut pipeline =
+            FramePipeline::new(profile.stream_id, profile.fps, IngestParams::default());
+        let mut seen = Vec::new();
+        for frame in &dataset.frames {
+            pipeline.push_frame_observed(frame, model.classifier.as_ref(), |obj, n| {
+                seen.push((obj.object_id, n));
+            });
+        }
+        assert_eq!(seen.len(), pipeline.stats().objects);
+        for (i, (_, n)) in seen.iter().enumerate() {
+            assert_eq!(*n, i + 1, "observer count must be the running total");
+        }
+    }
+
+    #[test]
+    fn sealing_between_epochs_keeps_cluster_keys_unique() {
+        let profile = profile_by_name("auburn_c").unwrap();
+        let dataset = VideoDataset::generate(profile.clone(), 40.0);
+        let model = IngestCnn::generic(ModelSpec::cheap_cnn_1());
+        let mut pipeline =
+            FramePipeline::new(profile.stream_id, profile.fps, IngestParams::default());
+        let half = dataset.frames.len() / 2;
+        for frame in &dataset.frames[..half] {
+            pipeline.push_frame(frame, model.classifier.as_ref());
+        }
+        pipeline.seal_epoch();
+        for frame in &dataset.frames[half..] {
+            pipeline.push_frame(frame, model.classifier.as_ref());
+        }
+        let output = pipeline.finish();
+        assert_eq!(output.stats.epochs_sealed, 2);
+        let mut keys: Vec<_> = output.index.clusters().map(|r| r.key).collect();
+        let total = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(
+            keys.len(),
+            total,
+            "cluster keys must be unique across epochs"
+        );
+        let indexed: usize = output.index.clusters().map(|c| c.len()).sum();
+        assert_eq!(indexed, output.stats.objects);
+    }
+
+    #[test]
+    fn disabling_clustering_seals_singletons_immediately() {
+        let output = run_pipeline(IngestParams {
+            enable_clustering: false,
+            ..IngestParams::default()
+        });
+        assert_eq!(output.stats.clusters, output.stats.objects);
+        for record in output.index.clusters() {
+            assert_eq!(record.len(), 1);
+        }
+    }
+
+    #[test]
+    fn replaying_the_same_stream_is_deterministic() {
+        let a = run_pipeline(IngestParams::default());
+        let b = run_pipeline(IngestParams::default());
+        assert_eq!(
+            a.gpu_cost.seconds().to_bits(),
+            b.gpu_cost.seconds().to_bits()
+        );
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(
+            focus_index::persist::to_json(&a.index).unwrap(),
+            focus_index::persist::to_json(&b.index).unwrap()
+        );
+    }
+}

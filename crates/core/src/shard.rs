@@ -1,0 +1,288 @@
+//! Sharded multi-stream ingest: one [`FramePipeline`] per camera shard,
+//! executed concurrently on the runtime's [`WorkerPool`].
+//!
+//! The paper runs one ingest worker per stream (§5); [`ShardedIngest`]
+//! reproduces that for recorded multi-camera workloads. A workload of `n`
+//! datasets is partitioned into `n` per-stream shards; each shard replays
+//! its stream through the shared pipeline (via the batch driver,
+//! [`IngestEngine`]) on a pool thread with a private GPU meter, and the
+//! per-shard outputs are merged **in submission order** afterwards.
+//!
+//! # Serial/parallel equivalence
+//!
+//! The merged result is byte-identical to ingesting the same datasets one
+//! after another on a single thread:
+//!
+//! * per-shard work touches no shared state (each shard has its own
+//!   pipeline, index and meter), so scheduling cannot perturb it;
+//! * cluster keys embed their stream, so per-shard indexes are key-disjoint
+//!   and the merged index does not depend on merge order — but the merge
+//!   still walks shards in submission order so even iteration-order
+//!   artifacts are fixed;
+//! * the caller's meter is charged once per shard, in submission order, with
+//!   the shard's accumulated cost, so meter totals are bitwise reproducible
+//!   for any shard count.
+//!
+//! [`FramePipeline`]: crate::pipeline::FramePipeline
+
+use focus_cnn::GpuCost;
+use focus_index::TopKIndex;
+use focus_runtime::{GpuMeter, WorkerPool};
+use focus_video::VideoDataset;
+
+use crate::ingest::{IngestCnn, IngestEngine, IngestOutput, IngestParams};
+
+/// The combined result of ingesting a multi-camera workload.
+#[derive(Debug, Clone)]
+pub struct MultiIngestOutput {
+    /// Per-stream ingest outputs, in workload order.
+    pub per_stream: Vec<IngestOutput>,
+}
+
+impl MultiIngestOutput {
+    /// The merged multi-camera index, built without cloning the per-stream
+    /// postings (only cluster records are copied). Callers that are done
+    /// with the per-stream outputs should prefer
+    /// [`into_combined`](Self::into_combined), which moves instead of
+    /// cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two per-stream indexes share a cluster key (meaning two
+    /// shards ingested the same stream).
+    pub fn merged_index(&self) -> TopKIndex {
+        let mut merged = TopKIndex::new();
+        for output in &self.per_stream {
+            let replaced = merged.merge_from(&output.index);
+            assert_eq!(
+                replaced, 0,
+                "shard outputs must be key-disjoint (one shard per stream)"
+            );
+        }
+        merged
+    }
+
+    /// Total ingest GPU cost across all streams.
+    pub fn gpu_cost(&self) -> GpuCost {
+        self.per_stream
+            .iter()
+            .fold(GpuCost(0.0), |acc, o| acc + o.gpu_cost)
+    }
+
+    /// Total object observations across all streams.
+    pub fn objects_total(&self) -> usize {
+        self.per_stream.iter().map(|o| o.objects_total).sum()
+    }
+
+    /// Total clusters across all streams.
+    pub fn clusters(&self) -> usize {
+        self.per_stream.iter().map(|o| o.clusters).sum()
+    }
+
+    /// Collapses the per-stream outputs into one [`IngestOutput`] over the
+    /// merged index and centroid set, so the query engine can answer
+    /// multi-camera queries exactly like single-stream ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload was empty (there is no model to attach).
+    pub fn into_combined(self) -> IngestOutput {
+        let mut per_stream = self.per_stream.into_iter();
+        let mut combined = per_stream
+            .next()
+            .expect("cannot combine an empty multi-stream workload");
+        for output in per_stream {
+            let replaced = combined.index.merge(output.index);
+            assert_eq!(
+                replaced, 0,
+                "shard outputs must be key-disjoint (one shard per stream)"
+            );
+            let expected = combined.centroids.len() + output.centroids.len();
+            combined.centroids.extend(output.centroids);
+            assert_eq!(
+                combined.centroids.len(),
+                expected,
+                "cross-stream ObjectId collision: centroid observations would be clobbered"
+            );
+            combined.gpu_cost += output.gpu_cost;
+            combined.frames_total += output.frames_total;
+            combined.frames_with_motion += output.frames_with_motion;
+            combined.objects_total += output.objects_total;
+            combined.objects_classified += output.objects_classified;
+            combined.clusters += output.clusters;
+        }
+        combined
+    }
+}
+
+/// Parallel multi-stream ingest over per-stream shards.
+#[derive(Debug, Clone)]
+pub struct ShardedIngest {
+    engine: IngestEngine,
+    pool: WorkerPool,
+}
+
+impl ShardedIngest {
+    /// Creates a sharded ingest layer running every stream with the same
+    /// `model` and `params` on `shards` pool threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(model: IngestCnn, params: IngestParams, shards: usize) -> Self {
+        Self::with_pool(IngestEngine::new(model, params), WorkerPool::new(shards))
+    }
+
+    /// Creates a sharded ingest layer around an existing engine and pool.
+    pub fn with_pool(engine: IngestEngine, pool: WorkerPool) -> Self {
+        Self { engine, pool }
+    }
+
+    /// The engine each shard runs.
+    pub fn engine(&self) -> &IngestEngine {
+        &self.engine
+    }
+
+    /// The worker pool shards execute on.
+    pub fn pool(&self) -> WorkerPool {
+        self.pool
+    }
+
+    /// Ingests a multi-camera workload, one shard per dataset, in parallel.
+    ///
+    /// GPU cost is charged to `meter` under the phase `"ingest"`, one charge
+    /// per shard in workload order (see the module docs for why that keeps
+    /// meter totals bitwise reproducible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if two datasets share a stream id: a shard is *the* ingest
+    /// worker of its stream, so a stream must not be split across shards.
+    pub fn ingest(&self, datasets: &[VideoDataset], meter: &GpuMeter) -> MultiIngestOutput {
+        let mut streams: Vec<_> = datasets.iter().map(|d| d.profile.stream_id).collect();
+        streams.sort();
+        streams.dedup();
+        assert_eq!(
+            streams.len(),
+            datasets.len(),
+            "each shard must own a distinct stream"
+        );
+
+        let engine = &self.engine;
+        let per_stream = self.pool.map(datasets.iter().collect(), |dataset| {
+            // A private meter per shard: worker threads never contend on the
+            // caller's meter, and the per-shard totals below are charged in
+            // deterministic workload order instead of completion order.
+            let shard_meter = GpuMeter::new();
+            engine.ingest(dataset, &shard_meter)
+        });
+        for output in &per_stream {
+            meter.charge("ingest", output.gpu_cost);
+        }
+        MultiIngestOutput { per_stream }
+    }
+}
+
+/// Ingests the workload serially on the calling thread, with the same
+/// output and meter-charging discipline as [`ShardedIngest::ingest`]. This
+/// is the reference implementation the equivalence tests compare against,
+/// and the sensible choice for single-stream workloads.
+pub fn ingest_serial(
+    engine: &IngestEngine,
+    datasets: &[VideoDataset],
+    meter: &GpuMeter,
+) -> MultiIngestOutput {
+    let per_stream: Vec<IngestOutput> = datasets
+        .iter()
+        .map(|dataset| {
+            let shard_meter = GpuMeter::new();
+            engine.ingest(dataset, &shard_meter)
+        })
+        .collect();
+    for output in &per_stream {
+        meter.charge("ingest", output.gpu_cost);
+    }
+    MultiIngestOutput { per_stream }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_cnn::ModelSpec;
+    use focus_index::QueryFilter;
+    use focus_video::profile::profile_by_name;
+
+    fn workload(names: &[&str], secs: f64) -> Vec<VideoDataset> {
+        names
+            .iter()
+            .map(|n| VideoDataset::generate(profile_by_name(n).unwrap(), secs))
+            .collect()
+    }
+
+    fn engine() -> IngestEngine {
+        IngestEngine::new(
+            IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+            IngestParams {
+                k: 10,
+                ..IngestParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn sharded_ingest_covers_every_stream() {
+        let datasets = workload(&["auburn_c", "lausanne", "bend"], 45.0);
+        let sharded = ShardedIngest::with_pool(engine(), WorkerPool::new(3));
+        let meter = GpuMeter::new();
+        let output = sharded.ingest(&datasets, &meter);
+        assert_eq!(output.per_stream.len(), 3);
+        let merged = output.merged_index();
+        let mut expected: Vec<_> = datasets.iter().map(|d| d.profile.stream_id).collect();
+        expected.sort();
+        assert_eq!(merged.streams(), expected);
+        assert_eq!(
+            output.objects_total(),
+            datasets.iter().map(|d| d.object_count()).sum::<usize>()
+        );
+        // The caller's meter carries the full cost.
+        assert!((meter.phase("ingest").seconds() - output.gpu_cost().seconds()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_output_answers_cross_camera_queries() {
+        let datasets = workload(&["auburn_c", "city_a_d"], 60.0);
+        let sharded = ShardedIngest::with_pool(engine(), WorkerPool::new(2));
+        let combined = sharded.ingest(&datasets, &GpuMeter::new()).into_combined();
+        let class = datasets[0].dominant_classes(1)[0];
+        let matches = combined.index.lookup(class, &QueryFilter::any());
+        assert!(!matches.is_empty());
+        for record in matches {
+            assert!(combined.centroids.contains_key(&record.centroid_object));
+        }
+        assert_eq!(
+            combined.objects_total,
+            datasets.iter().map(|d| d.object_count()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct stream")]
+    fn duplicate_streams_are_rejected() {
+        let mut datasets = workload(&["auburn_c"], 10.0);
+        datasets.push(datasets[0].clone());
+        let sharded = ShardedIngest::with_pool(engine(), WorkerPool::new(2));
+        let _ = sharded.ingest(&datasets, &GpuMeter::new());
+    }
+
+    #[test]
+    fn empty_workload_is_empty_output() {
+        let sharded = ShardedIngest::with_pool(engine(), WorkerPool::new(2));
+        let meter = GpuMeter::new();
+        let output = sharded.ingest(&[], &meter);
+        assert!(output.per_stream.is_empty());
+        assert_eq!(output.objects_total(), 0);
+        assert_eq!(output.clusters(), 0);
+        assert_eq!(output.merged_index().len(), 0);
+        assert_eq!(meter.total().seconds(), 0.0);
+    }
+}

@@ -2,9 +2,11 @@
 //! §5 of the paper, including bootstrap specialization and periodic
 //! retraining (§4.3).
 //!
-//! [`IngestEngine`](crate::ingest::IngestEngine) processes an
-//! already-recorded dataset in one call; [`StreamWorker`] is its streaming
-//! counterpart for live cameras:
+//! [`StreamWorker`] is the streaming driver of the shared
+//! [`FramePipeline`](crate::pipeline::FramePipeline):
+//! [`IngestEngine`](crate::ingest::IngestEngine) replays a recorded dataset
+//! through one pipeline in a single call, while the worker pushes live
+//! frames through one pipeline and layers model lifecycle management on top:
 //!
 //! 1. **Bootstrap** — the first `bootstrap_secs` of video are indexed with a
 //!    generic compressed CNN while a ground-truth-labelled sample is
@@ -17,25 +19,20 @@
 //!    interval here is configurable in stream-seconds).
 //!
 //! Each model epoch uses its own clusterer (feature spaces of different
-//! models are not comparable), and sealed epochs are merged into one top-K
-//! index, so queries spanning epochs behave exactly like queries over a
+//! models are not comparable) — the worker seals the pipeline's epoch on
+//! every model switch — and sealed epochs accumulate in one top-K index, so
+//! queries spanning epochs behave exactly like queries over a
 //! batch-ingested recording.
-
-use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use focus_cluster::IncrementalClusterer;
 use focus_cnn::specialize::SpecializationLevel;
 use focus_cnn::{Classifier, GroundTruthCnn, ModelSpec, SpecializedCnn};
-use focus_index::{ClusterKey, ClusterRecord, MemberRef, TopKIndex};
 use focus_runtime::GpuMeter;
-use focus_video::motion::PixelDiffOutcome;
-use focus_video::{
-    ClassId, Frame, MotionFilter, ObjectId, ObjectObservation, PixelDiff, StreamId,
-};
+use focus_video::{ClassId, Frame, ObjectObservation, StreamId};
 
 use crate::ingest::{IngestCnn, IngestOutput, IngestParams};
+use crate::pipeline::FramePipeline;
 
 /// Configuration of a live stream worker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -95,45 +92,23 @@ pub struct StreamWorkerStats {
     pub sealed_epochs: usize,
 }
 
-/// Per-epoch streaming state: the clusterer plus the classification caches
-/// for the objects ingested during the epoch.
-struct Epoch {
-    clusterer: IncrementalClusterer,
-    top_k: HashMap<ObjectId, Vec<ClassId>>,
-    observations: HashMap<ObjectId, ObjectObservation>,
-}
-
-impl Epoch {
-    fn new(params: &IngestParams) -> Self {
-        Self {
-            clusterer: IncrementalClusterer::new(
-                params.cluster_threshold.max(f32::EPSILON),
-                params.max_active_clusters,
-            ),
-            top_k: HashMap::new(),
-            observations: HashMap::new(),
-        }
-    }
-}
-
 /// A live ingestion worker for one video stream.
 pub struct StreamWorker {
     stream_id: StreamId,
-    fps: u32,
     config: StreamWorkerConfig,
     gt: GroundTruthCnn,
     model: IngestCnn,
-    epoch: Epoch,
-    motion: MotionFilter,
-    pixel_diff: PixelDiff,
-    index: TopKIndex,
-    centroids: HashMap<ObjectId, ObjectObservation>,
+    pipeline: FramePipeline,
     labelled_sample: Vec<(ObjectObservation, ClassId)>,
-    next_cluster_key: u64,
+    objects_gt_labelled: usize,
+    retrains: usize,
     next_retrain_at_secs: f64,
-    specialized_once: bool,
     meter: GpuMeter,
-    stats: StreamWorkerStats,
+    /// Classifications already surfaced on `meter` (the pipeline accrues
+    /// cost lock-free; the worker forwards per-frame charges so the meter
+    /// stays live for external observers). The authoritative run total is
+    /// [`IngestOutput::gpu_cost`], taken from the pipeline itself.
+    inferences_metered: usize,
 }
 
 impl std::fmt::Debug for StreamWorker {
@@ -141,7 +116,7 @@ impl std::fmt::Debug for StreamWorker {
         f.debug_struct("StreamWorker")
             .field("stream_id", &self.stream_id)
             .field("model", &self.model.descriptor)
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -156,24 +131,19 @@ impl StreamWorker {
         meter: GpuMeter,
     ) -> Self {
         let model = IngestCnn::generic(config.bootstrap_model);
-        let epoch = Epoch::new(&config.params);
+        let pipeline = FramePipeline::new(stream_id, fps, config.params);
         Self {
             stream_id,
-            fps: fps.max(1),
             next_retrain_at_secs: config.bootstrap_secs,
             config,
             gt,
             model,
-            epoch,
-            motion: MotionFilter::new(),
-            pixel_diff: PixelDiff::new(),
-            index: TopKIndex::new(),
-            centroids: HashMap::new(),
+            pipeline,
             labelled_sample: Vec::new(),
-            next_cluster_key: 0,
-            specialized_once: false,
+            objects_gt_labelled: 0,
+            retrains: 0,
             meter,
-            stats: StreamWorkerStats::default(),
+            inferences_metered: 0,
         }
     }
 
@@ -184,7 +154,16 @@ impl StreamWorker {
 
     /// Activity counters.
     pub fn stats(&self) -> StreamWorkerStats {
-        self.stats
+        let pipeline = self.pipeline.stats();
+        StreamWorkerStats {
+            frames: pipeline.frames,
+            frames_with_motion: pipeline.frames_with_motion,
+            objects: pipeline.objects,
+            objects_classified: pipeline.objects_classified,
+            objects_gt_labelled: self.objects_gt_labelled,
+            retrains: self.retrains,
+            sealed_epochs: pipeline.epochs_sealed,
+        }
     }
 
     /// The GPU meter charged by this worker (`ingest` and `specialization`
@@ -195,138 +174,47 @@ impl StreamWorker {
 
     /// Pushes one live frame into the worker.
     pub fn push_frame(&mut self, frame: &Frame) {
-        self.stats.frames += 1;
-        if !self.motion.admit(frame) {
-            self.maybe_retrain(frame.timestamp_secs);
-            return;
-        }
-        self.stats.frames_with_motion += 1;
-        for obj in &frame.objects {
-            self.ingest_object(obj);
+        // Destructure so the observer closure can borrow the labelling state
+        // while the pipeline is borrowed mutably.
+        let Self {
+            pipeline,
+            model,
+            config,
+            gt,
+            meter,
+            labelled_sample,
+            objects_gt_labelled,
+            inferences_metered,
+            ..
+        } = self;
+        pipeline.push_frame_observed(frame, model.classifier.as_ref(), |obj, objects_seen| {
+            // Maintain the labelled sample used for (re)training by sending
+            // a small fraction of objects through the ground-truth CNN.
+            let labelling_due = (objects_seen as f64 * config.gt_label_fraction).floor()
+                > *objects_gt_labelled as f64;
+            if labelling_due {
+                *objects_gt_labelled += 1;
+                meter.charge("specialization", gt.cost_per_inference());
+                let label = gt.classify_top1(obj);
+                labelled_sample.push((obj.clone(), label));
+            }
+        });
+        // Surface the frame's ingest cost on the live meter: the number of
+        // new classifications times the current model's per-inference cost
+        // (the model cannot change mid-frame — retraining runs below).
+        // Counting inferences keeps the charge exact, with no floating-point
+        // subtraction of running totals.
+        let classified = pipeline.stats().objects_classified;
+        let new_inferences = classified - *inferences_metered;
+        if new_inferences > 0 {
+            meter.charge_inferences(
+                "ingest",
+                model.classifier.cost_per_inference(),
+                new_inferences,
+            );
+            *inferences_metered = classified;
         }
         self.maybe_retrain(frame.timestamp_secs);
-    }
-
-    fn ingest_object(&mut self, obj: &ObjectObservation) {
-        self.stats.objects += 1;
-        let source = if self.config.params.pixel_differencing {
-            match self.pixel_diff.check(obj) {
-                PixelDiffOutcome::DuplicateOf(original)
-                    if self.epoch.top_k.contains_key(&original) =>
-                {
-                    Some(original)
-                }
-                _ => None,
-            }
-        } else {
-            None
-        };
-        let classifier = self.model.classifier.as_ref();
-        let (classes, features) = match source {
-            Some(original) => (
-                self.epoch.top_k[&original].clone(),
-                classifier.extract_features(&self.epoch.observations[&original]),
-            ),
-            None => {
-                self.stats.objects_classified += 1;
-                self.meter
-                    .charge("ingest", classifier.cost_per_inference());
-                let ranked = classifier.classify_top_k(obj, self.config.params.k);
-                (ranked.classes(), classifier.extract_features(obj))
-            }
-        };
-        self.epoch.top_k.insert(obj.object_id, classes);
-        self.epoch.observations.insert(obj.object_id, obj.clone());
-        if self.config.params.enable_clustering {
-            self.epoch
-                .clusterer
-                .add(obj.object_id.0, obj.frame_id.0, &features.0);
-        } else {
-            // Without clustering, objects are sealed immediately as
-            // singleton clusters.
-            let record = self.record_for(
-                obj.object_id,
-                vec![MemberRef {
-                    object: obj.object_id,
-                    frame: obj.frame_id,
-                }],
-            );
-            self.index.insert(record);
-        }
-
-        // Maintain the labelled sample used for (re)training by sending a
-        // small fraction of objects through the ground-truth CNN.
-        let labelling_due = (self.stats.objects as f64 * self.config.gt_label_fraction).floor()
-            > self.stats.objects_gt_labelled as f64;
-        if labelling_due {
-            self.stats.objects_gt_labelled += 1;
-            self.meter
-                .charge("specialization", self.gt.cost_per_inference());
-            let label = self.gt.classify_top1(obj);
-            self.labelled_sample.push((obj.clone(), label));
-        }
-    }
-
-    fn record_for(&mut self, representative: ObjectId, members: Vec<MemberRef>) -> ClusterRecord {
-        let classes = self
-            .epoch
-            .top_k
-            .get(&representative)
-            .cloned()
-            .unwrap_or_default();
-        let start = members.iter().map(|m| m.frame.0).min().unwrap_or(0) as f64 / self.fps as f64;
-        let end = members.iter().map(|m| m.frame.0).max().unwrap_or(0) as f64 / self.fps as f64;
-        let centroid_frame = self.epoch.observations[&representative].frame_id;
-        self.centroids.insert(
-            representative,
-            self.epoch.observations[&representative].clone(),
-        );
-        let key = ClusterKey::new(self.stream_id, self.next_cluster_key);
-        self.next_cluster_key += 1;
-        ClusterRecord {
-            key,
-            centroid_object: representative,
-            centroid_frame,
-            top_k_classes: classes,
-            members,
-            start_secs: start,
-            end_secs: end,
-        }
-    }
-
-    /// Seals the current epoch's clusters into the index and starts a new
-    /// epoch (used when the model changes and at finalize).
-    fn seal_epoch(&mut self) {
-        let finished = std::mem::replace(&mut self.epoch, Epoch::new(&self.config.params));
-        let Epoch {
-            clusterer,
-            top_k,
-            observations,
-        } = finished;
-        // Re-attach the caches the record builder needs.
-        self.epoch.top_k = top_k;
-        self.epoch.observations = observations;
-        if self.config.params.enable_clustering {
-            let (clusters, _) = clusterer.finish();
-            for cluster in clusters {
-                let representative = ObjectId(cluster.representative().item);
-                let members: Vec<MemberRef> = cluster
-                    .members
-                    .iter()
-                    .map(|m| MemberRef {
-                        object: ObjectId(m.item),
-                        frame: focus_video::FrameId(m.tag),
-                    })
-                    .collect();
-                let record = self.record_for(representative, members);
-                self.index.insert(record);
-            }
-        }
-        // The caches belong to the sealed epoch; the fresh epoch starts
-        // empty.
-        self.epoch.top_k = HashMap::new();
-        self.epoch.observations = HashMap::new();
-        self.stats.sealed_epochs += 1;
     }
 
     fn maybe_retrain(&mut self, now_secs: f64) {
@@ -350,30 +238,15 @@ impl StreamWorker {
         };
         // Seal the clusters built with the previous model before switching:
         // feature vectors of different models are not comparable.
-        self.seal_epoch();
+        self.pipeline.seal_epoch();
         self.model = IngestCnn::specialized(specialized);
-        self.specialized_once = true;
-        self.stats.retrains += 1;
+        self.retrains += 1;
     }
 
     /// Seals the live epoch and returns the accumulated index and
     /// statistics, consuming the worker.
-    pub fn finalize(mut self) -> IngestOutput {
-        self.seal_epoch();
-        let motion_stats = self.motion.stats();
-        let clusters = self.index.len();
-        IngestOutput {
-            index: self.index,
-            centroids: self.centroids,
-            model: self.model,
-            params: self.config.params,
-            gpu_cost: self.meter.phase("ingest"),
-            frames_total: motion_stats.total_frames,
-            frames_with_motion: motion_stats.frames_with_motion,
-            objects_total: self.stats.objects,
-            objects_classified: self.stats.objects_classified,
-            clusters,
-        }
+    pub fn finalize(self) -> IngestOutput {
+        IngestOutput::from_pipeline(self.pipeline.finish(), self.model)
     }
 }
 
@@ -436,7 +309,10 @@ mod tests {
         // Querying the dominant class through the index finds clusters.
         let class = dataset.dominant_classes(1)[0];
         let lookup_class = output.model.effective_query_class(class);
-        assert!(!output.index.lookup(lookup_class, &QueryFilter::any()).is_empty());
+        assert!(!output
+            .index
+            .lookup(lookup_class, &QueryFilter::any())
+            .is_empty());
         // Every centroid observation was retained for query-time
         // verification.
         for record in output.index.clusters() {
@@ -447,19 +323,18 @@ mod tests {
     #[test]
     fn streaming_matches_batch_ingest_for_a_fixed_model() {
         // With retraining disabled (interval beyond the recording) and the
-        // same generic model, the streaming worker and the batch engine
-        // produce indexes of identical size and cost.
+        // same generic model, the streaming worker and the batch engine run
+        // the identical shared pipeline, so their indexes are byte-identical
+        // and their GPU costs bitwise equal.
         let profile = profile_by_name("lausanne").unwrap();
         let dataset = VideoDataset::generate(profile.clone(), 90.0);
         let params = IngestParams {
             k: 10,
             ..IngestParams::default()
         };
-        let batch = crate::ingest::IngestEngine::new(
-            IngestCnn::generic(ModelSpec::cheap_cnn_1()),
-            params,
-        )
-        .ingest(&dataset, &GpuMeter::new());
+        let batch =
+            crate::ingest::IngestEngine::new(IngestCnn::generic(ModelSpec::cheap_cnn_1()), params)
+                .ingest(&dataset, &GpuMeter::new());
 
         let mut worker = StreamWorker::new(
             profile.stream_id,
@@ -482,7 +357,14 @@ mod tests {
         assert_eq!(streamed.objects_total, batch.objects_total);
         assert_eq!(streamed.objects_classified, batch.objects_classified);
         assert_eq!(streamed.index.len(), batch.index.len());
-        assert!((streamed.gpu_cost.seconds() - batch.gpu_cost.seconds()).abs() < 1e-9);
+        assert_eq!(
+            streamed.gpu_cost.seconds().to_bits(),
+            batch.gpu_cost.seconds().to_bits()
+        );
+        assert_eq!(
+            focus_index::persist::to_json(&streamed.index).unwrap(),
+            focus_index::persist::to_json(&batch.index).unwrap()
+        );
     }
 
     #[test]

@@ -6,9 +6,7 @@ use focus_video::{ClassId, FrameId, ObjectId, StreamId};
 
 /// Globally unique identifier of a cluster in the index: the stream it was
 /// ingested from plus the stream-local cluster number.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ClusterKey {
     /// The stream (camera) the cluster belongs to.
     pub stream: StreamId,

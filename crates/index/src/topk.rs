@@ -172,11 +172,57 @@ impl TopKIndex {
     }
 
     /// Merges another index into this one (used to combine per-stream ingest
-    /// outputs into a multi-camera index).
-    pub fn merge(&mut self, other: TopKIndex) {
+    /// outputs into a multi-camera index), returning the number of records
+    /// that replaced an existing record with the same key.
+    ///
+    /// Per-stream ingest outputs are key-disjoint by construction (a
+    /// [`ClusterKey`] embeds its stream), so callers merging shard outputs
+    /// can assert the returned collision count is zero.
+    pub fn merge(&mut self, other: TopKIndex) -> usize {
+        let mut replaced = 0;
         for (_, record) in other.clusters {
+            if self.clusters.contains_key(&record.key) {
+                replaced += 1;
+            }
             self.insert(record);
         }
+        replaced
+    }
+
+    /// Like [`merge`](Self::merge), but borrows the other index, cloning
+    /// only its cluster records (the inverted postings are rebuilt here, so
+    /// copying them — as `other.clone()` + `merge` would — is wasted work).
+    pub fn merge_from(&mut self, other: &TopKIndex) -> usize {
+        let mut replaced = 0;
+        for record in other.clusters.values() {
+            if self.clusters.contains_key(&record.key) {
+                replaced += 1;
+            }
+            self.insert(record.clone());
+        }
+        replaced
+    }
+
+    /// Builds one index out of per-shard ingest outputs.
+    ///
+    /// Shards are merged in iteration order; because per-stream keys are
+    /// disjoint the result is independent of shard scheduling, which is what
+    /// makes parallel sharded ingest byte-identical to a serial run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two shards contain a record with the same key (meaning two
+    /// shards ingested the same stream).
+    pub fn from_shards(shards: impl IntoIterator<Item = TopKIndex>) -> TopKIndex {
+        let mut merged = TopKIndex::new();
+        for shard in shards {
+            let replaced = merged.merge(shard);
+            assert_eq!(
+                replaced, 0,
+                "shard outputs must be key-disjoint (one shard per stream)"
+            );
+        }
+        merged
     }
 }
 
@@ -186,7 +232,13 @@ mod tests {
     use crate::cluster_store::MemberRef;
     use focus_video::{FrameId, ObjectId};
 
-    fn record(stream: u32, local: u64, classes: &[u16], members: usize, start: f64) -> ClusterRecord {
+    fn record(
+        stream: u32,
+        local: u64,
+        classes: &[u16],
+        members: usize,
+        start: f64,
+    ) -> ClusterRecord {
         ClusterRecord {
             key: ClusterKey::new(StreamId(stream), local),
             centroid_object: ObjectId(local * 1000),
@@ -299,9 +351,60 @@ mod tests {
         a.insert(record(0, 1, &[0], 3, 0.0));
         let mut b = TopKIndex::new();
         b.insert(record(1, 1, &[0], 2, 0.0));
-        a.merge(b);
+        assert_eq!(a.merge(b), 0);
         assert_eq!(a.len(), 2);
         assert_eq!(a.lookup(ClassId(0), &QueryFilter::any()).len(), 2);
+    }
+
+    #[test]
+    fn merge_reports_key_collisions() {
+        let mut a = TopKIndex::new();
+        a.insert(record(0, 1, &[0], 3, 0.0));
+        let mut b = TopKIndex::new();
+        b.insert(record(0, 1, &[2], 2, 0.0));
+        b.insert(record(0, 2, &[2], 2, 0.0));
+        assert_eq!(a.merge(b), 1);
+        assert_eq!(a.len(), 2);
+        // The colliding record replaced the original, postings included.
+        assert!(a.lookup(ClassId(0), &QueryFilter::any()).is_empty());
+        assert_eq!(a.lookup(ClassId(2), &QueryFilter::any()).len(), 2);
+    }
+
+    #[test]
+    fn merge_from_borrows_and_matches_owning_merge() {
+        let mut owned = TopKIndex::new();
+        owned.insert(record(0, 1, &[0], 3, 0.0));
+        let mut borrowed = owned.clone();
+        let mut other = TopKIndex::new();
+        other.insert(record(1, 1, &[0, 2], 2, 5.0));
+        other.insert(record(0, 1, &[7], 1, 9.0));
+        assert_eq!(borrowed.merge_from(&other), 1);
+        assert_eq!(owned.merge(other), 1);
+        assert_eq!(owned.stats(), borrowed.stats());
+        for record in owned.clusters() {
+            assert_eq!(borrowed.get(record.key), Some(record));
+        }
+    }
+
+    #[test]
+    fn from_shards_merges_disjoint_streams() {
+        let mut a = TopKIndex::new();
+        a.insert(record(0, 0, &[0], 1, 0.0));
+        let mut b = TopKIndex::new();
+        b.insert(record(1, 0, &[0], 1, 0.0));
+        let merged = TopKIndex::from_shards([a, b]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.streams(), vec![StreamId(0), StreamId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "key-disjoint")]
+    fn from_shards_rejects_overlapping_streams() {
+        let mut a = TopKIndex::new();
+        a.insert(record(0, 0, &[0], 1, 0.0));
+        let mut b = TopKIndex::new();
+        b.insert(record(0, 0, &[0], 1, 0.0));
+        let _ = TopKIndex::from_shards([a, b]);
     }
 
     #[test]

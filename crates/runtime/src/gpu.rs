@@ -36,6 +36,14 @@ pub struct GpuMeter {
     inner: Arc<Mutex<PhaseBreakdown>>,
 }
 
+// The sharded ingest layer hands meter clones to worker threads; this
+// compile-time assertion keeps the meter's cross-thread shareability an
+// explicit API guarantee rather than an accident of its field types.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GpuMeter>();
+};
+
 impl GpuMeter {
     /// Creates a meter with no charges.
     pub fn new() -> Self {

@@ -1,13 +1,22 @@
-//! A small worker pool used to parallelize query-time classification.
+//! A reusable worker pool for independent jobs.
 //!
 //! The paper's implementation (§5) runs one ingest worker process per stream
 //! and parallelizes a query's GT-CNN work across idle worker processes. The
-//! [`WorkerPool`] here reproduces that structure with threads: jobs are
-//! distributed over crossbeam channels, results are gathered and returned in
-//! the original submission order so callers stay deterministic regardless of
-//! scheduling.
+//! [`WorkerPool`] here reproduces that structure with threads and serves both
+//! sides of the system: the query path maps the GT-CNN over cluster
+//! centroids with [`map`](WorkerPool::map), and the sharded ingest layer
+//! runs one heterogeneous job per stream shard with
+//! [`run_jobs`](WorkerPool::run_jobs).
+//!
+//! Jobs are distributed over crossbeam channels; results are gathered and
+//! returned **in submission order** regardless of which worker finished
+//! first, so callers stay deterministic under any scheduling. The pool never
+//! spawns more threads than there are jobs.
 
 use crossbeam::channel;
+
+/// A job with its submission index, travelling to a worker thread.
+type IndexedJob<'scope, R> = (usize, Box<dyn FnOnce() -> R + Send + 'scope>);
 
 /// A fixed-size pool of worker threads executing independent jobs.
 #[derive(Debug, Clone, Copy)]
@@ -16,7 +25,7 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Creates a pool that will use `workers` threads per batch.
+    /// Creates a pool that will use at most `workers` threads per batch.
     ///
     /// # Panics
     ///
@@ -26,41 +35,48 @@ impl WorkerPool {
         Self { workers }
     }
 
-    /// Number of worker threads used per batch.
+    /// Maximum number of worker threads used per batch.
     pub fn workers(&self) -> usize {
         self.workers
     }
 
-    /// Executes `job` for every item of `items` across the pool and returns
-    /// the results in the original item order.
+    /// Number of threads a batch of `jobs` jobs will actually spawn: never
+    /// more than there are jobs. This is the capacity rule `run_jobs`
+    /// spawns with, exposed so the cap is directly testable.
+    pub fn effective_workers(&self, jobs: usize) -> usize {
+        self.workers.min(jobs)
+    }
+
+    /// Executes a batch of independent jobs across the pool and returns
+    /// their results in submission order.
     ///
-    /// The job function must be `Sync` because multiple worker threads call
-    /// it concurrently.
-    pub fn map<T, R, F>(&self, items: Vec<T>, job: F) -> Vec<R>
+    /// At most `min(workers, jobs.len())` threads are spawned; a worker that
+    /// finishes its job pulls the next unstarted one, so slow jobs never
+    /// starve the rest of the batch. Results are reassembled by submission
+    /// index, making the output deterministic no matter how jobs were
+    /// scheduled.
+    pub fn run_jobs<'scope, R>(&self, jobs: Vec<Box<dyn FnOnce() -> R + Send + 'scope>>) -> Vec<R>
     where
-        T: Send,
-        R: Send,
-        F: Fn(&T) -> R + Sync,
+        R: Send + 'scope,
     {
-        if items.is_empty() {
+        if jobs.is_empty() {
             return Vec::new();
         }
-        let n = items.len();
-        let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
+        let n = jobs.len();
+        let (task_tx, task_rx) = channel::unbounded::<IndexedJob<'scope, R>>();
         let (result_tx, result_rx) = channel::unbounded::<(usize, R)>();
-        for pair in items.into_iter().enumerate() {
+        for pair in jobs.into_iter().enumerate() {
             task_tx.send(pair).expect("task channel open");
         }
         drop(task_tx);
-        let workers = self.workers.min(n);
+        let workers = self.effective_workers(n);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let task_rx = task_rx.clone();
                 let result_tx = result_tx.clone();
-                let job = &job;
                 scope.spawn(move || {
-                    while let Ok((idx, item)) = task_rx.recv() {
-                        let result = job(&item);
+                    while let Ok((idx, job)) = task_rx.recv() {
+                        let result = job();
                         if result_tx.send((idx, result)).is_err() {
                             break;
                         }
@@ -79,18 +95,46 @@ impl WorkerPool {
             .map(|s| s.expect("every job produced a result"))
             .collect()
     }
+
+    /// Executes `job` for every item of `items` across the pool and returns
+    /// the results in the original item order.
+    ///
+    /// The job function must be `Sync` because multiple worker threads call
+    /// it concurrently. This is a homogeneous-batch convenience wrapper over
+    /// [`run_jobs`](Self::run_jobs).
+    pub fn map<T, R, F>(&self, items: Vec<T>, job: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let job = &job;
+        self.run_jobs(
+            items
+                .into_iter()
+                .map(|item| Box::new(move || job(&item)) as Box<dyn FnOnce() -> R + Send + '_>)
+                .collect(),
+        )
+    }
 }
 
 impl Default for WorkerPool {
     fn default() -> Self {
-        Self::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
 
     #[test]
     fn map_preserves_order() {
@@ -117,6 +161,8 @@ mod tests {
         let pool = WorkerPool::new(2);
         let results: Vec<u64> = pool.map(Vec::<u64>::new(), |x| *x);
         assert!(results.is_empty());
+        let no_jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = Vec::new();
+        assert!(pool.run_jobs(no_jobs).is_empty());
     }
 
     #[test]
@@ -139,9 +185,65 @@ mod tests {
     }
 
     #[test]
-    fn more_workers_than_items_is_fine() {
+    fn never_spawns_more_threads_than_jobs() {
+        // The spawn count is exactly `effective_workers(jobs)`; asserting on
+        // that rule guards the cap directly (job-executing thread IDs can't:
+        // only threads that receive a job would be observable).
         let pool = WorkerPool::new(64);
-        let results = pool.map(vec![5, 6], |x| x * x);
+        assert_eq!(pool.effective_workers(2), 2);
+        assert_eq!(pool.effective_workers(0), 0);
+        assert_eq!(pool.effective_workers(64), 64);
+        assert_eq!(pool.effective_workers(1000), 64);
+        assert_eq!(WorkerPool::new(3).effective_workers(8), 3);
+
+        // And the capped batch still completes correctly.
+        let thread_ids = Mutex::new(HashSet::new());
+        let results = pool.map(vec![5u64, 6], |x| {
+            thread_ids
+                .lock()
+                .unwrap()
+                .insert(std::thread::current().id());
+            std::thread::sleep(Duration::from_millis(10));
+            x * x
+        });
         assert_eq!(results, vec![25, 36]);
+        assert!(thread_ids.lock().unwrap().len() <= 2);
+    }
+
+    #[test]
+    fn run_jobs_supports_heterogeneous_closures() {
+        let pool = WorkerPool::new(3);
+        let base = 40usize;
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(move || base + 2),
+            Box::new(|| "seven".len()),
+            Box::new(|| (0..4usize).sum()),
+        ];
+        assert_eq!(pool.run_jobs(jobs), vec![42, 5, 6]);
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order_under_adversarial_durations() {
+        // The earliest-submitted jobs sleep the longest, so completion order
+        // is the reverse of submission order; the pool must still return
+        // results by submission index.
+        let pool = WorkerPool::new(4);
+        let durations: Vec<u64> = vec![40, 30, 20, 10, 0, 0, 0, 0];
+        let results = pool.map(durations.clone(), |ms| {
+            std::thread::sleep(Duration::from_millis(*ms));
+            *ms
+        });
+        assert_eq!(results, durations);
+
+        // Same property for heterogeneous jobs.
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..6usize)
+            .map(|i| {
+                Box::new(move || {
+                    std::thread::sleep(Duration::from_millis(25 - 4 * i as u64));
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        assert_eq!(pool.run_jobs(jobs), vec![0, 1, 2, 3, 4, 5]);
     }
 }

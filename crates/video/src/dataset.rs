@@ -225,15 +225,20 @@ mod tests {
 
     #[test]
     fn few_classes_cover_most_objects() {
-        // Figure 3: a small fraction of classes covers ≥95% of objects.
+        // Figure 3: a small fraction of classes covers ≥95% of objects. The
+        // paper states the fraction relative to the stream's class
+        // vocabulary (Table 1's "object classes" column), not the classes
+        // that happen to be realized in a short slice — the latter is
+        // dominated by track-count variance.
         let ds = small_dataset("auburn_c");
         let covering = ds.classes_covering(0.95);
-        let distinct = ds.class_set().len();
+        let vocabulary = ds.profile.distinct_classes;
         assert!(covering >= 1);
         assert!(
-            covering <= distinct / 2,
-            "covering {covering} of {distinct} distinct classes"
+            covering * 4 <= vocabulary,
+            "covering {covering} of a {vocabulary}-class vocabulary"
         );
+        assert!(covering <= ds.class_set().len());
     }
 
     #[test]

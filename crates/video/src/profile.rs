@@ -126,6 +126,7 @@ impl StreamProfile {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn profile(
     id: u32,
     name: &str,
@@ -349,12 +350,7 @@ pub fn representative_nine() -> Vec<StreamProfile> {
 /// The six streams used for the dataset characterization in §2.2 / Figure 3.
 pub fn characterization_six() -> Vec<StreamProfile> {
     let wanted = [
-        "auburn_c",
-        "jacksonh",
-        "lausanne",
-        "sittard",
-        "cnn",
-        "msnbc",
+        "auburn_c", "jacksonh", "lausanne", "sittard", "cnn", "msnbc",
     ];
     table1_profiles()
         .into_iter()
@@ -436,11 +432,9 @@ mod tests {
         for p in table1_profiles() {
             let fraction = p.distinct_classes as f64 / 1000.0;
             match p.domain {
-                StreamDomain::News => assert!(
-                    (0.50..=0.69).contains(&fraction),
-                    "{}: {fraction}",
-                    p.name
-                ),
+                StreamDomain::News => {
+                    assert!((0.50..=0.69).contains(&fraction), "{}: {fraction}", p.name)
+                }
                 _ => assert!((0.20..=0.35).contains(&fraction), "{}: {fraction}", p.name),
             }
         }

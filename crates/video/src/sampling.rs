@@ -29,7 +29,7 @@ pub fn sample_stride(original_fps: u32, target_fps: u32) -> usize {
     if target_fps == 0 {
         return usize::MAX;
     }
-    ((original_fps.max(1) + target_fps - 1) / target_fps).max(1) as usize
+    original_fps.max(1).div_ceil(target_fps).max(1) as usize
 }
 
 /// Subsamples a full dataset to `target_fps`, preserving profile metadata.

@@ -25,9 +25,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::class::{ClassId, ClassRegistry, NUM_CLASSES};
 use crate::profile::{StreamDomain, StreamProfile};
-use crate::types::{
-    Appearance, BoundingBox, Frame, FrameId, ObjectId, ObjectObservation, TrackId,
-};
+use crate::types::{Appearance, BoundingBox, Frame, FrameId, ObjectId, ObjectObservation, TrackId};
 
 /// Width of the synthetic camera frame, in pixels.
 pub const FRAME_WIDTH: f32 = 1280.0;
@@ -46,6 +44,12 @@ const PIXEL_SIGNATURE_BUCKET: f32 = 0.035;
 
 /// Average length of a quiet (no moving objects) period, in seconds.
 const MEAN_QUIET_PERIOD_SECS: f64 = 20.0;
+
+/// Bit position of the stream id within an [`ObjectId`]: ids are allocated
+/// as `stream_id << 40 | per_stream_counter`, making them globally unique
+/// across cameras (up to 2^40 objects per stream) so cross-stream maps can
+/// key on the object id alone.
+const OBJECT_ID_STREAM_SHIFT: u32 = 40;
 
 fn hash2(a: u64, b: u64) -> u64 {
     let mut h = DefaultHasher::new();
@@ -124,7 +128,7 @@ impl ClassPalette {
     /// selection of additional classes up to `distinct_classes`.
     pub fn for_profile(profile: &StreamProfile) -> Self {
         let registry = ClassRegistry::new();
-        let mut rng = StdRng::seed_from_u64(profile.seed ^ 0xC1A5_5E5);
+        let mut rng = StdRng::seed_from_u64(profile.seed ^ 0x0C1A_55E5);
         let mut classes = domain_typical_classes(profile.domain, &registry);
         // Perturb the head mildly (adjacent swaps only) so dominant-class
         // order differs between streams of the same domain while the
@@ -234,13 +238,17 @@ impl StreamGenerator {
     pub fn new(profile: StreamProfile) -> Self {
         let palette = ClassPalette::for_profile(&profile);
         let rng = StdRng::seed_from_u64(profile.seed);
+        // Namespace object ids by stream (stream id in the high bits) so
+        // observations from different cameras never collide in cross-stream
+        // maps (merged centroid sets, combined indexes).
+        let first_object = (profile.stream_id.0 as u64) << OBJECT_ID_STREAM_SHIFT;
         Self {
             profile,
             palette,
             rng,
             next_frame: 0,
             next_track: 0,
-            next_object: 0,
+            next_object: first_object,
             busy: true,
             active: Vec::new(),
         }
@@ -539,6 +547,24 @@ mod tests {
     }
 
     #[test]
+    fn object_ids_are_disjoint_across_streams() {
+        // Cross-stream maps (merged centroid sets) key on the object id
+        // alone, so ids must never collide between cameras.
+        let mut ids = std::collections::HashSet::new();
+        for name in ["auburn_c", "city_a_d", "cnn"] {
+            for f in &gen_minutes(name, 1.0) {
+                for o in &f.objects {
+                    assert!(
+                        ids.insert(o.object_id),
+                        "object id {:?} appears in more than one stream",
+                        o.object_id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn palette_respects_distinct_classes_and_weights() {
         for profile in table1_profiles() {
             let palette = ClassPalette::for_profile(&profile);
@@ -564,8 +590,20 @@ mod tests {
             .into_iter()
             .map(|c| registry.label(c))
             .collect::<Vec<_>>();
-        let vehicleish = ["car", "truck", "bus", "person", "bicycle", "van", "taxi",
-            "motorcycle", "traffic_light", "police_car", "stop_sign", "ambulance"];
+        let vehicleish = [
+            "car",
+            "truck",
+            "bus",
+            "person",
+            "bicycle",
+            "van",
+            "taxi",
+            "motorcycle",
+            "traffic_light",
+            "police_car",
+            "stop_sign",
+            "ambulance",
+        ];
         for d in &dominant {
             assert!(vehicleish.contains(d), "unexpected dominant class {d}");
         }

@@ -24,7 +24,9 @@ impl FrameId {
 }
 
 /// Identifier of a detected moving object (a single observation in a single
-/// frame). Unique within a stream.
+/// frame). Globally unique: the generator namespaces ids by stream (stream
+/// id in the high bits), so observations from different cameras can share
+/// one map without colliding.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
 )]

@@ -8,15 +8,20 @@
 //! Usage: `cargo run --release --example accuracy_sweep [stream_name]`
 //! (default stream: `jacksonh`).
 
-use focus::prelude::*;
 use focus::core::AccuracyTarget;
+use focus::prelude::*;
 
 fn main() {
-    let stream = std::env::args().nth(1).unwrap_or_else(|| "jacksonh".to_string());
+    let stream = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "jacksonh".to_string());
     let profile = focus::video::profile::profile_by_name(&stream)
         .unwrap_or_else(|| panic!("unknown stream '{stream}'"));
 
-    println!("accuracy-target sweep on {} ({})\n", profile.name, profile.description);
+    println!(
+        "accuracy-target sweep on {} ({})\n",
+        profile.name, profile.description
+    );
     println!(
         "{:>7} {:>28} {:>4} {:>16} {:>16} {:>10} {:>10}",
         "target", "chosen model", "K", "ingest cheaper", "query faster", "precision", "recall"

@@ -14,8 +14,8 @@
 //!
 //! Run with `cargo run --release --example live_pipeline`.
 
-use focus::prelude::*;
 use focus::core::IngestParams;
+use focus::prelude::*;
 use focus::video::{ClassRegistry, VideoStream};
 
 fn main() {

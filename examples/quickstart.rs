@@ -15,7 +15,10 @@ use focus::video::ClassRegistry;
 fn main() {
     // 1. A five-minute recording of the `auburn_c` traffic camera profile.
     let profile = focus::video::profile::profile_by_name("auburn_c").expect("built-in profile");
-    println!("recording 5 minutes of {} ({})", profile.name, profile.description);
+    println!(
+        "recording 5 minutes of {} ({})",
+        profile.name, profile.description
+    );
     let dataset = VideoDataset::generate(profile, 300.0);
     println!(
         "  {} frames, {} moving objects",

@@ -8,11 +8,13 @@
 //! Usage: `cargo run --release --example tradeoff_explorer [stream_name]`
 //! (default stream: `auburn_c`).
 
-use focus::prelude::*;
 use focus::core::TradeoffPolicy;
+use focus::prelude::*;
 
 fn main() {
-    let stream = std::env::args().nth(1).unwrap_or_else(|| "auburn_c".to_string());
+    let stream = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "auburn_c".to_string());
     let Some(profile) = focus::video::profile::profile_by_name(&stream) else {
         eprintln!("unknown stream '{stream}'; available streams:");
         for p in focus::video::profile::table1_profiles() {
@@ -21,7 +23,10 @@ fn main() {
         std::process::exit(1);
     };
 
-    println!("parameter selection for {} ({})", profile.name, profile.description);
+    println!(
+        "parameter selection for {} ({})",
+        profile.name, profile.description
+    );
     let runner = ExperimentRunner::new(ExperimentConfig {
         duration_secs: 300.0,
         sample_secs: 90.0,

@@ -14,8 +14,8 @@
 
 use std::collections::HashMap;
 
-use focus::prelude::*;
 use focus::core::{AccuracyTarget, IngestOutput, TradeoffPolicy};
+use focus::prelude::*;
 use focus::video::ClassRegistry;
 
 /// Ingest one camera with the configuration chosen by Focus's parameter
@@ -31,13 +31,23 @@ fn ingest_camera(name: &str, duration_secs: f64, meter: &GpuMeter) -> (VideoData
         sweep: SweepSpace::quick(),
         ..ExperimentConfig::quick()
     });
-    let (_, chosen) = runner.select_parameters(&dataset, &GroundTruthCnn::resnet152());
-    let chosen = chosen.expect("a viable configuration exists");
+    let (selection, chosen) = runner.select_parameters(&dataset, &GroundTruthCnn::resnet152());
+    // Fall back to the most accurate configuration when the quick sweep has
+    // nothing meeting the targets on this camera's sample — the same
+    // best-effort rule the experiment runner applies.
+    let chosen = chosen
+        .or_else(|| selection.choose_or_best_effort(TradeoffPolicy::Balance))
+        .expect("parameter selection evaluated at least one configuration");
     println!(
-        "  {name}: chose {} with K={} T={:.1}",
+        "  {name}: chose {} with K={} T={:.1}{}",
         chosen.point.model.display_name(),
         chosen.point.k,
-        chosen.point.threshold
+        chosen.point.threshold,
+        if chosen.met_targets {
+            ""
+        } else {
+            " (best effort: accuracy targets not met on the sample)"
+        }
     );
     let output = IngestEngine::new(chosen.model, chosen.params).ingest(&dataset, meter);
     (dataset, output)
@@ -48,7 +58,10 @@ fn main() {
     let duration = 480.0;
     let meter = GpuMeter::new();
 
-    println!("ingesting {} cameras ({duration} seconds each):", cameras.len());
+    println!(
+        "ingesting {} cameras ({duration} seconds each):",
+        cameras.len()
+    );
     let mut ingested: HashMap<&str, (VideoDataset, IngestOutput)> = HashMap::new();
     for camera in cameras {
         let (dataset, output) = ingest_camera(camera, duration, &meter);
@@ -73,8 +86,8 @@ fn main() {
 
     for camera in ["auburn_c", "city_a_d"] {
         let (dataset, output) = &ingested[camera];
-        let filter = QueryFilter::for_stream(dataset.profile.stream_id)
-            .with_time_range(window.0, window.1);
+        let filter =
+            QueryFilter::for_stream(dataset.profile.stream_id).with_time_range(window.0, window.1);
 
         // First pass: a low dynamic Kx for a quick look (§5 of the paper).
         let quick_look = engine.query(output, truck, &filter.clone().with_kx(2), &meter);

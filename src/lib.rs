@@ -17,9 +17,9 @@
 //! | [`video`] | `focus-video` | Synthetic stream substrate: the 13 Table-1 stream profiles, frame/object/track generation, motion filtering, frame sampling |
 //! | [`cnn`] | `focus-cnn` | Simulated CNN substrate: ground-truth CNN, compressed cheap CNNs, per-stream specialization, feature vectors, GPU cost model |
 //! | [`cluster`] | `focus-cluster` | Single-pass incremental clustering |
-//! | [`index`] | `focus-index` | The top-K inverted index with camera/time/Kx filtering and persistence |
-//! | [`runtime`] | `focus-runtime` | GPU accounting, the GPU-cluster latency model, the worker pool |
-//! | [`core`] | `focus-core` | The Focus system itself: ingest & query pipelines, parameter selection, policies, baselines, experiment runner |
+//! | [`index`] | `focus-index` | The top-K inverted index with camera/time/Kx filtering, shard merging and persistence |
+//! | [`runtime`] | `focus-runtime` | GPU accounting, the GPU-cluster latency model, the reusable worker pool |
+//! | [`core`] | `focus-core` | The Focus system itself: the shared `FramePipeline`, batch/streaming/sharded ingest drivers, query engine, parameter selection, policies, baselines, experiment runner |
 //!
 //! # Quick start
 //!
@@ -45,6 +45,42 @@
 //! let class = dataset.dominant_classes(1)[0];
 //! let result = engine.query(&ingest, class, &focus::index::QueryFilter::any(), &meter);
 //! assert!(!result.frames.is_empty());
+//! ```
+//!
+//! # Multi-camera workloads
+//!
+//! A multi-camera recording is ingested shard-parallel — one
+//! [`FramePipeline`](focus_core::pipeline::FramePipeline) per stream on a
+//! worker pool — and merged into one index; the result is byte-identical to
+//! a serial run for any shard count:
+//!
+//! ```
+//! use focus::prelude::*;
+//!
+//! let datasets: Vec<_> = ["auburn_c", "lausanne"]
+//!     .iter()
+//!     .map(|name| {
+//!         let profile = focus::video::profile::profile_by_name(name).unwrap();
+//!         focus::video::VideoDataset::generate(profile, 30.0)
+//!     })
+//!     .collect();
+//!
+//! let meter = focus::runtime::GpuMeter::new();
+//! let sharded = ShardedIngest::new(
+//!     IngestCnn::generic(focus::cnn::ModelSpec::cheap_cnn_1()),
+//!     IngestParams::default(),
+//!     2, // shards (worker threads)
+//! );
+//! let combined = sharded.ingest(&datasets, &meter).into_combined();
+//! assert_eq!(combined.index.streams().len(), 2);
+//!
+//! let engine = QueryEngine::new(
+//!     focus::cnn::GroundTruthCnn::resnet152(),
+//!     focus::runtime::GpuClusterSpec::new(4),
+//! );
+//! let class = datasets[0].dominant_classes(1)[0];
+//! let result = engine.query(&combined, class, &focus::index::QueryFilter::any(), &meter);
+//! assert!(result.matched_clusters > 0);
 //! ```
 
 pub use focus_cluster as cluster;

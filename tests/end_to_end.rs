@@ -33,7 +33,11 @@ fn focus_beats_both_baselines_on_a_busy_stream() {
         "query only {}x faster",
         report.query_faster_factor
     );
-    assert!(report.mean_precision >= 0.85, "precision {}", report.mean_precision);
+    assert!(
+        report.mean_precision >= 0.85,
+        "precision {}",
+        report.mean_precision
+    );
     assert!(report.mean_recall >= 0.85, "recall {}", report.mean_recall);
     // Accounting sanity: Focus's ingest GPU time must be far below the
     // baseline's, and clusters can never outnumber objects.

@@ -1,53 +1,42 @@
-//! Integration test: multi-camera ingestion into one merged index with
-//! camera- and time-restricted queries (the paper's query formulation in
-//! §3 allows restricting a query to a subset of cameras and a time range).
-
-use std::collections::HashMap;
+//! Integration test: multi-camera ingestion through the sharded pipeline
+//! into one merged index, with camera- and time-restricted queries (the
+//! paper's query formulation in §3 allows restricting a query to a subset
+//! of cameras and a time range).
 
 use focus::cnn::{GroundTruthCnn, ModelSpec};
-use focus::core::{IngestCnn, IngestEngine, IngestParams, QueryEngine};
-use focus::index::{QueryFilter, TopKIndex};
+use focus::core::{IngestCnn, IngestParams, QueryEngine, ShardedIngest};
+use focus::index::QueryFilter;
 use focus::runtime::{GpuClusterSpec, GpuMeter};
 use focus::video::profile::profile_by_name;
-use focus::video::{ObjectId, ObjectObservation, StreamId, VideoDataset};
+use focus::video::{StreamId, VideoDataset};
 
 #[test]
 fn merged_index_answers_camera_and_time_restricted_queries() {
     let cameras = ["auburn_c", "city_a_d"];
-    let engine = IngestEngine::new(
+    let datasets: Vec<VideoDataset> = cameras
+        .iter()
+        .map(|camera| VideoDataset::generate(profile_by_name(camera).unwrap(), 120.0))
+        .collect();
+    let stream_ids: Vec<StreamId> = datasets.iter().map(|d| d.profile.stream_id).collect();
+
+    // One shard per camera, ingested in parallel and merged.
+    let sharded = ShardedIngest::new(
         IngestCnn::generic(ModelSpec::cheap_cnn_1()),
         IngestParams {
             k: 10,
             ..IngestParams::default()
         },
+        cameras.len(),
     );
     let meter = GpuMeter::new();
-
-    let mut merged = TopKIndex::new();
-    let mut centroids: HashMap<ObjectId, ObjectObservation> = HashMap::new();
-    let mut datasets = Vec::new();
-    let mut stream_ids = Vec::new();
-    for camera in cameras {
-        let dataset = VideoDataset::generate(profile_by_name(camera).unwrap(), 120.0);
-        let output = engine.ingest(&dataset, &meter);
-        stream_ids.push(dataset.profile.stream_id);
-        merged.merge(output.index.clone());
-        centroids.extend(output.centroids.clone());
-        datasets.push((dataset, output));
-    }
-    assert_eq!(merged.streams(), {
+    let combined = sharded.ingest(&datasets, &meter).into_combined();
+    assert_eq!(combined.index.streams(), {
         let mut ids = stream_ids.clone();
         ids.sort();
         ids
     });
 
-    // Build a combined ingest output sharing the merged index so the query
-    // engine can verify centroids from either camera.
-    let mut combined = datasets[0].1.clone();
-    combined.index = merged;
-    combined.centroids = centroids;
-
-    let class = datasets[0].0.dominant_classes(1)[0];
+    let class = datasets[0].dominant_classes(1)[0];
     let query_engine = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(8));
 
     // Unrestricted query sees frames from both cameras.
@@ -55,13 +44,12 @@ fn merged_index_answers_camera_and_time_restricted_queries() {
     assert!(!all.frames.is_empty());
 
     // Camera-restricted query only returns clusters of that camera.
-    for (dataset, _) in &datasets {
-        let stream = dataset.profile.stream_id;
-        let filter = QueryFilter::for_stream(stream);
+    for stream in &stream_ids {
+        let filter = QueryFilter::for_stream(*stream);
         let restricted = query_engine.query(&combined, class, &filter, &meter);
         assert!(restricted.matched_clusters <= all.matched_clusters);
         for record in combined.index.lookup(class, &filter) {
-            assert_eq!(record.key.stream, stream);
+            assert_eq!(record.key.stream, *stream);
         }
     }
 

@@ -1,0 +1,130 @@
+//! The refactor invariant of the sharded ingest layer: for any shard count,
+//! parallel per-stream ingest must be indistinguishable from a serial run —
+//! identical `TopKIndex` contents (byte-for-byte through the canonical JSON
+//! snapshot) and identical `GpuMeter` totals (bitwise f64 equality).
+
+use focus::cnn::ModelSpec;
+use focus::core::{ingest_serial, IngestCnn, IngestEngine, IngestParams, ShardedIngest};
+use focus::index::{persist, TopKIndex};
+use focus::runtime::{GpuMeter, WorkerPool};
+use focus::video::profile::profile_by_name;
+use focus::video::VideoDataset;
+
+/// The seeded 3-stream workload: three Table-1 cameras with different
+/// domains and activity levels. Dataset generation is deterministic per
+/// profile seed, so every run of this test sees the same frames.
+fn three_stream_workload() -> Vec<VideoDataset> {
+    ["auburn_c", "lausanne", "cnn"]
+        .iter()
+        .map(|name| VideoDataset::generate(profile_by_name(name).unwrap(), 60.0))
+        .collect()
+}
+
+fn engine(k: usize) -> IngestEngine {
+    IngestEngine::new(
+        IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+        IngestParams {
+            k,
+            ..IngestParams::default()
+        },
+    )
+}
+
+/// Canonical byte representation of an index (records sorted by key).
+fn index_bytes(index: &TopKIndex) -> String {
+    persist::to_json(index).unwrap()
+}
+
+#[test]
+fn serial_and_sharded_ingest_are_bit_identical() {
+    let datasets = three_stream_workload();
+    let engine = engine(10);
+
+    let serial_meter = GpuMeter::new();
+    let serial = ingest_serial(&engine, &datasets, &serial_meter);
+    let serial_index = index_bytes(&serial.merged_index());
+
+    for shards in 1..=4 {
+        let sharded_meter = GpuMeter::new();
+        let sharded = ShardedIngest::with_pool(engine.clone(), WorkerPool::new(shards));
+        let output = sharded.ingest(&datasets, &sharded_meter);
+
+        // Identical index contents, byte for byte.
+        assert_eq!(
+            index_bytes(&output.merged_index()),
+            serial_index,
+            "index mismatch with {shards} shards"
+        );
+
+        // Identical GPU accounting: bitwise-equal meter totals and bitwise
+        // equal per-stream costs, in workload order.
+        assert_eq!(
+            sharded_meter.total().seconds().to_bits(),
+            serial_meter.total().seconds().to_bits(),
+            "meter total mismatch with {shards} shards"
+        );
+        assert_eq!(
+            sharded_meter.phase("ingest").seconds().to_bits(),
+            serial_meter.phase("ingest").seconds().to_bits()
+        );
+        for (a, b) in output.per_stream.iter().zip(serial.per_stream.iter()) {
+            assert_eq!(
+                a.gpu_cost.seconds().to_bits(),
+                b.gpu_cost.seconds().to_bits()
+            );
+            assert_eq!(a.objects_total, b.objects_total);
+            assert_eq!(a.objects_classified, b.objects_classified);
+            assert_eq!(a.clusters, b.clusters);
+        }
+    }
+}
+
+#[test]
+fn sharded_ingest_matches_per_stream_engine_runs() {
+    // A shard is exactly one batch-engine run: the sharded layer must add
+    // nothing and lose nothing relative to calling the engine directly.
+    let datasets = three_stream_workload();
+    let engine = engine(4);
+    let sharded = ShardedIngest::with_pool(engine.clone(), WorkerPool::new(2));
+    let output = sharded.ingest(&datasets, &GpuMeter::new());
+    for (dataset, shard) in datasets.iter().zip(output.per_stream.iter()) {
+        let direct = engine.ingest(dataset, &GpuMeter::new());
+        assert_eq!(index_bytes(&shard.index), index_bytes(&direct.index));
+        assert_eq!(
+            shard.gpu_cost.seconds().to_bits(),
+            direct.gpu_cost.seconds().to_bits()
+        );
+    }
+}
+
+#[test]
+fn equivalence_holds_across_parameter_variants() {
+    // The invariant is not an artifact of one parameter choice: it holds
+    // with clustering disabled and with pixel differencing disabled too.
+    let datasets = three_stream_workload();
+    for params in [
+        IngestParams {
+            enable_clustering: false,
+            ..IngestParams::default()
+        },
+        IngestParams {
+            pixel_differencing: false,
+            ..IngestParams::default()
+        },
+    ] {
+        let engine = IngestEngine::new(IngestCnn::generic(ModelSpec::cheap_cnn_2()), params);
+        let serial_meter = GpuMeter::new();
+        let serial = ingest_serial(&engine, &datasets, &serial_meter);
+        let sharded_meter = GpuMeter::new();
+        let sharded = ShardedIngest::with_pool(engine.clone(), WorkerPool::new(4))
+            .ingest(&datasets, &sharded_meter);
+        assert_eq!(
+            index_bytes(&sharded.merged_index()),
+            index_bytes(&serial.merged_index())
+        );
+        assert_eq!(
+            sharded_meter.total().seconds().to_bits(),
+            serial_meter.total().seconds().to_bits()
+        );
+    }
+}

@@ -1,0 +1,540 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Because the build environment has no crates.io access, `syn`/`quote` are
+//! unavailable; the item definition is parsed directly from the
+//! `proc_macro::TokenStream` and the trait impls are emitted as source text.
+//!
+//! Supported shapes (everything the workspace defines):
+//!
+//! * named-field structs (with `#[serde(default)]` on fields),
+//! * tuple structs (single-field newtypes serialize transparently),
+//! * enums with unit, tuple and struct variants (externally tagged),
+//! * the container attributes `#[serde(from = "T", into = "T")]`.
+//!
+//! Generic types are intentionally unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum ItemShape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: ItemShape,
+    /// `#[serde(from = "T")]` container attribute.
+    from_ty: Option<String>,
+    /// `#[serde(into = "T")]` container attribute.
+    into_ty: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Consumes leading attributes, returning the arguments of every
+    /// `#[serde(...)]` attribute as `(name, optional string value)` pairs.
+    fn take_attrs(&mut self) -> Vec<(String, Option<String>)> {
+        let mut serde_args = Vec::new();
+        while self.is_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde derive: malformed attribute, found {other:?}"),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+            if !is_serde {
+                continue;
+            }
+            let args_group = match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                _ => continue,
+            };
+            let args: Vec<TokenTree> = args_group.stream().into_iter().collect();
+            let mut i = 0;
+            while i < args.len() {
+                let name = match &args[i] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    TokenTree::Punct(p) if p.as_char() == ',' => {
+                        i += 1;
+                        continue;
+                    }
+                    other => panic!("serde derive: unsupported serde attribute token {other:?}"),
+                };
+                i += 1;
+                let mut value = None;
+                if matches!(args.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    i += 1;
+                    match args.get(i) {
+                        Some(TokenTree::Literal(lit)) => {
+                            value = Some(strip_quotes(&lit.to_string()));
+                            i += 1;
+                        }
+                        other => {
+                            panic!("serde derive: expected literal attribute value, got {other:?}")
+                        }
+                    }
+                }
+                serde_args.push((name, value));
+            }
+        }
+        serde_args
+    }
+
+    /// Consumes an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_visibility(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skips a type expression: everything up to a `,` at angle-bracket
+    /// depth 0, or the end of the token list.
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut p = Parser::new(stream);
+    let mut fields = Vec::new();
+    while !p.at_end() {
+        let attrs = p.take_attrs();
+        if p.at_end() {
+            break;
+        }
+        p.skip_visibility();
+        let name = p.expect_ident();
+        match p.next() {
+            Some(TokenTree::Punct(pc)) if pc.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        p.skip_type();
+        if p.is_punct(',') {
+            p.next();
+        }
+        let has_default = attrs.iter().any(|(n, _)| n == "default");
+        fields.push(Field { name, has_default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut p = Parser::new(stream);
+    let mut count = 0;
+    while !p.at_end() {
+        p.take_attrs();
+        if p.at_end() {
+            break;
+        }
+        p.skip_visibility();
+        p.skip_type();
+        count += 1;
+        if p.is_punct(',') {
+            p.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut p = Parser::new(stream);
+    let mut variants = Vec::new();
+    while !p.at_end() {
+        p.take_attrs();
+        if p.at_end() {
+            break;
+        }
+        let name = p.expect_ident();
+        let shape = match p.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                p.next();
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                p.next();
+                VariantShape::Tuple(count)
+            }
+            _ => VariantShape::Unit,
+        };
+        if p.is_punct(',') {
+            p.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut p = Parser::new(input);
+    let container_attrs = p.take_attrs();
+    p.skip_visibility();
+    let kind = p.expect_ident();
+    let name = p.expect_ident();
+    if p.is_punct('<') {
+        panic!("serde derive: generic types are not supported by the vendored serde");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match p.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemShape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemShape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => ItemShape::UnitStruct,
+        },
+        "enum" => match p.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemShape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: malformed enum body {other:?}"),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    };
+    let lookup = |key: &str| {
+        container_attrs
+            .iter()
+            .find(|(n, _)| n == key)
+            .and_then(|(_, v)| v.clone())
+    };
+    Item {
+        name,
+        shape,
+        from_ty: lookup("from"),
+        into_ty: lookup("into"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into_ty) = &item.into_ty {
+        format!(
+            "let proxy: {into_ty} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::serialize(&proxy)"
+        )
+    } else {
+        match &item.shape {
+            ItemShape::NamedStruct(fields) => {
+                let mut s = String::from(
+                    "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    s.push_str(&format!(
+                        "entries.push((::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::serialize(&self.{0})));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Object(entries)");
+                s
+            }
+            ItemShape::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+            ItemShape::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+            ItemShape::UnitStruct => "::serde::Value::Null".to_string(),
+            ItemShape::Enum(variants) => {
+                let mut s = String::from("match self {\n");
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => s.push_str(&format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::serialize(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            s.push_str(&format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Object(vec![\
+                                 (::std::string::String::from(\"{vname}\"), {payload})]),\n",
+                                binds = binds.join(", ")
+                            ));
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let mut payload = String::from(
+                                "{ let mut inner: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Value)> = ::std::vec::Vec::new();\n",
+                            );
+                            for f in fields {
+                                payload.push_str(&format!(
+                                    "inner.push((::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::serialize({0})));\n",
+                                    f.name
+                                ));
+                            }
+                            payload.push_str("::serde::Value::Object(inner) }");
+                            s.push_str(&format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![\
+                                 (::std::string::String::from(\"{vname}\"), {payload})]),\n",
+                                binds = binds.join(", ")
+                            ));
+                        }
+                    }
+                }
+                s.push('}');
+                s
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Decoder expression for one named field out of `entries`.
+fn named_field_decoder(f: &Field, ty_name: &str) -> String {
+    let missing = if f.has_default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{}\", \"{}\"))",
+            f.name, ty_name
+        )
+    };
+    format!(
+        "{0}: match ::serde::get_field(entries, \"{0}\") {{\n\
+         ::std::option::Option::Some(v) => ::serde::Deserialize::deserialize(v)?,\n\
+         ::std::option::Option::None => {missing},\n}},\n",
+        f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from_ty) = &item.from_ty {
+        format!(
+            "let proxy = <{from_ty} as ::serde::Deserialize>::deserialize(value)?;\n\
+             ::std::result::Result::Ok(::std::convert::From::from(proxy))"
+        )
+    } else {
+        match &item.shape {
+            ItemShape::NamedStruct(fields) => {
+                let mut s = format!(
+                    "let entries = value.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name} {{\n"
+                );
+                for f in fields {
+                    s.push_str(&named_field_decoder(f, name));
+                }
+                s.push_str("})");
+                s
+            }
+            ItemShape::TupleStruct(1) => {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))"
+                )
+            }
+            ItemShape::TupleStruct(n) => {
+                let mut s = format!(
+                    "let items = value.as_array().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name}(\n"
+                );
+                for i in 0..*n {
+                    s.push_str(&format!(
+                        "::serde::Deserialize::deserialize(items.get({i}).ok_or_else(|| \
+                         ::serde::DeError::custom(\"tuple too short for {name}\"))?)?,\n"
+                    ));
+                }
+                s.push_str("))");
+                s
+            }
+            ItemShape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+            ItemShape::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut tagged_arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => {
+                            unit_arms.push_str(&format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                            ));
+                        }
+                        VariantShape::Tuple(1) => {
+                            tagged_arms.push_str(&format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::deserialize(payload)?)),\n"
+                            ));
+                        }
+                        VariantShape::Tuple(n) => {
+                            let mut arm = format!(
+                                "\"{vname}\" => {{ let items = payload.as_array().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected array for {name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname}(\n"
+                            );
+                            for i in 0..*n {
+                                arm.push_str(&format!(
+                                    "::serde::Deserialize::deserialize(items.get({i}).ok_or_else(|| \
+                                     ::serde::DeError::custom(\"tuple too short\"))?)?,\n"
+                                ));
+                            }
+                            arm.push_str(")) },\n");
+                            tagged_arms.push_str(&arm);
+                        }
+                        VariantShape::Struct(fields) => {
+                            let mut arm = format!(
+                                "\"{vname}\" => {{ let entries = payload.as_object().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected object for {name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{\n"
+                            );
+                            for f in fields {
+                                arm.push_str(&named_field_decoder(f, name));
+                            }
+                            arm.push_str("}) },\n");
+                            tagged_arms.push_str(&arm);
+                        }
+                    }
+                }
+                format!(
+                    "match value {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown variant `{{other}}` for {name}\"))),\n}},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                     let (tag, payload) = &entries[0];\n\
+                     match tag.as_str() {{\n{tagged_arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown variant `{{other}}` for {name}\"))),\n}}\n}},\n\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"expected enum value for {name}, got {{other:?}}\"))),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> \
+         {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated invalid Deserialize impl")
+}
