@@ -1,0 +1,204 @@
+//! Criterion micro-benchmark: concurrent query serving vs the serial query
+//! engine on an overlapping workload, plus the cache-hit trajectory across
+//! repeated query waves.
+//!
+//! Besides the usual bench output this writes `BENCH_query.json` to the
+//! workspace root with queries/sec, per-query latency, GT-CNN inference
+//! counts and the per-wave cache-hit rate, so the repository accumulates a
+//! query-path perf trajectory across changes.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use focus_cnn::{GroundTruthCnn, ModelSpec};
+use focus_core::{
+    IngestCnn, IngestEngine, IngestOutput, IngestParams, QueryEngine, QueryRequest, QueryServer,
+};
+use focus_index::QueryFilter;
+use focus_runtime::{GpuClusterSpec, GpuMeter};
+use focus_video::profile::profile_by_name;
+use focus_video::VideoDataset;
+
+fn workload() -> (VideoDataset, IngestOutput) {
+    let ds = VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 120.0);
+    let out = IngestEngine::new(
+        IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+        IngestParams {
+            k: 10,
+            ..IngestParams::default()
+        },
+    )
+    .ingest(&ds, &GpuMeter::new());
+    (ds, out)
+}
+
+/// An overlapping request mix: the dominant classes unrestricted, plus
+/// narrowed (`kx`, time-range) and repeated variants of the same classes —
+/// the traffic shape a shared index is meant to serve.
+fn requests(ds: &VideoDataset) -> Vec<QueryRequest> {
+    let classes = ds.dominant_classes(4);
+    let mut requests: Vec<QueryRequest> = classes.iter().map(|c| QueryRequest::new(*c)).collect();
+    for class in &classes {
+        requests.push(QueryRequest::new(*class).with_filter(QueryFilter::any().with_kx(2)));
+        requests.push(
+            QueryRequest::new(*class).with_filter(QueryFilter::any().with_time_range(0.0, 60.0)),
+        );
+    }
+    requests
+}
+
+fn bench_query_paths(c: &mut Criterion) {
+    let (ds, out) = workload();
+    let reqs = requests(&ds);
+    let mut group = c.benchmark_group("query_rates");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(reqs.len() as u64));
+
+    group.bench_function(BenchmarkId::new("workload", "serial_engine"), |b| {
+        let engine = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4));
+        b.iter(|| {
+            let meter = GpuMeter::new();
+            reqs.iter()
+                .map(|r| engine.query(&out, r.class, &r.filter, &meter).frames.len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function(BenchmarkId::new("workload", "server_cold"), |b| {
+        b.iter(|| {
+            // A fresh server per iteration: dedup + batching, no warm cache.
+            let server = QueryServer::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4));
+            server
+                .serve(&out, &reqs, &GpuMeter::new())
+                .iter()
+                .map(|o| o.frames.len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function(BenchmarkId::new("workload", "server_warm"), |b| {
+        let server = QueryServer::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4));
+        server.serve(&out, &reqs, &GpuMeter::new());
+        b.iter(|| {
+            server
+                .serve(&out, &reqs, &GpuMeter::new())
+                .iter()
+                .map(|o| o.frames.len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+
+    write_trajectory(&ds, &out, &reqs);
+}
+
+/// Measures serial vs served wall-clock and the per-wave cache-hit
+/// trajectory directly, and writes `BENCH_query.json` for future PRs to
+/// compare against.
+fn write_trajectory(ds: &VideoDataset, out: &IngestOutput, reqs: &[QueryRequest]) {
+    let time_fn = |f: &mut dyn FnMut() -> usize| {
+        let runs = 3;
+        let start = Instant::now();
+        for _ in 0..runs {
+            std::hint::black_box(f());
+        }
+        start.elapsed().as_secs_f64() / runs as f64
+    };
+
+    let engine = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4));
+    let serial_secs = time_fn(&mut || {
+        let meter = GpuMeter::new();
+        reqs.iter()
+            .map(|r| engine.query(out, r.class, &r.filter, &meter).frames.len())
+            .sum()
+    });
+    let serial_meter = GpuMeter::new();
+    let serial_inferences: usize = reqs
+        .iter()
+        .map(|r| {
+            engine
+                .query(out, r.class, &r.filter, &serial_meter)
+                .centroid_inferences
+        })
+        .sum();
+
+    let cold_secs = time_fn(&mut || {
+        let server = QueryServer::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4));
+        server
+            .serve(out, reqs, &GpuMeter::new())
+            .iter()
+            .map(|o| o.frames.len())
+            .sum()
+    });
+
+    let warm_server = QueryServer::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4));
+    warm_server.serve(out, reqs, &GpuMeter::new());
+    let warm_secs = time_fn(&mut || {
+        warm_server
+            .serve(out, reqs, &GpuMeter::new())
+            .iter()
+            .map(|o| o.frames.len())
+            .sum()
+    });
+
+    // Cache-hit trajectory: five waves of the same workload on one server.
+    let trajectory_server = QueryServer::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4));
+    let trajectory_meter = GpuMeter::new();
+    let mut waves = Vec::new();
+    let mut prev = trajectory_server.cache_stats();
+    for _ in 0..5 {
+        let outcomes = trajectory_server.serve(out, reqs, &trajectory_meter);
+        let stats = trajectory_server.cache_stats();
+        let wave_hits = stats.hits - prev.hits;
+        let wave_misses = stats.misses - prev.misses;
+        let wave_total = wave_hits + wave_misses;
+        let hit_rate = if wave_total == 0 {
+            0.0
+        } else {
+            wave_hits as f64 / wave_total as f64
+        };
+        let model_latency: f64 =
+            outcomes.iter().map(|o| o.latency_secs).sum::<f64>() / outcomes.len().max(1) as f64;
+        waves.push((hit_rate, wave_misses, model_latency));
+        prev = stats;
+    }
+    let served_inferences = prev.misses;
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"queries_per_wave\": {},\n", reqs.len()));
+    json.push_str(&format!("  \"clusters\": {},\n", out.clusters));
+    json.push_str(&format!("  \"objects_total\": {},\n", out.objects_total));
+    json.push_str(&format!(
+        "  \"gt_inferences\": {{ \"serial\": {serial_inferences}, \"served\": {served_inferences} }},\n",
+    ));
+    json.push_str("  \"runs\": {\n");
+    let entries = [
+        ("serial_engine", serial_secs),
+        ("server_cold", cold_secs),
+        ("server_warm", warm_secs),
+    ];
+    for (i, (name, secs)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"secs\": {secs:.6}, \"queries_per_sec\": {:.1} }}{comma}\n",
+            reqs.len() as f64 / secs
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"cache_hit_trajectory\": [\n");
+    for (i, (hit_rate, misses, latency)) in waves.iter().enumerate() {
+        let comma = if i + 1 < waves.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"wave\": {i}, \"hit_rate\": {hit_rate:.4}, \"fresh_inferences\": {misses}, \"model_latency_secs\": {latency:.6} }}{comma}\n",
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    let _ = ds;
+}
+
+criterion_group!(benches, bench_query_paths);
+criterion_main!(benches);

@@ -102,7 +102,7 @@ const RANK_CALIBRATION: &[(f64, f64, f64)] = &[
 ];
 
 /// Maps a rank quality to the `(top1_probability, tail_decay)` pair by
-/// piecewise-linear interpolation over [`RANK_CALIBRATION`].
+/// piecewise-linear interpolation over the `RANK_CALIBRATION` anchors.
 pub fn rank_error_parameters(rank_quality: f64) -> (f64, f64) {
     let q = rank_quality.clamp(RANK_CALIBRATION[0].0, 1.0);
     let mut prev = RANK_CALIBRATION[0];
@@ -254,6 +254,47 @@ impl GroundTruthCnn {
             flicker_probability: flicker_probability.clamp(0.0, 1.0),
             features: FeatureExtractor::new("ResNet152", 0.01),
         }
+    }
+
+    /// Classifies a batch of objects in one GPU submission, returning the
+    /// top-1 class of each object in input order.
+    ///
+    /// The *labels* are identical to calling
+    /// [`classify_top1`](Classifier::classify_top1) per object — batching
+    /// changes how the GPU is driven, never what the frozen model answers —
+    /// but the *cost* of the batch is amortized: per-launch overhead is paid
+    /// once per batch instead of once per image (see
+    /// `focus_runtime::BatchCostModel`, which converts a batch size into
+    /// GPU time). This is the path the query server uses to verify the
+    /// deduplicated union of cluster centroids across concurrent queries.
+    ///
+    /// # Examples
+    ///
+    /// Batched answers are exactly the serial answers:
+    ///
+    /// ```
+    /// use focus_cnn::{Classifier, GroundTruthCnn};
+    /// use focus_video::{profile::profile_by_name, VideoDataset};
+    ///
+    /// let ds = VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 10.0);
+    /// let objects: Vec<_> = ds.objects().take(16).cloned().collect();
+    /// let gt = GroundTruthCnn::resnet152();
+    ///
+    /// let batched = gt.classify_batch(&objects);
+    /// let serial: Vec<_> = objects.iter().map(|o| gt.classify_top1(o)).collect();
+    /// assert_eq!(batched, serial);
+    /// ```
+    ///
+    /// An empty batch is a no-op:
+    ///
+    /// ```
+    /// use focus_cnn::GroundTruthCnn;
+    ///
+    /// let gt = GroundTruthCnn::resnet152();
+    /// assert!(gt.classify_batch(&[]).is_empty());
+    /// ```
+    pub fn classify_batch(&self, objects: &[ObjectObservation]) -> Vec<ClassId> {
+        objects.iter().map(|o| self.classify_top1(o)).collect()
     }
 }
 
@@ -562,6 +603,18 @@ mod tests {
         assert_eq!(rc.rank_of(ClassId(9)), None);
         let empty = RankedClasses { ranked: vec![] };
         assert_eq!(empty.top1(), None);
+    }
+
+    #[test]
+    fn classify_batch_matches_serial_classification() {
+        let gt = GroundTruthCnn::resnet152();
+        let objects = sample_objects(200);
+        let batched = gt.classify_batch(&objects);
+        assert_eq!(batched.len(), objects.len());
+        for (obj, label) in objects.iter().zip(batched.iter()) {
+            assert_eq!(*label, gt.classify_top1(obj));
+        }
+        assert!(gt.classify_batch(&[]).is_empty());
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! The batch ingest driver: replays a recorded dataset through the shared
-//! [`FramePipeline`](crate::pipeline::FramePipeline) (IT1–IT4 in Figure 4 of
-//! the paper).
+//! [`FramePipeline`] (IT1–IT4 in Figure 4 of the paper).
 //!
 //! The per-frame work itself — motion filtering, pixel differencing,
 //! cheap-CNN classification, incremental clustering and index-record

@@ -9,9 +9,12 @@
 //!   classification with a cheap (compressed + per-stream specialized) CNN,
 //!   single-pass clustering of the CNN feature vectors, and construction of
 //!   the approximate top-K index.
-//! * **Query time** ([`query`]): index lookup for the queried class,
-//!   ground-truth-CNN verification of only the cluster centroids, and
-//!   return of all frames of the confirmed clusters.
+//! * **Query time** ([`query`], [`query_server`]): index lookup for the
+//!   queried class, ground-truth-CNN verification of only the cluster
+//!   centroids, and return of all frames of the confirmed clusters. The
+//!   [`query_server::QueryServer`] serves many queries concurrently,
+//!   deduplicating and batching the centroid verifications and memoizing
+//!   verdicts in a cross-query cache (see `docs/query-path.md`).
 //! * **Parameter selection** ([`params`]): the sweep over (cheap CNN, K,
 //!   Ls, T) on a GT-labelled sample, the Pareto frontier of ingest cost vs
 //!   query latency, and the Opt-Ingest / Balance / Opt-Query policies.
@@ -56,6 +59,7 @@ pub mod ingest;
 pub mod params;
 pub mod pipeline;
 pub mod query;
+pub mod query_server;
 pub mod shard;
 pub mod worker;
 
@@ -72,7 +76,8 @@ pub use params::{
     SelectionResult, SweepSpace,
 };
 pub use pipeline::{FramePipeline, PipelineOutput, PipelineStats};
-pub use query::{QueryEngine, QueryOutcome};
+pub use query::{QueryEngine, QueryOutcome, QueryPlan, QueryRequest};
+pub use query_server::{CacheStats, QueryServer};
 pub use shard::{ingest_serial, MultiIngestOutput, ShardedIngest};
 pub use worker::{StreamWorker, StreamWorkerConfig, StreamWorkerStats};
 
@@ -84,7 +89,8 @@ pub mod prelude {
     pub use crate::ingest::{IngestCnn, IngestEngine, IngestParams};
     pub use crate::params::{ParameterSelector, SweepSpace};
     pub use crate::pipeline::FramePipeline;
-    pub use crate::query::{QueryEngine, QueryOutcome};
+    pub use crate::query::{QueryEngine, QueryOutcome, QueryRequest};
+    pub use crate::query_server::{CacheStats, QueryServer};
     pub use crate::shard::{MultiIngestOutput, ShardedIngest};
     pub use crate::worker::{StreamWorker, StreamWorkerConfig};
 }

@@ -1,0 +1,34 @@
+//! The query-time pipeline (QT1–QT4 in Figure 4 of the paper).
+//!
+//! A query names an object class (and optionally a camera subset, a time
+//! range, and a dynamic `Kx`). To answer it, Focus
+//!
+//! 1. looks up the matching clusters in the top-K index,
+//! 2. classifies only the cluster centroids with the ground-truth CNN
+//!    (parallelised across the GPU cluster / worker pool),
+//! 3. keeps the clusters whose centroid the GT-CNN confirms as the queried
+//!    class, and
+//! 4. returns all frames of the confirmed clusters.
+//!
+//! The pipeline is split by phase:
+//!
+//! * [`plan`] — QT1/QT2: mapping the queried class through the specialized
+//!   model's OTHER handling and retrieving the candidate centroid set from
+//!   the index as stable [`focus_index::CentroidHandle`]s.
+//! * [`execute`] — QT4: applying per-centroid GT verdicts and assembling
+//!   the [`QueryOutcome`].
+//! * [`serve`] — the serial, single-query driver ([`QueryEngine`]), which
+//!   runs QT3 one centroid inference at a time.
+//!
+//! Concurrent serving — many queries at once, batched GT-CNN verification
+//! of the *deduplicated* union of their candidate sets, and a cross-query
+//! centroid-verdict cache — lives in [`crate::query_server`]. See
+//! `docs/query-path.md` for the end-to-end walkthrough.
+
+pub mod execute;
+pub mod plan;
+pub mod serve;
+
+pub use execute::{assemble_outcome, QueryOutcome};
+pub use plan::{QueryPlan, QueryRequest};
+pub use serve::QueryEngine;

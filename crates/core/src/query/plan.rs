@@ -1,0 +1,191 @@
+//! Query planning (QT1/QT2): from a user request to a candidate centroid
+//! set.
+//!
+//! Planning is pure index work — no GPU time is spent here. The plan's
+//! candidate list is made of stable [`CentroidHandle`]s, sorted by cluster
+//! key, which is what lets the serving layer deduplicate GT-CNN work across
+//! concurrent queries and key its verdict cache by centroid object id.
+
+use serde::{Deserialize, Serialize};
+
+use focus_index::{CentroidHandle, QueryFilter};
+use focus_video::ClassId;
+
+use crate::ingest::IngestOutput;
+
+/// One class query as submitted to the query layer: the class the user asks
+/// for plus the camera / time / `Kx` restrictions.
+///
+/// # Examples
+///
+/// ```
+/// use focus_core::query::QueryRequest;
+/// use focus_index::QueryFilter;
+/// use focus_video::ClassId;
+///
+/// let plain = QueryRequest::new(ClassId(3));
+/// assert_eq!(plain.filter, QueryFilter::any());
+///
+/// let narrow = QueryRequest::new(ClassId(3)).with_filter(QueryFilter::any().with_kx(2));
+/// assert_eq!(narrow.filter.kx, Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// The object class being queried.
+    pub class: ClassId,
+    /// Camera / time-range / dynamic-`Kx` restrictions.
+    pub filter: QueryFilter,
+}
+
+impl QueryRequest {
+    /// A request for `class` with no restrictions.
+    pub fn new(class: ClassId) -> Self {
+        Self {
+            class,
+            filter: QueryFilter::any(),
+        }
+    }
+
+    /// Returns a copy of the request with `filter` applied.
+    pub fn with_filter(mut self, filter: QueryFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+}
+
+/// The planned candidate set of one query: which cluster centroids the
+/// ground-truth CNN must pass verdict on before members can be returned.
+///
+/// Built by [`QueryPlan::build`]; consumed by
+/// [`QueryEngine`](crate::query::QueryEngine) (serial) and
+/// [`QueryServer`](crate::query_server::QueryServer) (concurrent, batched,
+/// cached).
+///
+/// # Examples
+///
+/// ```
+/// use focus_core::prelude::*;
+/// use focus_core::query::{QueryPlan, QueryRequest};
+/// use focus_video::profile::profile_by_name;
+///
+/// let ds = focus_video::VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 20.0);
+/// let ingest = IngestEngine::new(
+///     IngestCnn::generic(focus_cnn::ModelSpec::cheap_cnn_1()),
+///     IngestParams { k: 10, ..IngestParams::default() },
+/// )
+/// .ingest(&ds, &focus_runtime::GpuMeter::new());
+///
+/// let class = ds.dominant_classes(1)[0];
+/// let plan = QueryPlan::build(&ingest, &QueryRequest::new(class));
+/// assert_eq!(plan.class, class);
+/// assert!(!plan.candidates.is_empty());
+/// // Every candidate's centroid observation was retained at ingest time.
+/// assert!(plan.candidates.iter().all(|h| ingest.centroids.contains_key(&h.centroid)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryPlan {
+    /// The class the user queried.
+    pub class: ClassId,
+    /// The class looked up in the index: equal to `class` unless a
+    /// specialized ingest model routed an un-specialized class through
+    /// OTHER (§4.3 of the paper).
+    pub lookup_class: ClassId,
+    /// Stable handles of the matched clusters' centroids, sorted by cluster
+    /// key. The GT-CNN verdict on `candidates[i].centroid` decides whether
+    /// cluster `candidates[i].cluster`'s members are returned.
+    pub candidates: Vec<CentroidHandle>,
+}
+
+impl QueryPlan {
+    /// Plans `request` against an ingested stream: maps the class through
+    /// the ingest model's OTHER handling (QT1) and retrieves the matching
+    /// cluster centroids from the top-K index (QT2).
+    pub fn build(ingest: &IngestOutput, request: &QueryRequest) -> QueryPlan {
+        let lookup_class = ingest.model.effective_query_class(request.class);
+        let candidates = ingest.index.lookup_centroids(lookup_class, &request.filter);
+        QueryPlan {
+            class: request.class,
+            lookup_class,
+            candidates,
+        }
+    }
+
+    /// Number of candidate clusters (the matched-cluster count of the
+    /// eventual outcome).
+    pub fn matched_clusters(&self) -> usize {
+        self.candidates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::{IngestCnn, IngestEngine, IngestParams};
+    use focus_cnn::ModelSpec;
+    use focus_runtime::GpuMeter;
+    use focus_video::profile::profile_by_name;
+    use focus_video::VideoDataset;
+
+    fn ingest(k: usize) -> (VideoDataset, crate::ingest::IngestOutput) {
+        let ds = VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 60.0);
+        let out = IngestEngine::new(
+            IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+            IngestParams {
+                k,
+                ..IngestParams::default()
+            },
+        )
+        .ingest(&ds, &GpuMeter::new());
+        (ds, out)
+    }
+
+    #[test]
+    fn plan_matches_index_lookup() {
+        let (ds, out) = ingest(10);
+        let class = ds.dominant_classes(1)[0];
+        let plan = QueryPlan::build(&out, &QueryRequest::new(class));
+        assert_eq!(plan.class, class);
+        assert_eq!(plan.lookup_class, class);
+        let direct = out.index.lookup(class, &QueryFilter::any());
+        assert_eq!(plan.matched_clusters(), direct.len());
+        for (handle, record) in plan.candidates.iter().zip(direct.iter()) {
+            assert_eq!(handle.cluster, record.key);
+            assert_eq!(handle.centroid, record.centroid_object);
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_sorted() {
+        let (ds, out) = ingest(10);
+        let class = ds.dominant_classes(1)[0];
+        let request = QueryRequest::new(class);
+        let a = QueryPlan::build(&out, &request);
+        let b = QueryPlan::build(&out, &request);
+        assert_eq!(a, b);
+        assert!(a.candidates.windows(2).all(|w| w[0].cluster < w[1].cluster));
+    }
+
+    #[test]
+    fn filters_shrink_the_plan() {
+        let (ds, out) = ingest(20);
+        let class = ds.dominant_classes(1)[0];
+        let full = QueryPlan::build(&out, &QueryRequest::new(class));
+        let narrow = QueryPlan::build(
+            &out,
+            &QueryRequest::new(class).with_filter(QueryFilter::any().with_kx(2)),
+        );
+        assert!(narrow.matched_clusters() <= full.matched_clusters());
+        let early = QueryPlan::build(
+            &out,
+            &QueryRequest::new(class).with_filter(QueryFilter::any().with_time_range(0.0, 10.0)),
+        );
+        assert!(early.matched_clusters() <= full.matched_clusters());
+    }
+
+    #[test]
+    fn request_builder() {
+        let req = QueryRequest::new(ClassId(7)).with_filter(QueryFilter::any().with_kx(3));
+        assert_eq!(req.class, ClassId(7));
+        assert_eq!(req.filter.kx, Some(3));
+    }
+}

@@ -1,50 +1,59 @@
-//! The query-time pipeline (QT1–QT4 in Figure 4 of the paper).
+//! The serial, single-query driver: one GT-CNN inference per matched
+//! cluster, parallelised across the worker pool but neither batched nor
+//! cached.
 //!
-//! A query names an object class (and optionally a camera subset, a time
-//! range, and a dynamic `Kx`). Focus
-//!
-//! 1. looks up the matching clusters in the top-K index,
-//! 2. classifies only the cluster centroids with the ground-truth CNN
-//!    (parallelised across the GPU cluster / worker pool),
-//! 3. keeps the clusters whose centroid the GT-CNN confirms as the queried
-//!    class, and
-//! 4. returns all frames of the confirmed clusters.
+//! [`QueryEngine`] is the reference implementation of the query path — the
+//! concurrent [`QueryServer`](crate::query_server::QueryServer) is required
+//! (and tested) to return byte-identical frames and objects while doing
+//! strictly less GT-CNN work on overlapping workloads.
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
-use focus_cnn::{Classifier, GpuCost, GroundTruthCnn};
+use focus_cnn::{Classifier, GroundTruthCnn};
 use focus_index::QueryFilter;
 use focus_runtime::{GpuClusterSpec, GpuMeter, WorkerPool};
-use focus_video::{ClassId, FrameId, ObjectId};
+use focus_video::ClassId;
 
 use crate::ingest::IngestOutput;
-
-/// The result of one class query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct QueryOutcome {
-    /// The class that was queried.
-    pub class: ClassId,
-    /// Frames returned to the user, sorted and de-duplicated.
-    pub frames: Vec<FrameId>,
-    /// Objects belonging to the returned frames' confirmed clusters.
-    pub objects: Vec<ObjectId>,
-    /// Clusters whose top-K matched the query (the candidate set).
-    pub matched_clusters: usize,
-    /// Clusters whose centroid the GT-CNN confirmed as the queried class.
-    pub confirmed_clusters: usize,
-    /// Ground-truth CNN inferences performed (one per matched cluster).
-    pub centroid_inferences: usize,
-    /// GPU time consumed by the query.
-    pub gpu_cost: GpuCost,
-    /// Wall-clock latency of the query on the configured GPU cluster.
-    pub latency_secs: f64,
-}
+use crate::query::execute::{assemble_outcome, QueryOutcome};
+use crate::query::plan::{QueryPlan, QueryRequest};
 
 /// The query engine: owns the ground-truth CNN, the GPU-cluster model and
 /// the worker pool that parallelises centroid classification.
+///
+/// Every call to [`query`](Self::query) re-verifies every matched centroid
+/// with the GT-CNN, one inference at a time. For serving many (possibly
+/// overlapping) queries, prefer
+/// [`QueryServer`](crate::query_server::QueryServer), which deduplicates and
+/// batches the centroid inferences and memoizes verdicts across queries.
+///
+/// # Examples
+///
+/// ```
+/// use focus_core::prelude::*;
+/// use focus_video::profile::profile_by_name;
+///
+/// let ds = focus_video::VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 20.0);
+/// let ingest = IngestEngine::new(
+///     IngestCnn::generic(focus_cnn::ModelSpec::cheap_cnn_1()),
+///     IngestParams { k: 10, ..IngestParams::default() },
+/// )
+/// .ingest(&ds, &focus_runtime::GpuMeter::new());
+///
+/// let engine = QueryEngine::new(
+///     focus_cnn::GroundTruthCnn::resnet152(),
+///     focus_runtime::GpuClusterSpec::new(4),
+/// );
+/// let class = ds.dominant_classes(1)[0];
+/// let outcome = engine.query(
+///     &ingest,
+///     class,
+///     &focus_index::QueryFilter::any(),
+///     &focus_runtime::GpuMeter::new(),
+/// );
+/// // The serial engine performs exactly one inference per matched cluster.
+/// assert_eq!(outcome.centroid_inferences, outcome.matched_clusters);
+/// ```
 #[derive(Debug, Clone)]
 pub struct QueryEngine {
     gt: Arc<GroundTruthCnn>,
@@ -84,19 +93,19 @@ impl QueryEngine {
         filter: &QueryFilter,
         meter: &GpuMeter,
     ) -> QueryOutcome {
-        // QT1/QT2: map the class through the specialized model's OTHER
-        // handling and retrieve the matching clusters from the index.
-        let lookup_class = ingest.model.effective_query_class(class);
-        let matched = ingest.index.lookup(lookup_class, filter);
+        // QT1/QT2: plan the candidate set from the top-K index.
+        let request = QueryRequest::new(class).with_filter(filter.clone());
+        let plan = QueryPlan::build(ingest, &request);
 
         // QT3: classify only the centroids with the GT-CNN, in parallel
-        // across the worker pool.
-        let centroid_objects: Vec<_> = matched
+        // across the worker pool — one un-batched inference each.
+        let centroid_objects: Vec<_> = plan
+            .candidates
             .iter()
-            .map(|record| {
+            .map(|handle| {
                 ingest
                     .centroids
-                    .get(&record.centroid_object)
+                    .get(&handle.centroid)
                     .cloned()
                     .expect("ingest stored every centroid observation")
             })
@@ -111,34 +120,14 @@ impl QueryEngine {
 
         // QT4: keep clusters confirmed by the GT-CNN and return their
         // frames.
-        let mut frames: HashSet<FrameId> = HashSet::new();
-        let mut objects: Vec<ObjectId> = Vec::new();
-        let mut confirmed = 0usize;
-        for (record, label) in matched.iter().zip(labels.iter()) {
-            if *label != class {
-                continue;
-            }
-            confirmed += 1;
-            for member in &record.members {
-                frames.insert(member.frame);
-                objects.push(member.object);
-            }
-        }
-        let mut frames: Vec<FrameId> = frames.into_iter().collect();
-        frames.sort();
-        objects.sort();
-        objects.dedup();
-
-        QueryOutcome {
-            class,
-            frames,
-            objects,
-            matched_clusters: matched.len(),
-            confirmed_clusters: confirmed,
-            centroid_inferences: inferences,
+        assemble_outcome(
+            ingest,
+            &plan,
+            &labels,
+            inferences,
             gpu_cost,
-            latency_secs: self.gpus.latency_secs(gpu_cost),
-        }
+            self.gpus.latency_secs(gpu_cost),
+        )
     }
 
     /// Runs several class queries and returns the outcomes in order.

@@ -1,0 +1,649 @@
+//! Concurrent query serving: batched GT-CNN verification with a
+//! cross-query centroid-verdict cache.
+//!
+//! The serial [`QueryEngine`](crate::query::QueryEngine) re-runs the
+//! ground-truth CNN on the same centroids for every query that matches them
+//! — exactly the redundant-inference pattern Focus's ingest-time clustering
+//! exists to avoid. [`QueryServer`] removes that redundancy along three
+//! axes:
+//!
+//! 1. **Concurrency** — many [`QueryRequest`]s are accepted per
+//!    [`serve`](QueryServer::serve) call; planning and verification fan out
+//!    over the runtime [`WorkerPool`].
+//! 2. **Deduplication + batching** — the union of the in-flight queries'
+//!    candidate centroids is deduplicated, and only the *fresh* centroids
+//!    go to the GT-CNN, in batches whose amortized GPU cost comes from
+//!    [`BatchCostModel`].
+//! 3. **Memoization** — every verdict is cached under
+//!    `(centroid ObjectId, ground-truth epoch)`, so repeated and
+//!    overlapping queries skip GT-CNN work entirely. Retraining the
+//!    ground-truth model ([`retrain_ground_truth`](QueryServer::retrain_ground_truth))
+//!    or re-ingesting data ([`invalidate`](QueryServer::invalidate)) bumps
+//!    the epoch, which atomically invalidates every cached verdict.
+//!
+//! The server is required to return byte-identical frames and objects to
+//! the serial engine while performing strictly fewer GT-CNN inferences on
+//! overlapping workloads (`tests/query_server.rs` pins this).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use focus_cnn::{Classifier, GpuCost, GroundTruthCnn};
+use focus_runtime::{BatchCostModel, GpuClusterSpec, GpuMeter, WorkerPool};
+use focus_video::{ClassId, ObjectId, ObjectObservation};
+
+use crate::ingest::IngestOutput;
+use crate::query::{assemble_outcome, QueryOutcome, QueryPlan, QueryRequest};
+
+/// Snapshot of the verdict cache's activity, as returned by
+/// [`QueryServer::cache_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Candidate verdicts served without a GT-CNN inference: either from
+    /// the cache, or computed once for several overlapping in-flight
+    /// queries in the same batch.
+    pub hits: usize,
+    /// Fresh GT-CNN inferences performed (each also becomes a cache entry).
+    pub misses: usize,
+    /// Verdicts currently cached (for the current ground-truth epoch).
+    pub entries: usize,
+    /// The current ground-truth epoch; bumping it invalidates every cached
+    /// verdict.
+    pub epoch: u64,
+}
+
+impl CacheStats {
+    /// Fraction of candidate verdicts served without an inference
+    /// (0.0 when nothing has been served yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent query server over one ingested video corpus.
+///
+/// Accepts many queries per call, plans each one's candidate set from the
+/// top-K index, deduplicates the union of needed centroid inferences across
+/// the in-flight queries, verifies only the fresh centroids through the
+/// batched [`GroundTruthCnn::classify_batch`] path, and memoizes every
+/// verdict in a cross-query cache keyed by `(ObjectId, ground-truth epoch)`.
+///
+/// # Examples
+///
+/// Serving two overlapping queries and reading the cache stats — the
+/// narrower query's candidates are a subset of the wider one's, so they are
+/// verified once and shared:
+///
+/// ```
+/// use focus_core::prelude::*;
+/// use focus_core::query::QueryRequest;
+/// use focus_core::query_server::QueryServer;
+/// use focus_video::profile::profile_by_name;
+///
+/// let ds = focus_video::VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 20.0);
+/// let ingest = IngestEngine::new(
+///     IngestCnn::generic(focus_cnn::ModelSpec::cheap_cnn_1()),
+///     IngestParams { k: 10, ..IngestParams::default() },
+/// )
+/// .ingest(&ds, &focus_runtime::GpuMeter::new());
+///
+/// let server = QueryServer::new(
+///     focus_cnn::GroundTruthCnn::resnet152(),
+///     focus_runtime::GpuClusterSpec::new(4),
+/// );
+/// let class = ds.dominant_classes(1)[0];
+/// let requests = vec![
+///     QueryRequest::new(class),
+///     QueryRequest::new(class)
+///         .with_filter(focus_index::QueryFilter::any().with_kx(2)),
+/// ];
+/// let outcomes = server.serve(&ingest, &requests, &focus_runtime::GpuMeter::new());
+/// assert_eq!(outcomes.len(), 2);
+///
+/// let stats = server.cache_stats();
+/// assert!(stats.hits > 0, "the overlapping query reused verdicts");
+/// assert!(stats.misses > 0);
+/// ```
+///
+/// A repeated workload is answered entirely from the cache — identical
+/// results, zero new inferences:
+///
+/// ```
+/// # use focus_core::prelude::*;
+/// # use focus_core::query::QueryRequest;
+/// # use focus_core::query_server::QueryServer;
+/// # use focus_video::profile::profile_by_name;
+/// # let ds = focus_video::VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 20.0);
+/// # let ingest = IngestEngine::new(
+/// #     IngestCnn::generic(focus_cnn::ModelSpec::cheap_cnn_1()),
+/// #     IngestParams { k: 10, ..IngestParams::default() },
+/// # )
+/// # .ingest(&ds, &focus_runtime::GpuMeter::new());
+/// # let server = QueryServer::new(
+/// #     focus_cnn::GroundTruthCnn::resnet152(),
+/// #     focus_runtime::GpuClusterSpec::new(4),
+/// # );
+/// # let class = ds.dominant_classes(1)[0];
+/// let request = vec![QueryRequest::new(class)];
+/// let first = server.serve(&ingest, &request, &focus_runtime::GpuMeter::new());
+/// let again = server.serve(&ingest, &request, &focus_runtime::GpuMeter::new());
+/// assert_eq!(first[0].frames, again[0].frames);
+/// assert_eq!(again[0].centroid_inferences, 0);
+/// assert_eq!(again[0].gpu_cost, focus_cnn::GpuCost::ZERO);
+/// ```
+#[derive(Debug)]
+pub struct QueryServer {
+    gt: Mutex<Arc<GroundTruthCnn>>,
+    epoch: AtomicU64,
+    gpus: GpuClusterSpec,
+    pool: WorkerPool,
+    batching: BatchCostModel,
+    cache: Mutex<HashMap<(ObjectId, u64), ClassId>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+// Serving is the shared-everything side of the system: one server instance
+// is hit by many request threads, so its cross-thread shareability is an
+// explicit API guarantee.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryServer>();
+};
+
+impl QueryServer {
+    /// Creates a server around the given ground-truth CNN and GPU cluster,
+    /// with the default [`BatchCostModel`] and a worker pool sized to the
+    /// cluster.
+    pub fn new(gt: GroundTruthCnn, gpus: GpuClusterSpec) -> Self {
+        Self::with_batching(gt, gpus, BatchCostModel::default())
+    }
+
+    /// Creates a server with an explicit batched-inference cost model.
+    pub fn with_batching(
+        gt: GroundTruthCnn,
+        gpus: GpuClusterSpec,
+        batching: BatchCostModel,
+    ) -> Self {
+        Self {
+            gt: Mutex::new(Arc::new(gt)),
+            epoch: AtomicU64::new(0),
+            gpus,
+            pool: WorkerPool::new(gpus.num_gpus.clamp(1, 16)),
+            batching,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The GPU cluster serving queries.
+    pub fn gpus(&self) -> GpuClusterSpec {
+        self.gpus
+    }
+
+    /// The batched-inference cost model.
+    pub fn batching(&self) -> BatchCostModel {
+        self.batching
+    }
+
+    /// The ground-truth CNN currently confirming centroids.
+    pub fn ground_truth(&self) -> Arc<GroundTruthCnn> {
+        Arc::clone(&self.gt.lock())
+    }
+
+    /// The current ground-truth epoch. Cached verdicts are keyed by epoch,
+    /// so any bump (retrain or re-ingest) atomically invalidates them all.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Replaces the ground-truth CNN with a retrained model and bumps the
+    /// epoch: verdicts from the old model are never served again.
+    pub fn retrain_ground_truth(&self, gt: GroundTruthCnn) {
+        let mut current = self.gt.lock();
+        *current = Arc::new(gt);
+        self.bump_epoch_locked();
+    }
+
+    /// Invalidates every cached verdict without changing the model — call
+    /// after re-ingesting data, when old centroid object ids may be reused
+    /// for different observations.
+    pub fn invalidate(&self) {
+        let _guard = self.gt.lock();
+        self.bump_epoch_locked();
+    }
+
+    /// Bumps the epoch and drops stale entries. Callers must hold the `gt`
+    /// lock so a concurrent `serve` cannot interleave a model swap with an
+    /// epoch it doesn't belong to.
+    fn bump_epoch_locked(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        // Correctness comes from the epoch in the key; clearing just keeps
+        // the map from accumulating unreachable entries.
+        self.cache.lock().clear();
+    }
+
+    /// Snapshot of cache activity since the server was created.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::SeqCst),
+            misses: self.misses.load(Ordering::SeqCst),
+            entries: self.cache.lock().len(),
+            epoch: self.epoch(),
+        }
+    }
+
+    /// Serves one query; equivalent to a single-element
+    /// [`serve`](Self::serve) batch.
+    pub fn serve_one(
+        &self,
+        ingest: &IngestOutput,
+        request: &QueryRequest,
+        meter: &GpuMeter,
+    ) -> QueryOutcome {
+        self.serve(ingest, std::slice::from_ref(request), meter)
+            .pop()
+            .expect("one outcome per request")
+    }
+
+    /// Serves a batch of concurrent queries over `ingest`, returning one
+    /// outcome per request, in request order.
+    ///
+    /// The serving pipeline:
+    ///
+    /// 1. **Plan** (QT1/QT2) — every request's candidate set is built from
+    ///    the top-K index, in parallel on the worker pool.
+    /// 2. **Dedupe** — the union of candidate centroids is walked in
+    ///    request order; centroids with a cached verdict for the current
+    ///    epoch (or already scheduled by an earlier in-flight query) count
+    ///    as cache hits, the rest form the fresh set.
+    /// 3. **Batched verification** (QT3) — fresh centroids are split into
+    ///    GPU-sized batches, classified via
+    ///    [`GroundTruthCnn::classify_batch`] across the pool, and charged
+    ///    to `meter` (phase `"query"`) at the amortized
+    ///    [`BatchCostModel`] rate.
+    /// 4. **Memoize + assemble** (QT4) — fresh verdicts enter the cache
+    ///    for future calls; every outcome is assembled from the batch's own
+    ///    verdict snapshot (captured at dedupe time), so a concurrent
+    ///    epoch bump can never starve an in-flight batch.
+    ///
+    /// Accounting: each outcome's `centroid_inferences` counts only the
+    /// fresh inferences that query was first to need; `gpu_cost` is its
+    /// proportional share of the batch cost; `latency_secs` is the batch's
+    /// wall-clock latency on the GPU cluster, shared by every outcome
+    /// served in the batch.
+    pub fn serve(
+        &self,
+        ingest: &IngestOutput,
+        requests: &[QueryRequest],
+        meter: &GpuMeter,
+    ) -> Vec<QueryOutcome> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        // Pin the (model, epoch) pair for the whole batch.
+        let (gt, epoch) = {
+            let guard = self.gt.lock();
+            (Arc::clone(&guard), self.epoch())
+        };
+
+        // QT1/QT2: plan every query concurrently on the worker pool.
+        let plans: Vec<QueryPlan> = self.pool.map(requests.to_vec(), |request| {
+            QueryPlan::build(ingest, request)
+        });
+
+        // Dedupe the union of needed centroid inferences across the
+        // in-flight queries, skipping verdicts cached for this epoch. Each
+        // candidate's verdict source is captured locally — a cached label is
+        // copied out, a fresh centroid becomes an index into the fresh set —
+        // so assembly below never re-reads the shared cache (which a
+        // concurrent epoch bump may clear under an in-flight batch).
+        let mut fresh: Vec<ObjectId> = Vec::new();
+        let mut fresh_per_query = vec![0usize; plans.len()];
+        let mut sources: Vec<Vec<VerdictSource>> = Vec::with_capacity(plans.len());
+        let mut hits = 0usize;
+        {
+            let cache = self.cache.lock();
+            let mut scheduled: HashMap<ObjectId, usize> = HashMap::new();
+            for (plan, fresh_count) in plans.iter().zip(fresh_per_query.iter_mut()) {
+                let mut plan_sources = Vec::with_capacity(plan.candidates.len());
+                for handle in &plan.candidates {
+                    if let Some(label) = cache.get(&(handle.centroid, epoch)) {
+                        hits += 1;
+                        plan_sources.push(VerdictSource::Cached(*label));
+                    } else if let Some(&index) = scheduled.get(&handle.centroid) {
+                        // Already scheduled by an earlier in-flight query:
+                        // computed once, shared within the batch.
+                        hits += 1;
+                        plan_sources.push(VerdictSource::Fresh(index));
+                    } else {
+                        let index = fresh.len();
+                        scheduled.insert(handle.centroid, index);
+                        fresh.push(handle.centroid);
+                        *fresh_count += 1;
+                        plan_sources.push(VerdictSource::Fresh(index));
+                    }
+                }
+                sources.push(plan_sources);
+            }
+        }
+        self.hits.fetch_add(hits, Ordering::SeqCst);
+        self.misses.fetch_add(fresh.len(), Ordering::SeqCst);
+
+        // QT3: batched GT-CNN verification of the deduplicated fresh set.
+        let batches: Vec<Vec<ObjectObservation>> = fresh
+            .chunks(self.batching.max_batch)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|id| {
+                        ingest
+                            .centroids
+                            .get(id)
+                            .cloned()
+                            .expect("ingest stored every centroid observation")
+                    })
+                    .collect()
+            })
+            .collect();
+        let gt_worker = Arc::clone(&gt);
+        let labels: Vec<ClassId> = self
+            .pool
+            .map(batches, move |batch| gt_worker.classify_batch(batch))
+            .into_iter()
+            .flatten()
+            .collect();
+        let batch_cost = self
+            .batching
+            .batch_cost(gt.cost_per_inference(), fresh.len());
+        meter.charge("query", batch_cost);
+
+        // Memoize the fresh verdicts under the pinned epoch, for future
+        // serve calls. (If a concurrent bump raced past the pinned epoch,
+        // these entries are unreachable and bounded — correctness is
+        // carried by the epoch in the key, not by the purge.)
+        {
+            let mut cache = self.cache.lock();
+            for (id, label) in fresh.iter().zip(labels.iter()) {
+                cache.insert((*id, epoch), *label);
+            }
+        }
+
+        // QT4: assemble every outcome from the batch-local verdict
+        // snapshot, without holding any lock. Fresh work is attributed to
+        // the first query that needed it; the batch's wall-clock latency is
+        // shared.
+        let latency_secs = self.gpus.latency_secs(batch_cost);
+        let share = if fresh.is_empty() {
+            GpuCost::ZERO
+        } else {
+            batch_cost / fresh.len() as f64
+        };
+        plans
+            .iter()
+            .zip(sources.iter())
+            .zip(fresh_per_query.iter())
+            .map(|((plan, plan_sources), fresh_count)| {
+                let verdicts: Vec<ClassId> = plan_sources
+                    .iter()
+                    .map(|source| match source {
+                        VerdictSource::Cached(label) => *label,
+                        VerdictSource::Fresh(index) => labels[*index],
+                    })
+                    .collect();
+                assemble_outcome(
+                    ingest,
+                    plan,
+                    &verdicts,
+                    *fresh_count,
+                    share * *fresh_count,
+                    latency_secs,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Where one candidate's verdict comes from within a `serve` batch: copied
+/// out of the cache at dedupe time, or an index into the batch's fresh
+/// classification results.
+#[derive(Debug, Clone, Copy)]
+enum VerdictSource {
+    Cached(ClassId),
+    Fresh(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::{IngestCnn, IngestEngine, IngestParams};
+    use crate::query::QueryEngine;
+    use focus_cnn::ModelSpec;
+    use focus_index::QueryFilter;
+    use focus_video::profile::profile_by_name;
+    use focus_video::VideoDataset;
+
+    fn setup(k: usize) -> (VideoDataset, IngestOutput) {
+        let ds = VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 90.0);
+        let out = IngestEngine::new(
+            IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+            IngestParams {
+                k,
+                ..IngestParams::default()
+            },
+        )
+        .ingest(&ds, &GpuMeter::new());
+        (ds, out)
+    }
+
+    fn server() -> QueryServer {
+        QueryServer::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4))
+    }
+
+    #[test]
+    fn server_matches_engine_results() {
+        let (ds, out) = setup(10);
+        let classes = ds.dominant_classes(3);
+        let engine = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4));
+        let server = server();
+        let requests: Vec<QueryRequest> = classes.iter().map(|c| QueryRequest::new(*c)).collect();
+        let served = server.serve(&out, &requests, &GpuMeter::new());
+        for (request, outcome) in requests.iter().zip(served.iter()) {
+            let serial = engine.query(&out, request.class, &request.filter, &GpuMeter::new());
+            assert_eq!(outcome.frames, serial.frames);
+            assert_eq!(outcome.objects, serial.objects);
+            assert_eq!(outcome.matched_clusters, serial.matched_clusters);
+            assert_eq!(outcome.confirmed_clusters, serial.confirmed_clusters);
+        }
+    }
+
+    #[test]
+    fn repeated_serve_is_free_and_identical() {
+        let (ds, out) = setup(10);
+        let class = ds.dominant_classes(1)[0];
+        let server = server();
+        let requests = vec![QueryRequest::new(class)];
+        let meter = GpuMeter::new();
+        let first = server.serve(&out, &requests, &meter);
+        let charged_after_first = meter.phase("query").seconds();
+        assert!(first[0].centroid_inferences > 0);
+        assert!(charged_after_first > 0.0);
+
+        let second = server.serve(&out, &requests, &meter);
+        assert_eq!(first[0].frames, second[0].frames);
+        assert_eq!(first[0].objects, second[0].objects);
+        assert_eq!(second[0].centroid_inferences, 0);
+        assert_eq!(second[0].gpu_cost, GpuCost::ZERO);
+        assert_eq!(second[0].latency_secs, 0.0);
+        // No new GPU time was charged.
+        assert_eq!(meter.phase("query").seconds(), charged_after_first);
+    }
+
+    #[test]
+    fn overlap_within_a_batch_is_deduplicated() {
+        let (ds, out) = setup(10);
+        let class = ds.dominant_classes(1)[0];
+        let server = server();
+        // The same query twice in one batch: the second instance must not
+        // schedule any additional inference.
+        let requests = vec![QueryRequest::new(class), QueryRequest::new(class)];
+        let served = server.serve(&out, &requests, &GpuMeter::new());
+        assert_eq!(served[0].frames, served[1].frames);
+        assert!(served[0].centroid_inferences > 0);
+        assert_eq!(served[1].centroid_inferences, 0);
+        let stats = server.cache_stats();
+        assert_eq!(stats.hits, served[0].matched_clusters);
+        assert_eq!(stats.misses, served[0].matched_clusters);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_cost_is_amortized() {
+        let (ds, out) = setup(10);
+        let class = ds.dominant_classes(1)[0];
+        let server = server();
+        let serial_engine = QueryEngine::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4));
+        let serial = serial_engine.query(&out, class, &QueryFilter::any(), &GpuMeter::new());
+        let served = server.serve_one(&out, &QueryRequest::new(class), &GpuMeter::new());
+        assert_eq!(served.frames, serial.frames);
+        assert_eq!(served.centroid_inferences, serial.centroid_inferences);
+        if served.centroid_inferences > 1 {
+            assert!(
+                served.gpu_cost < serial.gpu_cost,
+                "batching must amortize launch overhead: {} vs {}",
+                served.gpu_cost.seconds(),
+                serial.gpu_cost.seconds()
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_cached_verdicts() {
+        let (ds, out) = setup(10);
+        let class = ds.dominant_classes(1)[0];
+        // A flicker-free GT confirms the dominant class; a flicker-always
+        // GT answers with scattered wrong classes, so the same query must
+        // flip from non-empty to empty across the retrain.
+        let server = QueryServer::new(GroundTruthCnn::with_flicker(0.0), GpuClusterSpec::new(4));
+        let request = vec![QueryRequest::new(class)];
+        let before = server.serve(&out, &request, &GpuMeter::new());
+        assert!(before[0].confirmed_clusters > 0);
+        assert_eq!(server.epoch(), 0);
+
+        server.retrain_ground_truth(GroundTruthCnn::with_flicker(1.0));
+        assert_eq!(server.epoch(), 1);
+        let after = server.serve(&out, &request, &GpuMeter::new());
+        // Old verdicts were not served: the new model re-ran and rejected.
+        assert!(after[0].centroid_inferences > 0);
+        assert_ne!(before[0].confirmed_clusters, after[0].confirmed_clusters);
+    }
+
+    #[test]
+    fn invalidate_clears_cache_without_model_change() {
+        let (ds, out) = setup(4);
+        let class = ds.dominant_classes(1)[0];
+        let server = server();
+        let request = vec![QueryRequest::new(class)];
+        let first = server.serve(&out, &request, &GpuMeter::new());
+        assert!(server.cache_stats().entries > 0);
+        server.invalidate();
+        assert_eq!(server.cache_stats().entries, 0);
+        let second = server.serve(&out, &request, &GpuMeter::new());
+        // Same model, so same results — but the work was re-done.
+        assert_eq!(first[0].frames, second[0].frames);
+        assert_eq!(first[0].centroid_inferences, second[0].centroid_inferences);
+    }
+
+    #[test]
+    fn empty_request_batch_is_a_no_op() {
+        let (_, out) = setup(4);
+        let server = server();
+        let meter = GpuMeter::new();
+        assert!(server.serve(&out, &[], &meter).is_empty());
+        assert_eq!(meter.total().seconds(), 0.0);
+        assert_eq!(server.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn absent_class_is_rejected_with_exact_metered_cost() {
+        let (_, out) = setup(4);
+        let server = server();
+        let meter = GpuMeter::new();
+        let outcome = server.serve_one(
+            &out,
+            &QueryRequest::new(ClassId(850)).with_filter(QueryFilter::any().with_kx(1)),
+            &meter,
+        );
+        // GT confirmation rejects stray postings for a class that never
+        // occurs in the stream.
+        assert_eq!(outcome.confirmed_clusters, 0);
+        assert!(outcome.frames.is_empty());
+        assert!(outcome.objects.is_empty());
+        // A cold server verifies exactly the matched candidates, and the
+        // meter charge is exactly their amortized batch cost — zero when
+        // nothing matched.
+        assert_eq!(outcome.matched_clusters, outcome.centroid_inferences);
+        let expected = server.batching().batch_cost(
+            server.ground_truth().cost_per_inference(),
+            outcome.matched_clusters,
+        );
+        assert_eq!(
+            meter.phase("query").seconds().to_bits(),
+            expected.seconds().to_bits()
+        );
+    }
+
+    #[test]
+    fn concurrent_invalidation_never_starves_inflight_batches() {
+        // An epoch bump may clear the cache while a batch is in flight; the
+        // batch must still assemble from its own verdict snapshot (pinned
+        // at dedupe time) instead of panicking on a missing cache entry.
+        let (ds, out) = setup(10);
+        let class = ds.dominant_classes(1)[0];
+        let server = server();
+        let requests = vec![QueryRequest::new(class), QueryRequest::new(class)];
+        std::thread::scope(|scope| {
+            let srv = &server;
+            let out_ref = &out;
+            let reqs = &requests;
+            let serving = scope.spawn(move || {
+                for _ in 0..30 {
+                    let outcomes = srv.serve(out_ref, reqs, &GpuMeter::new());
+                    assert_eq!(outcomes.len(), 2);
+                    // Both requests of a batch share one pinned epoch.
+                    assert_eq!(outcomes[0].frames, outcomes[1].frames);
+                }
+            });
+            scope.spawn(move || {
+                for _ in 0..120 {
+                    srv.invalidate();
+                    std::thread::yield_now();
+                }
+            });
+            serving.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let server = QueryServer::with_batching(
+            GroundTruthCnn::resnet152(),
+            GpuClusterSpec::new(8),
+            BatchCostModel::new(0.1, 16),
+        );
+        assert_eq!(server.gpus().num_gpus, 8);
+        assert_eq!(server.batching().max_batch, 16);
+        assert_eq!(server.ground_truth().name(), "ResNet152");
+        assert_eq!(server.epoch(), 0);
+    }
+}

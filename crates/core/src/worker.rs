@@ -3,7 +3,7 @@
 //! retraining (§4.3).
 //!
 //! [`StreamWorker`] is the streaming driver of the shared
-//! [`FramePipeline`](crate::pipeline::FramePipeline):
+//! [`FramePipeline`]:
 //! [`IngestEngine`](crate::ingest::IngestEngine) replays a recorded dataset
 //! through one pipeline in a single call, while the worker pushes live
 //! frames through one pipeline and layers model lifecycle management on top:

@@ -13,6 +13,13 @@
 //! persistence. GPU-time accounting in the paper excludes index I/O, so an
 //! in-process store preserves the measured quantities while keeping the
 //! system self-contained.
+//!
+//! Lookups come in two shapes: [`TopKIndex::lookup`] borrows the full
+//! cluster records, and [`TopKIndex::lookup_centroids`] returns owned,
+//! stable [`CentroidHandle`]s — the form the query-serving layer plans with
+//! and keys its cross-query verdict cache by.
+
+#![deny(missing_docs)]
 
 pub mod cluster_store;
 pub mod persist;
@@ -21,4 +28,4 @@ pub mod topk;
 
 pub use cluster_store::{ClusterKey, ClusterRecord, MemberRef};
 pub use query::QueryFilter;
-pub use topk::{IndexStats, TopKIndex};
+pub use topk::{CentroidHandle, IndexStats, TopKIndex};

@@ -15,6 +15,33 @@ use crate::cluster_store::ClusterRecord;
 /// `kx` implements the "dynamically adjusting K at query time" enhancement
 /// (§5): only clusters whose stored ranking contains the class within the
 /// first `kx` entries match, trading a little recall for lower latency.
+///
+/// # Examples
+///
+/// Filters are built fluently from [`QueryFilter::any`]:
+///
+/// ```
+/// use focus_index::QueryFilter;
+/// use focus_video::StreamId;
+///
+/// let filter = QueryFilter::any()
+///     .with_streams([StreamId(0), StreamId(2)])
+///     .with_time_range(30.0, 90.0)
+///     .with_kx(2);
+/// assert_eq!(filter.kx, Some(2));
+/// assert_eq!(filter.time_range, Some((30.0, 90.0)));
+/// ```
+///
+/// A narrower `kx` only ever shrinks the candidate set:
+///
+/// ```
+/// use focus_index::QueryFilter;
+///
+/// let wide = QueryFilter::any();
+/// let narrow = QueryFilter::any().with_kx(1);
+/// assert_eq!(wide.kx, None); // full stored K
+/// assert_eq!(narrow.kx, Some(1)); // top-ranked entry only
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct QueryFilter {
     /// If set, only clusters from these streams match.

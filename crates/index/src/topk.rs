@@ -4,10 +4,44 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use focus_video::{ClassId, StreamId};
+use focus_video::{ClassId, FrameId, ObjectId, StreamId};
 
 use crate::cluster_store::{ClusterKey, ClusterRecord};
 use crate::query::QueryFilter;
+
+/// A stable reference to the centroid of one matched cluster, as returned by
+/// [`TopKIndex::lookup_centroids`].
+///
+/// The handle is what the query-serving layer caches verdicts under: the
+/// `centroid` object id identifies the exact observation the ground-truth
+/// CNN would classify, so two queries whose candidate sets overlap can share
+/// one inference, and a re-ingested stream (which assigns fresh object ids)
+/// can never be served a stale verdict by accident. The `cluster` key links
+/// the verdict back to the cluster's members for result assembly.
+///
+/// # Examples
+///
+/// ```
+/// use focus_index::{CentroidHandle, ClusterKey};
+/// use focus_video::{FrameId, ObjectId, StreamId};
+///
+/// let handle = CentroidHandle {
+///     cluster: ClusterKey::new(StreamId(3), 7),
+///     centroid: ObjectId(42),
+///     centroid_frame: FrameId(9),
+/// };
+/// assert_eq!(handle.centroid, ObjectId(42));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CentroidHandle {
+    /// The matched cluster.
+    pub cluster: ClusterKey,
+    /// The cluster's representative object — the only member the GT-CNN
+    /// classifies, and the key under which its verdict is cached.
+    pub centroid: ObjectId,
+    /// The frame containing the centroid object.
+    pub centroid_frame: FrameId,
+}
 
 /// Summary statistics of an index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -144,6 +178,48 @@ impl TopKIndex {
         result.sort_by_key(|r| r.key);
         result.dedup_by_key(|r| r.key);
         result
+    }
+
+    /// Like [`lookup`](Self::lookup), but returns stable
+    /// [`CentroidHandle`]s instead of borrowed records — the shape the
+    /// query-serving layer plans with and keys its cross-query verdict
+    /// cache by. Handles come back sorted by cluster key, so the plan for a
+    /// given `(class, filter)` is deterministic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use focus_index::{ClusterKey, ClusterRecord, MemberRef, QueryFilter, TopKIndex};
+    /// use focus_video::{ClassId, FrameId, ObjectId, StreamId};
+    ///
+    /// let mut index = TopKIndex::new();
+    /// index.insert(ClusterRecord {
+    ///     key: ClusterKey::new(StreamId(0), 1),
+    ///     centroid_object: ObjectId(10),
+    ///     centroid_frame: FrameId(5),
+    ///     top_k_classes: vec![ClassId(2), ClassId(4)],
+    ///     members: vec![MemberRef { object: ObjectId(10), frame: FrameId(5) }],
+    ///     start_secs: 0.0,
+    ///     end_secs: 1.0,
+    /// });
+    ///
+    /// let handles = index.lookup_centroids(ClassId(4), &QueryFilter::any());
+    /// assert_eq!(handles.len(), 1);
+    /// assert_eq!(handles[0].centroid, ObjectId(10));
+    /// // Under kx = 1 only the top-ranked class matches.
+    /// assert!(index
+    ///     .lookup_centroids(ClassId(4), &QueryFilter::any().with_kx(1))
+    ///     .is_empty());
+    /// ```
+    pub fn lookup_centroids(&self, class: ClassId, filter: &QueryFilter) -> Vec<CentroidHandle> {
+        self.lookup(class, filter)
+            .into_iter()
+            .map(|record| CentroidHandle {
+                cluster: record.key,
+                centroid: record.centroid_object,
+                centroid_frame: record.centroid_frame,
+            })
+            .collect()
     }
 
     /// Total number of objects (members) that would be returned for `class`
@@ -405,6 +481,31 @@ mod tests {
         let mut b = TopKIndex::new();
         b.insert(record(0, 0, &[0], 1, 0.0));
         let _ = TopKIndex::from_shards([a, b]);
+    }
+
+    #[test]
+    fn lookup_centroids_mirrors_lookup() {
+        let mut idx = TopKIndex::new();
+        idx.insert(record(0, 2, &[0, 3], 2, 5.0));
+        idx.insert(record(0, 1, &[0], 3, 0.0));
+        idx.insert(record(1, 9, &[7], 1, 0.0));
+        let handles = idx.lookup_centroids(ClassId(0), &QueryFilter::any());
+        let records = idx.lookup(ClassId(0), &QueryFilter::any());
+        assert_eq!(handles.len(), records.len());
+        for (handle, record) in handles.iter().zip(records.iter()) {
+            assert_eq!(handle.cluster, record.key);
+            assert_eq!(handle.centroid, record.centroid_object);
+            assert_eq!(handle.centroid_frame, record.centroid_frame);
+        }
+        // Sorted by cluster key, like lookup.
+        assert!(handles.windows(2).all(|w| w[0].cluster < w[1].cluster));
+        // Filters apply identically.
+        let filtered =
+            idx.lookup_centroids(ClassId(0), &QueryFilter::any().with_time_range(0.0, 1.0));
+        assert_eq!(filtered.len(), 1);
+        assert!(idx
+            .lookup_centroids(ClassId(99), &QueryFilter::any())
+            .is_empty());
     }
 
     #[test]

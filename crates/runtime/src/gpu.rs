@@ -82,6 +82,112 @@ impl GpuMeter {
     }
 }
 
+/// Amortized cost model for **batched** GPU inference.
+///
+/// Submitting one image at a time pays the full per-launch overhead (kernel
+/// launch, weight/activation transfer, pipeline fill) on every inference.
+/// Submitting a batch pays that overhead once per launch and the pure
+/// compute cost per image, which is how real GPUs reach their published
+/// throughput numbers. The model splits a single inference's cost into an
+/// `overhead_fraction` that is fixed per launch and a `1 - overhead_fraction`
+/// compute part that scales with the number of images:
+///
+/// ```text
+/// cost(n) = per_inference × ((1 − f)·n + f·⌈n / max_batch⌉)
+/// ```
+///
+/// so a lone inference costs exactly `per_inference` (the serial path and
+/// the batched path agree at n = 1), and a full batch of `max_batch` images
+/// approaches a `1 − f` discount per image.
+///
+/// # Examples
+///
+/// ```
+/// use focus_runtime::BatchCostModel;
+/// use focus_cnn::GpuCost;
+///
+/// let model = BatchCostModel::default();
+/// let per = GpuCost(1.0);
+/// // A single inference is not discounted.
+/// assert_eq!(model.batch_cost(per, 1), per);
+/// // A full batch is strictly cheaper than the same work done serially.
+/// let batched = model.batch_cost(per, 64);
+/// assert!(batched < per * 64usize);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchCostModel {
+    /// Fraction of a single inference's GPU time that is fixed per-launch
+    /// overhead, amortized across the images of a batch.
+    pub overhead_fraction: f64,
+    /// Maximum number of images per GPU launch; larger requests are split
+    /// into `⌈n / max_batch⌉` launches.
+    pub max_batch: usize,
+}
+
+impl Default for BatchCostModel {
+    fn default() -> Self {
+        // A quarter of a K80 ResNet152 inference is launch/transfer overhead
+        // at batch size 1, and 32 images fill the card — conservative
+        // numbers in line with published ResNet batching curves.
+        Self {
+            overhead_fraction: 0.25,
+            max_batch: 32,
+        }
+    }
+}
+
+impl BatchCostModel {
+    /// Builds a model from an overhead fraction in `[0, 1)` and a positive
+    /// maximum batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overhead_fraction` is outside `[0, 1)` or `max_batch` is
+    /// zero.
+    pub fn new(overhead_fraction: f64, max_batch: usize) -> Self {
+        assert!(
+            (0.0..1.0).contains(&overhead_fraction),
+            "overhead fraction must be in [0, 1)"
+        );
+        assert!(max_batch > 0, "max batch size must be positive");
+        Self {
+            overhead_fraction,
+            max_batch,
+        }
+    }
+
+    /// Number of GPU launches needed for `n` images.
+    pub fn launches(&self, n: usize) -> usize {
+        n.div_ceil(self.max_batch)
+    }
+
+    /// Amortized GPU cost of classifying `n` images whose un-batched cost is
+    /// `per_inference` each. Zero images cost nothing; one image costs
+    /// exactly `per_inference`; larger batches amortize the per-launch
+    /// overhead.
+    pub fn batch_cost(&self, per_inference: GpuCost, n: usize) -> GpuCost {
+        if n == 0 {
+            return GpuCost::ZERO;
+        }
+        let compute = (1.0 - self.overhead_fraction) * n as f64;
+        let overhead = self.overhead_fraction * self.launches(n) as f64;
+        per_inference * (compute + overhead)
+    }
+
+    /// How many times cheaper a batch of `n` is than `n` serial inferences
+    /// (1.0 for n ≤ 1, approaching `1 / (1 − overhead_fraction)` for large
+    /// full batches).
+    pub fn amortization_factor(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 1.0;
+        }
+        let serial = n as f64;
+        let batched = (1.0 - self.overhead_fraction) * n as f64
+            + self.overhead_fraction * self.launches(n) as f64;
+        serial / batched
+    }
+}
+
 /// The provisioned GPU fleet that serves queries.
 ///
 /// The paper notes that organisations provision a few tens to hundreds of
@@ -184,5 +290,60 @@ mod tests {
     #[should_panic(expected = "at least one GPU")]
     fn zero_gpus_panics() {
         let _ = GpuClusterSpec::new(0);
+    }
+
+    #[test]
+    fn batch_cost_amortizes_overhead() {
+        let model = BatchCostModel::default();
+        let per = GpuCost(1.0);
+        assert_eq!(model.batch_cost(per, 0), GpuCost::ZERO);
+        assert_eq!(model.batch_cost(per, 1), per);
+        // A full launch of 32 pays the overhead once.
+        let full = model.batch_cost(per, 32);
+        assert!((full.seconds() - (0.75 * 32.0 + 0.25)).abs() < 1e-12);
+        assert!(full < per * 32usize);
+        // Cost is monotone in n and never beats the pure-compute floor.
+        let mut prev = GpuCost::ZERO;
+        for n in 1..200 {
+            let cost = model.batch_cost(per, n);
+            assert!(cost > prev);
+            assert!(cost.seconds() >= 0.75 * n as f64);
+            prev = cost;
+        }
+    }
+
+    #[test]
+    fn launches_split_oversized_batches() {
+        let model = BatchCostModel::new(0.2, 10);
+        assert_eq!(model.launches(1), 1);
+        assert_eq!(model.launches(10), 1);
+        assert_eq!(model.launches(11), 2);
+        assert_eq!(model.launches(30), 3);
+    }
+
+    #[test]
+    fn amortization_factor_grows_toward_limit() {
+        let model = BatchCostModel::default();
+        assert_eq!(model.amortization_factor(0), 1.0);
+        assert_eq!(model.amortization_factor(1), 1.0);
+        let half = model.amortization_factor(16);
+        let full = model.amortization_factor(32);
+        assert!(half > 1.0);
+        assert!(half < full);
+        assert!(full < 1.0 / (1.0 - model.overhead_fraction));
+        // Whole multiples of a full launch amortize exactly as well as one.
+        assert!((model.amortization_factor(320) - full).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "overhead fraction")]
+    fn out_of_range_overhead_panics() {
+        let _ = BatchCostModel::new(1.0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "max batch size")]
+    fn zero_max_batch_panics() {
+        let _ = BatchCostModel::new(0.2, 0);
     }
 }

@@ -10,6 +10,10 @@
 //! * [`GpuMeter`] — thread-safe accounting of GPU time per named phase.
 //! * [`GpuClusterSpec`] — the provisioned GPU fleet, which converts a
 //!   query's total GPU work into wall-clock latency.
+//! * [`BatchCostModel`] — the amortized cost of **batched** inference:
+//!   per-launch overhead is paid once per batch instead of once per image,
+//!   which is what makes the query server's batched GT-CNN path cheaper
+//!   than one-at-a-time verification.
 //! * [`WorkerPool`] — a real thread pool (crossbeam channels) used to
 //!   parallelize query-time classification across workers, mirroring the
 //!   paper's worker processes.
@@ -17,5 +21,5 @@
 pub mod gpu;
 pub mod workers;
 
-pub use gpu::{GpuClusterSpec, GpuMeter, PhaseBreakdown};
+pub use gpu::{BatchCostModel, GpuClusterSpec, GpuMeter, PhaseBreakdown};
 pub use workers::WorkerPool;

@@ -19,7 +19,7 @@
 //! | [`cluster`] | `focus-cluster` | Single-pass incremental clustering |
 //! | [`index`] | `focus-index` | The top-K inverted index with camera/time/Kx filtering, shard merging and persistence |
 //! | [`runtime`] | `focus-runtime` | GPU accounting, the GPU-cluster latency model, the reusable worker pool |
-//! | [`core`] | `focus-core` | The Focus system itself: the shared `FramePipeline`, batch/streaming/sharded ingest drivers, query engine, parameter selection, policies, baselines, experiment runner |
+//! | [`core`] | `focus-core` | The Focus system itself: the shared `FramePipeline`, batch/streaming/sharded ingest drivers, the query subsystem (serial engine plus the concurrent, batched, cached `QueryServer`), parameter selection, policies, baselines, experiment runner |
 //!
 //! # Quick start
 //!
@@ -82,6 +82,17 @@
 //! let result = engine.query(&combined, class, &focus::index::QueryFilter::any(), &meter);
 //! assert!(result.matched_clusters > 0);
 //! ```
+//!
+//! # Concurrent query serving
+//!
+//! Heavy query traffic goes through
+//! [`QueryServer`](focus_core::query_server::QueryServer) instead of the
+//! serial engine: requests are planned concurrently, the union of their
+//! candidate centroids is deduplicated and verified through the batched
+//! GT-CNN path, and verdicts are memoized across queries under the current
+//! ground-truth epoch. Results are byte-identical to the serial engine with
+//! strictly fewer GT-CNN inferences on overlapping workloads — see
+//! `docs/query-path.md` for the full walkthrough.
 
 pub use focus_cluster as cluster;
 pub use focus_cnn as cnn;
