@@ -16,9 +16,12 @@ use focus_video::profile::profile_by_name;
 use focus_video::VideoDataset;
 
 fn workload() -> Vec<VideoDataset> {
+    // A quarter-length workload under FOCUS_BENCH_SMOKE=1 (CI's bench-smoke
+    // job); frames/sec is insensitive to the cut.
+    let secs = focus_bench::bench_workload_secs(120.0);
     ["auburn_c", "lausanne", "cnn"]
         .iter()
-        .map(|name| VideoDataset::generate(profile_by_name(name).unwrap(), 120.0))
+        .map(|name| VideoDataset::generate(profile_by_name(name).unwrap(), secs))
         .collect()
 }
 

@@ -1,0 +1,85 @@
+//! CI regression guard for the committed `BENCH_*.json` trajectories.
+//!
+//! Usage: `bench_guard <baseline.json> <fresh.json> [min_ratio]`
+//!
+//! Compares every throughput metric (`*_per_sec`) in the fresh run against
+//! the committed baseline and exits non-zero if any rate fell below
+//! `min_ratio` (default 0.7, i.e. a >30% regression) of its baseline. CI's
+//! bench-smoke job stashes the committed files before running the benches
+//! and then points this guard at the pair.
+
+use std::process::ExitCode;
+
+use focus_bench::guard::compare_rates;
+use focus_bench::TextTable;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 || args.len() > 4 {
+        eprintln!("usage: bench_guard <baseline.json> <fresh.json> [min_ratio]");
+        return ExitCode::from(2);
+    }
+    let baseline_path = &args[1];
+    let fresh_path = &args[2];
+    let min_ratio: f64 = match args.get(3).map(|s| s.parse()) {
+        None => 0.7,
+        Some(Ok(r)) => r,
+        Some(Err(_)) => {
+            eprintln!("bench_guard: min_ratio must be a number, got `{}`", args[3]);
+            return ExitCode::from(2);
+        }
+    };
+
+    let read = |path: &str| -> Result<serde::Value, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        serde_json::parse(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))
+    };
+    let (baseline, fresh) = match (read(baseline_path), read(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_guard: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let checks = match compare_rates(&baseline, &fresh) {
+        Ok(checks) => checks,
+        Err(e) => {
+            eprintln!("bench_guard: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut table = TextTable::new(vec!["metric", "baseline", "fresh", "ratio", "verdict"]);
+    let mut failures = 0usize;
+    for check in &checks {
+        let pass = check.passes(min_ratio);
+        if !pass {
+            failures += 1;
+        }
+        table.row(vec![
+            check.path.clone(),
+            format!("{:.1}", check.baseline),
+            format!("{:.1}", check.fresh),
+            format!("{:.2}", check.ratio()),
+            if pass {
+                "ok".to_string()
+            } else {
+                "REGRESSED".to_string()
+            },
+        ]);
+    }
+    println!("bench_guard: {fresh_path} vs {baseline_path} (min ratio {min_ratio:.2})");
+    table.print();
+    if failures > 0 {
+        eprintln!(
+            "bench_guard: {failures} of {} metrics regressed more than {:.0}% vs baseline",
+            checks.len(),
+            (1.0 - min_ratio) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_guard: all {} metrics within tolerance", checks.len());
+    ExitCode::SUCCESS
+}

@@ -37,6 +37,32 @@ pub fn sample_duration_secs() -> f64 {
         .unwrap_or(90.0)
 }
 
+/// Environment variable that switches the Criterion benches to their
+/// reduced CI smoke workload (any non-empty value other than `0`).
+pub const BENCH_SMOKE_ENV: &str = "FOCUS_BENCH_SMOKE";
+
+/// Whether the benches should run their reduced CI smoke workload.
+pub fn bench_smoke() -> bool {
+    std::env::var(BENCH_SMOKE_ENV)
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// The per-stream workload length a bench should use: `full_secs` normally,
+/// half of it under [`bench_smoke`]. Throughput metrics (frames/sec,
+/// queries/sec) are insensitive to the cut because per-frame and per-query
+/// work dominates, which is what lets CI compare the smoke run against the
+/// committed full-workload baselines with a single tolerance. (A deeper cut
+/// starts shifting per-query characteristics — candidate-set sizes, batch
+/// amortization — and produces false regressions.)
+pub fn bench_workload_secs(full_secs: f64) -> f64 {
+    if bench_smoke() {
+        full_secs / 2.0
+    } else {
+        full_secs
+    }
+}
+
 /// The standard experiment configuration used by the figure binaries.
 pub fn standard_config() -> ExperimentConfig {
     ExperimentConfig {
@@ -148,6 +174,188 @@ pub fn banner(title: &str, paper_reference: &str) {
     println!("{title}");
     println!("(reproduces {paper_reference})");
     println!("==============================================================");
+}
+
+/// Regression guarding for the committed `BENCH_*.json` trajectory files:
+/// extracts every throughput metric (keys ending in `_per_sec`) from a
+/// baseline and a fresh run and flags any rate that fell below a minimum
+/// ratio of its baseline. The `bench_guard` binary wraps this for CI's
+/// bench-smoke job.
+pub mod guard {
+    use serde::Value;
+
+    /// One throughput metric compared between baseline and fresh run.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct RateCheck {
+        /// Dotted JSON path of the metric (e.g. `runs.serial.frames_per_sec`).
+        pub path: String,
+        /// The committed baseline rate.
+        pub baseline: f64,
+        /// The freshly measured rate.
+        pub fresh: f64,
+    }
+
+    impl RateCheck {
+        /// fresh / baseline (infinite when the baseline is zero).
+        pub fn ratio(&self) -> f64 {
+            if self.baseline == 0.0 {
+                f64::INFINITY
+            } else {
+                self.fresh / self.baseline
+            }
+        }
+
+        /// Whether the fresh rate holds at least `min_ratio` of baseline.
+        pub fn passes(&self, min_ratio: f64) -> bool {
+            self.ratio() >= min_ratio
+        }
+    }
+
+    /// Recursively collects `(dotted-path, value)` for every numeric field
+    /// whose key ends in `_per_sec`.
+    pub fn collect_rates(value: &Value, prefix: &str, out: &mut Vec<(String, f64)>) {
+        match value {
+            Value::Object(entries) => {
+                for (key, child) in entries {
+                    let path = if prefix.is_empty() {
+                        key.clone()
+                    } else {
+                        format!("{prefix}.{key}")
+                    };
+                    match child {
+                        Value::Float(f) if key.ends_with("_per_sec") => out.push((path, *f)),
+                        Value::UInt(n) if key.ends_with("_per_sec") => out.push((path, *n as f64)),
+                        Value::Int(n) if key.ends_with("_per_sec") => out.push((path, *n as f64)),
+                        other => collect_rates(other, &path, out),
+                    }
+                }
+            }
+            Value::Array(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    collect_rates(item, &format!("{prefix}[{i}]"), out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Pairs every baseline rate with the fresh run's rate at the same
+    /// path. A baseline metric missing from the fresh run is an error (a
+    /// silently dropped metric must not pass the guard); fresh metrics with
+    /// no baseline are ignored (new benches need a first commit to become
+    /// baselines).
+    pub fn compare_rates(baseline: &Value, fresh: &Value) -> Result<Vec<RateCheck>, String> {
+        let mut baseline_rates = Vec::new();
+        collect_rates(baseline, "", &mut baseline_rates);
+        if baseline_rates.is_empty() {
+            return Err("baseline contains no *_per_sec metrics".to_string());
+        }
+        let mut fresh_rates = Vec::new();
+        collect_rates(fresh, "", &mut fresh_rates);
+        let mut checks = Vec::with_capacity(baseline_rates.len());
+        for (path, base) in baseline_rates {
+            let Some((_, measured)) = fresh_rates.iter().find(|(p, _)| *p == path) else {
+                return Err(format!("fresh run is missing baseline metric `{path}`"));
+            };
+            checks.push(RateCheck {
+                path,
+                baseline: base,
+                fresh: *measured,
+            });
+        }
+        Ok(checks)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn parse(json: &str) -> Value {
+            serde_json::parse(json).unwrap()
+        }
+
+        #[test]
+        fn collects_nested_rates_only() {
+            let value = parse(
+                r#"{"frames_total": 100, "runs": {"serial": {"secs": 0.5, "frames_per_sec": 200.0},
+                   "sharded": {"frames_per_sec": 400.0}}, "other": [{"queries_per_sec": 10.0}]}"#,
+            );
+            let mut rates = Vec::new();
+            collect_rates(&value, "", &mut rates);
+            let paths: Vec<&str> = rates.iter().map(|(p, _)| p.as_str()).collect();
+            assert_eq!(
+                paths,
+                vec![
+                    "runs.serial.frames_per_sec",
+                    "runs.sharded.frames_per_sec",
+                    "other[0].queries_per_sec"
+                ]
+            );
+        }
+
+        #[test]
+        fn compare_flags_regressions_and_passes_improvements() {
+            let baseline = parse(
+                r#"{"runs": {"a": {"frames_per_sec": 100.0}, "b": {"queries_per_sec": 50.0}}}"#,
+            );
+            let fresh = parse(
+                r#"{"runs": {"a": {"frames_per_sec": 80.0}, "b": {"queries_per_sec": 75.0}}}"#,
+            );
+            let checks = compare_rates(&baseline, &fresh).unwrap();
+            assert_eq!(checks.len(), 2);
+            let a = checks.iter().find(|c| c.path.contains(".a.")).unwrap();
+            assert!((a.ratio() - 0.8).abs() < 1e-12);
+            assert!(a.passes(0.7));
+            assert!(!a.passes(0.9));
+            let b = checks.iter().find(|c| c.path.contains(".b.")).unwrap();
+            assert!(b.passes(0.7));
+        }
+
+        #[test]
+        fn missing_fresh_metric_is_an_error() {
+            let baseline = parse(r#"{"x": {"frames_per_sec": 100.0}}"#);
+            let fresh = parse(r#"{"y": {"frames_per_sec": 100.0}}"#);
+            assert!(compare_rates(&baseline, &fresh).is_err());
+        }
+
+        #[test]
+        fn baseline_without_rates_is_an_error() {
+            let baseline = parse(r#"{"x": 1}"#);
+            let fresh = parse(r#"{"x": {"frames_per_sec": 100.0}}"#);
+            assert!(compare_rates(&baseline, &fresh).is_err());
+        }
+
+        #[test]
+        fn extra_fresh_metrics_are_ignored() {
+            let baseline = parse(r#"{"x": {"frames_per_sec": 100.0}}"#);
+            let fresh = parse(r#"{"x": {"frames_per_sec": 100.0}, "y": {"frames_per_sec": 1.0}}"#);
+            assert_eq!(compare_rates(&baseline, &fresh).unwrap().len(), 1);
+        }
+
+        #[test]
+        fn zero_baseline_never_blocks() {
+            let check = RateCheck {
+                path: "x".into(),
+                baseline: 0.0,
+                fresh: 0.0,
+            };
+            assert!(check.passes(0.7));
+        }
+
+        #[test]
+        fn real_committed_baselines_parse() {
+            // The committed trajectory files must keep working as guard
+            // baselines.
+            for file in ["BENCH_ingest.json", "BENCH_query.json"] {
+                let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../").to_string() + file;
+                let text = std::fs::read_to_string(&path).unwrap();
+                let value = serde_json::parse(&text).unwrap();
+                let mut rates = Vec::new();
+                collect_rates(&value, "", &mut rates);
+                assert!(!rates.is_empty(), "{file} has no rates");
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,10 @@
 //!   [`query_server::QueryServer`] serves many queries concurrently,
 //!   deduplicating and batching the centroid verifications and memoizing
 //!   verdicts in a cross-query cache (see `docs/query-path.md`).
+//! * **Durable storage** ([`segment_ingest`], [`query::segmented`]):
+//!   ingest seals the index into immutable time-partitioned segments under
+//!   a crash-safe manifest, and time/camera-restricted queries open only
+//!   the segments whose bounds intersect (see `docs/storage.md`).
 //! * **Parameter selection** ([`params`]): the sweep over (cheap CNN, K,
 //!   Ls, T) on a GT-labelled sample, the Pareto frontier of ingest cost vs
 //!   query latency, and the Opt-Ingest / Balance / Opt-Query policies.
@@ -60,6 +64,7 @@ pub mod params;
 pub mod pipeline;
 pub mod query;
 pub mod query_server;
+pub mod segment_ingest;
 pub mod shard;
 pub mod worker;
 
@@ -76,8 +81,9 @@ pub use params::{
     SelectionResult, SweepSpace,
 };
 pub use pipeline::{FramePipeline, PipelineOutput, PipelineStats};
-pub use query::{QueryEngine, QueryOutcome, QueryPlan, QueryRequest};
+pub use query::{QueryEngine, QueryOutcome, QueryPlan, QueryRequest, SegmentedCorpus};
 pub use query_server::{CacheStats, QueryServer};
+pub use segment_ingest::{SealPolicy, SegmentedIngest, SegmentedIngestOutput};
 pub use shard::{ingest_serial, MultiIngestOutput, ShardedIngest};
 pub use worker::{StreamWorker, StreamWorkerConfig, StreamWorkerStats};
 
@@ -89,8 +95,9 @@ pub mod prelude {
     pub use crate::ingest::{IngestCnn, IngestEngine, IngestParams};
     pub use crate::params::{ParameterSelector, SweepSpace};
     pub use crate::pipeline::FramePipeline;
-    pub use crate::query::{QueryEngine, QueryOutcome, QueryRequest};
+    pub use crate::query::{QueryEngine, QueryOutcome, QueryRequest, SegmentedCorpus};
     pub use crate::query_server::{CacheStats, QueryServer};
+    pub use crate::segment_ingest::{SealPolicy, SegmentedIngest};
     pub use crate::shard::{MultiIngestOutput, ShardedIngest};
     pub use crate::worker::{StreamWorker, StreamWorkerConfig};
 }

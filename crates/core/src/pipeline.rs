@@ -328,8 +328,29 @@ impl FramePipeline {
         self.epochs_sealed += 1;
     }
 
+    /// Seals the live epoch, then drains every record sealed so far into a
+    /// standalone index — the unit the segmented ingest driver persists as
+    /// one immutable time-partitioned segment (see
+    /// [`SegmentedIngest`](crate::segment_ingest::SegmentedIngest)).
+    ///
+    /// Cluster keys keep counting monotonically across drains, so the
+    /// drained indexes of one pipeline are key-disjoint by construction and
+    /// merging them reproduces the index an undrained run of the same seal
+    /// schedule would have built. Centroid observations and counters stay
+    /// with the pipeline (cumulative), so [`finish`](Self::finish) still
+    /// reports whole-stream stats and the full centroid map.
+    pub fn seal_segment(&mut self) -> TopKIndex {
+        self.seal_epoch();
+        std::mem::take(&mut self.index)
+    }
+
     /// Seals the live epoch and returns everything the pipeline produced,
     /// consuming it.
+    ///
+    /// If [`seal_segment`](Self::seal_segment) was used to drain records
+    /// along the way, the returned index holds only the records sealed
+    /// since the last drain; the centroid map and counters always cover the
+    /// whole run.
     pub fn finish(mut self) -> PipelineOutput {
         self.seal_epoch();
         let stats = self.stats();
@@ -421,6 +442,51 @@ mod tests {
         );
         let indexed: usize = output.index.clusters().map(|c| c.len()).sum();
         assert_eq!(indexed, output.stats.objects);
+    }
+
+    #[test]
+    fn draining_segments_is_equivalent_to_sealing_in_place() {
+        let profile = profile_by_name("auburn_c").unwrap();
+        let dataset = VideoDataset::generate(profile.clone(), 40.0);
+        let model = IngestCnn::generic(ModelSpec::cheap_cnn_1());
+        let half = dataset.frames.len() / 2;
+
+        // Reference: seal the epoch in place, keep accumulating.
+        let mut sealed =
+            FramePipeline::new(profile.stream_id, profile.fps, IngestParams::default());
+        for frame in &dataset.frames[..half] {
+            sealed.push_frame(frame, model.classifier.as_ref());
+        }
+        sealed.seal_epoch();
+        for frame in &dataset.frames[half..] {
+            sealed.push_frame(frame, model.classifier.as_ref());
+        }
+        let sealed = sealed.finish();
+
+        // Drained: same schedule, but the first seal drains a segment.
+        let mut drained =
+            FramePipeline::new(profile.stream_id, profile.fps, IngestParams::default());
+        for frame in &dataset.frames[..half] {
+            drained.push_frame(frame, model.classifier.as_ref());
+        }
+        let part1 = drained.seal_segment();
+        for frame in &dataset.frames[half..] {
+            drained.push_frame(frame, model.classifier.as_ref());
+        }
+        let drained = drained.finish();
+
+        let mut merged = part1;
+        assert_eq!(merged.merge_from(&drained.index), 0);
+        assert_eq!(
+            focus_index::persist::to_json(&merged).unwrap(),
+            focus_index::persist::to_json(&sealed.index).unwrap()
+        );
+        // Stats and centroids are cumulative despite the drain.
+        assert_eq!(drained.stats, sealed.stats);
+        assert_eq!(drained.centroids.len(), sealed.centroids.len());
+        for record in merged.clusters() {
+            assert!(drained.centroids.contains_key(&record.centroid_object));
+        }
     }
 
     #[test]

@@ -67,6 +67,37 @@ pub fn assemble_outcome(
     gpu_cost: GpuCost,
     latency_secs: f64,
 ) -> QueryOutcome {
+    assemble_outcome_from(
+        plan,
+        verdicts,
+        centroid_inferences,
+        gpu_cost,
+        latency_secs,
+        |handle| {
+            ingest
+                .index
+                .get(handle.cluster)
+                .expect("planned cluster still present in the index")
+        },
+    )
+}
+
+/// Like [`assemble_outcome`], but resolves each confirmed candidate's
+/// cluster record through `get_record` instead of a monolithic in-memory
+/// index — the segmented query path resolves records from the segments the
+/// plan actually opened ([`crate::query::segmented`]).
+///
+/// # Panics
+///
+/// Panics if `verdicts.len() != plan.candidates.len()`.
+pub fn assemble_outcome_from<'a>(
+    plan: &QueryPlan,
+    verdicts: &[ClassId],
+    centroid_inferences: usize,
+    gpu_cost: GpuCost,
+    latency_secs: f64,
+    mut get_record: impl FnMut(&focus_index::CentroidHandle) -> &'a focus_index::ClusterRecord,
+) -> QueryOutcome {
     assert_eq!(
         verdicts.len(),
         plan.candidates.len(),
@@ -80,10 +111,7 @@ pub fn assemble_outcome(
             continue;
         }
         confirmed += 1;
-        let record = ingest
-            .index
-            .get(handle.cluster)
-            .expect("planned cluster still present in the index");
+        let record = get_record(handle);
         for member in &record.members {
             frames.insert(member.frame);
             objects.push(member.object);

@@ -19,6 +19,10 @@
 //!   the [`QueryOutcome`].
 //! * [`serve`] — the serial, single-query driver ([`QueryEngine`]), which
 //!   runs QT3 one centroid inference at a time.
+//! * [`segmented`] — QT1/QT2 with segment pruning over a durable
+//!   [`SegmentStore`](focus_index::SegmentStore): time/camera-restricted
+//!   queries open only the segments whose bounds intersect (see
+//!   `docs/storage.md`).
 //!
 //! Concurrent serving — many queries at once, batched GT-CNN verification
 //! of the *deduplicated* union of their candidate sets, and a cross-query
@@ -27,8 +31,10 @@
 
 pub mod execute;
 pub mod plan;
+pub mod segmented;
 pub mod serve;
 
-pub use execute::{assemble_outcome, QueryOutcome};
+pub use execute::{assemble_outcome, assemble_outcome_from, QueryOutcome};
 pub use plan::{QueryPlan, QueryRequest};
+pub use segmented::{SegmentedCorpus, SegmentedPlan};
 pub use serve::QueryEngine;

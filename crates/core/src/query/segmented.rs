@@ -1,0 +1,276 @@
+//! Pruned query planning over a durable [`SegmentStore`] (QT1/QT2 with
+//! segment pruning).
+//!
+//! A monolithic in-memory index answers every lookup by scanning its full
+//! postings list. Over a segmented corpus, a query with a camera/time
+//! restriction first prunes at the *segment* level — only segments whose
+//! manifest bounds intersect the filter are opened (lazily, through the
+//! store's LRU) — and then applies the ordinary per-record filter inside
+//! each opened segment. The result is proven byte-identical to planning
+//! against the merged in-memory index while opening strictly fewer segments
+//! on time-restricted workloads (`tests/segment_durability.rs`).
+//!
+//! [`SegmentedCorpus`] is the query-side view of a segmented ingest run:
+//! the store plus the centroid observations and ingest model the
+//! verification stage needs. [`QueryServer::serve_segmented`] consumes its
+//! plans with the same dedupe/batch/cache machinery as the in-memory path.
+//!
+//! [`QueryServer::serve_segmented`]: crate::query_server::QueryServer::serve_segmented
+
+use std::collections::HashMap;
+
+use focus_index::{
+    ClusterKey, ClusterRecord, QueryFilter, SegmentAccess, SegmentError, SegmentStore,
+};
+use focus_video::{ClassId, ObjectId, ObjectObservation};
+
+use crate::ingest::IngestCnn;
+use crate::query::plan::{QueryPlan, QueryRequest};
+use crate::segment_ingest::SegmentedIngestOutput;
+
+/// The query-side view of a segmented corpus: the durable store plus the
+/// centroid observations (what the GT-CNN classifies) and the ingest model
+/// (for specialized-class → OTHER routing).
+///
+/// # Examples
+///
+/// ```
+/// use focus_core::prelude::*;
+/// use focus_core::query::QueryRequest;
+/// use focus_core::query::segmented::SegmentedCorpus;
+/// use focus_core::segment_ingest::{SealPolicy, SegmentedIngest};
+/// use focus_index::{QueryFilter, SegmentStore};
+/// use focus_video::profile::profile_by_name;
+///
+/// let ds = focus_video::VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 40.0);
+/// let dir = std::env::temp_dir().join("focus_segmented_corpus_doc");
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let mut store = SegmentStore::create(&dir).unwrap();
+/// let output = SegmentedIngest::new(
+///     IngestCnn::generic(focus_cnn::ModelSpec::cheap_cnn_1()),
+///     IngestParams { k: 10, ..IngestParams::default() },
+///     SealPolicy::every_secs(10.0),
+///     1,
+/// )
+/// .ingest_to_store(std::slice::from_ref(&ds), &mut store, &focus_runtime::GpuMeter::new())
+/// .unwrap();
+///
+/// let corpus = SegmentedCorpus::from_output(store, &output);
+/// let class = ds.dominant_classes(1)[0];
+/// // A query restricted to the first quarter of the stream opens one of
+/// // the four segments and prunes the rest.
+/// let request = QueryRequest::new(class)
+///     .with_filter(QueryFilter::any().with_time_range(0.0, 9.0));
+/// let planned = corpus.plan(&request).unwrap();
+/// assert!(planned.access.segments_considered <= 1);
+/// assert_eq!(planned.access.segments_total, 4);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+#[derive(Debug)]
+pub struct SegmentedCorpus {
+    store: SegmentStore,
+    /// The centroid observation of every cluster, keyed by object id — the
+    /// only objects the GT-CNN touches at query time.
+    pub centroids: HashMap<ObjectId, ObjectObservation>,
+    /// The ingest model the corpus was built with.
+    pub model: IngestCnn,
+}
+
+impl SegmentedCorpus {
+    /// Builds a corpus from a store and explicit centroid/model state.
+    pub fn new(
+        store: SegmentStore,
+        centroids: HashMap<ObjectId, ObjectObservation>,
+        model: IngestCnn,
+    ) -> Self {
+        Self {
+            store,
+            centroids,
+            model,
+        }
+    }
+
+    /// Builds a corpus from a segmented ingest run, cloning the centroid
+    /// map and model from its combined output.
+    pub fn from_output(store: SegmentStore, output: &SegmentedIngestOutput) -> Self {
+        Self::new(
+            store,
+            output.combined.centroids.clone(),
+            output.combined.model.clone(),
+        )
+    }
+
+    /// The underlying segment store.
+    pub fn store(&self) -> &SegmentStore {
+        &self.store
+    }
+
+    /// Mutable access to the store, for maintenance
+    /// ([`compact`](SegmentStore::compact)).
+    pub fn store_mut(&mut self) -> &mut SegmentStore {
+        &mut self.store
+    }
+
+    /// Plans one query with segment pruning (QT1/QT2): routes the class
+    /// through the model's OTHER handling, opens only the segments whose
+    /// bounds intersect the filter, and returns the plan together with the
+    /// records backing every candidate (for QT4 assembly) and the access
+    /// account (for storage-cost accounting).
+    pub fn plan(&self, request: &QueryRequest) -> Result<SegmentedPlan, SegmentError> {
+        let lookup_class = self.model.effective_query_class(request.class);
+        let lookup = self.store.lookup(lookup_class, &request.filter)?;
+        let candidates = lookup
+            .records
+            .iter()
+            .map(|record| focus_index::CentroidHandle {
+                cluster: record.key,
+                centroid: record.centroid_object,
+                centroid_frame: record.centroid_frame,
+            })
+            .collect();
+        let records = lookup
+            .records
+            .into_iter()
+            .map(|record| (record.key, record))
+            .collect();
+        Ok(SegmentedPlan {
+            plan: QueryPlan {
+                class: request.class,
+                lookup_class,
+                candidates,
+            },
+            records,
+            access: lookup.access,
+        })
+    }
+
+    /// Convenience lookup mirroring
+    /// [`TopKIndex::lookup`](focus_index::TopKIndex::lookup) over the
+    /// segmented store.
+    pub fn lookup(
+        &self,
+        class: ClassId,
+        filter: &QueryFilter,
+    ) -> Result<Vec<ClusterRecord>, SegmentError> {
+        Ok(self.store.lookup(class, filter)?.records)
+    }
+}
+
+/// A pruned query plan plus everything assembly and accounting need: the
+/// candidate records (resolved from the segments the plan opened) and the
+/// segment-access report.
+#[derive(Debug)]
+pub struct SegmentedPlan {
+    /// The candidate set, exactly as the in-memory
+    /// [`QueryPlan::build`](crate::query::QueryPlan::build) would produce
+    /// over the merged index.
+    pub plan: QueryPlan,
+    /// The cluster record behind every candidate, keyed by cluster key.
+    pub records: HashMap<ClusterKey, ClusterRecord>,
+    /// What the pruned lookup touched.
+    pub access: SegmentAccess,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::IngestParams;
+    use crate::query::plan::QueryPlan;
+    use crate::segment_ingest::{SealPolicy, SegmentedIngest};
+    use focus_cnn::ModelSpec;
+    use focus_runtime::GpuMeter;
+    use focus_video::profile::profile_by_name;
+    use focus_video::VideoDataset;
+    use std::path::PathBuf;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("focus_query_segmented_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn corpus(
+        name: &str,
+    ) -> (
+        VideoDataset,
+        SegmentedCorpus,
+        SegmentedIngestOutput,
+        PathBuf,
+    ) {
+        let ds = VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 60.0);
+        let dir = test_dir(name);
+        let mut store = SegmentStore::create(&dir).unwrap();
+        let output = SegmentedIngest::new(
+            IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+            IngestParams {
+                k: 10,
+                ..IngestParams::default()
+            },
+            SealPolicy::every_secs(15.0),
+            2,
+        )
+        .ingest_to_store(std::slice::from_ref(&ds), &mut store, &GpuMeter::new())
+        .unwrap();
+        let corpus = SegmentedCorpus::from_output(store, &output);
+        (ds, corpus, output, dir)
+    }
+
+    #[test]
+    fn segmented_plan_matches_in_memory_plan() {
+        let (ds, corpus, output, dir) = corpus("plan_match");
+        let class = ds.dominant_classes(1)[0];
+        for filter in [
+            QueryFilter::any(),
+            QueryFilter::any().with_time_range(0.0, 10.0),
+            QueryFilter::any().with_kx(2),
+            QueryFilter::any().with_time_range(20.0, 40.0).with_kx(3),
+        ] {
+            let request = QueryRequest::new(class).with_filter(filter);
+            let segmented = corpus.plan(&request).unwrap();
+            let reference = QueryPlan::build(&output.combined, &request);
+            assert_eq!(segmented.plan, reference);
+            // Every candidate's record was captured for assembly.
+            for handle in &segmented.plan.candidates {
+                assert_eq!(
+                    segmented.records[&handle.cluster].centroid_object,
+                    handle.centroid
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn time_restriction_opens_strictly_fewer_segments() {
+        let (ds, corpus, _, dir) = corpus("pruning");
+        let class = ds.dominant_classes(1)[0];
+        let full = corpus.plan(&QueryRequest::new(class)).unwrap();
+        assert_eq!(full.access.segments_considered, full.access.segments_total);
+        let narrow = corpus
+            .plan(
+                &QueryRequest::new(class)
+                    .with_filter(QueryFilter::any().with_time_range(0.0, 10.0)),
+            )
+            .unwrap();
+        assert!(narrow.access.segments_considered < narrow.access.segments_total);
+        assert!(narrow.access.segments_pruned() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn accessors_expose_store_and_model() {
+        let (_, mut corpus, output, dir) = corpus("accessors");
+        assert_eq!(corpus.store().len(), output.sealed.len());
+        assert!(!corpus.centroids.is_empty());
+        let folded = corpus.store_mut().compact(usize::MAX).unwrap();
+        assert!(folded > 0);
+        assert_eq!(corpus.store().len(), 1);
+        let records = corpus.lookup(ClassId(0), &QueryFilter::any()).unwrap();
+        let merged = corpus.store().merged_index().unwrap();
+        assert_eq!(
+            records.len(),
+            merged.lookup(ClassId(0), &QueryFilter::any()).len()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

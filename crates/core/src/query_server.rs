@@ -33,11 +33,13 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use focus_cnn::{Classifier, GpuCost, GroundTruthCnn};
-use focus_runtime::{BatchCostModel, GpuClusterSpec, GpuMeter, WorkerPool};
+use focus_index::{CentroidHandle, ClusterRecord, SegmentError};
+use focus_runtime::{BatchCostModel, GpuClusterSpec, GpuMeter, IoMeter, WorkerPool};
 use focus_video::{ClassId, ObjectId, ObjectObservation};
 
 use crate::ingest::IngestOutput;
-use crate::query::{assemble_outcome, QueryOutcome, QueryPlan, QueryRequest};
+use crate::query::segmented::{SegmentedCorpus, SegmentedPlan};
+use crate::query::{assemble_outcome_from, QueryOutcome, QueryPlan, QueryRequest};
 
 /// Snapshot of the verdict cache's activity, as returned by
 /// [`QueryServer::cache_stats`].
@@ -291,16 +293,80 @@ impl QueryServer {
         if requests.is_empty() {
             return Vec::new();
         }
+        // QT1/QT2: plan every query concurrently on the worker pool.
+        let plans: Vec<QueryPlan> = self.pool.map(requests.to_vec(), |request| {
+            QueryPlan::build(ingest, request)
+        });
+        self.verify_and_assemble(&plans, &ingest.centroids, meter, |_, handle| {
+            ingest
+                .index
+                .get(handle.cluster)
+                .expect("planned cluster still present in the index")
+        })
+    }
+
+    /// Serves a batch of concurrent queries over a durable segmented corpus
+    /// — the same dedupe / batched-verification / verdict-cache pipeline as
+    /// [`serve`](Self::serve), but with planning pruned at the segment
+    /// level: only segments whose manifest bounds intersect a query's
+    /// camera/time restriction are opened (lazily, through the store's LRU
+    /// cache). Results are byte-identical to [`serve`](Self::serve) over
+    /// the merged in-memory index (`tests/segment_durability.rs` pins
+    /// this).
+    ///
+    /// Storage work — cold segment loads, bytes read, LRU hits — is charged
+    /// to `io`; GPU accounting on `meter` is unchanged from
+    /// [`serve`](Self::serve).
+    pub fn serve_segmented(
+        &self,
+        corpus: &SegmentedCorpus,
+        requests: &[QueryRequest],
+        meter: &GpuMeter,
+        io: &IoMeter,
+    ) -> Result<Vec<QueryOutcome>, SegmentError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        // QT1/QT2 with pruning: plan every query concurrently; each plan
+        // carries the records it resolved from the segments it opened.
+        let planned: Vec<Result<SegmentedPlan, SegmentError>> = self
+            .pool
+            .map(requests.to_vec(), |request| corpus.plan(request));
+        let mut plans = Vec::with_capacity(planned.len());
+        let mut records = Vec::with_capacity(planned.len());
+        for result in planned {
+            let segmented = result?;
+            io.record_loads(segmented.access.cold_loads, segmented.access.bytes_read);
+            io.record_cache_hits(segmented.access.cache_hits);
+            plans.push(segmented.plan);
+            records.push(segmented.records);
+        }
+        Ok(
+            self.verify_and_assemble(&plans, &corpus.centroids, meter, |i, handle| {
+                records[i]
+                    .get(&handle.cluster)
+                    .expect("planned cluster resolved from its segment")
+            }),
+        )
+    }
+
+    /// QT3/QT4 shared by the in-memory and segmented paths: pin the
+    /// (model, epoch) pair, dedupe the union of candidate centroids against
+    /// the verdict cache, verify the fresh set in GPU batches, memoize, and
+    /// assemble one outcome per plan. `get_record(i, handle)` resolves a
+    /// confirmed candidate of `plans[i]` to its cluster record.
+    fn verify_and_assemble<'a>(
+        &self,
+        plans: &[QueryPlan],
+        centroids: &HashMap<ObjectId, ObjectObservation>,
+        meter: &GpuMeter,
+        get_record: impl Fn(usize, &CentroidHandle) -> &'a ClusterRecord,
+    ) -> Vec<QueryOutcome> {
         // Pin the (model, epoch) pair for the whole batch.
         let (gt, epoch) = {
             let guard = self.gt.lock();
             (Arc::clone(&guard), self.epoch())
         };
-
-        // QT1/QT2: plan every query concurrently on the worker pool.
-        let plans: Vec<QueryPlan> = self.pool.map(requests.to_vec(), |request| {
-            QueryPlan::build(ingest, request)
-        });
 
         // Dedupe the union of needed centroid inferences across the
         // in-flight queries, skipping verdicts cached for this epoch. Each
@@ -347,8 +413,7 @@ impl QueryServer {
                 chunk
                     .iter()
                     .map(|id| {
-                        ingest
-                            .centroids
+                        centroids
                             .get(id)
                             .cloned()
                             .expect("ingest stored every centroid observation")
@@ -393,7 +458,8 @@ impl QueryServer {
             .iter()
             .zip(sources.iter())
             .zip(fresh_per_query.iter())
-            .map(|((plan, plan_sources), fresh_count)| {
+            .enumerate()
+            .map(|(plan_idx, ((plan, plan_sources), fresh_count))| {
                 let verdicts: Vec<ClassId> = plan_sources
                     .iter()
                     .map(|source| match source {
@@ -401,13 +467,13 @@ impl QueryServer {
                         VerdictSource::Fresh(index) => labels[*index],
                     })
                     .collect();
-                assemble_outcome(
-                    ingest,
+                assemble_outcome_from(
                     plan,
                     &verdicts,
                     *fresh_count,
                     share * *fresh_count,
                     latency_secs,
+                    |handle| get_record(plan_idx, handle),
                 )
             })
             .collect()

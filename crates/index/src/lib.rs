@@ -18,14 +18,25 @@
 //! cluster records, and [`TopKIndex::lookup_centroids`] returns owned,
 //! stable [`CentroidHandle`]s — the form the query-serving layer plans with
 //! and keys its cross-query verdict cache by.
+//!
+//! For corpora too large (or too long-lived) for one monolithic snapshot,
+//! the [`segment`] module provides a durable, time-partitioned store:
+//! ingest seals immutable checksummed [`segment`] files under a crash-safe
+//! [`manifest`], and time/camera-restricted lookups open only the segments
+//! whose bounds intersect the filter (see `docs/storage.md` at the
+//! workspace root).
 
 #![deny(missing_docs)]
 
 pub mod cluster_store;
+pub mod manifest;
 pub mod persist;
 pub mod query;
+pub mod segment;
 pub mod topk;
 
 pub use cluster_store::{ClusterKey, ClusterRecord, MemberRef};
+pub use manifest::{Manifest, SegmentMeta};
 pub use query::QueryFilter;
+pub use segment::{OpenReport, SegmentAccess, SegmentError, SegmentLookup, SegmentStore};
 pub use topk::{CentroidHandle, IndexStats, TopKIndex};

@@ -4,10 +4,20 @@
 //! can be snapshotted to a JSON file. The format is self-describing and
 //! versioned so future layout changes can be detected instead of silently
 //! misread.
+//!
+//! Writes go through [`write_atomic`] (temp file + `fsync` + rename), so a
+//! crash mid-write can never truncate an existing snapshot: the target path
+//! either still holds the previous complete snapshot or already holds the
+//! new one. The same helper backs the segment store's manifest and segment
+//! files (see [`crate::segment`]).
+//!
+//! Every error carries the file path it occurred on (when a file was
+//! involved), so a failed load in a store of hundreds of segments points at
+//! the exact file instead of a bare "invalid JSON".
 
 use std::fs;
-use std::io;
-use std::path::Path;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
@@ -16,46 +26,122 @@ use crate::topk::TopKIndex;
 /// Current snapshot format version.
 pub const SNAPSHOT_VERSION: u32 = 1;
 
-/// Errors produced by snapshot save/load.
+/// Errors produced by snapshot save/load, each carrying the path of the
+/// file involved (absent for in-memory encode/decode).
 #[derive(Debug)]
 pub enum PersistError {
     /// Underlying file I/O failed.
-    Io(io::Error),
+    Io {
+        /// The file being read or written.
+        path: PathBuf,
+        /// The I/O failure.
+        source: io::Error,
+    },
     /// The snapshot could not be encoded or decoded.
-    Format(serde_json::Error),
+    Format {
+        /// The file being decoded, if the bytes came from a file.
+        path: Option<PathBuf>,
+        /// The underlying encode/decode failure.
+        source: serde_json::Error,
+    },
     /// The snapshot was written by an incompatible version of this crate.
     VersionMismatch {
-        /// Version found in the file.
+        /// The file carrying the incompatible snapshot, if any.
+        path: Option<PathBuf>,
+        /// Version found in the snapshot.
         found: u32,
         /// Version this build expects.
         expected: u32,
     },
 }
 
-impl std::fmt::Display for PersistError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl PersistError {
+    /// The file the error occurred on, when one was involved.
+    pub fn path(&self) -> Option<&Path> {
         match self {
-            PersistError::Io(e) => write!(f, "index snapshot I/O error: {e}"),
-            PersistError::Format(e) => write!(f, "index snapshot format error: {e}"),
-            PersistError::VersionMismatch { found, expected } => write!(
-                f,
-                "index snapshot version mismatch: found {found}, expected {expected}"
-            ),
+            PersistError::Io { path, .. } => Some(path),
+            PersistError::Format { path, .. } => path.as_deref(),
+            PersistError::VersionMismatch { path, .. } => path.as_deref(),
+        }
+    }
+
+    /// Attaches `path` to an error produced by the in-memory encode/decode
+    /// helpers, so file-level entry points report which file failed.
+    fn at(self, path: &Path) -> Self {
+        match self {
+            PersistError::Format { source, .. } => PersistError::Format {
+                path: Some(path.to_path_buf()),
+                source,
+            },
+            PersistError::VersionMismatch {
+                found, expected, ..
+            } => PersistError::VersionMismatch {
+                path: Some(path.to_path_buf()),
+                found,
+                expected,
+            },
+            io @ PersistError::Io { .. } => io,
         }
     }
 }
 
-impl std::error::Error for PersistError {}
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io { path, source } => {
+                write!(
+                    f,
+                    "index snapshot I/O error at `{}`: {source}",
+                    path.display()
+                )
+            }
+            PersistError::Format {
+                path: Some(path),
+                source,
+            } => {
+                write!(
+                    f,
+                    "index snapshot format error in `{}`: {source}",
+                    path.display()
+                )
+            }
+            PersistError::Format { path: None, source } => {
+                write!(f, "index snapshot format error: {source}")
+            }
+            PersistError::VersionMismatch {
+                path,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "index snapshot version mismatch{}: found {found}, expected {expected}",
+                    match path {
+                        Some(p) => format!(" in `{}`", p.display()),
+                        None => String::new(),
+                    }
+                )
+            }
+        }
+    }
+}
 
-impl From<io::Error> for PersistError {
-    fn from(e: io::Error) -> Self {
-        PersistError::Io(e)
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            PersistError::Format { source, .. } => Some(source),
+            PersistError::VersionMismatch { .. } => None,
+        }
     }
 }
 
 impl From<serde_json::Error> for PersistError {
     fn from(e: serde_json::Error) -> Self {
-        PersistError::Format(e)
+        PersistError::Format {
+            path: None,
+            source: e,
+        }
     }
 }
 
@@ -79,6 +165,7 @@ pub fn from_json(json: &str) -> Result<TopKIndex, PersistError> {
     let snapshot: Snapshot = serde_json::from_str(json)?;
     if snapshot.version != SNAPSHOT_VERSION {
         return Err(PersistError::VersionMismatch {
+            path: None,
             found: snapshot.version,
             expected: SNAPSHOT_VERSION,
         });
@@ -86,17 +173,58 @@ pub fn from_json(json: &str) -> Result<TopKIndex, PersistError> {
     Ok(snapshot.index)
 }
 
-/// Writes a snapshot of `index` to `path`.
-pub fn save(index: &TopKIndex, path: &Path) -> Result<(), PersistError> {
-    let json = to_json(index)?;
-    fs::write(path, json)?;
+/// Writes `contents` to `path` atomically: the bytes go to a sibling
+/// `<name>.tmp` file first, are flushed to disk, the temp file is renamed
+/// over `path`, and the parent directory is fsynced so the rename itself
+/// survives power loss. A crash at any point leaves `path` either untouched
+/// (still the previous complete file) or fully replaced — never truncated.
+///
+/// The temp name is deterministic, so two concurrent writers to the same
+/// path race on it; callers that share a path must serialize writes (the
+/// segment store does, by requiring `&mut self` for all writes).
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let mut file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_os_string();
+    file_name.push(".tmp");
+    let tmp = path.with_file_name(file_name);
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Durability of the rename: the directory entry must reach disk too,
+    // or a power cut can resurrect the old file (or lose the new name)
+    // after the caller was told the write succeeded.
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    fs::File::open(parent)?.sync_all()?;
     Ok(())
 }
 
-/// Loads an index snapshot from `path`.
+/// Writes a snapshot of `index` to `path` atomically (temp file + rename):
+/// a crash mid-write can never truncate an existing snapshot at `path`.
+pub fn save(index: &TopKIndex, path: &Path) -> Result<(), PersistError> {
+    let json = to_json(index)?;
+    write_atomic(path, &json).map_err(|source| PersistError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    Ok(())
+}
+
+/// Loads an index snapshot from `path`. Errors name the file: an I/O
+/// failure, malformed JSON, or a version mismatch all report `path`.
 pub fn load(path: &Path) -> Result<TopKIndex, PersistError> {
-    let json = fs::read_to_string(path)?;
-    from_json(&json)
+    let json = fs::read_to_string(path).map_err(|source| PersistError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    from_json(&json).map_err(|e| e.at(path))
 }
 
 #[cfg(test)]
@@ -151,14 +279,47 @@ mod tests {
     }
 
     #[test]
+    fn save_is_atomic_and_replaces_existing_snapshots() {
+        let dir = std::env::temp_dir().join("focus_index_persist_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.json");
+        // First save, then overwrite with a bigger index; the temp file must
+        // not linger and the final content must be the second snapshot.
+        let mut idx = TopKIndex::new();
+        idx.insert(ClusterRecord {
+            key: ClusterKey::new(StreamId(0), 0),
+            centroid_object: ObjectId(0),
+            centroid_frame: FrameId(0),
+            top_k_classes: vec![ClassId(1)],
+            members: vec![MemberRef {
+                object: ObjectId(0),
+                frame: FrameId(0),
+            }],
+            start_secs: 0.0,
+            end_secs: 1.0,
+        });
+        save(&idx, &path).unwrap();
+        let full = sample_index();
+        save(&full, &path).unwrap();
+        assert!(!path.with_file_name("index.json.tmp").exists());
+        assert_eq!(load(&path).unwrap().len(), full.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn version_mismatch_is_detected() {
         let idx = sample_index();
         let json = to_json(&idx).unwrap();
         let tampered = json.replace("\"version\":1", "\"version\":999");
         match from_json(&tampered) {
-            Err(PersistError::VersionMismatch { found, expected }) => {
+            Err(PersistError::VersionMismatch {
+                path,
+                found,
+                expected,
+            }) => {
                 assert_eq!(found, 999);
                 assert_eq!(expected, SNAPSHOT_VERSION);
+                assert!(path.is_none());
             }
             other => panic!("expected version mismatch, got {other:?}"),
         }
@@ -168,17 +329,41 @@ mod tests {
     fn malformed_json_is_an_error() {
         assert!(matches!(
             from_json("{not json"),
-            Err(PersistError::Format(_))
+            Err(PersistError::Format { path: None, .. })
         ));
     }
 
     #[test]
-    fn missing_file_is_an_io_error() {
+    fn file_errors_name_the_file() {
         let missing = Path::new("/nonexistent/focus-index.json");
-        assert!(matches!(load(missing), Err(PersistError::Io(_))));
+        let err = load(missing).unwrap_err();
+        assert!(matches!(err, PersistError::Io { .. }));
+        assert_eq!(err.path(), Some(missing));
+        assert!(err.to_string().contains("focus-index.json"));
+
+        // A malformed file reports its path too.
+        let dir = std::env::temp_dir().join("focus_index_persist_badfile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{not json").unwrap();
+        let err = load(&bad).unwrap_err();
+        assert!(matches!(err, PersistError::Format { path: Some(_), .. }));
+        assert_eq!(err.path(), Some(bad.as_path()));
+        assert!(err.to_string().contains("bad.json"));
+        std::fs::remove_file(&bad).ok();
+
         let errors = [
-            PersistError::Io(io::Error::new(io::ErrorKind::NotFound, "x")),
+            PersistError::Io {
+                path: PathBuf::from("/x/y.json"),
+                source: io::Error::new(io::ErrorKind::NotFound, "x"),
+            },
             PersistError::VersionMismatch {
+                path: Some(PathBuf::from("/x/y.json")),
+                found: 2,
+                expected: 1,
+            },
+            PersistError::VersionMismatch {
+                path: None,
                 found: 2,
                 expected: 1,
             },

@@ -1,0 +1,1061 @@
+//! Durable, time-partitioned index segments.
+//!
+//! A [`SegmentStore`] is the on-disk home of a top-K index that has grown
+//! past what one monolithic snapshot should hold: ingest seals batches of
+//! cluster records into immutable *segments* (each covering the tight time
+//! range of its records, per stream), and queries open only the segments
+//! whose bounds intersect their camera/time restriction — the rest are
+//! pruned without touching disk.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! store/
+//!   MANIFEST.json      # versioned list of live segments (see `manifest`)
+//!   seg-000000.json    # one immutable index snapshot per segment
+//!   seg-000001.json
+//!   ...
+//! ```
+//!
+//! Durability protocol: a segment file is written atomically (temp +
+//! rename), then the manifest is rewritten atomically to list it. The
+//! manifest is the source of truth — on [`open`](SegmentStore::open),
+//! unlisted segment files and stray temp files are quarantined/removed, and
+//! listed segments whose bytes fail their manifest checksum are quarantined
+//! instead of silently loaded. See [`crate::manifest`] for the crash
+//! analysis.
+//!
+//! Reads go through a small LRU cache of decoded segments, so repeated
+//! queries against a warm working set skip both disk and JSON decoding;
+//! [`SegmentAccess`] reports per-call pruning and cache behaviour so
+//! callers can account for storage cost (the runtime crate's `IoMeter`).
+
+use std::collections::{HashMap, VecDeque};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use focus_video::ClassId;
+
+use crate::cluster_store::ClusterRecord;
+use crate::manifest::{fnv1a64, Manifest, SegmentMeta, MANIFEST_FILE};
+use crate::persist::{self, write_atomic, PersistError};
+use crate::query::QueryFilter;
+use crate::topk::{CentroidHandle, TopKIndex};
+
+/// Default capacity of the decoded-segment LRU cache.
+pub const DEFAULT_CACHE_CAPACITY: usize = 16;
+
+/// Errors produced by the segment store.
+#[derive(Debug)]
+pub enum SegmentError {
+    /// Reading or writing a snapshot/manifest failed (carries the path).
+    Persist(PersistError),
+    /// A segment file's bytes do not match the checksum recorded in the
+    /// manifest (torn write or bit rot).
+    Corrupt {
+        /// The corrupt segment file.
+        path: PathBuf,
+        /// Checksum recorded in the manifest.
+        expected: u64,
+        /// Checksum of the bytes actually on disk.
+        found: u64,
+    },
+    /// A segment id was requested that the manifest does not list.
+    UnknownSegment {
+        /// The requested id.
+        id: u64,
+    },
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::Persist(e) => write!(f, "segment store: {e}"),
+            SegmentError::Corrupt {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "segment store: corrupt segment `{}`: checksum {found:#018x}, manifest says {expected:#018x}",
+                path.display()
+            ),
+            SegmentError::UnknownSegment { id } => {
+                write!(f, "segment store: unknown segment id {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SegmentError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PersistError> for SegmentError {
+    fn from(e: PersistError) -> Self {
+        SegmentError::Persist(e)
+    }
+}
+
+/// What [`SegmentStore::open`] had to repair: files that were present but
+/// untrusted (quarantined by renaming to `<name>.quarantined`) and stray
+/// temp files from interrupted writes (deleted).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpenReport {
+    /// Segment files moved aside instead of loaded: manifest-listed files
+    /// whose checksum did not match (corrupt), plus complete-looking segment
+    /// files the manifest never acknowledged (orphans from a crash between
+    /// segment rename and manifest update).
+    pub quarantined: Vec<String>,
+    /// Manifest-listed segments whose file was missing entirely (dropped
+    /// from the manifest; nothing on disk to quarantine).
+    pub missing: Vec<String>,
+    /// Leftover `*.tmp` files from interrupted atomic writes, deleted.
+    pub removed_temp: Vec<String>,
+}
+
+impl OpenReport {
+    /// Whether the store opened without finding anything to repair.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.missing.is_empty() && self.removed_temp.is_empty()
+    }
+}
+
+/// Per-call account of what a pruned lookup touched: how many segments the
+/// store holds, how many survived pruning, and how the opened ones were
+/// served (cold disk load vs LRU hit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentAccess {
+    /// Live segments in the store at lookup time.
+    pub segments_total: usize,
+    /// Segments whose bounds intersected the filter (the rest were pruned
+    /// without being opened).
+    pub segments_considered: usize,
+    /// Considered segments that had to be read and decoded from disk.
+    pub cold_loads: usize,
+    /// Considered segments served from the decoded-segment LRU cache.
+    pub cache_hits: usize,
+    /// Bytes read from disk for the cold loads.
+    pub bytes_read: u64,
+}
+
+impl SegmentAccess {
+    /// Segments actually opened (cold or cached).
+    pub fn segments_opened(&self) -> usize {
+        self.cold_loads + self.cache_hits
+    }
+
+    /// Segments skipped by pruning.
+    pub fn segments_pruned(&self) -> usize {
+        self.segments_total - self.segments_considered
+    }
+
+    /// Accumulates another access report into this one.
+    pub fn merge(&mut self, other: &SegmentAccess) {
+        // `segments_total` is a store-level snapshot, not additive.
+        self.segments_total = self.segments_total.max(other.segments_total);
+        self.segments_considered += other.segments_considered;
+        self.cold_loads += other.cold_loads;
+        self.cache_hits += other.cache_hits;
+        self.bytes_read += other.bytes_read;
+    }
+}
+
+/// The result of a pruned lookup: the matching records (sorted by cluster
+/// key, exactly as [`TopKIndex::lookup`] on the merged index would return
+/// them) plus the access account.
+#[derive(Debug, Clone)]
+pub struct SegmentLookup {
+    /// Matching cluster records, sorted by key.
+    pub records: Vec<ClusterRecord>,
+    /// What the lookup touched.
+    pub access: SegmentAccess,
+}
+
+/// A bounded LRU of decoded segments, keyed by segment id.
+#[derive(Debug)]
+struct SegmentCache {
+    capacity: usize,
+    /// Ids in recency order, least recent first.
+    order: VecDeque<u64>,
+    decoded: HashMap<u64, Arc<TopKIndex>>,
+}
+
+impl SegmentCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            order: VecDeque::new(),
+            decoded: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, id: u64) -> Option<Arc<TopKIndex>> {
+        let index = self.decoded.get(&id)?;
+        let index = Arc::clone(index);
+        if let Some(pos) = self.order.iter().position(|x| *x == id) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(id);
+        Some(index)
+    }
+
+    fn insert(&mut self, id: u64, index: Arc<TopKIndex>) {
+        if self.decoded.insert(id, index).is_none() {
+            self.order.push_back(id);
+        }
+        while self.decoded.len() > self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.decoded.remove(&evicted);
+            }
+        }
+    }
+
+    fn remove(&mut self, id: u64) {
+        if self.decoded.remove(&id).is_some() {
+            if let Some(pos) = self.order.iter().position(|x| *x == id) {
+                self.order.remove(pos);
+            }
+        }
+    }
+}
+
+/// A durable, time-partitioned index store (see the module docs for the
+/// on-disk layout and durability protocol).
+///
+/// All mutations (`seal`, `compact`) take `&mut self` and serialize their
+/// atomic writes; reads (`load`, `lookup`) take `&self` and share the LRU
+/// cache behind a mutex, so a store can serve concurrent queries.
+///
+/// # Examples
+///
+/// ```
+/// use focus_index::{ClusterKey, ClusterRecord, MemberRef, QueryFilter, SegmentStore, TopKIndex};
+/// use focus_video::{ClassId, FrameId, ObjectId, StreamId};
+///
+/// let dir = std::env::temp_dir().join("focus_segment_doc_example");
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let mut store = SegmentStore::create(&dir).unwrap();
+///
+/// // Seal two single-record segments covering different time windows.
+/// for (local, start) in [(0u64, 0.0f64), (1, 100.0)] {
+///     let mut seg = TopKIndex::new();
+///     seg.insert(ClusterRecord {
+///         key: ClusterKey::new(StreamId(0), local),
+///         centroid_object: ObjectId(local),
+///         centroid_frame: FrameId(local),
+///         top_k_classes: vec![ClassId(7)],
+///         members: vec![MemberRef { object: ObjectId(local), frame: FrameId(local) }],
+///         start_secs: start,
+///         end_secs: start + 10.0,
+///     });
+///     store.seal(&seg).unwrap();
+/// }
+///
+/// // A time-restricted lookup opens only the intersecting segment.
+/// let early = QueryFilter::any().with_time_range(0.0, 20.0);
+/// let hit = store.lookup(ClassId(7), &early).unwrap();
+/// assert_eq!(hit.records.len(), 1);
+/// assert_eq!(hit.access.segments_considered, 1);
+/// assert_eq!(hit.access.segments_pruned(), 1);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+#[derive(Debug)]
+pub struct SegmentStore {
+    dir: PathBuf,
+    manifest: Manifest,
+    cache: Mutex<SegmentCache>,
+}
+
+// The query layer shares one store across its worker threads; keep the
+// store's cross-thread shareability an explicit API guarantee.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SegmentStore>();
+};
+
+impl SegmentStore {
+    /// Creates a fresh, empty store at `dir` (creating the directory if
+    /// needed) and writes its initial manifest.
+    ///
+    /// Fails with an I/O error if `dir` already contains a manifest — use
+    /// [`open`](Self::open) for an existing store.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<SegmentStore, SegmentError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|source| {
+            SegmentError::Persist(PersistError::Io {
+                path: dir.clone(),
+                source,
+            })
+        })?;
+        let manifest_path = dir.join(MANIFEST_FILE);
+        if manifest_path.exists() {
+            return Err(SegmentError::Persist(PersistError::Io {
+                path: manifest_path,
+                source: std::io::Error::new(
+                    std::io::ErrorKind::AlreadyExists,
+                    "store already exists; use SegmentStore::open",
+                ),
+            }));
+        }
+        let manifest = Manifest::new();
+        manifest.save(&manifest_path)?;
+        Ok(SegmentStore {
+            dir,
+            manifest,
+            cache: Mutex::new(SegmentCache::new(DEFAULT_CACHE_CAPACITY)),
+        })
+    }
+
+    /// Opens an existing store, verifying it and repairing crash leftovers:
+    /// stray `*.tmp` files are deleted, manifest-listed segments whose bytes
+    /// fail their checksum are quarantined (renamed to `<name>.quarantined`
+    /// and dropped from the manifest), and complete segment files the
+    /// manifest never acknowledged are quarantined too. The returned
+    /// [`OpenReport`] lists every repair.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<(SegmentStore, OpenReport), SegmentError> {
+        let dir = dir.into();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let mut manifest = Manifest::load(&manifest_path)?;
+        let mut report = OpenReport::default();
+
+        // Verify every listed segment's bytes against its checksum.
+        let listed_count = manifest.segments.len();
+        let mut verified = Vec::with_capacity(listed_count);
+        for meta in std::mem::take(&mut manifest.segments) {
+            let path = dir.join(&meta.file);
+            match fs::read(&path) {
+                Ok(bytes) if fnv1a64(&bytes) == meta.checksum => verified.push(meta),
+                Ok(_) => {
+                    // Torn or rotted: move aside for post-mortem, never load.
+                    let _ = fs::rename(&path, quarantine_path(&path));
+                    report.quarantined.push(meta.file);
+                }
+                // Only a confirmed absence may delist a segment. Any other
+                // read failure (permissions, fd exhaustion, transient I/O)
+                // aborts the open: dropping a healthy segment from the
+                // manifest over a transient error would be permanent.
+                Err(source) if source.kind() == std::io::ErrorKind::NotFound => {
+                    report.missing.push(meta.file)
+                }
+                Err(source) => {
+                    return Err(SegmentError::Persist(PersistError::Io { path, source }))
+                }
+            }
+        }
+        let entries_dropped = verified.len() != listed_count;
+        manifest.segments = verified;
+
+        // Sweep the directory for crash leftovers: interrupted temp writes
+        // and complete segments the manifest never acknowledged.
+        let listed: HashMap<&str, ()> = manifest
+            .segments
+            .iter()
+            .map(|m| (m.file.as_str(), ()))
+            .collect();
+        if let Ok(entries) = fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let path = entry.path();
+                if name.ends_with(".tmp") {
+                    let _ = fs::remove_file(&path);
+                    report.removed_temp.push(name);
+                } else if name.starts_with("seg-")
+                    && name.ends_with(".json")
+                    && !listed.contains_key(name.as_str())
+                {
+                    let _ = fs::rename(&path, quarantine_path(&path));
+                    report.quarantined.push(name);
+                }
+            }
+        }
+
+        if entries_dropped {
+            manifest.save(&manifest_path)?;
+        }
+        Ok((
+            SegmentStore {
+                dir,
+                manifest,
+                cache: Mutex::new(SegmentCache::new(DEFAULT_CACHE_CAPACITY)),
+            },
+            report,
+        ))
+    }
+
+    /// Returns the store with the decoded-segment LRU capacity set to
+    /// `capacity` (minimum 1; the default is [`DEFAULT_CACHE_CAPACITY`]).
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        SegmentStore {
+            cache: Mutex::new(SegmentCache::new(capacity)),
+            ..self
+        }
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The live segments, in seal order.
+    pub fn segments(&self) -> &[SegmentMeta] {
+        &self.manifest.segments
+    }
+
+    /// Number of live segments.
+    pub fn len(&self) -> usize {
+        self.manifest.segments.len()
+    }
+
+    /// Whether the store holds no segments.
+    pub fn is_empty(&self) -> bool {
+        self.manifest.segments.is_empty()
+    }
+
+    /// Total cluster records across all live segments.
+    pub fn total_clusters(&self) -> usize {
+        self.manifest.segments.iter().map(|s| s.clusters).sum()
+    }
+
+    /// Seals `index` as one new immutable segment: writes the segment file
+    /// atomically, then commits it to the manifest. An empty index seals
+    /// nothing and returns `Ok(None)`.
+    ///
+    /// The segment's time bounds are the tight cover of the records' time
+    /// ranges and its stream list is exactly the records' streams, which is
+    /// what makes later pruning sound (see [`SegmentMeta::admits_filter`]).
+    pub fn seal(&mut self, index: &TopKIndex) -> Result<Option<SegmentMeta>, SegmentError> {
+        if index.is_empty() {
+            return Ok(None);
+        }
+        let mut t_start = f64::INFINITY;
+        let mut t_end = f64::NEG_INFINITY;
+        for record in index.clusters() {
+            t_start = t_start.min(record.start_secs);
+            t_end = t_end.max(record.end_secs);
+        }
+        let id = self.manifest.allocate_id();
+        let file = format!("seg-{id:06}.json");
+        let payload = persist::to_json(index)?;
+        let meta = SegmentMeta {
+            id,
+            file: file.clone(),
+            t_start,
+            t_end,
+            streams: index.streams(),
+            clusters: index.len(),
+            checksum: fnv1a64(payload.as_bytes()),
+        };
+        let path = self.dir.join(&file);
+        write_atomic(&path, &payload)
+            .map_err(|source| SegmentError::Persist(PersistError::Io { path, source }))?;
+        self.manifest.segments.push(meta.clone());
+        self.manifest.save(&self.dir.join(MANIFEST_FILE))?;
+        Ok(Some(meta))
+    }
+
+    /// Loads segment `id`, serving it from the LRU cache when possible and
+    /// verifying the manifest checksum on every cold load.
+    pub fn load(&self, id: u64) -> Result<Arc<TopKIndex>, SegmentError> {
+        let meta = self
+            .manifest
+            .segment(id)
+            .ok_or(SegmentError::UnknownSegment { id })?;
+        let (index, _, _) = self.load_counted(meta)?;
+        Ok(index)
+    }
+
+    /// Loads a segment through the cache; returns the decoded index, whether
+    /// the load was cold, and the bytes read (zero on a cache hit).
+    fn load_counted(
+        &self,
+        meta: &SegmentMeta,
+    ) -> Result<(Arc<TopKIndex>, bool, u64), SegmentError> {
+        if let Some(index) = self.cache.lock().unwrap().get(meta.id) {
+            return Ok((index, false, 0));
+        }
+        let path = self.dir.join(&meta.file);
+        let bytes = fs::read(&path).map_err(|source| {
+            SegmentError::Persist(PersistError::Io {
+                path: path.clone(),
+                source,
+            })
+        })?;
+        let found = fnv1a64(&bytes);
+        if found != meta.checksum {
+            return Err(SegmentError::Corrupt {
+                path,
+                expected: meta.checksum,
+                found,
+            });
+        }
+        let json = String::from_utf8_lossy(&bytes);
+        let index = Arc::new(persist::from_json(&json).map_err(|e| {
+            SegmentError::Persist(match e {
+                PersistError::Format { source, .. } => PersistError::Format {
+                    path: Some(path.clone()),
+                    source,
+                },
+                other => other,
+            })
+        })?);
+        let len = bytes.len() as u64;
+        self.cache
+            .lock()
+            .unwrap()
+            .insert(meta.id, Arc::clone(&index));
+        Ok((index, true, len))
+    }
+
+    /// The segments whose bounds intersect `filter` — the ones a query must
+    /// open; everything else is pruned.
+    pub fn segments_for(&self, filter: &QueryFilter) -> Vec<SegmentMeta> {
+        self.manifest
+            .segments
+            .iter()
+            .filter(|m| m.admits_filter(filter))
+            .cloned()
+            .collect()
+    }
+
+    /// Pruned lookup: opens only the segments intersecting `filter`, runs
+    /// [`TopKIndex::lookup`] in each, and returns the union sorted by
+    /// cluster key — byte-identical to looking `class` up in the merged
+    /// in-memory index (segments are key-disjoint, so no deduplication
+    /// across segments is ever needed).
+    pub fn lookup(
+        &self,
+        class: ClassId,
+        filter: &QueryFilter,
+    ) -> Result<SegmentLookup, SegmentError> {
+        let mut access = SegmentAccess {
+            segments_total: self.manifest.segments.len(),
+            ..SegmentAccess::default()
+        };
+        let mut records: Vec<ClusterRecord> = Vec::new();
+        for meta in self
+            .manifest
+            .segments
+            .iter()
+            .filter(|m| m.admits_filter(filter))
+        {
+            access.segments_considered += 1;
+            let (index, cold, bytes) = self.load_counted(meta)?;
+            if cold {
+                access.cold_loads += 1;
+                access.bytes_read += bytes;
+            } else {
+                access.cache_hits += 1;
+            }
+            records.extend(index.lookup(class, filter).into_iter().cloned());
+        }
+        records.sort_by_key(|r| r.key);
+        // Segments are key-disjoint by construction; a duplicate here means
+        // a corrupt store, and silently dropping one record would mask it —
+        // fail as loudly as merged_index() does.
+        assert!(
+            records.windows(2).all(|w| w[0].key != w[1].key),
+            "segments must be key-disjoint"
+        );
+        Ok(SegmentLookup { records, access })
+    }
+
+    /// Like [`lookup`](Self::lookup), but returns stable
+    /// [`CentroidHandle`]s — the shape the query-planning layer consumes.
+    pub fn lookup_centroids(
+        &self,
+        class: ClassId,
+        filter: &QueryFilter,
+    ) -> Result<(Vec<CentroidHandle>, SegmentAccess), SegmentError> {
+        let SegmentLookup { records, access } = self.lookup(class, filter)?;
+        let handles = records
+            .iter()
+            .map(|record| CentroidHandle {
+                cluster: record.key,
+                centroid: record.centroid_object,
+                centroid_frame: record.centroid_frame,
+            })
+            .collect();
+        Ok((handles, access))
+    }
+
+    /// Merges every live segment into one in-memory index (manifest order).
+    /// This is the reference the pruned query path is tested against, and
+    /// the recovery path for callers that want the whole corpus in memory.
+    pub fn merged_index(&self) -> Result<TopKIndex, SegmentError> {
+        let mut merged = TopKIndex::new();
+        for meta in &self.manifest.segments {
+            let (index, _, _) = self.load_counted(meta)?;
+            let replaced = merged.merge_from(&index);
+            assert_eq!(replaced, 0, "segments must be key-disjoint");
+        }
+        Ok(merged)
+    }
+
+    /// Folds runs of adjacent small segments into larger ones: consecutive
+    /// segments (in seal order) whose combined record count stays within
+    /// `max_clusters` are merged into a single new segment. Query results
+    /// are unchanged — the same records end up live, in fewer files.
+    ///
+    /// Crash-safe in the same way as sealing: each replacement segment file
+    /// is written atomically before the manifest commits the swap, and the
+    /// obsolete files are deleted only afterwards (a crash in between leaves
+    /// orphans that the next [`open`](Self::open) quarantines).
+    ///
+    /// Returns the number of segments folded away (old segments removed
+    /// minus replacements added).
+    pub fn compact(&mut self, max_clusters: usize) -> Result<usize, SegmentError> {
+        // Work on a copy: the live segment list must stay intact if any
+        // write below fails (replacement files already written become
+        // orphans that the next open() quarantines — never data loss).
+        let old = self.manifest.segments.clone();
+        let before = old.len();
+        let mut new_segments: Vec<SegmentMeta> = Vec::with_capacity(before);
+        let mut obsolete: Vec<SegmentMeta> = Vec::new();
+        let mut run: Vec<SegmentMeta> = Vec::new();
+        let mut run_clusters = 0usize;
+
+        // Writes a run back: runs of one keep their segment untouched; runs
+        // of two or more are merged into a freshly sealed replacement.
+        let flush = |this: &mut Self,
+                     run: &mut Vec<SegmentMeta>,
+                     new_segments: &mut Vec<SegmentMeta>,
+                     obsolete: &mut Vec<SegmentMeta>|
+         -> Result<(), SegmentError> {
+            if run.len() < 2 {
+                new_segments.append(run);
+                return Ok(());
+            }
+            let mut merged = TopKIndex::new();
+            for meta in run.iter() {
+                let (index, _, _) = this.load_counted(meta)?;
+                let replaced = merged.merge_from(&index);
+                assert_eq!(replaced, 0, "segments must be key-disjoint");
+            }
+            let id = this.manifest.allocate_id();
+            let file = format!("seg-{id:06}.json");
+            let payload = persist::to_json(&merged)?;
+            let meta = SegmentMeta {
+                id,
+                file: file.clone(),
+                t_start: run.iter().map(|m| m.t_start).fold(f64::INFINITY, f64::min),
+                t_end: run
+                    .iter()
+                    .map(|m| m.t_end)
+                    .fold(f64::NEG_INFINITY, f64::max),
+                streams: merged.streams(),
+                clusters: merged.len(),
+                checksum: fnv1a64(payload.as_bytes()),
+            };
+            let path = this.dir.join(&file);
+            write_atomic(&path, &payload)
+                .map_err(|source| SegmentError::Persist(PersistError::Io { path, source }))?;
+            this.cache.lock().unwrap().insert(id, Arc::new(merged));
+            obsolete.append(run);
+            new_segments.push(meta);
+            Ok(())
+        };
+
+        for meta in old.iter().cloned() {
+            if !run.is_empty() && run_clusters + meta.clusters > max_clusters {
+                flush(self, &mut run, &mut new_segments, &mut obsolete)?;
+                run_clusters = 0;
+            }
+            run_clusters += meta.clusters;
+            run.push(meta);
+        }
+        flush(self, &mut run, &mut new_segments, &mut obsolete)?;
+
+        if obsolete.is_empty() {
+            return Ok(0);
+        }
+        // Commit: swap the list in memory, persist it, then retire the old
+        // files. A failed save restores the old list so the in-memory store
+        // keeps matching the manifest on disk.
+        self.manifest.segments = new_segments;
+        if let Err(e) = self.manifest.save(&self.dir.join(MANIFEST_FILE)) {
+            self.manifest.segments = old;
+            return Err(e.into());
+        }
+        let mut cache = self.cache.lock().unwrap();
+        for meta in &obsolete {
+            cache.remove(meta.id);
+            let _ = fs::remove_file(self.dir.join(&meta.file));
+        }
+        drop(cache);
+        Ok(before - self.manifest.segments.len())
+    }
+}
+
+/// The quarantine name for an untrusted file: `<name>.quarantined` next to
+/// the original.
+fn quarantine_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".quarantined");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_store::{ClusterKey, MemberRef};
+    use focus_video::{FrameId, ObjectId, StreamId};
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("focus_segment_{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(stream: u32, local: u64, class: u16, start: f64) -> ClusterRecord {
+        ClusterRecord {
+            key: ClusterKey::new(StreamId(stream), local),
+            centroid_object: ObjectId((stream as u64) << 32 | local),
+            centroid_frame: FrameId(local),
+            top_k_classes: vec![ClassId(class), ClassId(0)],
+            members: vec![MemberRef {
+                object: ObjectId((stream as u64) << 32 | local),
+                frame: FrameId(local),
+            }],
+            start_secs: start,
+            end_secs: start + 5.0,
+        }
+    }
+
+    fn segment_of(records: &[ClusterRecord]) -> TopKIndex {
+        let mut idx = TopKIndex::new();
+        for r in records {
+            idx.insert(r.clone());
+        }
+        idx
+    }
+
+    /// Seals three segments: stream 0 at [0,15], stream 0 at [100,115],
+    /// stream 1 at [0,15].
+    fn populated(dir: &Path) -> SegmentStore {
+        let mut store = SegmentStore::create(dir).unwrap();
+        store
+            .seal(&segment_of(&[record(0, 0, 5, 0.0), record(0, 1, 5, 10.0)]))
+            .unwrap();
+        store
+            .seal(&segment_of(&[
+                record(0, 2, 5, 100.0),
+                record(0, 3, 6, 110.0),
+            ]))
+            .unwrap();
+        store
+            .seal(&segment_of(&[record(1, 0, 5, 0.0), record(1, 1, 7, 10.0)]))
+            .unwrap();
+        store
+    }
+
+    #[test]
+    fn seal_assigns_bounds_streams_and_checksums() {
+        let dir = test_dir("seal_bounds");
+        let mut store = SegmentStore::create(&dir).unwrap();
+        let meta = store
+            .seal(&segment_of(&[record(0, 0, 5, 2.0), record(0, 1, 5, 30.0)]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(meta.id, 0);
+        assert_eq!(meta.t_start, 2.0);
+        assert_eq!(meta.t_end, 35.0);
+        assert_eq!(meta.streams, vec![StreamId(0)]);
+        assert_eq!(meta.clusters, 2);
+        let bytes = fs::read(dir.join(&meta.file)).unwrap();
+        assert_eq!(fnv1a64(&bytes), meta.checksum);
+        // Sealing an empty index is a no-op.
+        assert!(store.seal(&TopKIndex::new()).unwrap().is_none());
+        assert_eq!(store.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_refuses_to_clobber_an_existing_store() {
+        let dir = test_dir("create_clobber");
+        let _store = SegmentStore::create(&dir).unwrap();
+        assert!(SegmentStore::create(&dir).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lookup_equals_merged_index_and_prunes() {
+        let dir = test_dir("lookup_prune");
+        let store = populated(&dir);
+        let merged = store.merged_index().unwrap();
+
+        for (filter, expect_considered) in [
+            (QueryFilter::any(), 3),
+            (QueryFilter::any().with_time_range(0.0, 20.0), 2),
+            (QueryFilter::for_stream(StreamId(1)), 1),
+            (
+                QueryFilter::for_stream(StreamId(0)).with_time_range(90.0, 200.0),
+                1,
+            ),
+        ] {
+            let lookup = store.lookup(ClassId(5), &filter).unwrap();
+            let expected: Vec<ClusterRecord> = merged
+                .lookup(ClassId(5), &filter)
+                .into_iter()
+                .cloned()
+                .collect();
+            assert_eq!(lookup.records, expected, "filter {filter:?}");
+            assert_eq!(
+                lookup.access.segments_considered, expect_considered,
+                "filter {filter:?}"
+            );
+            assert_eq!(lookup.access.segments_total, 3);
+        }
+        // A fully disjoint time range opens nothing.
+        let none = store
+            .lookup(
+                ClassId(5),
+                &QueryFilter::any().with_time_range(500.0, 600.0),
+            )
+            .unwrap();
+        assert!(none.records.is_empty());
+        assert_eq!(none.access.segments_opened(), 0);
+        assert_eq!(none.access.segments_pruned(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lru_cache_serves_warm_lookups_without_reads() {
+        let dir = test_dir("lru");
+        let store = populated(&dir).with_cache_capacity(2);
+        let cold = store.lookup(ClassId(5), &QueryFilter::any()).unwrap();
+        assert_eq!(cold.access.cold_loads, 3);
+        assert_eq!(cold.access.cache_hits, 0);
+        assert!(cold.access.bytes_read > 0);
+        // Capacity 2 holds the two most recent segments; a pruned lookup
+        // touching only the last-loaded segment is served entirely warm.
+        let last = QueryFilter::for_stream(StreamId(1));
+        let warm = store.lookup(ClassId(5), &last).unwrap();
+        assert_eq!(warm.access.segments_considered, 1);
+        assert_eq!(warm.access.cache_hits, 1);
+        assert_eq!(warm.access.cold_loads, 0);
+        // A full sequential rescan of 3 segments thrashes a 2-entry LRU:
+        // every access evicts the entry the next access needs.
+        let rescan = store.lookup(ClassId(5), &QueryFilter::any()).unwrap();
+        assert_eq!(rescan.access.cold_loads, 3);
+        // A large-capacity store is fully warm on the second pass.
+        let (store, _) = SegmentStore::open(&dir).unwrap();
+        store.lookup(ClassId(5), &QueryFilter::any()).unwrap();
+        let warm = store.lookup(ClassId(5), &QueryFilter::any()).unwrap();
+        assert_eq!(warm.access.cache_hits, 3);
+        assert_eq!(warm.access.cold_loads, 0);
+        assert_eq!(warm.access.bytes_read, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_roundtrips_a_clean_store() {
+        let dir = test_dir("open_clean");
+        let store = populated(&dir);
+        let expected = persist::to_json(&store.merged_index().unwrap()).unwrap();
+        let (reopened, report) = SegmentStore::open(&dir).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(
+            persist::to_json(&reopened.merged_index().unwrap()).unwrap(),
+            expected
+        );
+        assert_eq!(reopened.total_clusters(), 6);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_segments_are_quarantined_on_open() {
+        let dir = test_dir("quarantine");
+        let store = populated(&dir);
+        let victim = store.segments()[1].file.clone();
+        // Flip one byte in the middle of the file.
+        let path = dir.join(&victim);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        drop(store);
+
+        let (reopened, report) = SegmentStore::open(&dir).unwrap();
+        assert_eq!(report.quarantined, vec![victim.clone()]);
+        assert_eq!(reopened.len(), 2);
+        assert!(!dir.join(&victim).exists());
+        assert!(dir.join(format!("{victim}.quarantined")).exists());
+        // The surviving segments still load and answer.
+        let lookup = reopened.lookup(ClassId(5), &QueryFilter::any()).unwrap();
+        assert_eq!(lookup.records.len(), 3);
+        // A second open is clean: the repair was persisted to the manifest.
+        let (_, report) = SegmentStore::open(&dir).unwrap();
+        assert!(report.quarantined.is_empty(), "{report:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_after_open_is_detected_at_load_time() {
+        let dir = test_dir("late_corrupt");
+        let store = populated(&dir);
+        let meta = store.segments()[0].clone();
+        let path = dir.join(&meta.file);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        match store.load(meta.id) {
+            Err(SegmentError::Corrupt {
+                expected, found, ..
+            }) => {
+                assert_eq!(expected, meta.checksum);
+                assert_ne!(found, expected);
+            }
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        assert!(matches!(
+            store.load(999),
+            Err(SegmentError::UnknownSegment { id: 999 })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_sweeps_temp_files_and_orphans() {
+        let dir = test_dir("sweep");
+        let store = populated(&dir);
+        let expected = persist::to_json(&store.merged_index().unwrap()).unwrap();
+        drop(store);
+        // A crash mid-write leaves a temp file; a crash between segment
+        // rename and manifest update leaves a complete but unlisted segment.
+        fs::write(dir.join("seg-000099.json.tmp"), "{\"partial").unwrap();
+        fs::write(
+            dir.join("seg-000098.json"),
+            "{\"version\":1,\"index\":{\"clusters\":[]}}",
+        )
+        .unwrap();
+        let (reopened, report) = SegmentStore::open(&dir).unwrap();
+        assert_eq!(report.removed_temp, vec!["seg-000099.json.tmp".to_string()]);
+        assert_eq!(report.quarantined, vec!["seg-000098.json".to_string()]);
+        assert!(!dir.join("seg-000099.json.tmp").exists());
+        assert!(dir.join("seg-000098.json.quarantined").exists());
+        // Every sealed segment survived untouched.
+        assert_eq!(
+            persist::to_json(&reopened.merged_index().unwrap()).unwrap(),
+            expected
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_folds_small_adjacent_segments_without_changing_results() {
+        let dir = test_dir("compact");
+        let mut store = populated(&dir);
+        let before = persist::to_json(&store.merged_index().unwrap()).unwrap();
+        // Each segment holds 2 clusters: a budget of 4 folds the first two
+        // and leaves the third alone.
+        let folded = store.compact(4).unwrap();
+        assert_eq!(folded, 1);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.segments()[0].clusters, 4);
+        assert_eq!(store.segments()[0].t_start, 0.0);
+        assert_eq!(store.segments()[0].t_end, 115.0);
+        assert_eq!(
+            persist::to_json(&store.merged_index().unwrap()).unwrap(),
+            before
+        );
+        // Old files are gone; the store reopens cleanly and still matches.
+        let (reopened, report) = SegmentStore::open(&dir).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(
+            persist::to_json(&reopened.merged_index().unwrap()).unwrap(),
+            before
+        );
+        // Compacting an already-compact store is a no-op.
+        let mut reopened = reopened;
+        assert_eq!(reopened.compact(4).unwrap(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_everything_into_one_segment() {
+        let dir = test_dir("compact_all");
+        let mut store = populated(&dir);
+        let before = persist::to_json(&store.merged_index().unwrap()).unwrap();
+        let folded = store.compact(usize::MAX).unwrap();
+        assert_eq!(folded, 2);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.segments()[0].streams, vec![StreamId(0), StreamId(1)]);
+        assert_eq!(
+            persist::to_json(&store.merged_index().unwrap()).unwrap(),
+            before
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_compaction_leaves_the_segment_list_intact() {
+        let dir = test_dir("compact_fail");
+        let mut store = populated(&dir);
+        // Delete one segment file out from under the store: the fold's load
+        // fails mid-compaction. The live segment list must survive — losing
+        // it would delist every segment on the next manifest save.
+        let victim = store.segments()[1].file.clone();
+        fs::remove_file(dir.join(&victim)).unwrap();
+        assert!(store.compact(usize::MAX).is_err());
+        assert_eq!(store.len(), 3);
+        // And it still matches the manifest on disk.
+        let manifest = Manifest::load(&dir.join(MANIFEST_FILE)).unwrap();
+        assert_eq!(manifest.segments, store.segments());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn access_report_arithmetic() {
+        let mut a = SegmentAccess {
+            segments_total: 5,
+            segments_considered: 2,
+            cold_loads: 1,
+            cache_hits: 1,
+            bytes_read: 100,
+        };
+        assert_eq!(a.segments_opened(), 2);
+        assert_eq!(a.segments_pruned(), 3);
+        a.merge(&SegmentAccess {
+            segments_total: 5,
+            segments_considered: 3,
+            cold_loads: 2,
+            cache_hits: 1,
+            bytes_read: 50,
+        });
+        assert_eq!(a.segments_considered, 5);
+        assert_eq!(a.cold_loads, 3);
+        assert_eq!(a.bytes_read, 150);
+        assert_eq!(a.segments_total, 5);
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let errors: [SegmentError; 3] = [
+            SegmentError::Persist(PersistError::VersionMismatch {
+                path: None,
+                found: 9,
+                expected: 1,
+            }),
+            SegmentError::Corrupt {
+                path: PathBuf::from("/s/seg-000001.json"),
+                expected: 1,
+                found: 2,
+            },
+            SegmentError::UnknownSegment { id: 7 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

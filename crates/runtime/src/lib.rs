@@ -17,9 +17,14 @@
 //! * [`WorkerPool`] — a real thread pool (crossbeam channels) used to
 //!   parallelize query-time classification across workers, mirroring the
 //!   paper's worker processes.
+//! * [`IoMeter`] / [`SegmentLoadCost`] — storage-I/O accounting and a
+//!   latency model for cold index-segment loads, so the segmented query
+//!   path can report what paging the index in actually costs.
 
 pub mod gpu;
+pub mod io;
 pub mod workers;
 
 pub use gpu::{BatchCostModel, GpuClusterSpec, GpuMeter, PhaseBreakdown};
+pub use io::{IoMeter, IoStats, SegmentLoadCost};
 pub use workers::WorkerPool;

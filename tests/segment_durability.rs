@@ -1,0 +1,293 @@
+//! Integration tests for the durable, time-partitioned segment store: a
+//! segmented corpus must answer queries byte-identically to the merged
+//! in-memory index while opening strictly fewer segments under time
+//! filters, and must recover every sealed segment after crashes and
+//! corruption.
+
+use proptest::prelude::*;
+
+use focus::cnn::{GroundTruthCnn, ModelSpec};
+use focus::core::segment_ingest::{SealPolicy, SegmentedIngest, SegmentedIngestOutput};
+use focus::core::{IngestCnn, IngestParams, QueryRequest, QueryServer, SegmentedCorpus};
+use focus::index::{persist, QueryFilter, SegmentStore};
+use focus::runtime::{GpuClusterSpec, GpuMeter, IoMeter};
+use focus::video::profile::profile_by_name;
+use focus::video::VideoDataset;
+
+use std::path::PathBuf;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("focus_segment_durability_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn workload(secs: f64) -> Vec<VideoDataset> {
+    ["auburn_c", "lausanne"]
+        .iter()
+        .map(|n| VideoDataset::generate(profile_by_name(n).unwrap(), secs))
+        .collect()
+}
+
+fn segmented(policy: SealPolicy, shards: usize) -> SegmentedIngest {
+    SegmentedIngest::new(
+        IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+        IngestParams {
+            k: 10,
+            ..IngestParams::default()
+        },
+        policy,
+        shards,
+    )
+}
+
+fn build(
+    name: &str,
+    secs: f64,
+    policy: SealPolicy,
+    shards: usize,
+) -> (Vec<VideoDataset>, SegmentedIngestOutput, PathBuf) {
+    let datasets = workload(secs);
+    let dir = test_dir(name);
+    let mut store = SegmentStore::create(&dir).unwrap();
+    let output = segmented(policy, shards)
+        .ingest_to_store(&datasets, &mut store, &GpuMeter::new())
+        .unwrap();
+    (datasets, output, dir)
+}
+
+fn server() -> QueryServer {
+    QueryServer::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4))
+}
+
+/// Satellite: round-trip save/open across 1/2/4 shards asserting
+/// canonical-JSON equality between the store (reopened from disk) and the
+/// in-memory combined index.
+#[test]
+fn store_roundtrip_matches_in_memory_index_across_shard_counts() {
+    let datasets = workload(45.0);
+    let mut canonical: Option<String> = None;
+    for shards in [1usize, 2, 4] {
+        let dir = test_dir(&format!("roundtrip_{shards}"));
+        let mut store = SegmentStore::create(&dir).unwrap();
+        let output = segmented(SealPolicy::every_secs(15.0), shards)
+            .ingest_to_store(&datasets, &mut store, &GpuMeter::new())
+            .unwrap();
+        drop(store);
+
+        let (reopened, report) = SegmentStore::open(&dir).unwrap();
+        assert!(report.is_clean(), "shards={shards}: {report:?}");
+        let from_disk = persist::to_json(&reopened.merged_index().unwrap()).unwrap();
+        let in_memory = persist::to_json(&output.combined.index).unwrap();
+        assert_eq!(from_disk, in_memory, "shards={shards}");
+        // Every shard count produces the same canonical bytes.
+        match &canonical {
+            None => canonical = Some(from_disk),
+            Some(expected) => assert_eq!(&from_disk, expected, "shards={shards}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Acceptance criterion: time-filtered queries over a segmented store
+/// return byte-identical results to the merged in-memory index while
+/// opening strictly fewer segments.
+#[test]
+fn time_filtered_queries_are_identical_and_open_fewer_segments() {
+    let (datasets, output, dir) = build("pruned_query", 60.0, SealPolicy::every_secs(15.0), 2);
+    let (store, report) = SegmentStore::open(&dir).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    let corpus = SegmentedCorpus::from_output(store, &output);
+
+    let classes = datasets[0].dominant_classes(3);
+    let requests: Vec<QueryRequest> = classes
+        .iter()
+        .flat_map(|c| {
+            [
+                QueryRequest::new(*c).with_filter(QueryFilter::any().with_time_range(0.0, 10.0)),
+                QueryRequest::new(*c).with_filter(QueryFilter::any().with_time_range(30.0, 44.0)),
+            ]
+        })
+        .collect();
+
+    // The segmented server and the in-memory server run the same model on
+    // the same candidates: outcomes must serialize byte-identically.
+    let io = IoMeter::new();
+    let served = server()
+        .serve_segmented(&corpus, &requests, &GpuMeter::new(), &io)
+        .unwrap();
+    let reference = server().serve(&output.combined, &requests, &GpuMeter::new());
+    assert_eq!(
+        serde_json::to_string(&served).unwrap(),
+        serde_json::to_string(&reference).unwrap()
+    );
+    for outcome in &served {
+        assert!(!outcome.frames.is_empty() || outcome.confirmed_clusters == 0);
+    }
+
+    // Strictly fewer segments opened than the store holds, per query and in
+    // total: every request above spans at most half the timeline.
+    let total_segments = corpus.store().len();
+    assert!(total_segments >= 8, "expected a well-segmented store");
+    for request in &requests {
+        let planned = corpus.plan(request).unwrap();
+        assert!(
+            planned.access.segments_considered < total_segments,
+            "request {request:?} opened {} of {total_segments}",
+            planned.access.segments_considered
+        );
+    }
+    // The IoMeter saw the storage work.
+    let stats = io.snapshot();
+    assert!(stats.segments_opened() > 0);
+    assert!(stats.segment_loads > 0);
+    assert!(stats.bytes_read > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: a bit-flipped segment is detected by its manifest checksum
+/// and quarantined on open instead of being silently loaded.
+#[test]
+fn corrupted_segment_is_quarantined_not_loaded() {
+    let (_, output, dir) = build("corrupt", 45.0, SealPolicy::every_secs(15.0), 2);
+    let victim = output.sealed[2].file.clone();
+    let path = dir.join(&victim);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let (store, report) = SegmentStore::open(&dir).unwrap();
+    assert_eq!(report.quarantined, vec![victim.clone()]);
+    assert!(dir.join(format!("{victim}.quarantined")).exists());
+    assert_eq!(store.len(), output.sealed.len() - 1);
+    // The survivors are exactly the other segments' records.
+    let mut expected = focus::index::TopKIndex::new();
+    for meta in output.sealed.iter().filter(|m| m.file != victim) {
+        let loaded = store.load(meta.id).unwrap();
+        assert_eq!(expected.merge_from(&loaded), 0);
+    }
+    assert_eq!(
+        persist::to_json(&store.merged_index().unwrap()).unwrap(),
+        persist::to_json(&expected).unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Acceptance criterion: a kill between the two-step write (segment file,
+/// then manifest) loses nothing that was acknowledged — every manifested
+/// segment is recovered, the half-written temp file is swept, and the
+/// unacknowledged orphan is quarantined rather than trusted.
+#[test]
+fn kill_between_writes_recovers_every_sealed_segment() {
+    let (_, output, dir) = build("crash", 45.0, SealPolicy::every_secs(15.0), 1);
+    let sealed_json = {
+        let (store, _) = SegmentStore::open(&dir).unwrap();
+        persist::to_json(&store.merged_index().unwrap()).unwrap()
+    };
+
+    // Crash A: killed mid-segment-write — a partial temp file remains.
+    std::fs::write(dir.join("seg-000099.json.tmp"), b"{\"version\":1,\"ind").unwrap();
+    // Crash B: killed after the segment rename but before the manifest
+    // update — a complete, valid-looking segment the manifest never saw.
+    let orphan_payload = persist::to_json(&focus::index::TopKIndex::new()).unwrap();
+    std::fs::write(dir.join("seg-000098.json"), orphan_payload).unwrap();
+
+    let (recovered, report) = SegmentStore::open(&dir).unwrap();
+    assert_eq!(report.removed_temp, vec!["seg-000099.json.tmp".to_string()]);
+    assert_eq!(report.quarantined, vec!["seg-000098.json".to_string()]);
+    assert!(report.missing.is_empty());
+    // Every sealed segment is back, byte-identically.
+    assert_eq!(recovered.len(), output.sealed.len());
+    assert_eq!(
+        persist::to_json(&recovered.merged_index().unwrap()).unwrap(),
+        sealed_json
+    );
+    // And the repaired store opens clean the next time.
+    drop(recovered);
+    let (_, report) = SegmentStore::open(&dir).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Compaction folds small adjacent segments without changing query results.
+#[test]
+fn compaction_preserves_query_results() {
+    let (datasets, output, dir) = build("compact", 60.0, SealPolicy::every_secs(10.0), 2);
+    let (store, _) = SegmentStore::open(&dir).unwrap();
+    let mut corpus = SegmentedCorpus::from_output(store, &output);
+    let before_segments = corpus.store().len();
+
+    let class = datasets[0].dominant_classes(1)[0];
+    let requests = vec![
+        QueryRequest::new(class),
+        QueryRequest::new(class).with_filter(QueryFilter::any().with_time_range(0.0, 25.0)),
+    ];
+    let before = server()
+        .serve_segmented(&corpus, &requests, &GpuMeter::new(), &IoMeter::new())
+        .unwrap();
+
+    let folded = corpus.store_mut().compact(200).unwrap();
+    assert!(folded > 0, "expected the 10-second segments to fold");
+    assert!(corpus.store().len() < before_segments);
+
+    // A fresh (cold) server: the accounting fields must match too, not just
+    // the result sets.
+    let after = server()
+        .serve_segmented(&corpus, &requests, &GpuMeter::new(), &IoMeter::new())
+        .unwrap();
+    assert_eq!(
+        serde_json::to_string(&before).unwrap(),
+        serde_json::to_string(&after).unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        .. ProptestConfig::default()
+    })]
+
+    /// Satellite: arbitrary seal boundaries never change query results —
+    /// for any (duration, seal budget, shard count), serving over the
+    /// segmented store is byte-identical to serving over the merged
+    /// in-memory index, filtered and unfiltered.
+    #[test]
+    fn arbitrary_seal_boundaries_never_change_query_results(
+        (secs, budget_secs, shards, case) in (
+            20.0f64..40.0,
+            3.0f64..20.0,
+            prop_oneof![Just(1usize), Just(2), Just(3)],
+            0u64..1_000_000,
+        )
+    ) {
+        let datasets = workload(secs);
+        let dir = test_dir(&format!("proptest_{case}_{shards}"));
+        let mut store = SegmentStore::create(&dir).unwrap();
+        let output = segmented(SealPolicy::every_secs(budget_secs), shards)
+            .ingest_to_store(&datasets, &mut store, &GpuMeter::new())
+            .unwrap();
+        let corpus = SegmentedCorpus::from_output(store, &output);
+
+        let class = datasets[0].dominant_classes(1)[0];
+        let half = secs / 2.0;
+        let requests = vec![
+            QueryRequest::new(class),
+            QueryRequest::new(class)
+                .with_filter(QueryFilter::any().with_time_range(0.0, half)),
+            QueryRequest::new(class)
+                .with_filter(QueryFilter::any().with_time_range(half, secs).with_kx(3)),
+        ];
+        let srv = server();
+        let segmented_outcomes = srv
+            .serve_segmented(&corpus, &requests, &GpuMeter::new(), &IoMeter::new())
+            .unwrap();
+        let reference = server().serve(&output.combined, &requests, &GpuMeter::new());
+        prop_assert_eq!(
+            serde_json::to_string(&segmented_outcomes).unwrap(),
+            serde_json::to_string(&reference).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
