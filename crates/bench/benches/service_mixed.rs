@@ -1,0 +1,188 @@
+//! Criterion benchmark for the live [`FocusService`]: a mixed workload
+//! that interleaves ingest ticks with query waves against one service —
+//! the shape the batch benches cannot measure.
+//!
+//! Besides the usual bench output this writes `BENCH_service.json` to the
+//! workspace root with the mixed run's ingest rate (frames/sec), serving
+//! rate (queries/sec) and tail-hit fraction, so the repository accumulates
+//! a live-serving perf trajectory across changes (guarded by CI's
+//! bench-smoke job).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use focus_cnn::GroundTruthCnn;
+use focus_core::service::{FocusService, ServiceConfig};
+use focus_core::{IngestParams, QueryRequest, SealPolicy, ServiceStats, StreamWorkerConfig};
+use focus_index::QueryFilter;
+use focus_runtime::GpuClusterSpec;
+use focus_video::profile::profile_by_name;
+use focus_video::{Frame, VideoDataset};
+
+/// Seconds of stream ingested per mixed tick (one query wave per tick).
+const TICK_SECS: f64 = 10.0;
+/// Seconds of stream per durable segment.
+const SEGMENT_SECS: f64 = 20.0;
+
+fn workload() -> Vec<VideoDataset> {
+    let secs = focus_bench::bench_workload_secs(240.0);
+    ["auburn_c", "lausanne"]
+        .iter()
+        .map(|name| VideoDataset::generate(profile_by_name(name).unwrap(), secs))
+        .collect()
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        worker: StreamWorkerConfig {
+            params: IngestParams {
+                k: 10,
+                ..IngestParams::default()
+            },
+            // Specialization off: retrains would re-cluster mid-run and
+            // make rates depend on retrain timing instead of the serving
+            // machinery under test.
+            bootstrap_secs: 1e9,
+            retrain_interval_secs: 1e9,
+            gt_label_fraction: 0.0,
+            ..StreamWorkerConfig::default()
+        },
+        seal: SealPolicy::every_secs(SEGMENT_SECS),
+        gpus: GpuClusterSpec::new(4),
+        ..ServiceConfig::default()
+    }
+}
+
+fn service(name: &str) -> (FocusService, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("focus_bench_service_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let svc = FocusService::create(&dir, config(), GroundTruthCnn::resnet152()).unwrap();
+    (svc, dir)
+}
+
+/// The query wave issued after each ingest tick: the dominant classes over
+/// the full timeline plus the freshest window (which only the tail can
+/// answer until the next seal).
+fn wave(datasets: &[VideoDataset], now_secs: f64) -> Vec<QueryRequest> {
+    let classes = datasets[0].dominant_classes(2);
+    let second = classes.get(1).copied().unwrap_or(classes[0]);
+    vec![
+        QueryRequest::new(classes[0]),
+        QueryRequest::new(classes[0]).with_filter(
+            QueryFilter::any().with_time_range((now_secs - TICK_SECS).max(0.0), now_secs),
+        ),
+        QueryRequest::new(second).with_filter(QueryFilter::any().with_kx(3)),
+    ]
+}
+
+/// Runs the full mixed workload against one fresh service; returns
+/// (frames pushed, queries served, ingest seconds, serve seconds, stats).
+fn run_mixed(datasets: &[VideoDataset], dir_tag: &str) -> (usize, usize, f64, f64, ServiceStats) {
+    let (mut svc, dir) = service(dir_tag);
+    for ds in datasets {
+        svc.register_stream(ds.profile.stream_id, ds.profile.fps)
+            .unwrap();
+    }
+    let mut cursors = vec![0usize; datasets.len()];
+    let mut frames_pushed = 0usize;
+    let mut queries_served = 0usize;
+    let mut ingest_secs = 0.0f64;
+    let mut serve_secs = 0.0f64;
+    let mut now_secs = 0.0f64;
+    loop {
+        let mut tick: Vec<Frame> = Vec::new();
+        for (ds, cursor) in datasets.iter().zip(cursors.iter_mut()) {
+            let frames_per_tick = (TICK_SECS * ds.profile.fps as f64) as usize;
+            let end = (*cursor + frames_per_tick).min(ds.frames.len());
+            tick.extend(ds.frames[*cursor..end].iter().cloned());
+            *cursor = end;
+        }
+        if tick.is_empty() {
+            break;
+        }
+        now_secs += TICK_SECS;
+        let start = Instant::now();
+        svc.advance(&tick).unwrap();
+        svc.maintain().unwrap();
+        ingest_secs += start.elapsed().as_secs_f64();
+        frames_pushed += tick.len();
+
+        let requests = wave(datasets, now_secs);
+        let start = Instant::now();
+        let outcomes = svc.serve(&requests).unwrap();
+        serve_secs += start.elapsed().as_secs_f64();
+        std::hint::black_box(outcomes.iter().map(|o| o.frames.len()).sum::<usize>());
+        queries_served += requests.len();
+    }
+    let stats = svc.stats();
+    std::fs::remove_dir_all(&dir).ok();
+    (
+        frames_pushed,
+        queries_served,
+        ingest_secs,
+        serve_secs,
+        stats,
+    )
+}
+
+fn bench_service_mixed(c: &mut Criterion) {
+    let datasets = workload();
+    let frames_total: usize = datasets.iter().map(|d| d.frames.len()).sum();
+    let mut group = c.benchmark_group("service_mixed");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(frames_total as u64));
+    group.bench_function("ingest_plus_serve", |b| {
+        b.iter(|| run_mixed(&datasets, "criterion").0)
+    });
+    group.finish();
+
+    write_trajectory(&datasets);
+}
+
+/// Measures one representative mixed run and writes `BENCH_service.json`
+/// for future PRs to compare against.
+fn write_trajectory(datasets: &[VideoDataset]) {
+    let (frames, queries, ingest_secs, serve_secs, stats) = run_mixed(datasets, "trajectory");
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"streams\": {},\n", datasets.len()));
+    json.push_str(&format!("  \"frames_total\": {frames},\n"));
+    json.push_str(&format!("  \"queries_total\": {queries},\n"));
+    json.push_str("  \"runs\": {\n");
+    json.push_str(&format!(
+        "    \"ingest\": {{ \"secs\": {ingest_secs:.6}, \"frames_per_sec\": {:.1} }},\n",
+        frames as f64 / ingest_secs
+    ));
+    json.push_str(&format!(
+        "    \"serve\": {{ \"secs\": {serve_secs:.6}, \"queries_per_sec\": {:.1} }}\n",
+        queries as f64 / serve_secs
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"live\": {\n");
+    json.push_str(&format!(
+        "    \"tail_hit_fraction\": {:.4},\n",
+        stats.tail_hit_fraction()
+    ));
+    json.push_str(&format!(
+        "    \"cache_hit_rate\": {:.4},\n",
+        stats.cache.hit_rate()
+    ));
+    json.push_str(&format!("    \"segments\": {},\n", stats.segments));
+    json.push_str(&format!(
+        "    \"segments_sealed\": {},\n",
+        stats.segments_sealed
+    ));
+    json.push_str(&format!(
+        "    \"gpu_utilization\": {:.4}\n",
+        stats.gpu.utilization()
+    ));
+    json.push_str("  }\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_service_mixed);
+criterion_main!(benches);

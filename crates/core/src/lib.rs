@@ -19,6 +19,12 @@
 //!   ingest seals the index into immutable time-partitioned segments under
 //!   a crash-safe manifest, and time/camera-restricted queries open only
 //!   the segments whose bounds intersect (see `docs/storage.md`).
+//! * **Live serving** ([`service`]): the long-lived
+//!   [`service::FocusService`] interleaves ingest ticks with
+//!   query waves — queries see a snapshot-consistent union of sealed
+//!   segments and the in-memory hot tail, specialization retrains bump the
+//!   verdict-cache epoch automatically, and all GPU work shares one
+//!   scheduled budget (see `docs/service.md`).
 //! * **Parameter selection** ([`params`]): the sweep over (cheap CNN, K,
 //!   Ls, T) on a GT-labelled sample, the Pareto frontier of ingest cost vs
 //!   query latency, and the Opt-Ingest / Balance / Opt-Query policies.
@@ -65,6 +71,7 @@ pub mod pipeline;
 pub mod query;
 pub mod query_server;
 pub mod segment_ingest;
+pub mod service;
 pub mod shard;
 pub mod worker;
 
@@ -81,11 +88,12 @@ pub use params::{
     SelectionResult, SweepSpace,
 };
 pub use pipeline::{FramePipeline, PipelineOutput, PipelineStats};
-pub use query::{QueryEngine, QueryOutcome, QueryPlan, QueryRequest, SegmentedCorpus};
+pub use query::{QueryEngine, QueryOutcome, QueryPlan, QueryRequest, SegmentedCorpus, TailOverlay};
 pub use query_server::{CacheStats, QueryServer};
-pub use segment_ingest::{SealPolicy, SegmentedIngest, SegmentedIngestOutput};
+pub use segment_ingest::{SealPolicy, SegmentedIngest, SegmentedIngestOutput, StreamSegmenter};
+pub use service::{AdvanceReport, FocusService, MaintenanceReport, ServiceConfig, ServiceStats};
 pub use shard::{ingest_serial, MultiIngestOutput, ShardedIngest};
-pub use worker::{StreamWorker, StreamWorkerConfig, StreamWorkerStats};
+pub use worker::{SpecializationLifecycle, StreamWorker, StreamWorkerConfig, StreamWorkerStats};
 
 /// Convenience prelude re-exporting the types most applications need.
 pub mod prelude {
@@ -98,6 +106,7 @@ pub mod prelude {
     pub use crate::query::{QueryEngine, QueryOutcome, QueryRequest, SegmentedCorpus};
     pub use crate::query_server::{CacheStats, QueryServer};
     pub use crate::segment_ingest::{SealPolicy, SegmentedIngest};
+    pub use crate::service::{FocusService, ServiceConfig, ServiceStats};
     pub use crate::shard::{MultiIngestOutput, ShardedIngest};
     pub use crate::worker::{StreamWorker, StreamWorkerConfig};
 }

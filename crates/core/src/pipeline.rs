@@ -159,6 +159,41 @@ impl FramePipeline {
         self.params
     }
 
+    /// The stream's frame rate (clamped to at least 1 at construction).
+    pub fn fps(&self) -> u32 {
+        self.fps
+    }
+
+    /// The centroid observation of every cluster sealed so far, keyed by
+    /// object id. Cumulative across segment drains — this is the map the
+    /// query-time verification stage reads.
+    pub fn centroids(&self) -> &HashMap<ObjectId, ObjectObservation> {
+        &self.centroids
+    }
+
+    /// The next cluster key this pipeline will assign.
+    pub fn next_cluster_key(&self) -> u64 {
+        self.next_cluster_key
+    }
+
+    /// Starts cluster-key assignment at `next` instead of zero — the
+    /// recovery path for a pipeline resuming a stream whose earlier
+    /// clusters were already sealed to durable segments (new keys must not
+    /// collide with persisted ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline has already sealed a cluster or `next` would
+    /// move the counter backwards.
+    pub fn start_cluster_keys_at(&mut self, next: u64) {
+        assert_eq!(self.clusters, 0, "cannot re-key a pipeline mid-stream");
+        assert!(
+            next >= self.next_cluster_key,
+            "cluster keys must not move backwards"
+        );
+        self.next_cluster_key = next;
+    }
+
     /// Activity counters.
     pub fn stats(&self) -> PipelineStats {
         let motion = self.motion.stats();
@@ -251,7 +286,13 @@ impl FramePipeline {
         } else {
             // Without clustering every object is sealed immediately as a
             // singleton cluster.
-            let record = self.record_for(
+            let record = build_record(
+                self.stream,
+                self.fps,
+                &self.epoch.top_k,
+                &self.epoch.observations,
+                &mut self.centroids,
+                &mut self.next_cluster_key,
                 obj.object_id,
                 vec![MemberRef {
                     object: obj.object_id,
@@ -263,51 +304,13 @@ impl FramePipeline {
         }
     }
 
-    /// Builds the index record for a finished cluster and remembers its
-    /// centroid observation for query-time verification.
-    fn record_for(&mut self, representative: ObjectId, members: Vec<MemberRef>) -> ClusterRecord {
-        let classes = self
-            .epoch
-            .top_k
-            .get(&representative)
-            .cloned()
-            .unwrap_or_default();
-        let start = members.iter().map(|m| m.frame.0).min().unwrap_or(0) as f64 / self.fps as f64;
-        let end = members.iter().map(|m| m.frame.0).max().unwrap_or(0) as f64 / self.fps as f64;
-        let centroid_frame = self.epoch.observations[&representative].frame_id;
-        self.centroids.insert(
-            representative,
-            self.epoch.observations[&representative].clone(),
-        );
-        let key = ClusterKey::new(self.stream, self.next_cluster_key);
-        self.next_cluster_key += 1;
-        ClusterRecord {
-            key,
-            centroid_object: representative,
-            centroid_frame,
-            top_k_classes: classes,
-            members,
-            start_secs: start,
-            end_secs: end,
-        }
-    }
-
     /// Seals the current epoch's clusters into the index and starts a fresh
     /// epoch. The streaming driver calls this when its model changes; both
     /// drivers call it (via [`finish`](Self::finish)) at the end of input.
     pub fn seal_epoch(&mut self) {
         let finished = std::mem::replace(&mut self.epoch, Epoch::new(&self.params));
-        let Epoch {
-            clusterer,
-            top_k,
-            observations,
-        } = finished;
-        // Re-attach the sealed epoch's caches so `record_for` can read them
-        // while records are written; the fresh epoch starts empty below.
-        self.epoch.top_k = top_k;
-        self.epoch.observations = observations;
         if self.params.enable_clustering {
-            let (clusters, _stats) = clusterer.finish();
+            let (clusters, _stats) = finished.clusterer.finish();
             for cluster in clusters {
                 let representative = ObjectId(cluster.representative().item);
                 let members: Vec<MemberRef> = cluster
@@ -318,13 +321,20 @@ impl FramePipeline {
                         frame: FrameId(m.tag),
                     })
                     .collect();
-                let record = self.record_for(representative, members);
+                let record = build_record(
+                    self.stream,
+                    self.fps,
+                    &finished.top_k,
+                    &finished.observations,
+                    &mut self.centroids,
+                    &mut self.next_cluster_key,
+                    representative,
+                    members,
+                );
                 self.index.insert(record);
                 self.clusters += 1;
             }
         }
-        self.epoch.top_k = HashMap::new();
-        self.epoch.observations = HashMap::new();
         self.epochs_sealed += 1;
     }
 
@@ -344,6 +354,79 @@ impl FramePipeline {
         std::mem::take(&mut self.index)
     }
 
+    /// A **non-destructive** snapshot of what
+    /// [`seal_segment`](Self::seal_segment) would drain right now: every record sealed
+    /// since the last drain plus the live epoch's clusters, together with
+    /// the centroid observation of each record.
+    ///
+    /// The snapshot replays the sealing logic on a clone of the live
+    /// epoch's state — same clusterer outcome, same cluster-key assignment
+    /// — so its records are byte-identical to the records an actual seal
+    /// at this instant would persist. This is the *hot tail* the live
+    /// service overlays on top of its durable segments: a query issued
+    /// mid-ingest sees exactly the union it would see after
+    /// seal-everything-then-query (`tests/live_service.rs` pins this).
+    pub fn peek_segment(&self) -> (TopKIndex, HashMap<ObjectId, ObjectObservation>) {
+        let mut index = self.index.clone();
+        let mut centroids: HashMap<ObjectId, ObjectObservation> = self
+            .index
+            .clusters()
+            .map(|r| {
+                (
+                    r.centroid_object,
+                    self.centroids[&r.centroid_object].clone(),
+                )
+            })
+            .collect();
+        let mut next_key = self.next_cluster_key;
+        if self.params.enable_clustering {
+            let (clusters, _stats) = self.epoch.clusterer.clone().finish();
+            for cluster in clusters {
+                let representative = ObjectId(cluster.representative().item);
+                let members: Vec<MemberRef> = cluster
+                    .members
+                    .iter()
+                    .map(|m| MemberRef {
+                        object: ObjectId(m.item),
+                        frame: FrameId(m.tag),
+                    })
+                    .collect();
+                let record = build_record(
+                    self.stream,
+                    self.fps,
+                    &self.epoch.top_k,
+                    &self.epoch.observations,
+                    &mut centroids,
+                    &mut next_key,
+                    representative,
+                    members,
+                );
+                index.insert(record);
+            }
+        }
+        (index, centroids)
+    }
+
+    /// Puts a drained-but-not-persisted part back into the pipeline's
+    /// index — the failure path of a durable seal: the records rejoin the
+    /// hot tail (visible to [`peek_segment`](Self::peek_segment) again)
+    /// and the next seal re-drains them, so a transient I/O error can
+    /// never silently lose a time window.
+    ///
+    /// Centroids and counters were never removed by the drain (both are
+    /// cumulative), and the part's keys predate
+    /// [`next_cluster_key`](Self::next_cluster_key), so restoration is
+    /// pure record re-insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the part shares a key with a live record (meaning it was
+    /// not drained from this pipeline, or was restored twice).
+    pub fn restore_drained(&mut self, part: TopKIndex) {
+        let replaced = self.index.merge(part);
+        assert_eq!(replaced, 0, "restored part must be key-disjoint");
+    }
+
     /// Seals the live epoch and returns everything the pipeline produced,
     /// consuming it.
     ///
@@ -361,6 +444,41 @@ impl FramePipeline {
             stats,
             params: self.params,
         }
+    }
+}
+
+/// Builds the index record for a finished cluster: resolves the
+/// representative's cached top-K and observation, remembers the centroid
+/// observation in `centroids` for query-time verification, and assigns the
+/// next sequential cluster key. Shared by the mutating seal path and the
+/// non-destructive [`FramePipeline::peek_segment`] snapshot, which is what
+/// keeps the two byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn build_record(
+    stream: StreamId,
+    fps: u32,
+    top_k: &HashMap<ObjectId, Vec<ClassId>>,
+    observations: &HashMap<ObjectId, ObjectObservation>,
+    centroids: &mut HashMap<ObjectId, ObjectObservation>,
+    next_cluster_key: &mut u64,
+    representative: ObjectId,
+    members: Vec<MemberRef>,
+) -> ClusterRecord {
+    let classes = top_k.get(&representative).cloned().unwrap_or_default();
+    let start = members.iter().map(|m| m.frame.0).min().unwrap_or(0) as f64 / fps as f64;
+    let end = members.iter().map(|m| m.frame.0).max().unwrap_or(0) as f64 / fps as f64;
+    let centroid_frame = observations[&representative].frame_id;
+    centroids.insert(representative, observations[&representative].clone());
+    let key = ClusterKey::new(stream, *next_cluster_key);
+    *next_cluster_key += 1;
+    ClusterRecord {
+        key,
+        centroid_object: representative,
+        centroid_frame,
+        top_k_classes: classes,
+        members,
+        start_secs: start,
+        end_secs: end,
     }
 }
 
@@ -487,6 +605,86 @@ mod tests {
         for record in merged.clusters() {
             assert!(drained.centroids.contains_key(&record.centroid_object));
         }
+    }
+
+    #[test]
+    fn peek_segment_matches_an_actual_seal() {
+        let profile = profile_by_name("auburn_c").unwrap();
+        let dataset = VideoDataset::generate(profile.clone(), 30.0);
+        let model = IngestCnn::generic(ModelSpec::cheap_cnn_1());
+        for enable_clustering in [true, false] {
+            let params = IngestParams {
+                enable_clustering,
+                ..IngestParams::default()
+            };
+            let mut pipeline = FramePipeline::new(profile.stream_id, profile.fps, params);
+            // Peek at several points mid-stream: each snapshot must be
+            // byte-identical to what sealing at that instant would drain,
+            // without disturbing the pipeline.
+            for (i, frame) in dataset.frames.iter().enumerate() {
+                pipeline.push_frame(frame, model.classifier.as_ref());
+                if i == dataset.frames.len() / 2 {
+                    let stats_before = pipeline.stats();
+                    let (peeked, peeked_centroids) = pipeline.peek_segment();
+                    assert_eq!(pipeline.stats(), stats_before, "peek must not mutate");
+                    let mut twin = FramePipeline::new(profile.stream_id, profile.fps, params);
+                    for frame in &dataset.frames[..=i] {
+                        twin.push_frame(frame, model.classifier.as_ref());
+                    }
+                    let sealed = twin.seal_segment();
+                    assert_eq!(
+                        focus_index::persist::to_json(&peeked).unwrap(),
+                        focus_index::persist::to_json(&sealed).unwrap()
+                    );
+                    // Every snapshot record's centroid observation came along.
+                    for record in peeked.clusters() {
+                        assert_eq!(
+                            peeked_centroids[&record.centroid_object],
+                            twin.centroids()[&record.centroid_object]
+                        );
+                    }
+                }
+            }
+            // The pipeline kept running unaffected: a final peek equals a
+            // final seal.
+            let (peeked, _) = pipeline.peek_segment();
+            let sealed = pipeline.seal_segment();
+            assert_eq!(
+                focus_index::persist::to_json(&peeked).unwrap(),
+                focus_index::persist::to_json(&sealed).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn resumed_cluster_keys_start_where_told() {
+        let profile = profile_by_name("auburn_c").unwrap();
+        let dataset = VideoDataset::generate(profile.clone(), 10.0);
+        let model = IngestCnn::generic(ModelSpec::cheap_cnn_1());
+        let mut pipeline =
+            FramePipeline::new(profile.stream_id, profile.fps, IngestParams::default());
+        pipeline.start_cluster_keys_at(42);
+        assert_eq!(pipeline.next_cluster_key(), 42);
+        for frame in &dataset.frames {
+            pipeline.push_frame(frame, model.classifier.as_ref());
+        }
+        let output = pipeline.finish();
+        assert!(output.index.clusters().all(|r| r.key.local >= 42));
+    }
+
+    #[test]
+    #[should_panic(expected = "mid-stream")]
+    fn re_keying_a_started_pipeline_panics() {
+        let profile = profile_by_name("auburn_c").unwrap();
+        let dataset = VideoDataset::generate(profile.clone(), 10.0);
+        let model = IngestCnn::generic(ModelSpec::cheap_cnn_1());
+        let mut pipeline =
+            FramePipeline::new(profile.stream_id, profile.fps, IngestParams::default());
+        for frame in &dataset.frames {
+            pipeline.push_frame(frame, model.classifier.as_ref());
+        }
+        pipeline.seal_epoch();
+        pipeline.start_cluster_keys_at(1_000);
     }
 
     #[test]

@@ -15,18 +15,93 @@
 //! verification stage needs. [`QueryServer::serve_segmented`] consumes its
 //! plans with the same dedupe/batch/cache machinery as the in-memory path.
 //!
+//! **Live overlay** — a long-lived service also holds records that are not
+//! yet sealed to any segment (the hot tail of each stream's pipeline).
+//! [`TailOverlay`] is that in-memory tail as a resolvable index, and
+//! [`SegmentedCorpus::plan_with_tail`] plans one query over the union of
+//! sealed segments *plus* the overlay — the LSM-style memtable + SSTable
+//! read path the [`FocusService`](crate::service::FocusService) serves
+//! from. Tail records and segment records are key-disjoint by construction
+//! (a stream's pipeline only drains keys it has never drained before), so
+//! the union needs no reconciliation and is byte-identical to sealing the
+//! tail first and planning over segments alone.
+//!
 //! [`QueryServer::serve_segmented`]: crate::query_server::QueryServer::serve_segmented
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use focus_index::{
-    ClusterKey, ClusterRecord, QueryFilter, SegmentAccess, SegmentError, SegmentStore,
+    ClusterKey, ClusterRecord, QueryFilter, SegmentAccess, SegmentError, SegmentStore, TopKIndex,
 };
-use focus_video::{ClassId, ObjectId, ObjectObservation};
+use focus_video::{ClassId, ObjectId, ObjectObservation, StreamId};
 
 use crate::ingest::IngestCnn;
 use crate::query::plan::{QueryPlan, QueryRequest};
 use crate::segment_ingest::SegmentedIngestOutput;
+
+/// The not-yet-sealed tail of a live corpus: cluster records drained from
+/// pipelines' [`peek_segment`](crate::pipeline::FramePipeline::peek_segment)
+/// snapshots, plus the centroid observations backing them.
+///
+/// An overlay is assembled fresh per serve call (one `peek` per stream),
+/// which is what makes serving snapshot-consistent: every query of the call
+/// sees the same tail instant.
+#[derive(Debug, Default)]
+pub struct TailOverlay {
+    index: TopKIndex,
+    centroids: HashMap<ObjectId, ObjectObservation>,
+}
+
+impl TailOverlay {
+    /// An empty overlay (serving over it degenerates to the plain segmented
+    /// path).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one stream's tail snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the part shares a cluster key with a previously added part
+    /// (per-stream keys are disjoint by construction; a collision means two
+    /// snapshots of the same stream were added).
+    pub fn add_part(&mut self, index: TopKIndex, centroids: HashMap<ObjectId, ObjectObservation>) {
+        let replaced = self.index.merge(index);
+        assert_eq!(replaced, 0, "tail parts must be key-disjoint");
+        self.centroids.extend(centroids);
+    }
+
+    /// Records currently in the tail.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the tail holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The tail's records as an index.
+    pub fn index(&self) -> &TopKIndex {
+        &self.index
+    }
+
+    /// The centroid observation behind a tail record, if present.
+    pub fn centroid(&self, id: ObjectId) -> Option<&ObjectObservation> {
+        self.centroids.get(&id)
+    }
+
+    /// Tail records matching `class` under `filter`, cloned and sorted by
+    /// cluster key — the same contract as a segment lookup.
+    pub fn lookup(&self, class: ClassId, filter: &QueryFilter) -> Vec<ClusterRecord> {
+        self.index
+            .lookup(class, filter)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+}
 
 /// The query-side view of a segmented corpus: the durable store plus the
 /// centroid observations (what the GT-CNN classifies) and the ingest model
@@ -72,8 +147,14 @@ pub struct SegmentedCorpus {
     /// The centroid observation of every cluster, keyed by object id — the
     /// only objects the GT-CNN touches at query time.
     pub centroids: HashMap<ObjectId, ObjectObservation>,
-    /// The ingest model the corpus was built with.
+    /// The ingest model the corpus was built with; the routing default for
+    /// streams with no per-stream override.
     pub model: IngestCnn,
+    /// Per-stream model overrides: a live service that specializes each
+    /// stream's ingest CNN independently routes that stream's queries
+    /// through its own OTHER handling (§4.3) instead of the default
+    /// model's. Empty for single-model corpora.
+    pub stream_models: HashMap<StreamId, IngestCnn>,
 }
 
 impl SegmentedCorpus {
@@ -87,6 +168,7 @@ impl SegmentedCorpus {
             store,
             centroids,
             model,
+            stream_models: HashMap::new(),
         }
     }
 
@@ -111,36 +193,124 @@ impl SegmentedCorpus {
         &mut self.store
     }
 
+    /// The class a query for `class` looks up for records `stream`'s
+    /// *current* model would index: the stream's own model override when
+    /// one exists, the corpus default otherwise (specialized models map
+    /// un-specialized classes through OTHER, §4.3).
+    ///
+    /// Routing only ever *expands* the set of classes
+    /// [`plan_with_tail`](Self::plan_with_tail) scans — it is never used
+    /// to drop records, because a stream's sealed history may have been
+    /// indexed under earlier models with different routing (pre-retrain
+    /// epochs post under the class itself, post-retrain epochs under
+    /// OTHER). Ground-truth verification keeps precision regardless of
+    /// which lookup class surfaced a candidate.
+    pub fn route(&self, stream: StreamId, class: ClassId) -> ClassId {
+        self.stream_models
+            .get(&stream)
+            .unwrap_or(&self.model)
+            .effective_query_class(class)
+    }
+
+    /// The distinct lookup classes a query for `class` must scan, across
+    /// the default model and the per-stream overrides the query's camera
+    /// restriction can actually reach — an override on a stream the filter
+    /// excludes cannot contribute records, so its routing must not inflate
+    /// the scan (extra lookup classes cost segment opens and GT
+    /// verifications). One entry for a single-model corpus; at most two
+    /// (the class itself and OTHER) in practice.
+    fn lookup_classes(&self, class: ClassId, filter: &QueryFilter) -> Vec<ClassId> {
+        let mut classes = vec![self.model.effective_query_class(class)];
+        classes.extend(
+            self.stream_models
+                .iter()
+                .filter(|(stream, _)| {
+                    filter
+                        .streams
+                        .as_ref()
+                        .is_none_or(|streams| streams.contains(stream))
+                })
+                .map(|(_, model)| model.effective_query_class(class)),
+        );
+        classes.sort();
+        classes.dedup();
+        classes
+    }
+
     /// Plans one query with segment pruning (QT1/QT2): routes the class
     /// through the model's OTHER handling, opens only the segments whose
     /// bounds intersect the filter, and returns the plan together with the
     /// records backing every candidate (for QT4 assembly) and the access
     /// account (for storage-cost accounting).
     pub fn plan(&self, request: &QueryRequest) -> Result<SegmentedPlan, SegmentError> {
-        let lookup_class = self.model.effective_query_class(request.class);
-        let lookup = self.store.lookup(lookup_class, &request.filter)?;
-        let candidates = lookup
-            .records
-            .iter()
+        self.plan_with_tail(request, None)
+    }
+
+    /// Like [`plan`](Self::plan), but over the union of the sealed
+    /// segments and an in-memory [`TailOverlay`] of not-yet-sealed records
+    /// — the live service's read path. With `None` (or an empty overlay)
+    /// this is exactly [`plan`](Self::plan).
+    ///
+    /// Candidates come back sorted by cluster key across both sources, and
+    /// tail/segment key-disjointness is asserted, so the plan is
+    /// byte-identical to sealing the tail into the store first and
+    /// planning over segments alone (`tests/live_service.rs` pins this).
+    /// Segment opens are unchanged by the overlay: the tail is resolved
+    /// from memory, never from disk.
+    ///
+    /// With per-stream model overrides, the candidate set is the union of
+    /// every lookup class's matches (deduplicated by key — a record whose
+    /// top-K contains both the class and OTHER matches twice). Records
+    /// indexed under an *earlier* model's routing therefore stay
+    /// reachable after a retrain: hiding them behind the current model's
+    /// routing would silently drop a stream's pre-retrain history. OTHER
+    /// candidates that are not actually the queried class cost a GT
+    /// verification, not a wrong answer.
+    pub fn plan_with_tail(
+        &self,
+        request: &QueryRequest,
+        tail: Option<&TailOverlay>,
+    ) -> Result<SegmentedPlan, SegmentError> {
+        let mut access = SegmentAccess::default();
+        let mut merged: BTreeMap<ClusterKey, ClusterRecord> = BTreeMap::new();
+        let mut tail_hits: BTreeMap<ClusterKey, ClusterRecord> = BTreeMap::new();
+        for lookup_class in self.lookup_classes(request.class, &request.filter) {
+            let lookup = self.store.lookup(lookup_class, &request.filter)?;
+            access.merge(&lookup.access);
+            for record in lookup.records {
+                merged.insert(record.key, record);
+            }
+            if let Some(tail) = tail {
+                for record in tail.lookup(lookup_class, &request.filter) {
+                    tail_hits.insert(record.key, record);
+                }
+            }
+        }
+        let tail_records = tail_hits.len();
+        for (key, record) in tail_hits {
+            assert!(
+                merged.insert(key, record).is_none(),
+                "tail and segment records must be key-disjoint"
+            );
+        }
+        let candidates = merged
+            .values()
             .map(|record| focus_index::CentroidHandle {
                 cluster: record.key,
                 centroid: record.centroid_object,
                 centroid_frame: record.centroid_frame,
             })
             .collect();
-        let records = lookup
-            .records
-            .into_iter()
-            .map(|record| (record.key, record))
-            .collect();
+        let records = merged.into_iter().collect();
         Ok(SegmentedPlan {
             plan: QueryPlan {
                 class: request.class,
-                lookup_class,
+                lookup_class: self.model.effective_query_class(request.class),
                 candidates,
             },
             records,
-            access: lookup.access,
+            access,
+            tail_records,
         })
     }
 
@@ -169,6 +339,11 @@ pub struct SegmentedPlan {
     pub records: HashMap<ClusterKey, ClusterRecord>,
     /// What the pruned lookup touched.
     pub access: SegmentAccess,
+    /// Candidates resolved from the in-memory tail overlay instead of a
+    /// sealed segment (zero when planned without an overlay). The
+    /// tail-hit fraction of a live workload is
+    /// `tail_records / candidates.len()`.
+    pub tail_records: usize,
 }
 
 #[cfg(test)]
@@ -254,6 +429,245 @@ mod tests {
             .unwrap();
         assert!(narrow.access.segments_considered < narrow.access.segments_total);
         assert!(narrow.access.segments_pruned() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tail_overlay_unions_with_sealed_segments() {
+        // Seal the first half of a stream, keep the second half as an
+        // in-memory tail: planning with the overlay must equal planning
+        // over a store where everything was sealed.
+        let ds = VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 60.0);
+        let class = ds.dominant_classes(1)[0];
+        let model = IngestCnn::generic(ModelSpec::cheap_cnn_1());
+        let params = IngestParams {
+            k: 10,
+            ..IngestParams::default()
+        };
+        let policy = SealPolicy::every_secs(15.0);
+
+        // Reference: everything sealed.
+        let dir_all = test_dir("tail_ref");
+        let mut store_all = SegmentStore::create(&dir_all).unwrap();
+        let output = SegmentedIngest::new(model.clone(), params, policy, 1)
+            .ingest_to_store(std::slice::from_ref(&ds), &mut store_all, &GpuMeter::new())
+            .unwrap();
+        let reference = SegmentedCorpus::from_output(store_all, &output);
+
+        // Live: only the parts drained before the midpoint reach the
+        // store; the rest stays in the pipeline and is peeked as a tail.
+        let dir_live = test_dir("tail_live");
+        let mut store_live = SegmentStore::create(&dir_live).unwrap();
+        let mut segmenter = crate::segment_ingest::StreamSegmenter::new(
+            ds.profile.stream_id,
+            ds.profile.fps,
+            params,
+            policy,
+        );
+        for frame in &ds.frames {
+            if let Some(part) = segmenter.push_frame(frame, model.classifier.as_ref()) {
+                store_live.seal(&part).unwrap();
+            }
+        }
+        let (tail_index, tail_centroids) = segmenter.pipeline().peek_segment();
+        let mut tail = TailOverlay::new();
+        tail.add_part(tail_index, tail_centroids);
+        assert!(
+            !tail.is_empty(),
+            "the final partial segment stays in memory"
+        );
+        let live =
+            SegmentedCorpus::new(store_live, output.combined.centroids.clone(), model.clone());
+
+        for filter in [
+            QueryFilter::any(),
+            QueryFilter::any().with_time_range(0.0, 20.0),
+            QueryFilter::any().with_time_range(40.0, 60.0),
+            QueryFilter::any().with_kx(2),
+        ] {
+            let request = QueryRequest::new(class).with_filter(filter);
+            let with_tail = live.plan_with_tail(&request, Some(&tail)).unwrap();
+            let sealed = reference.plan(&request).unwrap();
+            assert_eq!(with_tail.plan, sealed.plan, "{request:?}");
+            // The overlay never costs a segment open.
+            assert!(
+                with_tail.access.segments_opened() <= sealed.access.segments_opened(),
+                "{request:?}"
+            );
+        }
+        // A time filter over the tail window only is answered from memory.
+        let late = live
+            .plan_with_tail(
+                &QueryRequest::new(class)
+                    .with_filter(QueryFilter::any().with_time_range(46.0, 60.0)),
+                Some(&tail),
+            )
+            .unwrap();
+        assert!(late.tail_records > 0);
+        assert_eq!(late.tail_records, late.plan.candidates.len());
+        // Without the overlay the same corpus simply cannot see the tail.
+        let blind = live
+            .plan(
+                &QueryRequest::new(class)
+                    .with_filter(QueryFilter::any().with_time_range(46.0, 60.0)),
+            )
+            .unwrap();
+        assert!(blind.plan.candidates.len() < late.plan.candidates.len());
+        std::fs::remove_dir_all(&dir_all).ok();
+        std::fs::remove_dir_all(&dir_live).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "key-disjoint")]
+    fn overlay_rejects_duplicate_parts() {
+        let ds = VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 10.0);
+        let model = IngestCnn::generic(ModelSpec::cheap_cnn_1());
+        let mut pipeline = crate::pipeline::FramePipeline::new(
+            ds.profile.stream_id,
+            ds.profile.fps,
+            IngestParams::default(),
+        );
+        for frame in &ds.frames {
+            pipeline.push_frame(frame, model.classifier.as_ref());
+        }
+        let (index, centroids) = pipeline.peek_segment();
+        let mut overlay = TailOverlay::new();
+        overlay.add_part(index.clone(), centroids.clone());
+        overlay.add_part(index, centroids);
+    }
+
+    #[test]
+    fn per_stream_models_route_queries_independently() {
+        use focus_cnn::{Classifier, GroundTruthCnn, SpecializedCnn, OTHER_CLASS};
+        let ds = VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 40.0);
+        let class = ds.dominant_classes(1)[0];
+        let (_, mut corpus, _, dir) = corpus("stream_models");
+
+        // Specialize the stream's model on a sample that does NOT include
+        // some rare class: queries for it must route through OTHER for this
+        // stream.
+        let gt = GroundTruthCnn::resnet152();
+        let sample: Vec<_> = ds
+            .objects()
+            .map(|o| (o.clone(), gt.classify_top1(o)))
+            .collect();
+        let specialized = IngestCnn::specialized(
+            SpecializedCnn::train(
+                "stream-models-test",
+                focus_cnn::specialize::SpecializationLevel::Medium,
+                &sample,
+                4,
+            )
+            .unwrap(),
+        );
+        let stream = ds.profile.stream_id;
+        assert_eq!(corpus.route(stream, class), class);
+
+        // A class the store indexed under the generic model but the
+        // specialized override does not cover: its pre-retrain records
+        // must stay reachable after the override is installed.
+        let specialized_classes = specialized.specialized_classes.clone().unwrap();
+        let hidden_candidate = corpus
+            .store()
+            .merged_index()
+            .unwrap()
+            .indexed_classes()
+            .into_iter()
+            .find(|c| !specialized_classes.contains(c) && *c != OTHER_CLASS)
+            .expect("some indexed class outside the specialized set");
+        let before = corpus.plan(&QueryRequest::new(hidden_candidate)).unwrap();
+        assert!(!before.plan.candidates.is_empty());
+
+        corpus.stream_models.insert(stream, specialized);
+        assert_eq!(
+            corpus.route(stream, ClassId(999)),
+            OTHER_CLASS,
+            "un-specialized classes route through OTHER for this stream"
+        );
+        // Streams without an override keep the default routing.
+        assert_eq!(corpus.route(StreamId(999), ClassId(999)), ClassId(999));
+
+        // Regression: installing the override must not hide the stream's
+        // pre-retrain history — the plan is a superset of the pre-override
+        // plan (the OTHER lookup may add candidates; GT verification keeps
+        // precision).
+        let after = corpus.plan(&QueryRequest::new(hidden_candidate)).unwrap();
+        for handle in &before.plan.candidates {
+            assert!(
+                after.plan.candidates.contains(handle),
+                "pre-retrain candidate {handle:?} hidden by the override"
+            );
+        }
+        // Planning a routed query stays well-formed (sorted, disjoint).
+        let plan = corpus.plan(&QueryRequest::new(ClassId(999))).unwrap();
+        assert!(plan
+            .plan
+            .candidates
+            .windows(2)
+            .all(|w| w[0].cluster < w[1].cluster));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn camera_filters_scope_override_routing() {
+        use focus_cnn::{Classifier, GroundTruthCnn, SpecializedCnn};
+        // Two streams; only lausanne gets a specialized override. A query
+        // restricted to auburn_c must not pay lausanne's OTHER scan.
+        let datasets: Vec<VideoDataset> = ["auburn_c", "lausanne"]
+            .iter()
+            .map(|n| VideoDataset::generate(profile_by_name(n).unwrap(), 40.0))
+            .collect();
+        let dir = test_dir("filter_scope");
+        let mut store = SegmentStore::create(&dir).unwrap();
+        let output = SegmentedIngest::new(
+            IngestCnn::generic(ModelSpec::cheap_cnn_1()),
+            IngestParams {
+                k: 10,
+                ..IngestParams::default()
+            },
+            SealPolicy::every_secs(10.0),
+            2,
+        )
+        .ingest_to_store(&datasets, &mut store, &GpuMeter::new())
+        .unwrap();
+        let mut corpus = SegmentedCorpus::from_output(store, &output);
+
+        let gt = GroundTruthCnn::resnet152();
+        let sample: Vec<_> = datasets[1]
+            .objects()
+            .map(|o| (o.clone(), gt.classify_top1(o)))
+            .collect();
+        let lausanne = datasets[1].profile.stream_id;
+        let auburn = datasets[0].profile.stream_id;
+        let rare = ClassId(999);
+        let only_auburn = QueryRequest::new(rare).with_filter(QueryFilter::for_stream(auburn));
+        let before = corpus.plan(&only_auburn).unwrap();
+
+        corpus.stream_models.insert(
+            lausanne,
+            IngestCnn::specialized(
+                SpecializedCnn::train(
+                    "filter-scope-test",
+                    focus_cnn::specialize::SpecializationLevel::Medium,
+                    &sample,
+                    4,
+                )
+                .unwrap(),
+            ),
+        );
+        // The override routes `rare` through OTHER — but only for queries
+        // that can reach lausanne. The auburn-restricted query's scan is
+        // unchanged; an unrestricted query pays the extra lookup class.
+        let after = corpus.plan(&only_auburn).unwrap();
+        assert_eq!(
+            after.access.segments_considered,
+            before.access.segments_considered
+        );
+        let unrestricted = corpus.plan(&QueryRequest::new(rare)).unwrap();
+        assert!(
+            unrestricted.access.segments_considered > after.access.segments_considered,
+            "the reachable override adds the OTHER scan"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -297,12 +297,17 @@ impl QueryServer {
         let plans: Vec<QueryPlan> = self.pool.map(requests.to_vec(), |request| {
             QueryPlan::build(ingest, request)
         });
-        self.verify_and_assemble(&plans, &ingest.centroids, meter, |_, handle| {
-            ingest
-                .index
-                .get(handle.cluster)
-                .expect("planned cluster still present in the index")
-        })
+        self.verify_and_assemble(
+            &plans,
+            |id| ingest.centroids.get(&id).cloned(),
+            meter,
+            |_, handle| {
+                ingest
+                    .index
+                    .get(handle.cluster)
+                    .expect("planned cluster still present in the index")
+            },
+        )
     }
 
     /// Serves a batch of concurrent queries over a durable segmented corpus
@@ -341,13 +346,47 @@ impl QueryServer {
             plans.push(segmented.plan);
             records.push(segmented.records);
         }
-        Ok(
-            self.verify_and_assemble(&plans, &corpus.centroids, meter, |i, handle| {
-                records[i]
-                    .get(&handle.cluster)
-                    .expect("planned cluster resolved from its segment")
-            }),
-        )
+        Ok(self.serve_resolved(
+            &plans,
+            &records,
+            |id| corpus.centroids.get(&id).cloned(),
+            meter,
+        ))
+    }
+
+    /// Serves pre-built plans whose candidate records were already resolved
+    /// by the caller — the entry point for planners the server does not
+    /// know about, such as the live service's segments-plus-tail union
+    /// ([`SegmentedCorpus::plan_with_tail`]). `records[i]` must hold the
+    /// cluster record of every candidate in `plans[i]`;
+    /// `resolve_centroid` must return the observation behind every
+    /// candidate centroid (from the durable corpus or the in-memory tail).
+    ///
+    /// Runs the exact QT3/QT4 pipeline of [`serve`](Self::serve) — dedupe
+    /// against the verdict cache for the current ground-truth epoch,
+    /// batched verification of only the fresh centroids, memoization, and
+    /// batch-local assembly — so a caller mixing tail and segment
+    /// candidates inherits the full cache/batching contract unchanged.
+    ///
+    /// [`SegmentedCorpus::plan_with_tail`]: crate::query::segmented::SegmentedCorpus::plan_with_tail
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` and `plans` differ in length, a candidate's
+    /// record is missing, or `resolve_centroid` fails for a candidate.
+    pub fn serve_resolved(
+        &self,
+        plans: &[QueryPlan],
+        records: &[HashMap<focus_index::ClusterKey, ClusterRecord>],
+        resolve_centroid: impl Fn(ObjectId) -> Option<ObjectObservation>,
+        meter: &GpuMeter,
+    ) -> Vec<QueryOutcome> {
+        assert_eq!(plans.len(), records.len(), "one record map per served plan");
+        self.verify_and_assemble(plans, resolve_centroid, meter, |i, handle| {
+            records[i]
+                .get(&handle.cluster)
+                .expect("planned cluster resolved by the caller")
+        })
     }
 
     /// QT3/QT4 shared by the in-memory and segmented paths: pin the
@@ -358,7 +397,7 @@ impl QueryServer {
     fn verify_and_assemble<'a>(
         &self,
         plans: &[QueryPlan],
-        centroids: &HashMap<ObjectId, ObjectObservation>,
+        resolve_centroid: impl Fn(ObjectId) -> Option<ObjectObservation>,
         meter: &GpuMeter,
         get_record: impl Fn(usize, &CentroidHandle) -> &'a ClusterRecord,
     ) -> Vec<QueryOutcome> {
@@ -413,10 +452,7 @@ impl QueryServer {
                 chunk
                     .iter()
                     .map(|id| {
-                        centroids
-                            .get(id)
-                            .cloned()
-                            .expect("ingest stored every centroid observation")
+                        resolve_centroid(*id).expect("ingest stored every centroid observation")
                     })
                     .collect()
             })

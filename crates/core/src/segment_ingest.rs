@@ -24,9 +24,10 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+use focus_cnn::Classifier;
 use focus_index::{SegmentError, SegmentMeta, SegmentStore, TopKIndex};
 use focus_runtime::{GpuMeter, WorkerPool};
-use focus_video::{ObjectId, ObjectObservation, VideoDataset};
+use focus_video::{Frame, ObjectId, ObjectObservation, StreamId, VideoDataset};
 
 use crate::ingest::{IngestCnn, IngestEngine, IngestOutput, IngestParams};
 use crate::pipeline::{FramePipeline, PipelineOutput};
@@ -254,7 +255,157 @@ impl SegmentedIngest {
     }
 }
 
-/// Runs one stream through a pipeline, draining a segment index at every
+/// Incremental seal/advance over one stream: a [`FramePipeline`] plus the
+/// [`SealPolicy`] bookkeeping that decides, frame by frame, when the
+/// pending records become an immutable segment.
+///
+/// This is the unit the one-shot [`SegmentedIngest::ingest_to_store`]
+/// driver loops over a recorded dataset, and the unit the live
+/// [`FocusService`](crate::service::FocusService) advances continuously —
+/// both produce the exact same segment partitioning for the same frame
+/// sequence.
+///
+/// **Boundary semantics** (regression-pinned in
+/// `tests/segment_durability.rs`): segment time is derived from the frame
+/// id (`frame_id / fps`), a segment's start is the time of its *first*
+/// frame, and a frame landing exactly on a [`SealPolicy::every_secs`]
+/// boundary seals the pending segment and becomes the first frame of the
+/// next one — every frame lands in exactly one segment, never zero, never
+/// two.
+#[derive(Debug)]
+pub struct StreamSegmenter {
+    pipeline: FramePipeline,
+    policy: SealPolicy,
+    frames_in_segment: usize,
+    segment_start_secs: f64,
+    last_frame_secs: f64,
+}
+
+impl StreamSegmenter {
+    /// Creates a segmenter for one stream.
+    pub fn new(stream: StreamId, fps: u32, params: IngestParams, policy: SealPolicy) -> Self {
+        Self::from_pipeline(FramePipeline::new(stream, fps, params), policy)
+    }
+
+    /// Wraps an existing pipeline (the recovery path: the pipeline may have
+    /// had its cluster-key counter resumed past the sealed segments).
+    pub fn from_pipeline(pipeline: FramePipeline, policy: SealPolicy) -> Self {
+        Self {
+            pipeline,
+            policy,
+            frames_in_segment: 0,
+            segment_start_secs: 0.0,
+            last_frame_secs: 0.0,
+        }
+    }
+
+    /// The underlying pipeline.
+    pub fn pipeline(&self) -> &FramePipeline {
+        &self.pipeline
+    }
+
+    /// Mutable access to the underlying pipeline (the service seals model
+    /// epochs through this on retrain).
+    pub fn pipeline_mut(&mut self) -> &mut FramePipeline {
+        &mut self.pipeline
+    }
+
+    /// The seal policy.
+    pub fn policy(&self) -> SealPolicy {
+        self.policy
+    }
+
+    /// Frames pushed since the last seal (the pending tail of this stream).
+    pub fn pending_frames(&self) -> usize {
+        self.frames_in_segment
+    }
+
+    /// Stream time of `frame`, derived from its id so a resumed stream
+    /// keeps a consistent clock.
+    fn now_secs(&self, frame: &Frame) -> f64 {
+        frame.frame_id.0 as f64 / self.pipeline.fps() as f64
+    }
+
+    /// The single seal predicate both the push path and the maintenance
+    /// path evaluate: would a frame arriving at `at_secs` seal the pending
+    /// records? Keeping this in one place is what guarantees maintenance
+    /// seals exactly the segments the next push would have sealed.
+    fn seal_due(&self, at_secs: f64) -> bool {
+        self.frames_in_segment > 0
+            && (self.frames_in_segment >= self.policy.max_frames.max(1)
+                || at_secs - self.segment_start_secs >= self.policy.max_secs)
+    }
+
+    /// Whether the pending records have hit a seal budget — true exactly
+    /// when the *next* frame push would seal them, so a maintenance tick
+    /// that seals on `should_seal` never changes the segment partitioning
+    /// relative to a purely push-driven run.
+    pub fn should_seal(&self) -> bool {
+        self.seal_due(self.last_frame_secs + 1.0 / self.pipeline.fps() as f64)
+    }
+
+    /// Pushes one frame; returns the drained segment index when the push
+    /// crossed a seal boundary (the boundary frame itself starts the new
+    /// segment). Empty drains are swallowed.
+    pub fn push_frame(&mut self, frame: &Frame, classifier: &dyn Classifier) -> Option<TopKIndex> {
+        self.push_frame_observed(frame, classifier, |_, _| {})
+    }
+
+    /// Like [`push_frame`](Self::push_frame), with the pipeline's observer
+    /// hook (the service maintains its GT-labelled retraining sample
+    /// through this).
+    pub fn push_frame_observed(
+        &mut self,
+        frame: &Frame,
+        classifier: &dyn Classifier,
+        observer: impl FnMut(&ObjectObservation, usize),
+    ) -> Option<TopKIndex> {
+        let now_secs = self.now_secs(frame);
+        let mut part = None;
+        if self.seal_due(now_secs) {
+            let drained = self.pipeline.seal_segment();
+            if !drained.is_empty() {
+                part = Some(drained);
+            }
+            self.frames_in_segment = 0;
+        }
+        if self.frames_in_segment == 0 {
+            // A segment's clock starts at its first frame, which also makes
+            // a segmenter resumed mid-stream (recovery) start its first
+            // segment at the resume point instead of spuriously sealing.
+            self.segment_start_secs = now_secs;
+        }
+        self.pipeline
+            .push_frame_observed(frame, classifier, observer);
+        self.frames_in_segment += 1;
+        self.last_frame_secs = now_secs;
+        part
+    }
+
+    /// Unconditionally drains everything pending into a segment index
+    /// (empty if nothing is pending) — the flush path for shutdown,
+    /// `seal_all`, and maintenance ticks.
+    pub fn seal_pending(&mut self) -> TopKIndex {
+        self.frames_in_segment = 0;
+        self.pipeline.seal_segment()
+    }
+
+    /// Drains the final pending segment and finishes the pipeline,
+    /// consuming the segmenter. The output's own index is empty by
+    /// construction (every record was drained into a part).
+    pub fn finish(mut self) -> (Option<TopKIndex>, PipelineOutput) {
+        let part = self.seal_pending();
+        let part = (!part.is_empty()).then_some(part);
+        let output = self.pipeline.finish();
+        debug_assert!(
+            output.index.is_empty(),
+            "pipeline was drained before finish"
+        );
+        (part, output)
+    }
+}
+
+/// Runs one stream through a segmenter, draining a segment index at every
 /// seal boundary. The final partial segment is drained too, so the
 /// pipeline's own output index comes back empty and `parts` holds every
 /// record of the stream.
@@ -263,46 +414,22 @@ fn ingest_stream_segmented(
     policy: SealPolicy,
     dataset: &VideoDataset,
 ) -> (Vec<TopKIndex>, PipelineOutput) {
-    let fps = dataset.profile.fps.max(1) as f64;
-    let max_frames = policy.max_frames.max(1);
     let classifier = engine.model().classifier.as_ref();
-    let mut pipeline = FramePipeline::new(
+    let mut segmenter = StreamSegmenter::new(
         dataset.profile.stream_id,
         dataset.profile.fps,
         engine.params(),
+        policy,
     );
     let mut parts = Vec::new();
-    let mut frames_in_segment = 0usize;
-    let mut segment_start_secs = 0.0f64;
-    for (i, frame) in dataset.frames.iter().enumerate() {
-        let now_secs = i as f64 / fps;
-        if frames_in_segment >= max_frames || now_secs - segment_start_secs >= policy.max_secs {
-            let part = pipeline.seal_segment();
-            if !part.is_empty() {
-                parts.push(part);
-            }
-            frames_in_segment = 0;
-            segment_start_secs = now_secs;
+    for frame in &dataset.frames {
+        if let Some(part) = segmenter.push_frame(frame, classifier) {
+            parts.push(part);
         }
-        pipeline.push_frame(frame, classifier);
-        frames_in_segment += 1;
     }
-    let final_part = pipeline.seal_segment();
-    if !final_part.is_empty() {
-        parts.push(final_part);
-    }
-    (parts, pipeline_output_drained(pipeline))
-}
-
-/// Finishes a fully drained pipeline; the output's own index is empty by
-/// construction (every record was drained into a part).
-fn pipeline_output_drained(pipeline: FramePipeline) -> PipelineOutput {
-    let output = pipeline.finish();
-    debug_assert!(
-        output.index.is_empty(),
-        "pipeline was drained before finish"
-    );
-    output
+    let (final_part, output) = segmenter.finish();
+    parts.extend(final_part);
+    (parts, output)
 }
 
 #[cfg(test)]

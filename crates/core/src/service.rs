@@ -1,0 +1,1001 @@
+//! The live Focus service: one long-lived object that ingests and serves
+//! at the same time.
+//!
+//! The batch drivers run the paper's two sides as disjoint phases — ingest
+//! finishes, *then* queries are served — so frames indexed since the last
+//! segment seal are invisible to queries and nothing arbitrates the GPU
+//! between the sides. [`FocusService`] unifies them:
+//!
+//! * **Hot tail + sealed past** (LSM-style read path): each stream owns a
+//!   [`StreamSegmenter`] whose pipeline accumulates not-yet-sealed records
+//!   in memory; sealed segments live in the durable [`SegmentStore`]. A
+//!   [`serve`](FocusService::serve) call snapshots every stream's tail
+//!   once ([`FramePipeline::peek_segment`]), overlays it on the store
+//!   ([`SegmentedCorpus::plan_with_tail`]) and answers from the union —
+//!   proven byte-identical to sealing everything first and then querying
+//!   (`tests/live_service.rs`).
+//! * **Snapshot consistency**: the tail overlay is built once per serve
+//!   call, so every query of the call sees the same instant; the verdict
+//!   cache keys by `(centroid, ground-truth epoch)` exactly as in the
+//!   standalone [`QueryServer`], so nothing cached for the current epoch
+//!   is ever re-verified.
+//! * **Specialization behind the service**: each stream runs the
+//!   bootstrap → specialize → retrain lifecycle
+//!   ([`SpecializationLifecycle`]); a retrain seals the pipeline's model
+//!   epoch, installs the stream's new routing model, and bumps the query
+//!   server's verdict-cache epoch automatically.
+//! * **One GPU budget**: ingest classification, specialization labelling
+//!   and query-time GT verification are all submitted to a shared
+//!   [`GpuScheduler`], whose priority policy decides who gets capacity
+//!   when both sides want it (the paper's §5 tradeoff, live).
+//! * **Background maintenance**: [`maintain`](FocusService::maintain)
+//!   seals tails that hit their [`SealPolicy`] budget, triggers
+//!   [`compact`](focus_index::SegmentStore::compact) when the
+//!   small-segment count crosses a threshold, and drains one scheduler
+//!   tick.
+//! * **Durability**: the service persists a `service_state.json` stream
+//!   registry plus one append-only `centroids-NNNNNN.json` delta per seal
+//!   (written *before* the segment, so a sealed segment is always
+//!   verifiable), and [`recover`](FocusService::recover) reopens the
+//!   manifest, unions the deltas, resumes cluster-key counters past the
+//!   sealed segments and keeps ingesting.
+//!
+//! See `docs/service.md` for the lifecycle walkthrough.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use focus_cnn::GroundTruthCnn;
+use focus_index::persist::{write_atomic, PersistError};
+use focus_index::{LruOccupancy, SegmentError, SegmentMeta, SegmentStore, TopKIndex};
+use focus_runtime::{
+    GpuClusterSpec, GpuMeter, GpuPriorityPolicy, GpuScheduler, GpuSchedulerStats, IoMeter, IoStats,
+    TickReport,
+};
+use focus_video::{Frame, ObjectId, ObjectObservation, StreamId};
+
+use crate::ingest::IngestCnn;
+use crate::pipeline::FramePipeline;
+use crate::query::segmented::{SegmentedCorpus, TailOverlay};
+use crate::query::{QueryOutcome, QueryRequest};
+use crate::query_server::{CacheStats, QueryServer};
+use crate::segment_ingest::{SealPolicy, StreamSegmenter};
+use crate::worker::{SpecializationLifecycle, StreamWorkerConfig};
+
+/// Name of the service's durable sidecar next to the store's manifest.
+pub const SERVICE_STATE_FILE: &str = "service_state.json";
+
+/// Version of the service-state sidecar format.
+pub const SERVICE_STATE_VERSION: u32 = 1;
+
+/// File-name prefix of the per-seal centroid delta files (see
+/// [`FocusService::recover`]).
+pub const CENTROID_DELTA_PREFIX: &str = "centroids-";
+
+/// Configuration of a [`FocusService`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Per-stream ingest parameters and specialization lifecycle
+    /// (bootstrap model, retrain schedule, GT-labelling fraction).
+    pub worker: StreamWorkerConfig,
+    /// When a stream's pending records become an immutable segment.
+    pub seal: SealPolicy,
+    /// The GPU fleet shared by ingest and queries.
+    pub gpus: GpuClusterSpec,
+    /// How the shared fleet's capacity is split between ingest and query
+    /// backlogs.
+    pub priority: GpuPriorityPolicy,
+    /// Wall-clock length of one scheduler tick
+    /// ([`FocusService::maintain`] drains one tick per call).
+    pub tick_secs: f64,
+    /// A live segment with at most this many clusters counts as *small*
+    /// for the compaction trigger.
+    pub small_segment_clusters: usize,
+    /// Maintenance compacts the store once this many small segments are
+    /// live.
+    pub compact_small_threshold: usize,
+    /// Fold budget handed to [`SegmentStore::compact`]: adjacent segments
+    /// are merged while their combined record count stays within this.
+    pub compact_max_clusters: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            worker: StreamWorkerConfig::default(),
+            seal: SealPolicy::default(),
+            gpus: GpuClusterSpec::default(),
+            priority: GpuPriorityPolicy::QueryFirst,
+            tick_secs: 1.0,
+            small_segment_clusters: 32,
+            compact_small_threshold: 8,
+            compact_max_clusters: 256,
+        }
+    }
+}
+
+/// What one [`FocusService::advance`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdvanceReport {
+    /// Frames pushed.
+    pub frames: usize,
+    /// Segments sealed to the store by seal-policy boundaries crossed
+    /// during the call.
+    pub segments_sealed: usize,
+    /// Specialized models (re)trained during the call (each bumped the
+    /// verdict-cache epoch).
+    pub retrains: usize,
+}
+
+/// What one [`FocusService::maintain`] tick did.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MaintenanceReport {
+    /// Segments sealed because their stream's tail had hit a seal budget.
+    pub segments_sealed: usize,
+    /// Segments folded away by compaction (zero when the small-segment
+    /// trigger was not crossed).
+    pub segments_folded: usize,
+    /// The GPU scheduler tick drained by this call.
+    pub tick: TickReport,
+}
+
+/// Unified, serializable snapshot of everything the service is doing:
+/// ingest progress, storage shape, verdict-cache activity, storage I/O,
+/// segment-LRU occupancy and the shared GPU scheduler's breakdown — one
+/// struct instead of four separate snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Streams registered.
+    pub streams: usize,
+    /// Frames pushed across all streams.
+    pub frames_ingested: usize,
+    /// Object observations indexed across all streams.
+    pub objects_indexed: usize,
+    /// Specialized models (re)trained across all streams.
+    pub retrains: usize,
+    /// Live segments in the store.
+    pub segments: usize,
+    /// Cluster records in live segments.
+    pub store_clusters: usize,
+    /// Segments sealed since the service started.
+    pub segments_sealed: usize,
+    /// Maintenance compactions run.
+    pub compactions: usize,
+    /// Queries served.
+    pub queries_served: usize,
+    /// Candidate clusters served across all queries.
+    pub candidates_served: usize,
+    /// Candidates resolved from the in-memory tail (the rest came from
+    /// sealed segments).
+    pub tail_candidates_served: usize,
+    /// Verdict-cache activity of the embedded [`QueryServer`].
+    pub cache: CacheStats,
+    /// Storage-I/O counters (cold loads, cache hits, bytes).
+    pub io: IoStats,
+    /// Decoded-segment LRU occupancy.
+    pub lru: LruOccupancy,
+    /// Shared GPU scheduler breakdown (per-phase submissions, per-side
+    /// served/backlog, utilization inputs).
+    pub gpu: GpuSchedulerStats,
+}
+
+impl ServiceStats {
+    /// Fraction of served candidates that were resolved from the hot tail
+    /// (0.0 before any query).
+    pub fn tail_hit_fraction(&self) -> f64 {
+        if self.candidates_served == 0 {
+            0.0
+        } else {
+            self.tail_candidates_served as f64 / self.candidates_served as f64
+        }
+    }
+}
+
+/// Durable sidecar: the registered streams (segment files and the
+/// manifest know nothing about stream frame rates). Rewritten atomically
+/// on every [`FocusService::register_stream`].
+#[derive(Debug, Serialize, Deserialize)]
+struct ServiceState {
+    version: u32,
+    /// `(stream id, fps)` for every registered stream.
+    streams: Vec<(u32, u32)>,
+}
+
+/// One durable centroid delta: the observations behind one sealed
+/// segment's records (segment files store records, not observations, and
+/// the GT-CNN needs the observation to verify a centroid at query time).
+///
+/// Deltas are append-only — one `centroids-NNNNNN.json` file per seal,
+/// written atomically *before* the segment itself — so each seal's sidecar
+/// I/O is proportional to that segment, not to the service's lifetime, and
+/// a crash between the two writes leaves a harmless extra delta, never an
+/// unverifiable segment. [`FocusService::recover`] unions every delta.
+#[derive(Debug, Serialize, Deserialize)]
+struct CentroidDelta {
+    version: u32,
+    /// Centroid observations, sorted by object id for deterministic bytes.
+    centroids: Vec<(ObjectId, ObjectObservation)>,
+}
+
+/// Per-stream live state: the incremental segmenter (hot tail) plus the
+/// specialization lifecycle and the live ingest model.
+struct StreamState {
+    segmenter: StreamSegmenter,
+    lifecycle: SpecializationLifecycle,
+    model: IngestCnn,
+    /// Classifications already submitted to the scheduler (per-frame
+    /// deltas, exact inference counts — no float telescoping).
+    inferences_metered: usize,
+}
+
+/// The live Focus service (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use focus_core::prelude::*;
+/// use focus_core::service::{FocusService, ServiceConfig};
+/// use focus_cnn::GroundTruthCnn;
+/// use focus_video::profile::profile_by_name;
+///
+/// let dir = std::env::temp_dir().join("focus_service_doc");
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let mut service = FocusService::create(
+///     &dir,
+///     ServiceConfig {
+///         seal: SealPolicy::every_secs(10.0),
+///         ..ServiceConfig::default()
+///     },
+///     GroundTruthCnn::resnet152(),
+/// )
+/// .unwrap();
+///
+/// let profile = profile_by_name("auburn_c").unwrap();
+/// let ds = focus_video::VideoDataset::generate(profile.clone(), 25.0);
+/// service.register_stream(profile.stream_id, profile.fps).unwrap();
+///
+/// // Interleave ingest and queries: results issued mid-ingest include
+/// // the not-yet-sealed tail.
+/// service.advance(&ds.frames).unwrap();
+/// let class = ds.dominant_classes(1)[0];
+/// let outcomes = service
+///     .serve(&[focus_core::query::QueryRequest::new(class)])
+///     .unwrap();
+/// assert!(!outcomes[0].frames.is_empty());
+///
+/// let stats = service.stats();
+/// assert_eq!(stats.queries_served, 1);
+/// assert!(stats.tail_hit_fraction() > 0.0, "the tail answered part of it");
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+pub struct FocusService {
+    config: ServiceConfig,
+    /// The ground-truth CNN handed to newly registered streams' labelling
+    /// lifecycles (the query server holds its own copy behind the epoch
+    /// lock).
+    gt_template: GroundTruthCnn,
+    corpus: SegmentedCorpus,
+    streams: BTreeMap<StreamId, StreamState>,
+    server: QueryServer,
+    scheduler: GpuScheduler,
+    io: IoMeter,
+    segments_sealed: usize,
+    /// Sequence number of the next per-seal centroid delta file.
+    next_centroid_delta: u64,
+    compactions: usize,
+    queries_served: AtomicUsize,
+    candidates_served: AtomicUsize,
+    tail_candidates_served: AtomicUsize,
+}
+
+impl std::fmt::Debug for FocusService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FocusService")
+            .field("streams", &self.streams.len())
+            .field("segments", &self.corpus.store().len())
+            .finish()
+    }
+}
+
+impl FocusService {
+    /// Creates a fresh service over a new store at `dir`.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        config: ServiceConfig,
+        gt: GroundTruthCnn,
+    ) -> Result<Self, SegmentError> {
+        let store = SegmentStore::create(dir)?;
+        Ok(Self::assemble(store, config, gt))
+    }
+
+    /// Reopens a service from a store directory: verifies and repairs the
+    /// manifest ([`SegmentStore::open`]), reads the `service_state.json`
+    /// sidecar and the per-seal centroid deltas, checks that every sealed
+    /// cluster's centroid observation is resolvable, re-registers the
+    /// recorded streams and resumes their cluster-key counters past the
+    /// sealed segments.
+    ///
+    /// Ingest models restart from the bootstrap model and re-specialize on
+    /// fresh samples (models are process state, not data); sealed records
+    /// and their verdict-cache behaviour are unaffected.
+    pub fn recover(
+        dir: impl Into<PathBuf>,
+        config: ServiceConfig,
+        gt: GroundTruthCnn,
+    ) -> Result<(Self, focus_index::OpenReport), SegmentError> {
+        let dir = dir.into();
+        let (store, report) = SegmentStore::open(&dir)?;
+        let state_path = dir.join(SERVICE_STATE_FILE);
+        let json = std::fs::read_to_string(&state_path).map_err(|source| {
+            SegmentError::Persist(PersistError::Io {
+                path: state_path.clone(),
+                source,
+            })
+        })?;
+        let state: ServiceState = serde_json::from_str(&json).map_err(|source| {
+            SegmentError::Persist(PersistError::Format {
+                path: Some(state_path.clone()),
+                source,
+            })
+        })?;
+        if state.version != SERVICE_STATE_VERSION {
+            return Err(SegmentError::Persist(PersistError::VersionMismatch {
+                path: Some(state_path),
+                found: state.version,
+                expected: SERVICE_STATE_VERSION,
+            }));
+        }
+        let (centroids, next_delta) = Self::load_centroid_deltas(&dir)?;
+
+        // Every sealed cluster must be verifiable after recovery, and new
+        // cluster keys must continue past the sealed ones.
+        let merged = store.merged_index()?;
+        let mut next_keys: HashMap<StreamId, u64> = HashMap::new();
+        for record in merged.clusters() {
+            if !centroids.contains_key(&record.centroid_object) {
+                return Err(SegmentError::Persist(PersistError::Io {
+                    path: dir.clone(),
+                    source: std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "sealed cluster {:?} has no centroid observation in any \
+                             centroid delta",
+                            record.key
+                        ),
+                    ),
+                }));
+            }
+            let next = next_keys.entry(record.key.stream).or_insert(0);
+            *next = (*next).max(record.key.local + 1);
+        }
+
+        let mut service = Self::assemble(store, config, gt);
+        service.corpus.centroids = centroids;
+        service.next_centroid_delta = next_delta;
+        for (stream, fps) in state.streams {
+            let stream = StreamId(stream);
+            let mut pipeline = FramePipeline::new(stream, fps, service.config.worker.params);
+            if let Some(next) = next_keys.get(&stream) {
+                pipeline.start_cluster_keys_at(*next);
+            }
+            service.insert_stream(stream, pipeline);
+        }
+        Ok((service, report))
+    }
+
+    /// Unions every `centroids-NNNNNN.json` delta in `dir` and returns the
+    /// map plus the next delta sequence number. Extra deltas (from a crash
+    /// between delta write and segment seal, or from quarantined segments)
+    /// are harmless supersets; a torn delta cannot exist (atomic writes)
+    /// and a malformed one is a structured error.
+    fn load_centroid_deltas(
+        dir: &std::path::Path,
+    ) -> Result<(HashMap<ObjectId, ObjectObservation>, u64), SegmentError> {
+        let mut centroids = HashMap::new();
+        let mut next_delta = 0u64;
+        let entries = std::fs::read_dir(dir).map_err(|source| {
+            SegmentError::Persist(PersistError::Io {
+                path: dir.to_path_buf(),
+                source,
+            })
+        })?;
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(seq) = name
+                .strip_prefix(CENTROID_DELTA_PREFIX)
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            let path = entry.path();
+            let json = std::fs::read_to_string(&path).map_err(|source| {
+                SegmentError::Persist(PersistError::Io {
+                    path: path.clone(),
+                    source,
+                })
+            })?;
+            let delta: CentroidDelta = serde_json::from_str(&json).map_err(|source| {
+                SegmentError::Persist(PersistError::Format {
+                    path: Some(path.clone()),
+                    source,
+                })
+            })?;
+            if delta.version != SERVICE_STATE_VERSION {
+                return Err(SegmentError::Persist(PersistError::VersionMismatch {
+                    path: Some(path),
+                    found: delta.version,
+                    expected: SERVICE_STATE_VERSION,
+                }));
+            }
+            centroids.extend(delta.centroids);
+            next_delta = next_delta.max(seq + 1);
+        }
+        Ok((centroids, next_delta))
+    }
+
+    fn assemble(store: SegmentStore, config: ServiceConfig, gt: GroundTruthCnn) -> Self {
+        let bootstrap = IngestCnn::generic(config.worker.bootstrap_model);
+        let corpus = SegmentedCorpus::new(store, HashMap::new(), bootstrap);
+        let server = QueryServer::new(gt.clone(), config.gpus);
+        let scheduler = GpuScheduler::new(config.gpus, config.priority, config.tick_secs);
+        Self {
+            gt_template: gt,
+            config,
+            corpus,
+            streams: BTreeMap::new(),
+            server,
+            scheduler,
+            io: IoMeter::new(),
+            segments_sealed: 0,
+            next_centroid_delta: 0,
+            compactions: 0,
+            queries_served: AtomicUsize::new(0),
+            candidates_served: AtomicUsize::new(0),
+            tail_candidates_served: AtomicUsize::new(0),
+        }
+    }
+
+    /// Registers a stream; frames for unregistered streams panic in
+    /// [`advance`](Self::advance). Persists the sidecar so the stream
+    /// survives recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is already registered.
+    pub fn register_stream(&mut self, stream: StreamId, fps: u32) -> Result<(), SegmentError> {
+        let pipeline = FramePipeline::new(stream, fps, self.config.worker.params);
+        self.insert_stream(stream, pipeline);
+        self.persist_state()
+    }
+
+    fn insert_stream(&mut self, stream: StreamId, pipeline: FramePipeline) {
+        assert!(
+            !self.streams.contains_key(&stream),
+            "stream {} is already registered",
+            stream.0
+        );
+        let state = StreamState {
+            segmenter: StreamSegmenter::from_pipeline(pipeline, self.config.seal),
+            lifecycle: SpecializationLifecycle::new(
+                stream,
+                self.config.worker.clone(),
+                self.gt_template.clone(),
+            ),
+            model: IngestCnn::generic(self.config.worker.bootstrap_model),
+            inferences_metered: 0,
+        };
+        self.streams.insert(stream, state);
+    }
+
+    /// Pushes a batch of live frames (any interleaving of registered
+    /// streams, in stream order per stream). Seal-policy boundaries
+    /// crossed during the call seal segments durably; retrain schedules
+    /// coming due swap stream models and bump the verdict-cache epoch.
+    /// All GPU work is submitted to the shared scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frame belongs to an unregistered stream.
+    pub fn advance(&mut self, frames: &[Frame]) -> Result<AdvanceReport, SegmentError> {
+        let spec_meter = GpuMeter::new();
+        let mut report = AdvanceReport::default();
+        for frame in frames {
+            let stream = frame.stream_id;
+            let (sealed, retrained) = {
+                let state = self
+                    .streams
+                    .get_mut(&stream)
+                    .unwrap_or_else(|| panic!("stream {} is not registered", stream.0));
+                let StreamState {
+                    segmenter,
+                    lifecycle,
+                    model,
+                    inferences_metered,
+                } = state;
+                let part =
+                    segmenter.push_frame_observed(frame, model.classifier.as_ref(), |obj, n| {
+                        lifecycle.observe(obj, n, &spec_meter);
+                    });
+                let classified = segmenter.pipeline().stats().objects_classified;
+                let new_inferences = classified - *inferences_metered;
+                if new_inferences > 0 {
+                    self.scheduler
+                        .submit("ingest", model.cost_per_inference() * new_inferences);
+                    *inferences_metered = classified;
+                }
+                let sealed = part.map(|part| {
+                    let centroids = part_centroids(&part, segmenter.pipeline().centroids());
+                    (part, centroids)
+                });
+                let retrained = lifecycle.maybe_retrain(frame.timestamp_secs);
+                if let Some(m) = &retrained {
+                    // Feature spaces of different models are not
+                    // comparable: the old model's clusters seal into the
+                    // tail before the swap.
+                    segmenter.pipeline_mut().seal_epoch();
+                    *model = m.clone();
+                }
+                (sealed, retrained)
+            };
+            if let Some((part, centroids)) = sealed {
+                self.seal_durably(stream, part, centroids)?;
+                report.segments_sealed += 1;
+            }
+            if let Some(model) = retrained {
+                self.corpus.stream_models.insert(stream, model);
+                // Conservative by design (the verdict cache would stay
+                // correct: GT verdicts depend only on the observation and
+                // the GT model, and object ids are never reused): bumping
+                // the epoch on every model generation keeps cache lifetime
+                // aligned with ingest epochs, at the cost of re-verifying
+                // the working set after a retrain.
+                self.server.invalidate();
+                report.retrains += 1;
+            }
+            report.frames += 1;
+        }
+        let labelling = spec_meter.phase("specialization");
+        self.scheduler.submit("specialization", labelling);
+        Ok(report)
+    }
+
+    /// Serves a batch of queries over the snapshot-consistent union of
+    /// sealed segments and every stream's hot tail. The tail overlay is
+    /// built once per call; the verdict cache, dedupe and batched GT
+    /// verification behave exactly as in [`QueryServer::serve`], and the
+    /// query-side GPU work is submitted to the shared scheduler.
+    pub fn serve(&self, requests: &[QueryRequest]) -> Result<Vec<QueryOutcome>, SegmentError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let tail = self.tail_snapshot();
+        let mut plans = Vec::with_capacity(requests.len());
+        let mut records = Vec::with_capacity(requests.len());
+        // Accumulate accounting locally and commit only once every plan
+        // succeeded: a planning error mid-batch serves nothing, so it must
+        // also count nothing.
+        let mut access = focus_index::SegmentAccess::default();
+        let mut tail_candidates = 0usize;
+        let mut candidates = 0usize;
+        for request in requests {
+            let planned = self.corpus.plan_with_tail(request, Some(&tail))?;
+            access.merge(&planned.access);
+            tail_candidates += planned.tail_records;
+            candidates += planned.plan.candidates.len();
+            plans.push(planned.plan);
+            records.push(planned.records);
+        }
+        self.io.record_loads(access.cold_loads, access.bytes_read);
+        self.io.record_cache_hits(access.cache_hits);
+        self.tail_candidates_served
+            .fetch_add(tail_candidates, Ordering::SeqCst);
+        self.candidates_served
+            .fetch_add(candidates, Ordering::SeqCst);
+        let meter = GpuMeter::new();
+        let outcomes = self.server.serve_resolved(
+            &plans,
+            &records,
+            |id| {
+                self.corpus
+                    .centroids
+                    .get(&id)
+                    .or_else(|| tail.centroid(id))
+                    .cloned()
+            },
+            &meter,
+        );
+        self.scheduler.submit("query", meter.phase("query"));
+        self.queries_served
+            .fetch_add(requests.len(), Ordering::SeqCst);
+        Ok(outcomes)
+    }
+
+    /// A snapshot of every stream's not-yet-sealed records, taken at one
+    /// instant (streams in id order).
+    pub fn tail_snapshot(&self) -> TailOverlay {
+        let mut tail = TailOverlay::new();
+        for state in self.streams.values() {
+            let (index, centroids) = state.segmenter.pipeline().peek_segment();
+            if !index.is_empty() {
+                tail.add_part(index, centroids);
+            }
+        }
+        tail
+    }
+
+    /// One background maintenance tick: seals every stream tail that has
+    /// hit its seal budget (exactly the segments the next frame push would
+    /// have sealed, so maintenance never changes the partitioning),
+    /// compacts the store when the small-segment count crosses the
+    /// configured threshold, and drains one GPU-scheduler tick.
+    pub fn maintain(&mut self) -> Result<MaintenanceReport, SegmentError> {
+        let mut report = MaintenanceReport::default();
+        let due: Vec<StreamId> = self
+            .streams
+            .iter()
+            .filter(|(_, s)| s.segmenter.should_seal())
+            .map(|(id, _)| *id)
+            .collect();
+        for stream in due {
+            // seal_pending on a tail that emptied since the filter ran is
+            // a no-op, so no re-check is needed.
+            if self.seal_stream_unconditionally(stream)? {
+                report.segments_sealed += 1;
+            }
+        }
+        let small = self
+            .corpus
+            .store()
+            .segments()
+            .iter()
+            .filter(|m| m.clusters <= self.config.small_segment_clusters)
+            .count();
+        if small >= self.config.compact_small_threshold {
+            report.segments_folded = self
+                .corpus
+                .store_mut()
+                .compact(self.config.compact_max_clusters)?;
+            if report.segments_folded > 0 {
+                self.compactions += 1;
+            }
+        }
+        report.tick = self.scheduler.tick();
+        Ok(report)
+    }
+
+    /// Unconditionally seals every stream's pending tail into the store
+    /// (shutdown / checkpoint). After this, [`serve`](Self::serve) over
+    /// the (now empty) tail and a cold recovery answer identically.
+    pub fn seal_all(&mut self) -> Result<Vec<SegmentMeta>, SegmentError> {
+        let streams: Vec<StreamId> = self.streams.keys().copied().collect();
+        let before = self.corpus.store().len();
+        for stream in streams {
+            self.seal_stream_unconditionally(stream)?;
+        }
+        Ok(self.corpus.store().segments()[before..].to_vec())
+    }
+
+    /// Drains one stream's pending tail and seals it durably. Returns
+    /// whether a segment was sealed.
+    fn seal_stream_unconditionally(&mut self, stream: StreamId) -> Result<bool, SegmentError> {
+        let (part, centroids) = {
+            let state = self.streams.get_mut(&stream).expect("registered stream");
+            let part = state.segmenter.seal_pending();
+            if part.is_empty() {
+                return Ok(false);
+            }
+            let centroids = part_centroids(&part, state.segmenter.pipeline().centroids());
+            (part, centroids)
+        };
+        self.seal_durably(stream, part, centroids)?;
+        Ok(true)
+    }
+
+    /// [`seal_part`](Self::seal_part) with the failure path a live service
+    /// needs: if the durable write fails, the drained records are restored
+    /// into the stream's hot tail ([`FramePipeline::restore_drained`]), so
+    /// they stay visible to [`serve`](Self::serve) and the next seal
+    /// attempt re-drains them — a transient I/O error never silently loses
+    /// a time window.
+    fn seal_durably(
+        &mut self,
+        stream: StreamId,
+        part: TopKIndex,
+        centroids: Vec<(ObjectId, ObjectObservation)>,
+    ) -> Result<(), SegmentError> {
+        if let Err(e) = self.seal_part(&part, centroids) {
+            self.streams
+                .get_mut(&stream)
+                .expect("registered stream")
+                .segmenter
+                .pipeline_mut()
+                .restore_drained(part);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Seals one drained part durably. Ordering: the part's centroid delta
+    /// is persisted *first* (an extra delta is harmless; a segment whose
+    /// centroids are missing would be unrecoverable), then the segment
+    /// file + manifest. Each seal's sidecar I/O is proportional to the
+    /// part, not to the service's history.
+    fn seal_part(
+        &mut self,
+        part: &TopKIndex,
+        mut centroids: Vec<(ObjectId, ObjectObservation)>,
+    ) -> Result<(), SegmentError> {
+        centroids.sort_by_key(|(id, _)| *id);
+        let delta = CentroidDelta {
+            version: SERVICE_STATE_VERSION,
+            centroids,
+        };
+        let json = serde_json::to_string(&delta)
+            .map_err(|source| SegmentError::Persist(PersistError::Format { path: None, source }))?;
+        let path = self.corpus.store().dir().join(format!(
+            "{CENTROID_DELTA_PREFIX}{:06}.json",
+            self.next_centroid_delta
+        ));
+        write_atomic(&path, &json)
+            .map_err(|source| SegmentError::Persist(PersistError::Io { path, source }))?;
+        self.next_centroid_delta += 1;
+        self.corpus.centroids.extend(delta.centroids);
+        let meta = self.corpus.store_mut().seal(part)?;
+        if meta.is_some() {
+            self.segments_sealed += 1;
+        }
+        Ok(())
+    }
+
+    /// Writes the durable stream registry atomically next to the manifest.
+    fn persist_state(&self) -> Result<(), SegmentError> {
+        let state = ServiceState {
+            version: SERVICE_STATE_VERSION,
+            streams: self
+                .streams
+                .iter()
+                .map(|(id, s)| (id.0, s.segmenter.pipeline().fps()))
+                .collect(),
+        };
+        let json = serde_json::to_string(&state)
+            .map_err(|source| SegmentError::Persist(PersistError::Format { path: None, source }))?;
+        let path = self.corpus.store().dir().join(SERVICE_STATE_FILE);
+        write_atomic(&path, &json)
+            .map_err(|source| SegmentError::Persist(PersistError::Io { path, source }))
+    }
+
+    /// Replaces the ground-truth CNN everywhere it is consulted — the
+    /// query server's verification (bumping the verdict-cache epoch) and
+    /// every stream's labelling lifecycle.
+    pub fn retrain_ground_truth(&mut self, gt: GroundTruthCnn) {
+        self.server.retrain_ground_truth(gt.clone());
+        for state in self.streams.values_mut() {
+            state.lifecycle.set_ground_truth(gt.clone());
+        }
+        self.gt_template = gt;
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The embedded query server (verdict cache, GT epoch).
+    pub fn query_server(&self) -> &QueryServer {
+        &self.server
+    }
+
+    /// The shared GPU scheduler.
+    pub fn scheduler(&self) -> &GpuScheduler {
+        &self.scheduler
+    }
+
+    /// The query-side view of the corpus (store, centroids, routing
+    /// models).
+    pub fn corpus(&self) -> &SegmentedCorpus {
+        &self.corpus
+    }
+
+    /// The durable segment store.
+    pub fn store(&self) -> &SegmentStore {
+        self.corpus.store()
+    }
+
+    /// The live ingest model of one stream (bootstrap model until the
+    /// first specialization).
+    pub fn stream_model(&self, stream: StreamId) -> Option<&IngestCnn> {
+        self.streams.get(&stream).map(|s| &s.model)
+    }
+
+    /// Unified stats snapshot across every subsystem.
+    pub fn stats(&self) -> ServiceStats {
+        let mut frames = 0;
+        let mut objects = 0;
+        let mut retrains = 0;
+        for state in self.streams.values() {
+            let stats = state.segmenter.pipeline().stats();
+            frames += stats.frames;
+            objects += stats.objects;
+            retrains += state.lifecycle.retrains();
+        }
+        ServiceStats {
+            streams: self.streams.len(),
+            frames_ingested: frames,
+            objects_indexed: objects,
+            retrains,
+            segments: self.corpus.store().len(),
+            store_clusters: self.corpus.store().total_clusters(),
+            segments_sealed: self.segments_sealed,
+            compactions: self.compactions,
+            queries_served: self.queries_served.load(Ordering::SeqCst),
+            candidates_served: self.candidates_served.load(Ordering::SeqCst),
+            tail_candidates_served: self.tail_candidates_served.load(Ordering::SeqCst),
+            cache: self.server.cache_stats(),
+            io: self.io.snapshot(),
+            lru: self.corpus.store().cache_occupancy(),
+            gpu: self.scheduler.stats(),
+        }
+    }
+}
+
+/// The centroid observations behind a drained part's records, read from
+/// the pipeline's cumulative centroid map.
+fn part_centroids(
+    part: &TopKIndex,
+    centroids: &HashMap<ObjectId, ObjectObservation>,
+) -> Vec<(ObjectId, ObjectObservation)> {
+    part.clusters()
+        .map(|record| {
+            (
+                record.centroid_object,
+                centroids[&record.centroid_object].clone(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_video::profile::profile_by_name;
+    use focus_video::VideoDataset;
+    use std::path::PathBuf;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("focus_service_unit_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quiet_config() -> ServiceConfig {
+        ServiceConfig {
+            worker: StreamWorkerConfig {
+                bootstrap_secs: 1e9,
+                retrain_interval_secs: 1e9,
+                gt_label_fraction: 0.0,
+                ..StreamWorkerConfig::default()
+            },
+            seal: SealPolicy::every_secs(10.0),
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn service_stats_fold_every_subsystem_and_serialize() {
+        let profile = profile_by_name("auburn_c").unwrap();
+        let ds = VideoDataset::generate(profile.clone(), 25.0);
+        let dir = test_dir("stats");
+        let mut service =
+            FocusService::create(&dir, quiet_config(), GroundTruthCnn::resnet152()).unwrap();
+        service
+            .register_stream(profile.stream_id, profile.fps)
+            .unwrap();
+        service.advance(&ds.frames).unwrap();
+        let class = ds.dominant_classes(1)[0];
+        service.serve(&[QueryRequest::new(class)]).unwrap();
+        service.maintain().unwrap();
+
+        let stats = service.stats();
+        assert_eq!(stats.streams, 1);
+        assert_eq!(stats.frames_ingested, ds.frames.len());
+        assert_eq!(stats.objects_indexed, ds.object_count());
+        assert!(stats.segments >= 2);
+        assert_eq!(stats.queries_served, 1);
+        assert!(stats.candidates_served > 0);
+        assert!(stats.cache.misses > 0, "fresh verdicts were computed");
+        assert!(stats.gpu.ingest_submitted_secs > 0.0);
+        assert!(stats.gpu.query_submitted_secs > 0.0);
+        assert_eq!(stats.gpu.ticks, 1);
+        assert!(stats.tail_hit_fraction() >= 0.0);
+
+        // The whole snapshot is one serde-serializable struct and
+        // round-trips.
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ServiceStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_and_query_share_one_gpu_budget() {
+        let profile = profile_by_name("auburn_c").unwrap();
+        let ds = VideoDataset::generate(profile.clone(), 20.0);
+        let dir = test_dir("budget");
+        let config = ServiceConfig {
+            gpus: GpuClusterSpec::new(2),
+            priority: GpuPriorityPolicy::QueryFirst,
+            tick_secs: 0.05,
+            ..quiet_config()
+        };
+        let mut service = FocusService::create(&dir, config, GroundTruthCnn::resnet152()).unwrap();
+        service
+            .register_stream(profile.stream_id, profile.fps)
+            .unwrap();
+        service.advance(&ds.frames).unwrap();
+        let class = ds.dominant_classes(1)[0];
+        service.serve(&[QueryRequest::new(class)]).unwrap();
+
+        // Both sides were charged against the same scheduler, and a
+        // query-first tick under backlog serves the query side first.
+        let tick = service.maintain().unwrap().tick;
+        let stats = service.scheduler().stats();
+        assert!(stats.ingest_submitted_secs > 0.0);
+        assert!(stats.query_submitted_secs > 0.0);
+        assert!(
+            (stats.ingest_served_secs
+                + stats.query_served_secs
+                + stats.ingest_backlog_secs
+                + stats.query_backlog_secs
+                - stats.ingest_submitted_secs
+                - stats.query_submitted_secs)
+                .abs()
+                < 1e-9,
+            "budget conservation"
+        );
+        if tick.query_backlog_secs > 0.0 {
+            assert_eq!(
+                tick.ingest_served_secs, 0.0,
+                "query-first never serves ingest while query work is queued"
+            );
+        }
+        // The scheduler's meter carries the ordinary per-phase accounting.
+        assert!(service.scheduler().meter().phase("ingest").seconds() > 0.0);
+        assert!(service.scheduler().meter().phase("query").seconds() > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn advancing_an_unregistered_stream_panics() {
+        let profile = profile_by_name("auburn_c").unwrap();
+        let ds = VideoDataset::generate(profile, 2.0);
+        let dir = test_dir("unregistered");
+        let mut service =
+            FocusService::create(&dir, quiet_config(), GroundTruthCnn::resnet152()).unwrap();
+        let _ = service.advance(&ds.frames);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn double_registration_panics() {
+        let dir = test_dir("double_reg");
+        let mut service =
+            FocusService::create(&dir, quiet_config(), GroundTruthCnn::resnet152()).unwrap();
+        service.register_stream(StreamId(1), 30).unwrap();
+        let _ = service.register_stream(StreamId(1), 30);
+    }
+
+    #[test]
+    fn empty_serve_is_a_no_op() {
+        let dir = test_dir("empty_serve");
+        let service =
+            FocusService::create(&dir, quiet_config(), GroundTruthCnn::resnet152()).unwrap();
+        assert!(service.serve(&[]).unwrap().is_empty());
+        assert_eq!(service.stats().queries_served, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -92,17 +92,121 @@ pub struct StreamWorkerStats {
     pub sealed_epochs: usize,
 }
 
-/// A live ingestion worker for one video stream.
-pub struct StreamWorker {
+/// The per-stream model lifecycle of §4.3/§5, factored out of the live
+/// worker so any driver — the standalone [`StreamWorker`] or the unified
+/// [`FocusService`](crate::service::FocusService) — can run bootstrap →
+/// specialize → periodic retrain over its own pipeline:
+///
+/// * [`observe`](Self::observe) maintains the ground-truth-labelled sample
+///   (a small fraction of objects goes through the GT-CNN, charged to the
+///   caller's meter under `"specialization"`);
+/// * [`maybe_retrain`](Self::maybe_retrain) trains a specialized model once
+///   the schedule and the sample allow, returning the new ingest CNN; the
+///   caller seals its pipeline's epoch and swaps models (and, in the
+///   service, bumps the query server's verdict-cache epoch).
+#[derive(Debug)]
+pub struct SpecializationLifecycle {
     stream_id: StreamId,
     config: StreamWorkerConfig,
     gt: GroundTruthCnn,
-    model: IngestCnn,
-    pipeline: FramePipeline,
     labelled_sample: Vec<(ObjectObservation, ClassId)>,
     objects_gt_labelled: usize,
     retrains: usize,
     next_retrain_at_secs: f64,
+}
+
+impl SpecializationLifecycle {
+    /// Creates the lifecycle for one stream; the first (re)train fires
+    /// after `config.bootstrap_secs` of stream time.
+    pub fn new(stream_id: StreamId, config: StreamWorkerConfig, gt: GroundTruthCnn) -> Self {
+        Self {
+            stream_id,
+            next_retrain_at_secs: config.bootstrap_secs,
+            config,
+            gt,
+            labelled_sample: Vec::new(),
+            objects_gt_labelled: 0,
+            retrains: 0,
+        }
+    }
+
+    /// The ground-truth CNN labelling the retraining sample.
+    pub fn ground_truth(&self) -> &GroundTruthCnn {
+        &self.gt
+    }
+
+    /// Replaces the ground-truth CNN (the service propagates a GT retrain
+    /// to every stream's labeller).
+    pub fn set_ground_truth(&mut self, gt: GroundTruthCnn) {
+        self.gt = gt;
+    }
+
+    /// Objects labelled by the ground-truth CNN so far.
+    pub fn objects_gt_labelled(&self) -> usize {
+        self.objects_gt_labelled
+    }
+
+    /// Number of times a specialized model was (re)trained.
+    pub fn retrains(&self) -> usize {
+        self.retrains
+    }
+
+    /// Feeds one object observation: sends it through the ground-truth CNN
+    /// for the labelled sample when the configured fraction is due
+    /// (charging `meter` under `"specialization"`). `objects_seen` is the
+    /// running 1-based count of observed objects, as delivered by
+    /// [`FramePipeline::push_frame_observed`]. Returns whether the object
+    /// was labelled.
+    pub fn observe(
+        &mut self,
+        obj: &ObjectObservation,
+        objects_seen: usize,
+        meter: &GpuMeter,
+    ) -> bool {
+        let labelling_due = (objects_seen as f64 * self.config.gt_label_fraction).floor()
+            > self.objects_gt_labelled as f64;
+        if !labelling_due {
+            return false;
+        }
+        self.objects_gt_labelled += 1;
+        meter.charge("specialization", self.gt.cost_per_inference());
+        let label = self.gt.classify_top1(obj);
+        self.labelled_sample.push((obj.clone(), label));
+        true
+    }
+
+    /// Trains a specialized model when the retrain schedule has come due
+    /// and the labelled sample is non-empty. The caller must seal its
+    /// pipeline's epoch before switching to the returned model (feature
+    /// spaces of different models are not comparable).
+    pub fn maybe_retrain(&mut self, now_secs: f64) -> Option<IngestCnn> {
+        if now_secs < self.next_retrain_at_secs {
+            return None;
+        }
+        if self.labelled_sample.is_empty() {
+            // Nothing to train on yet (the stream may have been quiet since
+            // start-up); retry shortly instead of waiting a full interval.
+            self.next_retrain_at_secs = now_secs + 10.0;
+            return None;
+        }
+        self.next_retrain_at_secs = now_secs + self.config.retrain_interval_secs;
+        let specialized = SpecializedCnn::train(
+            &format!("stream-{}", self.stream_id.0),
+            self.config.level,
+            &self.labelled_sample,
+            self.config.ls,
+        )?;
+        self.retrains += 1;
+        Some(IngestCnn::specialized(specialized))
+    }
+}
+
+/// A live ingestion worker for one video stream.
+pub struct StreamWorker {
+    stream_id: StreamId,
+    model: IngestCnn,
+    pipeline: FramePipeline,
+    lifecycle: SpecializationLifecycle,
     meter: GpuMeter,
     /// Classifications already surfaced on `meter` (the pipeline accrues
     /// cost lock-free; the worker forwards per-frame charges so the meter
@@ -134,14 +238,9 @@ impl StreamWorker {
         let pipeline = FramePipeline::new(stream_id, fps, config.params);
         Self {
             stream_id,
-            next_retrain_at_secs: config.bootstrap_secs,
-            config,
-            gt,
             model,
             pipeline,
-            labelled_sample: Vec::new(),
-            objects_gt_labelled: 0,
-            retrains: 0,
+            lifecycle: SpecializationLifecycle::new(stream_id, config, gt),
             meter,
             inferences_metered: 0,
         }
@@ -160,8 +259,8 @@ impl StreamWorker {
             frames_with_motion: pipeline.frames_with_motion,
             objects: pipeline.objects,
             objects_classified: pipeline.objects_classified,
-            objects_gt_labelled: self.objects_gt_labelled,
-            retrains: self.retrains,
+            objects_gt_labelled: self.lifecycle.objects_gt_labelled(),
+            retrains: self.lifecycle.retrains(),
             sealed_epochs: pipeline.epochs_sealed,
         }
     }
@@ -174,30 +273,20 @@ impl StreamWorker {
 
     /// Pushes one live frame into the worker.
     pub fn push_frame(&mut self, frame: &Frame) {
-        // Destructure so the observer closure can borrow the labelling state
+        // Destructure so the observer closure can borrow the lifecycle
         // while the pipeline is borrowed mutably.
         let Self {
             pipeline,
             model,
-            config,
-            gt,
+            lifecycle,
             meter,
-            labelled_sample,
-            objects_gt_labelled,
             inferences_metered,
             ..
         } = self;
         pipeline.push_frame_observed(frame, model.classifier.as_ref(), |obj, objects_seen| {
             // Maintain the labelled sample used for (re)training by sending
             // a small fraction of objects through the ground-truth CNN.
-            let labelling_due = (objects_seen as f64 * config.gt_label_fraction).floor()
-                > *objects_gt_labelled as f64;
-            if labelling_due {
-                *objects_gt_labelled += 1;
-                meter.charge("specialization", gt.cost_per_inference());
-                let label = gt.classify_top1(obj);
-                labelled_sample.push((obj.clone(), label));
-            }
+            lifecycle.observe(obj, objects_seen, meter);
         });
         // Surface the frame's ingest cost on the live meter: the number of
         // new classifications times the current model's per-inference cost
@@ -218,29 +307,13 @@ impl StreamWorker {
     }
 
     fn maybe_retrain(&mut self, now_secs: f64) {
-        if now_secs < self.next_retrain_at_secs {
-            return;
+        if let Some(model) = self.lifecycle.maybe_retrain(now_secs) {
+            // Seal the clusters built with the previous model before
+            // switching: feature vectors of different models are not
+            // comparable.
+            self.pipeline.seal_epoch();
+            self.model = model;
         }
-        if self.labelled_sample.is_empty() {
-            // Nothing to train on yet (the stream may have been quiet since
-            // start-up); retry shortly instead of waiting a full interval.
-            self.next_retrain_at_secs = now_secs + 10.0;
-            return;
-        }
-        self.next_retrain_at_secs = now_secs + self.config.retrain_interval_secs;
-        let Some(specialized) = SpecializedCnn::train(
-            &format!("stream-{}", self.stream_id.0),
-            self.config.level,
-            &self.labelled_sample,
-            self.config.ls,
-        ) else {
-            return;
-        };
-        // Seal the clusters built with the previous model before switching:
-        // feature vectors of different models are not comparable.
-        self.pipeline.seal_epoch();
-        self.model = IngestCnn::specialized(specialized);
-        self.retrains += 1;
     }
 
     /// Seals the live epoch and returns the accumulated index and

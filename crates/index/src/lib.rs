@@ -38,5 +38,7 @@ pub mod topk;
 pub use cluster_store::{ClusterKey, ClusterRecord, MemberRef};
 pub use manifest::{Manifest, SegmentMeta};
 pub use query::QueryFilter;
-pub use segment::{OpenReport, SegmentAccess, SegmentError, SegmentLookup, SegmentStore};
+pub use segment::{
+    LruOccupancy, OpenReport, SegmentAccess, SegmentError, SegmentLookup, SegmentStore,
+};
 pub use topk::{CentroidHandle, IndexStats, TopKIndex};

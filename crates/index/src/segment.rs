@@ -167,6 +167,28 @@ impl SegmentAccess {
     }
 }
 
+/// Occupancy snapshot of the decoded-segment LRU cache, as returned by
+/// [`SegmentStore::cache_occupancy`] — what a serving layer folds into its
+/// stats to see how much of the working set is resident.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LruOccupancy {
+    /// Decoded segments currently resident.
+    pub occupancy: usize,
+    /// Maximum decoded segments the cache holds.
+    pub capacity: usize,
+}
+
+impl LruOccupancy {
+    /// Fraction of the cache in use (0.0 for an unbounded-but-empty cache).
+    pub fn fill_fraction(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.occupancy as f64 / self.capacity as f64
+        }
+    }
+}
+
 /// The result of a pruned lookup: the matching records (sorted by cluster
 /// key, exactly as [`TopKIndex::lookup`] on the merged index would return
 /// them) plus the access account.
@@ -421,6 +443,15 @@ impl SegmentStore {
     /// Total cluster records across all live segments.
     pub fn total_clusters(&self) -> usize {
         self.manifest.segments.iter().map(|s| s.clusters).sum()
+    }
+
+    /// Occupancy of the decoded-segment LRU cache.
+    pub fn cache_occupancy(&self) -> LruOccupancy {
+        let cache = self.cache.lock().unwrap();
+        LruOccupancy {
+            occupancy: cache.decoded.len(),
+            capacity: cache.capacity,
+        }
     }
 
     /// Seals `index` as one new immutable segment: writes the segment file
@@ -1012,6 +1043,22 @@ mod tests {
         // And it still matches the manifest on disk.
         let manifest = Manifest::load(&dir.join(MANIFEST_FILE)).unwrap();
         assert_eq!(manifest.segments, store.segments());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_occupancy_tracks_decoded_segments() {
+        let dir = test_dir("occupancy");
+        let store = populated(&dir).with_cache_capacity(2);
+        let empty = store.cache_occupancy();
+        assert_eq!(empty.occupancy, 0);
+        assert_eq!(empty.capacity, 2);
+        assert_eq!(empty.fill_fraction(), 0.0);
+        store.lookup(ClassId(5), &QueryFilter::any()).unwrap();
+        let full = store.cache_occupancy();
+        assert_eq!(full.occupancy, 2, "3 segments thrash a 2-entry LRU");
+        assert_eq!(full.fill_fraction(), 1.0);
+        assert_eq!(LruOccupancy::default().fill_fraction(), 0.0);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -20,11 +20,16 @@
 //! * [`IoMeter`] / [`SegmentLoadCost`] — storage-I/O accounting and a
 //!   latency model for cold index-segment loads, so the segmented query
 //!   path can report what paging the index in actually costs.
+//! * [`GpuScheduler`] — one metered budget shared by ingest classification
+//!   and query-time GT verification, drained in ticks under a configurable
+//!   ingest/query priority policy (the paper's §5 tradeoff, live).
 
 pub mod gpu;
 pub mod io;
+pub mod sched;
 pub mod workers;
 
 pub use gpu::{BatchCostModel, GpuClusterSpec, GpuMeter, PhaseBreakdown};
 pub use io::{IoMeter, IoStats, SegmentLoadCost};
+pub use sched::{GpuPriorityPolicy, GpuScheduler, GpuSchedulerStats, GpuSide, TickReport};
 pub use workers::WorkerPool;

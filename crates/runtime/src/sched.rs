@@ -1,0 +1,476 @@
+//! The shared GPU scheduler: one metered budget for ingest and query work.
+//!
+//! The paper's central knob (§5) trades ingest cost against query latency
+//! on *one* GPU fleet: the cheap-CNN classification that builds the index
+//! and the GT-CNN verification that answers queries compete for the same
+//! cards. When the two sides run as separate batch binaries each can assume
+//! it owns the hardware; a long-lived service cannot. [`GpuScheduler`]
+//! arbitrates:
+//!
+//! * every unit of GPU work is **submitted** to the scheduler, which
+//!   charges it to a shared [`GpuMeter`] (so per-phase accounting stays
+//!   bitwise identical to the standalone drivers) and adds it to the
+//!   ingest-side or query-side backlog;
+//! * a periodic **tick** drains the backlogs against the fleet's capacity
+//!   (`num_gpus × tick_secs` GPU-seconds per tick) according to a
+//!   configurable [`GpuPriorityPolicy`] — queries first (the paper's
+//!   low-latency stance), ingest first (keep the index fresh under load),
+//!   or a weighted split with spillover;
+//! * [`GpuSchedulerStats`] reports the split, the backlogs and the modelled
+//!   utilization, which is what the service folds into its unified stats
+//!   snapshot.
+//!
+//! Scheduling here is an *accounting and latency model*, like
+//! [`GpuClusterSpec::latency_secs`]: work is never dropped or reordered —
+//! the simulation executes it inline — but the scheduler decides how that
+//! work maps onto modelled wall-clock capacity, so the service can report
+//! queue depths and per-side latency under any ingest/query mix.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use focus_cnn::GpuCost;
+
+use crate::gpu::{GpuClusterSpec, GpuMeter};
+
+/// Which side of the system a unit of GPU work belongs to.
+///
+/// The scheduler's budget arbitration is two-sided; phases map onto sides
+/// via [`GpuScheduler::side_of_phase`] (everything except `"query"` is
+/// ingest-side work: classification, GT labelling for specialization,
+/// maintenance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuSide {
+    /// Ingest-time work: cheap-CNN classification, specialization
+    /// labelling, maintenance.
+    Ingest,
+    /// Query-time work: ground-truth CNN verification.
+    Query,
+}
+
+/// How tick capacity is split between the ingest and query backlogs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum GpuPriorityPolicy {
+    /// Queries are served first; ingest gets whatever capacity remains.
+    /// This is the paper's low-latency stance: a user is waiting on the
+    /// query, the index can lag a little.
+    #[default]
+    QueryFirst,
+    /// Ingest is served first; queries get the remainder. Keeps the index
+    /// fresh when ingest load approaches fleet capacity.
+    IngestFirst,
+    /// Queries are guaranteed `query_share` of capacity and ingest the
+    /// rest; capacity a side does not use spills over to the other.
+    Weighted {
+        /// Fraction of tick capacity reserved for query work, in `[0, 1]`.
+        query_share: f64,
+    },
+}
+
+/// What one [`GpuScheduler::tick`] served and what it left behind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TickReport {
+    /// GPU-seconds of capacity this tick offered.
+    pub capacity_secs: f64,
+    /// Ingest-side GPU-seconds served.
+    pub ingest_served_secs: f64,
+    /// Query-side GPU-seconds served.
+    pub query_served_secs: f64,
+    /// Ingest-side backlog remaining after the tick.
+    pub ingest_backlog_secs: f64,
+    /// Query-side backlog remaining after the tick.
+    pub query_backlog_secs: f64,
+}
+
+impl TickReport {
+    /// Fraction of the tick's capacity that was used (0.0 for an idle
+    /// tick, 1.0 for a saturated one).
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_secs <= 0.0 {
+            0.0
+        } else {
+            (self.ingest_served_secs + self.query_served_secs) / self.capacity_secs
+        }
+    }
+}
+
+/// Serializable snapshot of everything the scheduler has seen: per-phase
+/// submissions, per-side served/backlog totals, and tick counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GpuSchedulerStats {
+    /// GPU-seconds submitted per phase name (mirrors the shared meter).
+    pub submitted_by_phase: HashMap<String, f64>,
+    /// Total ingest-side GPU-seconds submitted.
+    pub ingest_submitted_secs: f64,
+    /// Total query-side GPU-seconds submitted.
+    pub query_submitted_secs: f64,
+    /// Ingest-side GPU-seconds served by ticks so far.
+    pub ingest_served_secs: f64,
+    /// Query-side GPU-seconds served by ticks so far.
+    pub query_served_secs: f64,
+    /// Ingest-side backlog currently waiting for capacity.
+    pub ingest_backlog_secs: f64,
+    /// Query-side backlog currently waiting for capacity.
+    pub query_backlog_secs: f64,
+    /// Ticks drained so far.
+    pub ticks: u64,
+    /// GPU-seconds of capacity offered per tick.
+    pub capacity_secs_per_tick: f64,
+}
+
+impl GpuSchedulerStats {
+    /// Fraction of all offered capacity that was used (0.0 before the
+    /// first tick).
+    pub fn utilization(&self) -> f64 {
+        let offered = self.ticks as f64 * self.capacity_secs_per_tick;
+        if offered <= 0.0 {
+            0.0
+        } else {
+            (self.ingest_served_secs + self.query_served_secs) / offered
+        }
+    }
+}
+
+/// Mutable scheduling state behind the scheduler's mutex.
+#[derive(Debug, Default)]
+struct SchedState {
+    ingest_submitted: f64,
+    query_submitted: f64,
+    ingest_served: f64,
+    query_served: f64,
+    ingest_backlog: f64,
+    query_backlog: f64,
+    ticks: u64,
+}
+
+/// The shared GPU scheduler (see the module docs).
+///
+/// Cloned handles share one underlying state, exactly like [`GpuMeter`],
+/// so the ingest and query sides of a service can charge the same budget
+/// from different call paths.
+///
+/// # Examples
+///
+/// ```
+/// use focus_cnn::GpuCost;
+/// use focus_runtime::{GpuClusterSpec, GpuPriorityPolicy, GpuScheduler};
+///
+/// // A 2-GPU fleet draining one-second ticks, queries first.
+/// let sched = GpuScheduler::new(
+///     GpuClusterSpec::new(2),
+///     GpuPriorityPolicy::QueryFirst,
+///     1.0,
+/// );
+/// sched.submit("ingest", GpuCost(3.0));
+/// sched.submit("query", GpuCost(1.0));
+///
+/// // The tick offers 2 GPU-seconds: the query second is served first,
+/// // ingest gets the remaining one, and two ingest seconds stay queued.
+/// let tick = sched.tick();
+/// assert_eq!(tick.query_served_secs, 1.0);
+/// assert_eq!(tick.ingest_served_secs, 1.0);
+/// assert_eq!(tick.ingest_backlog_secs, 2.0);
+/// assert_eq!(tick.utilization(), 1.0);
+///
+/// // The shared meter keeps the ordinary per-phase accounting.
+/// assert_eq!(sched.meter().phase("ingest").seconds(), 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpuScheduler {
+    gpus: GpuClusterSpec,
+    policy: GpuPriorityPolicy,
+    tick_secs: f64,
+    meter: GpuMeter,
+    state: std::sync::Arc<Mutex<SchedState>>,
+}
+
+// The service charges the scheduler from ingest ticks and serving threads;
+// keep the cross-thread shareability an explicit API guarantee.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GpuScheduler>();
+};
+
+impl GpuScheduler {
+    /// Creates a scheduler for `gpus` draining `tick_secs`-long ticks under
+    /// `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick_secs` is not positive, or if a `Weighted` policy's
+    /// `query_share` is outside `[0, 1]`.
+    pub fn new(gpus: GpuClusterSpec, policy: GpuPriorityPolicy, tick_secs: f64) -> Self {
+        assert!(
+            tick_secs > 0.0 && tick_secs.is_finite(),
+            "tick length must be positive"
+        );
+        if let GpuPriorityPolicy::Weighted { query_share } = policy {
+            assert!(
+                (0.0..=1.0).contains(&query_share),
+                "query share must be in [0, 1]"
+            );
+        }
+        Self {
+            gpus,
+            policy,
+            tick_secs,
+            meter: GpuMeter::new(),
+            state: std::sync::Arc::new(Mutex::new(SchedState::default())),
+        }
+    }
+
+    /// The fleet this scheduler arbitrates.
+    pub fn gpus(&self) -> GpuClusterSpec {
+        self.gpus
+    }
+
+    /// The configured priority policy.
+    pub fn policy(&self) -> GpuPriorityPolicy {
+        self.policy
+    }
+
+    /// GPU-seconds of capacity one tick offers.
+    pub fn capacity_secs_per_tick(&self) -> f64 {
+        self.gpus.num_gpus as f64 * self.tick_secs
+    }
+
+    /// The shared per-phase meter every submission is charged to.
+    pub fn meter(&self) -> &GpuMeter {
+        &self.meter
+    }
+
+    /// Which side of the budget a phase name belongs to: `"query"` is
+    /// query-side, everything else (classification, specialization
+    /// labelling, maintenance) is ingest-side.
+    pub fn side_of_phase(phase: &str) -> GpuSide {
+        if phase == "query" {
+            GpuSide::Query
+        } else {
+            GpuSide::Ingest
+        }
+    }
+
+    /// Submits `cost` GPU-seconds of `phase` work: charges the shared
+    /// meter and queues the work on its side's backlog.
+    pub fn submit(&self, phase: &str, cost: GpuCost) {
+        if cost.seconds() == 0.0 {
+            return;
+        }
+        self.meter.charge(phase, cost);
+        let mut state = self.state.lock();
+        match Self::side_of_phase(phase) {
+            GpuSide::Ingest => {
+                state.ingest_submitted += cost.seconds();
+                state.ingest_backlog += cost.seconds();
+            }
+            GpuSide::Query => {
+                state.query_submitted += cost.seconds();
+                state.query_backlog += cost.seconds();
+            }
+        }
+    }
+
+    /// Drains one tick of capacity from the backlogs under the priority
+    /// policy and returns what was served. Capacity a side does not need
+    /// always spills over to the other, so a tick never idles while work
+    /// is queued.
+    pub fn tick(&self) -> TickReport {
+        let capacity = self.capacity_secs_per_tick();
+        let mut state = self.state.lock();
+        let (query_served, ingest_served) = match self.policy {
+            GpuPriorityPolicy::QueryFirst => {
+                let q = state.query_backlog.min(capacity);
+                let i = state.ingest_backlog.min(capacity - q);
+                (q, i)
+            }
+            GpuPriorityPolicy::IngestFirst => {
+                let i = state.ingest_backlog.min(capacity);
+                let q = state.query_backlog.min(capacity - i);
+                (q, i)
+            }
+            GpuPriorityPolicy::Weighted { query_share } => {
+                let q_reserved = capacity * query_share;
+                let i_reserved = capacity - q_reserved;
+                let q = state.query_backlog.min(q_reserved);
+                let i = state.ingest_backlog.min(i_reserved);
+                // Spill unused reservation to whichever side still queues.
+                let spare = capacity - q - i;
+                let q_extra = (state.query_backlog - q).min(spare);
+                let i_extra = (state.ingest_backlog - i).min(spare - q_extra);
+                (q + q_extra, i + i_extra)
+            }
+        };
+        state.query_backlog -= query_served;
+        state.ingest_backlog -= ingest_served;
+        state.query_served += query_served;
+        state.ingest_served += ingest_served;
+        state.ticks += 1;
+        TickReport {
+            capacity_secs: capacity,
+            ingest_served_secs: ingest_served,
+            query_served_secs: query_served,
+            ingest_backlog_secs: state.ingest_backlog,
+            query_backlog_secs: state.query_backlog,
+        }
+    }
+
+    /// Snapshot of everything submitted, served and still queued.
+    pub fn stats(&self) -> GpuSchedulerStats {
+        let state = self.state.lock();
+        GpuSchedulerStats {
+            submitted_by_phase: self.meter.breakdown().phases,
+            ingest_submitted_secs: state.ingest_submitted,
+            query_submitted_secs: state.query_submitted,
+            ingest_served_secs: state.ingest_served,
+            query_served_secs: state.query_served,
+            ingest_backlog_secs: state.ingest_backlog,
+            query_backlog_secs: state.query_backlog,
+            ticks: state.ticks,
+            capacity_secs_per_tick: self.capacity_secs_per_tick(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(policy: GpuPriorityPolicy) -> GpuScheduler {
+        GpuScheduler::new(GpuClusterSpec::new(2), policy, 1.0)
+    }
+
+    #[test]
+    fn submissions_are_conserved_across_ticks() {
+        let s = sched(GpuPriorityPolicy::QueryFirst);
+        s.submit("ingest", GpuCost(5.0));
+        s.submit("query", GpuCost(3.0));
+        s.submit("specialization", GpuCost(1.0));
+        let mut served = 0.0;
+        for _ in 0..10 {
+            let tick = s.tick();
+            served += tick.ingest_served_secs + tick.query_served_secs;
+        }
+        let stats = s.stats();
+        // served + backlog == submitted, on both sides.
+        assert!((stats.ingest_submitted_secs - 6.0).abs() < 1e-12);
+        assert!((stats.query_submitted_secs - 3.0).abs() < 1e-12);
+        assert!(
+            (stats.ingest_served_secs + stats.ingest_backlog_secs - stats.ingest_submitted_secs)
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            (stats.query_served_secs + stats.query_backlog_secs - stats.query_submitted_secs).abs()
+                < 1e-12
+        );
+        assert!((served - 9.0).abs() < 1e-12);
+        assert_eq!(stats.ticks, 10);
+        // The shared meter saw the same per-phase charges.
+        assert_eq!(s.meter().phase("ingest").seconds(), 5.0);
+        assert_eq!(s.meter().phase("query").seconds(), 3.0);
+        assert_eq!(s.meter().phase("specialization").seconds(), 1.0);
+    }
+
+    #[test]
+    fn query_first_starves_ingest_under_saturation() {
+        let s = sched(GpuPriorityPolicy::QueryFirst);
+        s.submit("ingest", GpuCost(10.0));
+        s.submit("query", GpuCost(10.0));
+        let tick = s.tick();
+        assert_eq!(tick.query_served_secs, 2.0);
+        assert_eq!(tick.ingest_served_secs, 0.0);
+        assert_eq!(tick.utilization(), 1.0);
+    }
+
+    #[test]
+    fn ingest_first_starves_queries_under_saturation() {
+        let s = sched(GpuPriorityPolicy::IngestFirst);
+        s.submit("ingest", GpuCost(10.0));
+        s.submit("query", GpuCost(10.0));
+        let tick = s.tick();
+        assert_eq!(tick.ingest_served_secs, 2.0);
+        assert_eq!(tick.query_served_secs, 0.0);
+    }
+
+    #[test]
+    fn weighted_split_honours_shares_and_spills() {
+        let s = sched(GpuPriorityPolicy::Weighted { query_share: 0.25 });
+        s.submit("ingest", GpuCost(10.0));
+        s.submit("query", GpuCost(10.0));
+        let tick = s.tick();
+        // 2 GPU-seconds of capacity: 0.5 reserved for queries, 1.5 ingest.
+        assert!((tick.query_served_secs - 0.5).abs() < 1e-12);
+        assert!((tick.ingest_served_secs - 1.5).abs() < 1e-12);
+
+        // With no query backlog the reservation spills to ingest.
+        let s = sched(GpuPriorityPolicy::Weighted { query_share: 0.25 });
+        s.submit("ingest", GpuCost(10.0));
+        let tick = s.tick();
+        assert_eq!(tick.query_served_secs, 0.0);
+        assert_eq!(tick.ingest_served_secs, 2.0);
+
+        // And the other way around.
+        let s = sched(GpuPriorityPolicy::Weighted { query_share: 0.25 });
+        s.submit("query", GpuCost(10.0));
+        let tick = s.tick();
+        assert_eq!(tick.query_served_secs, 2.0);
+        assert_eq!(tick.ingest_served_secs, 0.0);
+    }
+
+    #[test]
+    fn idle_ticks_report_zero_utilization() {
+        let s = sched(GpuPriorityPolicy::QueryFirst);
+        let tick = s.tick();
+        assert_eq!(tick.utilization(), 0.0);
+        assert_eq!(s.stats().utilization(), 0.0);
+        assert_eq!(GpuSchedulerStats::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn zero_cost_submissions_are_ignored() {
+        let s = sched(GpuPriorityPolicy::QueryFirst);
+        s.submit("ingest", GpuCost::ZERO);
+        let stats = s.stats();
+        assert_eq!(stats.ingest_submitted_secs, 0.0);
+        assert!(stats.submitted_by_phase.is_empty());
+    }
+
+    #[test]
+    fn phases_map_onto_sides() {
+        assert_eq!(GpuScheduler::side_of_phase("query"), GpuSide::Query);
+        assert_eq!(GpuScheduler::side_of_phase("ingest"), GpuSide::Ingest);
+        assert_eq!(
+            GpuScheduler::side_of_phase("specialization"),
+            GpuSide::Ingest
+        );
+        assert_eq!(GpuScheduler::side_of_phase("maintenance"), GpuSide::Ingest);
+    }
+
+    #[test]
+    fn cloned_handles_share_state() {
+        let s = sched(GpuPriorityPolicy::QueryFirst);
+        let clone = s.clone();
+        clone.submit("query", GpuCost(1.0));
+        assert_eq!(s.stats().query_submitted_secs, 1.0);
+        s.tick();
+        assert_eq!(clone.stats().ticks, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick length")]
+    fn zero_tick_panics() {
+        let _ = GpuScheduler::new(GpuClusterSpec::new(1), GpuPriorityPolicy::QueryFirst, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "query share")]
+    fn out_of_range_share_panics() {
+        let _ = GpuScheduler::new(
+            GpuClusterSpec::new(1),
+            GpuPriorityPolicy::Weighted { query_share: 1.5 },
+            1.0,
+        );
+    }
+}

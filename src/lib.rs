@@ -18,8 +18,8 @@
 //! | [`cnn`] | `focus-cnn` | Simulated CNN substrate: ground-truth CNN, compressed cheap CNNs, per-stream specialization, feature vectors, GPU cost model |
 //! | [`cluster`] | `focus-cluster` | Single-pass incremental clustering |
 //! | [`index`] | `focus-index` | The top-K inverted index with camera/time/Kx filtering, shard merging and persistence |
-//! | [`runtime`] | `focus-runtime` | GPU accounting, the GPU-cluster latency model, the reusable worker pool |
-//! | [`core`] | `focus-core` | The Focus system itself: the shared `FramePipeline`, batch/streaming/sharded ingest drivers, the query subsystem (serial engine plus the concurrent, batched, cached `QueryServer`), parameter selection, policies, baselines, experiment runner |
+//! | [`runtime`] | `focus-runtime` | GPU accounting, the GPU-cluster latency model, the reusable worker pool, the shared ingest/query `GpuScheduler` |
+//! | [`core`] | `focus-core` | The Focus system itself: the shared `FramePipeline`, batch/streaming/sharded ingest drivers, the query subsystem (serial engine plus the concurrent, batched, cached `QueryServer`), the live `FocusService`, parameter selection, policies, baselines, experiment runner |
 //!
 //! # Quick start
 //!

@@ -243,6 +243,101 @@ fn compaction_preserves_query_results() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Satellite regression: a frame landing exactly on a
+/// [`SealPolicy::every_secs`] boundary must land in exactly one segment —
+/// no duplicate, no drop — for 1, 2 and 4 shards. The boundary frame
+/// starts the *next* segment: its timestamp equals the new segment's
+/// `t_start`.
+#[test]
+fn seal_boundary_frame_lands_in_exactly_one_segment() {
+    // 30 s at a 10-s budget: boundary frames sit exactly at t = 10 and
+    // t = 20 (frame ids fps*10 and fps*20, both exactly representable).
+    let secs = 30.0;
+    let budget = 10.0;
+    let datasets = workload(secs);
+    for shards in [1usize, 2, 4] {
+        let dir = test_dir(&format!("boundary_{shards}"));
+        let mut store = SegmentStore::create(&dir).unwrap();
+        let output = segmented(SealPolicy::every_secs(budget), shards)
+            .ingest_to_store(&datasets, &mut store, &GpuMeter::new())
+            .unwrap();
+
+        // Every object of the workload is a member of exactly one sealed
+        // record: totals match and no member object id repeats.
+        let mut member_objects = Vec::new();
+        for meta in store.segments() {
+            let segment = store.load(meta.id).unwrap();
+            for record in segment.clusters() {
+                member_objects.extend(record.members.iter().map(|m| m.object));
+            }
+        }
+        let total = member_objects.len();
+        assert_eq!(
+            total,
+            datasets.iter().map(|d| d.object_count()).sum::<usize>(),
+            "shards={shards}: every frame's objects sealed exactly once"
+        );
+        member_objects.sort();
+        member_objects.dedup();
+        assert_eq!(
+            total,
+            member_objects.len(),
+            "shards={shards}: no duplicates"
+        );
+
+        // The boundary frame belongs to the segment that *starts* at the
+        // boundary, for every stream that has motion in that frame.
+        for ds in &datasets {
+            let fps = ds.profile.fps;
+            for boundary in [budget, 2.0 * budget] {
+                let boundary_frame = focus::video::FrameId((boundary * fps as f64) as u64);
+                let with_objects = ds
+                    .frames
+                    .iter()
+                    .find(|f| f.frame_id == boundary_frame)
+                    .map(|f| !f.objects.is_empty())
+                    .unwrap_or(false);
+                if !with_objects {
+                    continue;
+                }
+                let mut holders = Vec::new();
+                for meta in store.segments() {
+                    let segment = store.load(meta.id).unwrap();
+                    let members: usize = segment
+                        .clusters()
+                        .filter(|r| r.key.stream == ds.profile.stream_id)
+                        .flat_map(|r| r.members.iter())
+                        .filter(|m| m.frame == boundary_frame)
+                        .count();
+                    if members > 0 {
+                        holders.push((meta.t_start, members));
+                    }
+                }
+                assert_eq!(
+                    holders.len(),
+                    1,
+                    "shards={shards}: boundary frame {boundary_frame:?} in one segment"
+                );
+                // It opens the next window: the holding segment starts at
+                // the boundary.
+                assert!(
+                    (holders[0].0 - boundary).abs() < 1e-9,
+                    "shards={shards}: boundary frame starts the next segment \
+                     (t_start = {}, boundary = {boundary})",
+                    holders[0].0
+                );
+            }
+        }
+
+        // Whole-store invariant unchanged by the boundary handling.
+        assert_eq!(
+            persist::to_json(&store.merged_index().unwrap()).unwrap(),
+            persist::to_json(&output.combined.index).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 6,
