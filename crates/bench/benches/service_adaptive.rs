@@ -1,0 +1,284 @@
+//! Criterion benchmark for the adaptive live service: a static and an
+//! adaptive [`FocusService`] run the same drift-injected workload (a
+//! traffic camera whose class mix shifts to a news palette mid-stream),
+//! interleaving ingest ticks with query waves.
+//!
+//! Besides the usual bench output this writes `BENCH_adaptive.json` to the
+//! workspace root: wall-clock ingest/serve rates for both runs, the
+//! *deterministic* post-drift worst-class accuracy of each (the adaptive
+//! run's whole point), the verdict-cache hit rate, segment opens per query
+//! and the adaptation GPU overhead. CI's bench-smoke job guards the file
+//! with the direction-aware `bench_guard` — accuracy and hit rates must
+//! not fall, opens-per-query must not rise.
+//!
+//! Unlike the other benches this one runs the **same workload under
+//! `FOCUS_BENCH_SMOKE`**: its accuracy metrics derive from the drift
+//! timeline (bootstrap → specialize → drift → detect → re-select), and
+//! halving the recording would change them; the workload is sized small
+//! enough to smoke-test as-is.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use focus_cnn::specialize::SpecializationLevel;
+use focus_cnn::{Classifier, GroundTruthCnn};
+use focus_core::adapt::AdaptationConfig;
+use focus_core::service::{FocusService, ServiceConfig};
+use focus_core::{
+    AccuracyTarget, GroundTruthLabels, IngestParams, QueryRequest, SealPolicy, StreamWorkerConfig,
+    TradeoffPolicy,
+};
+use focus_index::QueryFilter;
+use focus_video::profile::{profile_by_name, StreamDomain};
+use focus_video::{Frame, VideoDataset};
+
+/// Seconds of pre-drift stream.
+const PRE_SECS: f64 = 120.0;
+/// Seconds of post-drift stream.
+const POST_SECS: f64 = 120.0;
+/// Seconds of stream per advance tick (one query wave per tick).
+const TICK_SECS: f64 = 5.0;
+/// Post-drift accuracy is judged from here (detection + re-selection
+/// headroom past the drift at `PRE_SECS`).
+const EVAL_START_SECS: f64 = 160.0;
+/// Worst-class accuracy horizon (matches the sweep's dominant-classes).
+const EVAL_CLASSES: usize = 3;
+
+fn workload() -> VideoDataset {
+    let profile = profile_by_name("auburn_c").unwrap();
+    let base = VideoDataset::generate(profile.clone(), PRE_SECS);
+    let tail = VideoDataset::generate(profile.drifted("night", StreamDomain::News, 11), POST_SECS);
+    base.continue_with(&tail)
+}
+
+fn base_config() -> ServiceConfig {
+    ServiceConfig {
+        worker: StreamWorkerConfig {
+            params: IngestParams {
+                k: 2,
+                ..IngestParams::default()
+            },
+            bootstrap_secs: 40.0,
+            retrain_interval_secs: 1e9,
+            gt_label_fraction: 0.05,
+            ls: 8,
+            level: SpecializationLevel::Aggressive,
+            ..StreamWorkerConfig::default()
+        },
+        seal: SealPolicy::every_secs(20.0),
+        ..ServiceConfig::default()
+    }
+}
+
+fn adaptive_config() -> ServiceConfig {
+    ServiceConfig {
+        adaptation: Some(AdaptationConfig {
+            audit_fraction: 0.08,
+            window_labels: 150,
+            min_window_labels: 40,
+            drift_threshold: 0.45,
+            window_secs: 30.0,
+            cooldown_secs: 90.0,
+            target: AccuracyTarget::both(0.95),
+            policy: TradeoffPolicy::Balance,
+            ..AdaptationConfig::default()
+        }),
+        ..base_config()
+    }
+}
+
+/// The query wave issued after each ingest tick: the pre-drift dominant
+/// class over the whole timeline plus the freshest window.
+fn wave(workload: &VideoDataset, now_secs: f64) -> Vec<QueryRequest> {
+    let class = workload.dominant_classes(1)[0];
+    vec![
+        QueryRequest::new(class),
+        QueryRequest::new(class).with_filter(
+            QueryFilter::any().with_time_range((now_secs - TICK_SECS).max(0.0), now_secs),
+        ),
+    ]
+}
+
+struct MixedRun {
+    frames: usize,
+    queries: usize,
+    ingest_secs: f64,
+    serve_secs: f64,
+    service: FocusService,
+    dir: std::path::PathBuf,
+}
+
+/// Runs the full drift workload against one fresh service.
+fn run_mixed(workload: &VideoDataset, config: ServiceConfig, dir_tag: &str) -> MixedRun {
+    let dir = std::env::temp_dir().join(format!("focus_bench_adaptive_{dir_tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut service = FocusService::create(&dir, config, GroundTruthCnn::resnet152()).unwrap();
+    service
+        .register_stream(workload.profile.stream_id, workload.profile.fps)
+        .unwrap();
+    let per_tick = (TICK_SECS * workload.profile.fps as f64) as usize;
+    let mut frames_pushed = 0usize;
+    let mut queries_served = 0usize;
+    let mut ingest_secs = 0.0f64;
+    let mut serve_secs = 0.0f64;
+    let mut now_secs = 0.0f64;
+    for chunk in workload.frames.chunks(per_tick) {
+        let tick: Vec<Frame> = chunk.to_vec();
+        now_secs += TICK_SECS;
+        let start = Instant::now();
+        service.advance(&tick).unwrap();
+        service.maintain().unwrap();
+        ingest_secs += start.elapsed().as_secs_f64();
+        frames_pushed += tick.len();
+
+        let requests = wave(workload, now_secs);
+        let start = Instant::now();
+        let outcomes = service.serve(&requests).unwrap();
+        serve_secs += start.elapsed().as_secs_f64();
+        std::hint::black_box(outcomes.iter().map(|o| o.frames.len()).sum::<usize>());
+        queries_served += requests.len();
+    }
+    MixedRun {
+        frames: frames_pushed,
+        queries: queries_served,
+        ingest_secs,
+        serve_secs,
+        service,
+        dir,
+    }
+}
+
+/// Worst-class precision/recall over the post-drift evaluation window.
+fn post_drift_accuracy(
+    service: &FocusService,
+    eval: &VideoDataset,
+    labels: &GroundTruthLabels,
+) -> (f64, f64) {
+    let mut worst_precision = 1.0f64;
+    let mut worst_recall = 1.0f64;
+    for class in eval.dominant_classes(EVAL_CLASSES) {
+        let request = QueryRequest::new(class)
+            .with_filter(QueryFilter::any().with_time_range(EVAL_START_SECS, PRE_SECS + POST_SECS));
+        let outcome = &service.serve(std::slice::from_ref(&request)).unwrap()[0];
+        let report = labels.evaluate(class, &outcome.frames);
+        worst_precision = worst_precision.min(report.precision);
+        worst_recall = worst_recall.min(report.recall);
+    }
+    (worst_precision, worst_recall)
+}
+
+fn bench_service_adaptive(c: &mut Criterion) {
+    let workload = workload();
+    let mut group = c.benchmark_group("service_adaptive");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(workload.frames.len() as u64));
+    group.bench_function("static_drift_run", |b| {
+        b.iter(|| run_mixed(&workload, base_config(), "criterion_static").frames)
+    });
+    group.bench_function("adaptive_drift_run", |b| {
+        b.iter(|| run_mixed(&workload, adaptive_config(), "criterion_adaptive").frames)
+    });
+    group.finish();
+
+    write_trajectory(&workload);
+}
+
+/// Measures one representative run of each mode and writes
+/// `BENCH_adaptive.json` for future PRs to compare against.
+fn write_trajectory(workload: &VideoDataset) {
+    let static_run = run_mixed(workload, base_config(), "trajectory_static");
+    let adaptive_run = run_mixed(workload, adaptive_config(), "trajectory_adaptive");
+
+    let gt = GroundTruthCnn::resnet152();
+    let eval_frames: Vec<Frame> = workload
+        .frames
+        .iter()
+        .filter(|f| f.timestamp_secs >= EVAL_START_SECS)
+        .cloned()
+        .collect();
+    let eval = VideoDataset::from_frames(
+        workload.profile.clone(),
+        PRE_SECS + POST_SECS - EVAL_START_SECS,
+        eval_frames,
+    );
+    let labels = GroundTruthLabels::compute(&eval, &gt);
+    let (static_precision, static_recall) =
+        post_drift_accuracy(&static_run.service, &eval, &labels);
+    let (adaptive_precision, adaptive_recall) =
+        post_drift_accuracy(&adaptive_run.service, &eval, &labels);
+
+    let stats = adaptive_run.service.stats();
+    let opens = stats.io.segments_opened() as f64 / stats.queries_served.max(1) as f64;
+    let gt_ingest_all = gt.cost_per_inference().seconds() * workload.object_count() as f64;
+    let adaptation_gpu = stats
+        .gpu
+        .submitted_by_phase
+        .get("audit")
+        .copied()
+        .unwrap_or(0.0)
+        + stats
+            .gpu
+            .submitted_by_phase
+            .get("selection")
+            .copied()
+            .unwrap_or(0.0);
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"frames_total\": {},\n  \"queries_total\": {},\n",
+        static_run.frames, static_run.queries
+    ));
+    json.push_str(&format!(
+        "  \"drift\": {{ \"pre_secs\": {PRE_SECS}, \"post_secs\": {POST_SECS}, \
+         \"reconfigurations\": {} }},\n",
+        stats.reconfigurations
+    ));
+    json.push_str("  \"runs\": {\n");
+    for (name, run) in [("static", &static_run), ("adaptive", &adaptive_run)] {
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"ingest_secs\": {:.6}, \"frames_per_sec\": {:.1}, \
+             \"queries_per_sec\": {:.1} }}{}\n",
+            run.ingest_secs,
+            run.frames as f64 / run.ingest_secs,
+            run.queries as f64 / run.serve_secs,
+            if name == "static" { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"accuracy\": {\n");
+    json.push_str(&format!(
+        "    \"static_post_drift_worst_precision\": {static_precision:.4},\n"
+    ));
+    json.push_str(&format!(
+        "    \"static_post_drift_worst_recall\": {static_recall:.4},\n"
+    ));
+    json.push_str(&format!(
+        "    \"adaptive_post_drift_worst_precision\": {adaptive_precision:.4},\n"
+    ));
+    json.push_str(&format!(
+        "    \"adaptive_post_drift_worst_recall\": {adaptive_recall:.4}\n"
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"live\": {\n");
+    json.push_str(&format!(
+        "    \"cache_hit_rate\": {:.4},\n",
+        stats.cache.hit_rate()
+    ));
+    json.push_str(&format!("    \"segments_opened_per_query\": {opens:.2},\n"));
+    json.push_str(&format!(
+        "    \"adaptation_gpu_share_of_gt_ingest\": {:.4}\n",
+        adaptation_gpu / gt_ingest_all
+    ));
+    json.push_str("  }\n}\n");
+
+    std::fs::remove_dir_all(&static_run.dir).ok();
+    std::fs::remove_dir_all(&adaptive_run.dir).ok();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_adaptive.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_service_adaptive);
+criterion_main!(benches);

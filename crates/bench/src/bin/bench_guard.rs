@@ -1,31 +1,39 @@
 //! CI regression guard for the committed `BENCH_*.json` trajectories.
 //!
-//! Usage: `bench_guard <baseline.json> <fresh.json> [min_ratio]`
+//! Usage: `bench_guard <baseline.json> <fresh.json> [rate_tolerance]`
 //!
-//! Compares every throughput metric (`*_per_sec`) in the fresh run against
-//! the committed baseline and exits non-zero if any rate fell below
-//! `min_ratio` (default 0.7, i.e. a >30% regression) of its baseline. CI's
-//! bench-smoke job stashes the committed files before running the benches
-//! and then points this guard at the pair.
+//! Direction-aware: every metric matched by the standard rule table
+//! ([`focus_bench::guard::default_rules`]) is compared against the
+//! committed baseline in its own direction with its own tolerance —
+//! throughput (`*_per_sec`) and hit rates / recall / precision must not
+//! fall, latencies and `segments_opened_per_query` must not rise. The
+//! optional `rate_tolerance` (default 0.7, i.e. a >30% regression fails)
+//! applies to the wall-clock metrics; deterministic workload metrics keep
+//! their built-in tighter bounds. CI's bench-smoke job stashes the
+//! committed files before running the benches and then points this guard
+//! at each pair.
 
 use std::process::ExitCode;
 
-use focus_bench::guard::compare_rates;
+use focus_bench::guard::{compare_metrics, default_rules, MetricDirection};
 use focus_bench::TextTable;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.len() < 3 || args.len() > 4 {
-        eprintln!("usage: bench_guard <baseline.json> <fresh.json> [min_ratio]");
+        eprintln!("usage: bench_guard <baseline.json> <fresh.json> [rate_tolerance]");
         return ExitCode::from(2);
     }
     let baseline_path = &args[1];
     let fresh_path = &args[2];
-    let min_ratio: f64 = match args.get(3).map(|s| s.parse()) {
+    let rate_tolerance: f64 = match args.get(3).map(|s| s.parse()) {
         None => 0.7,
         Some(Ok(r)) => r,
         Some(Err(_)) => {
-            eprintln!("bench_guard: min_ratio must be a number, got `{}`", args[3]);
+            eprintln!(
+                "bench_guard: rate_tolerance must be a number, got `{}`",
+                args[3]
+            );
             return ExitCode::from(2);
         }
     };
@@ -43,7 +51,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let checks = match compare_rates(&baseline, &fresh) {
+    let rules = default_rules(rate_tolerance);
+    let checks = match compare_metrics(&baseline, &fresh, &rules) {
         Ok(checks) => checks,
         Err(e) => {
             eprintln!("bench_guard: {e}");
@@ -51,18 +60,26 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut table = TextTable::new(vec!["metric", "baseline", "fresh", "ratio", "verdict"]);
+    let mut table = TextTable::new(vec![
+        "metric", "dir", "baseline", "fresh", "ratio", "bound", "verdict",
+    ]);
     let mut failures = 0usize;
     for check in &checks {
-        let pass = check.passes(min_ratio);
+        let pass = check.passes();
         if !pass {
             failures += 1;
         }
+        let (dir, bound) = match check.direction {
+            MetricDirection::HigherIsBetter => ("up", format!(">={:.2}", check.tolerance)),
+            MetricDirection::LowerIsBetter => ("down", format!("<={:.2}", check.tolerance)),
+        };
         table.row(vec![
             check.path.clone(),
-            format!("{:.1}", check.baseline),
-            format!("{:.1}", check.fresh),
+            dir.to_string(),
+            format!("{:.2}", check.baseline),
+            format!("{:.2}", check.fresh),
             format!("{:.2}", check.ratio()),
+            bound,
             if pass {
                 "ok".to_string()
             } else {
@@ -70,13 +87,12 @@ fn main() -> ExitCode {
             },
         ]);
     }
-    println!("bench_guard: {fresh_path} vs {baseline_path} (min ratio {min_ratio:.2})");
+    println!("bench_guard: {fresh_path} vs {baseline_path} (rate tolerance {rate_tolerance:.2})");
     table.print();
     if failures > 0 {
         eprintln!(
-            "bench_guard: {failures} of {} metrics regressed more than {:.0}% vs baseline",
-            checks.len(),
-            (1.0 - min_ratio) * 100.0
+            "bench_guard: {failures} of {} metrics regressed past their direction-aware bound",
+            checks.len()
         );
         return ExitCode::FAILURE;
     }

@@ -176,13 +176,229 @@ pub fn banner(title: &str, paper_reference: &str) {
     println!("==============================================================");
 }
 
-/// Regression guarding for the committed `BENCH_*.json` trajectory files:
-/// extracts every throughput metric (keys ending in `_per_sec`) from a
-/// baseline and a fresh run and flags any rate that fell below a minimum
-/// ratio of its baseline. The `bench_guard` binary wraps this for CI's
-/// bench-smoke job.
+/// Regression guarding for the committed `BENCH_*.json` trajectory files.
+///
+/// Two layers:
+///
+/// * [`compare_rates`](guard::compare_rates) — the original
+///   throughput-only comparison: every key ending in `_per_sec` must hold
+///   a minimum ratio of its baseline.
+/// * [`compare_metrics`](guard::compare_metrics) — **direction-aware**
+///   guarding: a rule table ([`MetricRule`](guard::MetricRule)) maps key
+///   patterns to a direction (higher-is-better
+///   throughput/hit-rates/accuracy vs lower-is-better latency/opens) and
+///   a per-metric tolerance, so a cache whose hit rate collapses or a
+///   query path that starts opening twice the segments fails CI even
+///   though no `*_per_sec` moved.
+///   [`default_rules`](guard::default_rules) is the table the
+///   `bench_guard` binary ships.
+///
+/// Tolerances differ by metric class because their noise differs:
+/// wall-clock rates and latencies vary with runner hardware (wide
+/// tolerance), while hit rates / recalls / opens-per-query are
+/// deterministic functions of the workload (tight tolerance, with slack
+/// only for the smoke run's halved workload).
 pub mod guard {
     use serde::Value;
+
+    /// Which way a metric is allowed to move.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum MetricDirection {
+        /// Bigger is better (throughput, hit rates, recall): the guard
+        /// fails when `fresh / baseline` falls below the tolerance.
+        HigherIsBetter,
+        /// Smaller is better (latency, segments opened): the guard fails
+        /// when `fresh / baseline` rises above the tolerance.
+        LowerIsBetter,
+    }
+
+    /// One pattern → (direction, tolerance) rule. Patterns match by
+    /// substring on the metric's key (the last path component), first
+    /// match wins.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct MetricRule {
+        /// Substring of the metric key this rule applies to.
+        pub pattern: &'static str,
+        /// Which way the metric is allowed to move.
+        pub direction: MetricDirection,
+        /// Ratio bound: minimum `fresh/baseline` for higher-is-better,
+        /// maximum for lower-is-better.
+        pub tolerance: f64,
+    }
+
+    /// The standard rule table. `rate_tolerance` is the wall-clock
+    /// tolerance (e.g. `0.7` = fail on a >30% throughput regression);
+    /// deterministic workload metrics get tighter bounds with slack for
+    /// the smoke run's halved workloads.
+    pub fn default_rules(rate_tolerance: f64) -> Vec<MetricRule> {
+        vec![
+            MetricRule {
+                pattern: "_per_sec",
+                direction: MetricDirection::HigherIsBetter,
+                tolerance: rate_tolerance,
+            },
+            MetricRule {
+                pattern: "_hit_rate",
+                direction: MetricDirection::HigherIsBetter,
+                // Hit rates are deterministic per workload but shift a
+                // little under the smoke run's halved workloads (measured
+                // ≈0.92 of full scale); a broken cache reads ≈0 and still
+                // fails loudly.
+                tolerance: 0.80,
+            },
+            MetricRule {
+                pattern: "_recall",
+                direction: MetricDirection::HigherIsBetter,
+                tolerance: 0.95,
+            },
+            MetricRule {
+                pattern: "_precision",
+                direction: MetricDirection::HigherIsBetter,
+                tolerance: 0.95,
+            },
+            MetricRule {
+                pattern: "segments_opened_per_query",
+                direction: MetricDirection::LowerIsBetter,
+                tolerance: 1.25,
+            },
+            MetricRule {
+                // Cost-share metrics (e.g. the adaptive service's
+                // audit+re-selection GPU bill as a share of GT-ingest-all)
+                // are deterministic per workload: a controller that starts
+                // sweeping more often must fail here even while every
+                // throughput metric stays green.
+                pattern: "gpu_share",
+                direction: MetricDirection::LowerIsBetter,
+                tolerance: 1.15,
+            },
+            MetricRule {
+                pattern: "latency_secs",
+                direction: MetricDirection::LowerIsBetter,
+                tolerance: 1.0 / rate_tolerance,
+            },
+        ]
+    }
+
+    /// One direction-aware metric compared between baseline and fresh run.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct MetricCheck {
+        /// Dotted JSON path of the metric.
+        pub path: String,
+        /// The committed baseline value.
+        pub baseline: f64,
+        /// The freshly measured value.
+        pub fresh: f64,
+        /// Direction the metric is allowed to move.
+        pub direction: MetricDirection,
+        /// The rule's ratio bound.
+        pub tolerance: f64,
+    }
+
+    impl MetricCheck {
+        /// fresh / baseline (infinite when the baseline is zero; a zero
+        /// baseline never blocks for higher-is-better and always compares
+        /// against zero for lower-is-better).
+        pub fn ratio(&self) -> f64 {
+            if self.baseline == 0.0 {
+                if self.fresh == 0.0 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                self.fresh / self.baseline
+            }
+        }
+
+        /// Whether the fresh value is within tolerance of baseline, in
+        /// the metric's allowed direction.
+        pub fn passes(&self) -> bool {
+            match self.direction {
+                MetricDirection::HigherIsBetter => self.ratio() >= self.tolerance,
+                MetricDirection::LowerIsBetter => self.ratio() <= self.tolerance,
+            }
+        }
+    }
+
+    /// The first rule whose pattern occurs in `key`.
+    fn rule_for<'r>(key: &str, rules: &'r [MetricRule]) -> Option<&'r MetricRule> {
+        rules.iter().find(|r| key.contains(r.pattern))
+    }
+
+    /// Recursively collects `(dotted-path, key, value)` for every numeric
+    /// field matched by some rule.
+    fn collect_ruled(
+        value: &Value,
+        prefix: &str,
+        rules: &[MetricRule],
+        out: &mut Vec<(String, String, f64)>,
+    ) {
+        match value {
+            Value::Object(entries) => {
+                for (key, child) in entries {
+                    let path = if prefix.is_empty() {
+                        key.clone()
+                    } else {
+                        format!("{prefix}.{key}")
+                    };
+                    let numeric = match child {
+                        Value::Float(f) => Some(*f),
+                        Value::UInt(n) => Some(*n as f64),
+                        Value::Int(n) => Some(*n as f64),
+                        _ => None,
+                    };
+                    match numeric {
+                        Some(v) if rule_for(key, rules).is_some() => {
+                            out.push((path, key.clone(), v));
+                        }
+                        Some(_) => {}
+                        None => collect_ruled(child, &path, rules, out),
+                    }
+                }
+            }
+            Value::Array(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    collect_ruled(item, &format!("{prefix}[{i}]"), rules, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Pairs every rule-matched baseline metric with the fresh run's
+    /// value at the same path, attaching each metric's direction and
+    /// tolerance. A baseline metric missing from the fresh run is an
+    /// error (a silently dropped metric must not pass the guard); fresh
+    /// metrics with no baseline are ignored (new benches need a first
+    /// commit to become baselines).
+    pub fn compare_metrics(
+        baseline: &Value,
+        fresh: &Value,
+        rules: &[MetricRule],
+    ) -> Result<Vec<MetricCheck>, String> {
+        let mut baseline_metrics = Vec::new();
+        collect_ruled(baseline, "", rules, &mut baseline_metrics);
+        if baseline_metrics.is_empty() {
+            return Err("baseline contains no guarded metrics".to_string());
+        }
+        let mut fresh_metrics = Vec::new();
+        collect_ruled(fresh, "", rules, &mut fresh_metrics);
+        let mut checks = Vec::with_capacity(baseline_metrics.len());
+        for (path, key, base) in baseline_metrics {
+            let Some((_, _, measured)) = fresh_metrics.iter().find(|(p, _, _)| *p == path) else {
+                return Err(format!("fresh run is missing baseline metric `{path}`"));
+            };
+            let rule = rule_for(&key, rules).expect("collected metrics always have a rule");
+            checks.push(MetricCheck {
+                path,
+                baseline: base,
+                fresh: *measured,
+                direction: rule.direction,
+                tolerance: rule.tolerance,
+            });
+        }
+        Ok(checks)
+    }
 
     /// One throughput metric compared between baseline and fresh run.
     #[derive(Debug, Clone, PartialEq)]
@@ -340,6 +556,123 @@ pub mod guard {
                 fresh: 0.0,
             };
             assert!(check.passes(0.7));
+        }
+
+        #[test]
+        fn direction_aware_rules_classify_and_judge() {
+            let rules = default_rules(0.7);
+            let baseline = parse(
+                r#"{"runs": {"a": {"frames_per_sec": 100.0, "serve_latency_secs": 0.5}},
+                    "live": {"cache_hit_rate": 0.9, "segments_opened_per_query": 4.0},
+                    "accuracy": {"post_drift_recall": 0.96}}"#,
+            );
+            // Better on every axis: faster, higher hit rate, fewer opens,
+            // lower latency, higher recall.
+            let better = parse(
+                r#"{"runs": {"a": {"frames_per_sec": 140.0, "serve_latency_secs": 0.3}},
+                    "live": {"cache_hit_rate": 0.99, "segments_opened_per_query": 2.0},
+                    "accuracy": {"post_drift_recall": 1.0}}"#,
+            );
+            let checks = compare_metrics(&baseline, &better, &rules).unwrap();
+            assert_eq!(checks.len(), 5);
+            assert!(checks.iter().all(MetricCheck::passes), "{checks:?}");
+
+            // A *higher* value must fail a lower-is-better metric even
+            // though every higher-is-better metric improved.
+            let more_opens = parse(
+                r#"{"runs": {"a": {"frames_per_sec": 140.0, "serve_latency_secs": 0.3}},
+                    "live": {"cache_hit_rate": 0.99, "segments_opened_per_query": 9.0},
+                    "accuracy": {"post_drift_recall": 1.0}}"#,
+            );
+            let checks = compare_metrics(&baseline, &more_opens, &rules).unwrap();
+            let failed: Vec<&str> = checks
+                .iter()
+                .filter(|c| !c.passes())
+                .map(|c| c.path.as_str())
+                .collect();
+            assert_eq!(failed, vec!["live.segments_opened_per_query"]);
+
+            // A collapsed hit rate fails its own (tight) tolerance while
+            // the wide rate tolerance would have let the same ratio pass.
+            let cold_cache = parse(
+                r#"{"runs": {"a": {"frames_per_sec": 75.0, "serve_latency_secs": 0.5}},
+                    "live": {"cache_hit_rate": 0.68, "segments_opened_per_query": 4.0},
+                    "accuracy": {"post_drift_recall": 0.96}}"#,
+            );
+            let checks = compare_metrics(&baseline, &cold_cache, &rules).unwrap();
+            let hit = checks
+                .iter()
+                .find(|c| c.path == "live.cache_hit_rate")
+                .unwrap();
+            assert!(!hit.passes(), "0.68/0.9 < 0.8 must fail");
+            assert!(
+                hit.ratio() > 0.7,
+                "...even though the rate tolerance would pass it"
+            );
+            let rate = checks
+                .iter()
+                .find(|c| c.path == "runs.a.frames_per_sec")
+                .unwrap();
+            assert!(rate.passes(), "75/100 is within the 0.7 rate tolerance");
+        }
+
+        #[test]
+        fn cost_share_metrics_are_guarded_lower_is_better() {
+            let rules = default_rules(0.7);
+            let baseline = parse(r#"{"live": {"adaptation_gpu_share_of_gt_ingest": 0.5}}"#);
+            let worse = parse(r#"{"live": {"adaptation_gpu_share_of_gt_ingest": 0.9}}"#);
+            let checks = compare_metrics(&baseline, &worse, &rules).unwrap();
+            assert_eq!(checks.len(), 1);
+            assert_eq!(checks[0].direction, MetricDirection::LowerIsBetter);
+            assert!(!checks[0].passes(), "a costlier controller must fail");
+            let same = compare_metrics(&baseline, &baseline, &rules).unwrap();
+            assert!(same[0].passes());
+        }
+
+        #[test]
+        fn direction_aware_missing_metric_is_an_error() {
+            let rules = default_rules(0.7);
+            let baseline = parse(r#"{"live": {"cache_hit_rate": 0.9}}"#);
+            let fresh = parse(r#"{"live": {"other": 1.0}}"#);
+            assert!(compare_metrics(&baseline, &fresh, &rules).is_err());
+            let no_metrics = parse(r#"{"x": "y"}"#);
+            assert!(compare_metrics(&no_metrics, &fresh, &rules).is_err());
+        }
+
+        #[test]
+        fn zero_baselines_are_sane_in_both_directions() {
+            let check = |direction, baseline, fresh, tolerance| MetricCheck {
+                path: "x".into(),
+                baseline,
+                fresh,
+                direction,
+                tolerance,
+            };
+            // 0 → 0 passes both directions.
+            assert!(check(MetricDirection::HigherIsBetter, 0.0, 0.0, 0.7).passes());
+            assert!(check(MetricDirection::LowerIsBetter, 0.0, 0.0, 1.25).passes());
+            // 0 → positive: an improvement for higher-is-better, a
+            // regression for lower-is-better.
+            assert!(check(MetricDirection::HigherIsBetter, 0.0, 5.0, 0.7).passes());
+            assert!(!check(MetricDirection::LowerIsBetter, 0.0, 5.0, 1.25).passes());
+        }
+
+        #[test]
+        fn committed_baselines_pass_against_themselves_direction_aware() {
+            for file in [
+                "BENCH_ingest.json",
+                "BENCH_query.json",
+                "BENCH_segments.json",
+                "BENCH_service.json",
+                "BENCH_adaptive.json",
+            ] {
+                let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../").to_string() + file;
+                let text = std::fs::read_to_string(&path).unwrap();
+                let value = serde_json::parse(&text).unwrap();
+                let checks = compare_metrics(&value, &value, &default_rules(0.7)).unwrap();
+                assert!(!checks.is_empty(), "{file} has no guarded metrics");
+                assert!(checks.iter().all(MetricCheck::passes), "{file}: {checks:?}");
+            }
         }
 
         #[test]

@@ -76,6 +76,28 @@ impl ModelZoo {
         vec![10, 20, 40]
     }
 
+    /// The reduced generic candidate set used when parameters are
+    /// re-selected *online* on a short window sample (the adaptive
+    /// controller's drift response): the three canonical CheapCNNs only.
+    /// The exotic architecture × compression points of
+    /// [`generic_specs`](Self::generic_specs) earn their GPU time in the
+    /// offline sweep over a long sample; on a drift-sized window they cost
+    /// a full classification pass each without changing the choice.
+    pub fn adaptive_specs(&self) -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::cheap_cnn_1(),
+            ModelSpec::cheap_cnn_2(),
+            ModelSpec::cheap_cnn_3(),
+        ]
+    }
+
+    /// The `Ls` values explored by the online re-selection sweep — a
+    /// subset of [`ls_candidates`](Self::ls_candidates) for the same
+    /// reason [`adaptive_specs`](Self::adaptive_specs) is reduced.
+    pub fn adaptive_ls_candidates(&self) -> Vec<usize> {
+        vec![10, 20]
+    }
+
     /// Trains the specialized candidates for one stream from a ground-truth
     /// labelled sample: every combination of specialization level and `Ls`.
     pub fn specialized_models(
@@ -153,5 +175,25 @@ mod tests {
     fn specialized_models_with_empty_sample_is_empty() {
         let zoo = ModelZoo::new();
         assert!(zoo.specialized_models("auburn_c", &[]).is_empty());
+    }
+
+    #[test]
+    fn adaptive_candidates_are_a_subset_of_the_full_sweep() {
+        let zoo = ModelZoo::new();
+        let full: Vec<String> = zoo
+            .generic_specs()
+            .iter()
+            .map(|s| s.display_name())
+            .collect();
+        let adaptive = zoo.adaptive_specs();
+        assert!(adaptive.len() < zoo.generic_specs().len());
+        for spec in &adaptive {
+            assert!(full.contains(&spec.display_name()));
+        }
+        let ls = zoo.adaptive_ls_candidates();
+        assert!(!ls.is_empty());
+        for l in &ls {
+            assert!(zoo.ls_candidates().contains(l));
+        }
     }
 }

@@ -62,6 +62,7 @@
 //! ```
 
 pub mod accuracy;
+pub mod adapt;
 pub mod baselines;
 pub mod config;
 pub mod experiment;
@@ -76,6 +77,10 @@ pub mod shard;
 pub mod worker;
 
 pub use accuracy::{AccuracyReport, GroundTruthLabels};
+pub use adapt::{
+    AdaptationConfig, DriftDetector, GovernorConfig, Reconfiguration, StreamController,
+    WorkloadGovernor,
+};
 pub use baselines::{AllQueriedComparison, BaselineCosts, QueryTimeOnlyComparison};
 pub use config::{AblationMode, AccuracyTarget, TradeoffPolicy};
 pub use experiment::{
@@ -98,6 +103,7 @@ pub use worker::{SpecializationLifecycle, StreamWorker, StreamWorkerConfig, Stre
 /// Convenience prelude re-exporting the types most applications need.
 pub mod prelude {
     pub use crate::accuracy::GroundTruthLabels;
+    pub use crate::adapt::{AdaptationConfig, DriftDetector, GovernorConfig, WorkloadGovernor};
     pub use crate::config::{AblationMode, AccuracyTarget, TradeoffPolicy};
     pub use crate::experiment::{ExperimentConfig, ExperimentRunner, StreamExperimentReport};
     pub use crate::ingest::{IngestCnn, IngestEngine, IngestParams};

@@ -88,6 +88,31 @@ impl SweepSpace {
         }
     }
 
+    /// The reduced sweep the adaptive controller runs *online* when a
+    /// drift is detected: [`ModelZoo::adaptive_specs`] generic candidates,
+    /// one specialization level over [`ModelZoo::adaptive_ls_candidates`],
+    /// and a thinned K/T grid. Small enough that re-selecting on a
+    /// drift-window sample costs a bounded slice of the shared GPU budget
+    /// (see [`ParameterSelector::select_metered`]), while still spanning
+    /// the generic-vs-specialized and cheap-vs-accurate axes the drifted
+    /// distribution may have moved along.
+    pub fn adaptive() -> Self {
+        let zoo = ModelZoo::new();
+        Self {
+            generic_specs: zoo.adaptive_specs(),
+            specialization_levels: vec![SpecializationLevel::Medium],
+            ls_values: zoo.adaptive_ls_candidates(),
+            generic_k: vec![20, 60, 200],
+            specialized_k: vec![2, 4],
+            thresholds: vec![1.0, 2.0],
+            include_generic: true,
+            include_specialized: true,
+            clustering: true,
+            max_active_clusters: 256,
+            dominant_classes: 3,
+        }
+    }
+
     /// Restricts the sweep to what an ablation mode allows.
     pub fn for_ablation(mut self, mode: AblationMode) -> Self {
         self.include_specialized = mode.specialization();
@@ -344,6 +369,25 @@ impl ParameterSelector {
     /// returns the viable configurations, the Pareto boundary and the
     /// runnable models.
     pub fn select(&self, sample: &VideoDataset, gt: &GroundTruthCnn) -> SelectionResult {
+        self.select_metered(sample, gt, &focus_runtime::GpuMeter::new())
+    }
+
+    /// Like [`select`](Self::select), but charges the sweep's modelled GPU
+    /// bill to `meter` under the phase `"selection"`: one ground-truth
+    /// labelling pass over the sample plus one classification pass per
+    /// candidate model. The offline harness discards this (selection runs
+    /// before the experiment clock starts); the adaptive controller
+    /// ([`crate::adapt`]) submits it to the shared [`GpuScheduler`] so a
+    /// drift-triggered re-selection competes for the same budget as ingest
+    /// and queries instead of being free.
+    ///
+    /// [`GpuScheduler`]: focus_runtime::GpuScheduler
+    pub fn select_metered(
+        &self,
+        sample: &VideoDataset,
+        gt: &GroundTruthCnn,
+        meter: &focus_runtime::GpuMeter,
+    ) -> SelectionResult {
         // Ground-truth label every sampled object once; this is the paper's
         // "sample a representative fraction of frames and classify them with
         // GT-CNN for the ground truth".
@@ -412,6 +456,17 @@ impl ParameterSelector {
         let total_objects = objects.len().max(1);
         let normalizer = gt_cost * total_objects as f64;
         let inferences_needed = objects.iter().filter(|o| o.needs_inference).count();
+
+        // The sweep's GPU bill: the GT labelling pass plus one
+        // classification pass per candidate model over the sample.
+        meter.charge_inferences("selection", gt.cost_per_inference(), objects.len());
+        for (_, ingest_cnn, _) in &candidates {
+            meter.charge_inferences(
+                "selection",
+                ingest_cnn.classifier.cost_per_inference(),
+                objects.len(),
+            );
+        }
 
         let mut evaluated = Vec::new();
         let mut models: HashMap<String, IngestCnn> = HashMap::new();
@@ -688,6 +743,27 @@ mod tests {
         if result.viable.is_empty() {
             assert!(result.choose(TradeoffPolicy::Balance).is_none());
         }
+    }
+
+    #[test]
+    fn metered_selection_charges_the_sweep_bill() {
+        let ds = sample("auburn_c", 60.0);
+        let gt = GroundTruthCnn::resnet152();
+        let selector = ParameterSelector::new(SweepSpace::adaptive(), AccuracyTarget::both(0.9));
+        let meter = focus_runtime::GpuMeter::new();
+        let result = selector.select_metered(&ds, &gt, &meter);
+        assert!(!result.evaluated.is_empty());
+        let billed = meter.phase("selection").seconds();
+        // At least the GT labelling pass, at most GT + every candidate at
+        // GT price (every candidate is cheaper than GT).
+        let objects = ds.object_count() as f64;
+        let gt_pass = gt.cost_per_inference().seconds() * objects;
+        assert!(billed >= gt_pass);
+        assert!(billed <= gt_pass * (2 + result.evaluated.len()) as f64);
+        // The adaptive sweep is strictly smaller than the full one.
+        assert!(
+            SweepSpace::adaptive().generic_specs.len() < SweepSpace::full().generic_specs.len()
+        );
     }
 
     #[test]

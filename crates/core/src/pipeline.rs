@@ -194,6 +194,26 @@ impl FramePipeline {
         self.next_cluster_key = next;
     }
 
+    /// Installs new ingest parameters (K, clustering threshold, ...) for
+    /// every epoch from now on — the reconfiguration path of the adaptive
+    /// controller ([`crate::adapt`]). Parameters are epoch state (the
+    /// clusterer is built from them), so the live epoch must be empty:
+    /// callers seal the old configuration's epoch first, exactly like a
+    /// model swap, and records sealed before the switch are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the live epoch already holds observations (the caller
+    /// forgot to [`seal_epoch`](Self::seal_epoch) first).
+    pub fn set_params(&mut self, params: IngestParams) {
+        assert!(
+            self.epoch.observations.is_empty(),
+            "parameters can only change on an epoch boundary: seal the epoch first"
+        );
+        self.params = params;
+        self.epoch = Epoch::new(&params);
+    }
+
     /// Activity counters.
     pub fn stats(&self) -> PipelineStats {
         let motion = self.motion.stats();
@@ -685,6 +705,71 @@ mod tests {
         }
         pipeline.seal_epoch();
         pipeline.start_cluster_keys_at(1_000);
+    }
+
+    #[test]
+    fn set_params_on_an_epoch_boundary_preserves_sealed_records() {
+        let profile = profile_by_name("auburn_c").unwrap();
+        let dataset = VideoDataset::generate(profile.clone(), 40.0);
+        let model = IngestCnn::generic(ModelSpec::cheap_cnn_1());
+        let half = dataset.frames.len() / 2;
+        let before = IngestParams {
+            k: 10,
+            ..IngestParams::default()
+        };
+        let after = IngestParams {
+            k: 3,
+            cluster_threshold: 0.8,
+            ..IngestParams::default()
+        };
+
+        let mut pipeline = FramePipeline::new(profile.stream_id, profile.fps, before);
+        for frame in &dataset.frames[..half] {
+            pipeline.push_frame(frame, model.classifier.as_ref());
+        }
+        // Reference snapshot of the pre-switch records.
+        let (reference, _) = pipeline.peek_segment();
+        pipeline.seal_epoch();
+        pipeline.set_params(after);
+        assert_eq!(pipeline.params(), after);
+        for frame in &dataset.frames[half..] {
+            pipeline.push_frame(frame, model.classifier.as_ref());
+        }
+        let output = pipeline.finish();
+
+        // Pre-switch records are byte-identical to the pre-switch snapshot;
+        // post-switch records carry the new K.
+        let reference_keys: std::collections::HashSet<_> =
+            reference.clusters().map(|r| r.key).collect();
+        for record in output.index.clusters() {
+            if reference_keys.contains(&record.key) {
+                assert_eq!(
+                    serde_json::to_string(record).unwrap(),
+                    serde_json::to_string(reference.get(record.key).unwrap()).unwrap()
+                );
+            } else {
+                assert_eq!(record.top_k_classes.len(), after.k);
+            }
+        }
+        let indexed: usize = output.index.clusters().map(|c| c.len()).sum();
+        assert_eq!(
+            indexed, output.stats.objects,
+            "no object lost by the switch"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch boundary")]
+    fn set_params_mid_epoch_panics() {
+        let profile = profile_by_name("auburn_c").unwrap();
+        let dataset = VideoDataset::generate(profile.clone(), 5.0);
+        let model = IngestCnn::generic(ModelSpec::cheap_cnn_1());
+        let mut pipeline =
+            FramePipeline::new(profile.stream_id, profile.fps, IngestParams::default());
+        for frame in &dataset.frames {
+            pipeline.push_frame(frame, model.classifier.as_ref());
+        }
+        pipeline.set_params(IngestParams::default());
     }
 
     #[test]

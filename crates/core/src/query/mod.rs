@@ -36,5 +36,5 @@ pub mod serve;
 
 pub use execute::{assemble_outcome, assemble_outcome_from, QueryOutcome};
 pub use plan::{QueryPlan, QueryRequest};
-pub use segmented::{SegmentedCorpus, SegmentedPlan, TailOverlay};
+pub use segmented::{RetiredRouting, SegmentedCorpus, SegmentedPlan, TailOverlay};
 pub use serve::QueryEngine;

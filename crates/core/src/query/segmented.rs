@@ -30,6 +30,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use serde::{Deserialize, Serialize};
+
+use focus_cnn::OTHER_CLASS;
 use focus_index::{
     ClusterKey, ClusterRecord, QueryFilter, SegmentAccess, SegmentError, SegmentStore, TopKIndex,
 };
@@ -155,6 +158,72 @@ pub struct SegmentedCorpus {
     /// through its own OTHER handling (§4.3) instead of the default
     /// model's. Empty for single-model corpora.
     pub stream_models: HashMap<StreamId, IngestCnn>,
+    /// The folded routing of every superseded per-stream specialized
+    /// model (earlier retrain / reconfiguration generations). Records
+    /// they indexed are still in the store under *their* routing — e.g. a
+    /// class the old model mapped to OTHER that the current model
+    /// specializes for — so their lookup classes must stay in the scan
+    /// set or a stream's older epochs silently vanish from query results
+    /// (`retiring_models_keeps_older_epochs_reachable` pins this).
+    /// Install successors via
+    /// [`install_stream_model`](Self::install_stream_model). Generic
+    /// models never need retiring: they route every class to itself,
+    /// which the default-model lookup already covers.
+    pub retired_routes: HashMap<StreamId, RetiredRouting>,
+}
+
+/// The query-routing summary of every retired specialized model of one
+/// stream, folded into `O(classes)` state instead of a list of models: it
+/// reproduces exactly the lookup classes the full model list would
+/// contribute — a retired model specialized *for* the queried class
+/// contributes the class itself, one specialized *without* it contributes
+/// OTHER — while staying bounded (and serializable, so a recovered
+/// service keeps scanning its older epochs correctly; the durable-sidecar
+/// round trip is pinned in `tests/adaptive_drift.rs`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RetiredRouting {
+    /// Specialized generations folded in.
+    pub generations: usize,
+    /// Classes specialized by at least one retired generation, sorted.
+    pub specialized_union: Vec<ClassId>,
+    /// Classes specialized by *every* retired generation, sorted. A query
+    /// for any class outside this set must also scan OTHER (some retired
+    /// generation indexed that class's records there).
+    pub specialized_intersection: Vec<ClassId>,
+}
+
+impl RetiredRouting {
+    /// Folds one more retired generation's specialized class set in.
+    pub fn retire(&mut self, specialized_classes: &[ClassId]) {
+        let mut classes: Vec<ClassId> = specialized_classes.to_vec();
+        classes.sort();
+        classes.dedup();
+        if self.generations == 0 {
+            self.specialized_union = classes.clone();
+            self.specialized_intersection = classes;
+        } else {
+            self.specialized_union.extend(classes.iter().copied());
+            self.specialized_union.sort();
+            self.specialized_union.dedup();
+            self.specialized_intersection
+                .retain(|c| classes.binary_search(c).is_ok());
+        }
+        self.generations += 1;
+    }
+
+    /// Appends the lookup classes the retired generations contribute for
+    /// a query of `class` (none while no generation is folded in).
+    fn extend_lookup_classes(&self, class: ClassId, out: &mut Vec<ClassId>) {
+        if self.generations == 0 {
+            return;
+        }
+        if self.specialized_union.binary_search(&class).is_ok() {
+            out.push(class);
+        }
+        if self.specialized_intersection.binary_search(&class).is_err() {
+            out.push(OTHER_CLASS);
+        }
+    }
 }
 
 impl SegmentedCorpus {
@@ -169,6 +238,23 @@ impl SegmentedCorpus {
             centroids,
             model,
             stream_models: HashMap::new(),
+            retired_routes: HashMap::new(),
+        }
+    }
+
+    /// Installs a new routing model for one stream, retiring the previous
+    /// override's routing so the classes it indexed records under stay in
+    /// the scan set (only specialized predecessors matter — a generic
+    /// model's routing is covered by the default model). This is the path
+    /// every retrain and drift reconfiguration goes through.
+    pub fn install_stream_model(&mut self, stream: StreamId, model: IngestCnn) {
+        if let Some(previous) = self.stream_models.insert(stream, model) {
+            if let Some(classes) = previous.specialized_classes.as_deref() {
+                self.retired_routes
+                    .entry(stream)
+                    .or_default()
+                    .retire(classes);
+            }
         }
     }
 
@@ -220,18 +306,29 @@ impl SegmentedCorpus {
     /// verifications). One entry for a single-model corpus; at most two
     /// (the class itself and OTHER) in practice.
     fn lookup_classes(&self, class: ClassId, filter: &QueryFilter) -> Vec<ClassId> {
+        let reachable = |stream: &StreamId| {
+            filter
+                .streams
+                .as_ref()
+                .is_none_or(|streams| streams.contains(stream))
+        };
         let mut classes = vec![self.model.effective_query_class(class)];
         classes.extend(
             self.stream_models
                 .iter()
-                .filter(|(stream, _)| {
-                    filter
-                        .streams
-                        .as_ref()
-                        .is_none_or(|streams| streams.contains(stream))
-                })
+                .filter(|(stream, _)| reachable(stream))
                 .map(|(_, model)| model.effective_query_class(class)),
         );
+        // Earlier model generations of a reachable stream may have indexed
+        // the class under a different routing (typically OTHER); their
+        // records are still in the store and must stay findable.
+        for (_, routing) in self
+            .retired_routes
+            .iter()
+            .filter(|(stream, _)| reachable(stream))
+        {
+            routing.extend_lookup_classes(class, &mut classes);
+        }
         classes.sort();
         classes.dedup();
         classes
@@ -605,6 +702,78 @@ mod tests {
             .candidates
             .windows(2)
             .all(|w| w[0].cluster < w[1].cluster));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retiring_models_keeps_older_epochs_reachable() {
+        use focus_cnn::{Classifier, GroundTruthCnn, SpecializedCnn, OTHER_CLASS};
+        // Generation 1 specializes WITHOUT some class C (its records post
+        // under OTHER); generation 2 specializes FOR C (routing C to
+        // itself). Without retired-model routing the gen-2 install would
+        // stop scanning OTHER and gen-1's C records would vanish.
+        let ds = VideoDataset::generate(profile_by_name("auburn_c").unwrap(), 40.0);
+        let (_, mut corpus, _, dir) = corpus("retired_models");
+        let stream = ds.profile.stream_id;
+        let gt = GroundTruthCnn::resnet152();
+        let sample: Vec<_> = ds
+            .objects()
+            .map(|o| (o.clone(), gt.classify_top1(o)))
+            .collect();
+        let gen1 = IngestCnn::specialized(
+            SpecializedCnn::train(
+                "retired-gen1",
+                focus_cnn::specialize::SpecializationLevel::Medium,
+                &sample,
+                2,
+            )
+            .unwrap(),
+        );
+        let gen2 = IngestCnn::specialized(
+            SpecializedCnn::train(
+                "retired-gen2",
+                focus_cnn::specialize::SpecializationLevel::Medium,
+                &sample,
+                8,
+            )
+            .unwrap(),
+        );
+        // A class gen2 covers but gen1 does not: indexed under OTHER by
+        // gen1-era ingest, under itself by gen2-era ingest.
+        let split_class = *gen2
+            .specialized_classes
+            .as_ref()
+            .unwrap()
+            .iter()
+            .find(|c| !gen1.specialized_classes.as_ref().unwrap().contains(c))
+            .expect("gen2's larger set covers a class gen1 lacks");
+
+        corpus.install_stream_model(stream, gen1.clone());
+        let gen1_plan = corpus.plan(&QueryRequest::new(split_class)).unwrap();
+        assert_eq!(
+            corpus.route(stream, split_class),
+            OTHER_CLASS,
+            "gen1 maps the split class through OTHER"
+        );
+        assert!(!gen1_plan.plan.candidates.is_empty());
+
+        corpus.install_stream_model(stream, gen2.clone());
+        assert_eq!(
+            corpus.route(stream, split_class),
+            split_class,
+            "gen2 specializes for it"
+        );
+        assert_eq!(corpus.retired_routes[&stream].generations, 1);
+        let gen2_plan = corpus.plan(&QueryRequest::new(split_class)).unwrap();
+        for handle in &gen1_plan.plan.candidates {
+            assert!(
+                gen2_plan.plan.candidates.contains(handle),
+                "gen1-era candidate {handle:?} hidden by the gen2 install"
+            );
+        }
+        // A third install retires gen2 as well.
+        corpus.install_stream_model(stream, gen1);
+        assert_eq!(corpus.retired_routes[&stream].generations, 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

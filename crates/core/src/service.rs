@@ -57,7 +57,11 @@ use focus_runtime::{
 };
 use focus_video::{Frame, ObjectId, ObjectObservation, StreamId};
 
+use crate::adapt::{
+    AdaptationConfig, GovernorConfig, Reconfiguration, StreamController, WorkloadGovernor,
+};
 use crate::ingest::IngestCnn;
+use crate::params::SelectedConfiguration;
 use crate::pipeline::FramePipeline;
 use crate::query::segmented::{SegmentedCorpus, TailOverlay};
 use crate::query::{QueryOutcome, QueryRequest};
@@ -100,6 +104,17 @@ pub struct ServiceConfig {
     /// Fold budget handed to [`SegmentStore::compact`]: adjacent segments
     /// are merged while their combined record count stays within this.
     pub compact_max_clusters: usize,
+    /// Drift-aware per-stream adaptation (`None` disables it): every
+    /// stream gets a [`StreamController`] auditing the live class
+    /// distribution and re-selecting the configuration when it drifts
+    /// (see [`crate::adapt`]).
+    #[serde(default)]
+    pub adaptation: Option<AdaptationConfig>,
+    /// Workload-driven GPU governor (`None` disables it): retargets a
+    /// `Weighted` [`GpuPriorityPolicy`] from the observed backlogs each
+    /// maintenance tick.
+    #[serde(default)]
+    pub governor: Option<GovernorConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -113,6 +128,8 @@ impl Default for ServiceConfig {
             small_segment_clusters: 32,
             compact_small_threshold: 8,
             compact_max_clusters: 256,
+            adaptation: None,
+            governor: None,
         }
     }
 }
@@ -138,6 +155,14 @@ pub struct MaintenanceReport {
     /// Segments folded away by compaction (zero when the small-segment
     /// trigger was not crossed).
     pub segments_folded: usize,
+    /// Streams whose controller detected drift and installed a re-selected
+    /// configuration during this tick.
+    #[serde(default)]
+    pub reconfigured_streams: usize,
+    /// The query share the workload governor retargeted the scheduler to,
+    /// when it acted this tick.
+    #[serde(default)]
+    pub governor_query_share: Option<f64>,
     /// The GPU scheduler tick drained by this call.
     pub tick: TickReport,
 }
@@ -156,6 +181,17 @@ pub struct ServiceStats {
     pub objects_indexed: usize,
     /// Specialized models (re)trained across all streams.
     pub retrains: usize,
+    /// Drift-triggered configuration re-selections installed across all
+    /// streams (see [`crate::adapt::StreamController`]).
+    #[serde(default)]
+    pub reconfigurations: usize,
+    /// Audit labels drawn by the adaptation controllers (each one a GT
+    /// inference on the shared budget, phase `"audit"`).
+    #[serde(default)]
+    pub audit_labels: usize,
+    /// Times the workload governor retargeted the scheduler's query share.
+    #[serde(default)]
+    pub governor_retargets: usize,
     /// Live segments in the store.
     pub segments: usize,
     /// Cluster records in live segments.
@@ -195,13 +231,23 @@ impl ServiceStats {
 }
 
 /// Durable sidecar: the registered streams (segment files and the
-/// manifest know nothing about stream frame rates). Rewritten atomically
-/// on every [`FocusService::register_stream`].
+/// manifest know nothing about stream frame rates) plus each stream's
+/// historical query routing. Rewritten atomically on every
+/// [`FocusService::register_stream`] and on every model install (retrain
+/// or reconfiguration).
 #[derive(Debug, Serialize, Deserialize)]
 struct ServiceState {
     version: u32,
     /// `(stream id, fps)` for every registered stream.
     streams: Vec<(u32, u32)>,
+    /// Per-stream folded routing of every specialized model generation —
+    /// the retired ones plus the one live at persist time (a restart
+    /// effectively retires it too: models are process state and restart
+    /// from bootstrap, but the records they indexed are durable and must
+    /// stay findable under their routing). Absent for streams that never
+    /// specialized. Missing in pre-adaptation sidecars (`serde(default)`).
+    #[serde(default)]
+    retired_routes: Vec<(u32, crate::query::segmented::RetiredRouting)>,
 }
 
 /// One durable centroid delta: the observations behind one sealed
@@ -225,6 +271,9 @@ struct CentroidDelta {
 struct StreamState {
     segmenter: StreamSegmenter,
     lifecycle: SpecializationLifecycle,
+    /// The drift-aware adaptation controller (present when the service
+    /// runs with [`ServiceConfig::adaptation`]).
+    controller: Option<StreamController>,
     model: IngestCnn,
     /// Classifications already submitted to the scheduler (per-frame
     /// deltas, exact inference counts — no float telescoping).
@@ -281,8 +330,10 @@ pub struct FocusService {
     streams: BTreeMap<StreamId, StreamState>,
     server: QueryServer,
     scheduler: GpuScheduler,
+    governor: Option<WorkloadGovernor>,
     io: IoMeter,
     segments_sealed: usize,
+    reconfigurations: usize,
     /// Sequence number of the next per-seal centroid delta file.
     next_centroid_delta: u64,
     compactions: usize,
@@ -383,6 +434,16 @@ impl FocusService {
             }
             service.insert_stream(stream, pipeline);
         }
+        // Every specialized generation that ever indexed records — the
+        // retired ones and the one live at crash time — stays in the query
+        // routing, so sealed epochs posted under OTHER remain reachable
+        // after recovery exactly as before it.
+        for (stream, routing) in state.retired_routes {
+            service
+                .corpus
+                .retired_routes
+                .insert(StreamId(stream), routing);
+        }
         Ok((service, report))
     }
 
@@ -442,6 +503,7 @@ impl FocusService {
         let corpus = SegmentedCorpus::new(store, HashMap::new(), bootstrap);
         let server = QueryServer::new(gt.clone(), config.gpus);
         let scheduler = GpuScheduler::new(config.gpus, config.priority, config.tick_secs);
+        let governor = config.governor.map(WorkloadGovernor::new);
         Self {
             gt_template: gt,
             config,
@@ -449,8 +511,10 @@ impl FocusService {
             streams: BTreeMap::new(),
             server,
             scheduler,
+            governor,
             io: IoMeter::new(),
             segments_sealed: 0,
+            reconfigurations: 0,
             next_centroid_delta: 0,
             compactions: 0,
             queries_served: AtomicUsize::new(0),
@@ -478,6 +542,9 @@ impl FocusService {
             "stream {} is already registered",
             stream.0
         );
+        let controller = self.config.adaptation.clone().map(|config| {
+            StreamController::new(stream, pipeline.fps(), config, self.gt_template.clone())
+        });
         let state = StreamState {
             segmenter: StreamSegmenter::from_pipeline(pipeline, self.config.seal),
             lifecycle: SpecializationLifecycle::new(
@@ -485,6 +552,7 @@ impl FocusService {
                 self.config.worker.clone(),
                 self.gt_template.clone(),
             ),
+            controller,
             model: IngestCnn::generic(self.config.worker.bootstrap_model),
             inferences_metered: 0,
         };
@@ -513,12 +581,19 @@ impl FocusService {
                 let StreamState {
                     segmenter,
                     lifecycle,
+                    controller,
                     model,
                     inferences_metered,
                 } = state;
+                if let Some(controller) = controller.as_mut() {
+                    controller.note_frame(frame);
+                }
                 let part =
                     segmenter.push_frame_observed(frame, model.classifier.as_ref(), |obj, n| {
                         lifecycle.observe(obj, n, &spec_meter);
+                        if let Some(controller) = controller.as_mut() {
+                            controller.observe(obj, n, &spec_meter);
+                        }
                     });
                 let classified = segmenter.pipeline().stats().objects_classified;
                 let new_inferences = classified - *inferences_metered;
@@ -538,6 +613,12 @@ impl FocusService {
                     // tail before the swap.
                     segmenter.pipeline_mut().seal_epoch();
                     *model = m.clone();
+                    // The specialization sample's class mix becomes the
+                    // drift detector's reference: the configuration now in
+                    // force was chosen for exactly that distribution.
+                    if let Some(controller) = controller.as_mut() {
+                        controller.set_reference(lifecycle.sample_class_histogram());
+                    }
                 }
                 (sealed, retrained)
             };
@@ -546,7 +627,7 @@ impl FocusService {
                 report.segments_sealed += 1;
             }
             if let Some(model) = retrained {
-                self.corpus.stream_models.insert(stream, model);
+                self.corpus.install_stream_model(stream, model);
                 // Conservative by design (the verdict cache would stay
                 // correct: GT verdicts depend only on the observation and
                 // the GT model, and object ids are never reused): bumping
@@ -554,12 +635,15 @@ impl FocusService {
                 // aligned with ingest epochs, at the cost of re-verifying
                 // the working set after a retrain.
                 self.server.invalidate();
+                // The new generation's routing must survive a restart.
+                self.persist_state()?;
                 report.retrains += 1;
             }
             report.frames += 1;
         }
         let labelling = spec_meter.phase("specialization");
         self.scheduler.submit("specialization", labelling);
+        self.scheduler.submit("audit", spec_meter.phase("audit"));
         Ok(report)
     }
 
@@ -631,7 +715,10 @@ impl FocusService {
     /// hit its seal budget (exactly the segments the next frame push would
     /// have sealed, so maintenance never changes the partitioning),
     /// compacts the store when the small-segment count crosses the
-    /// configured threshold, and drains one GPU-scheduler tick.
+    /// configured threshold, runs the adaptation controllers (drift check
+    /// → re-select → install, when [`ServiceConfig::adaptation`] is on)
+    /// and the workload governor (when [`ServiceConfig::governor`] is on),
+    /// and drains one GPU-scheduler tick.
     pub fn maintain(&mut self) -> Result<MaintenanceReport, SegmentError> {
         let mut report = MaintenanceReport::default();
         let due: Vec<StreamId> = self
@@ -663,8 +750,77 @@ impl FocusService {
                 self.compactions += 1;
             }
         }
+
+        // Drift check → re-select → install, one pass over the streams.
+        // Re-selection sweeps charge the adaptation meter ("selection"),
+        // which is submitted to the shared scheduler below — adapting
+        // competes for the same GPU budget as ingest and queries.
+        let adapt_meter = GpuMeter::new();
+        let mut reconfigured: Vec<(StreamId, Reconfiguration)> = Vec::new();
+        for (stream, state) in self.streams.iter_mut() {
+            if let Some(controller) = state.controller.as_mut() {
+                let now = controller.last_seen_secs();
+                if let Some(event) = controller.maybe_reconfigure(now, &adapt_meter) {
+                    reconfigured.push((*stream, event));
+                }
+            }
+        }
+        self.scheduler
+            .submit("selection", adapt_meter.phase("selection"));
+        for (stream, event) in reconfigured {
+            self.install_configuration(stream, &event.selection)?;
+            report.reconfigured_streams += 1;
+        }
+
+        if let Some(governor) = self.governor.as_mut() {
+            report.governor_query_share = governor.tick(&self.scheduler);
+        }
         report.tick = self.scheduler.tick();
         Ok(report)
+    }
+
+    /// Installs a (re-)selected configuration on one stream through the
+    /// model-epoch seal machinery — the same path a scheduled retrain
+    /// takes, plus the parameter switch:
+    ///
+    /// 1. the old configuration's live epoch seals into the hot tail
+    ///    (records indexed before the switch are untouched and stay
+    ///    reachable, byte-identical to a seal-then-reconfigure reference —
+    ///    `tests/adaptive_drift.rs` pins this);
+    /// 2. the pipeline's parameters (K, clustering threshold) switch on
+    ///    the now-empty epoch;
+    /// 3. the stream's ingest model and query routing swap, and the
+    ///    verdict-cache epoch bumps exactly as after a retrain.
+    ///
+    /// The adaptation controllers call this on drift; it is public so an
+    /// operator (or a test building a reference run) can install a
+    /// configuration by hand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is not registered.
+    pub fn install_configuration(
+        &mut self,
+        stream: StreamId,
+        selection: &SelectedConfiguration,
+    ) -> Result<(), SegmentError> {
+        let state = self
+            .streams
+            .get_mut(&stream)
+            .unwrap_or_else(|| panic!("stream {} is not registered", stream.0));
+        let pipeline = state.segmenter.pipeline_mut();
+        pipeline.seal_epoch();
+        pipeline.set_params(selection.params);
+        state.model = selection.model.clone();
+        self.corpus
+            .install_stream_model(stream, selection.model.clone());
+        // Conservative, matching the retrain path: GT verdicts would stay
+        // valid, but keeping cache lifetime aligned with configuration
+        // epochs is cheap and simple.
+        self.server.invalidate();
+        self.reconfigurations += 1;
+        // The new generation's routing must survive a restart.
+        self.persist_state()
     }
 
     /// Unconditionally seals every stream's pending tail into the store
@@ -751,8 +907,31 @@ impl FocusService {
         Ok(())
     }
 
-    /// Writes the durable stream registry atomically next to the manifest.
+    /// Writes the durable stream registry and routing history atomically
+    /// next to the manifest.
     fn persist_state(&self) -> Result<(), SegmentError> {
+        // Persist each stream's routing history as it would look after a
+        // restart: the already-retired generations plus the live model
+        // (models are process state — a recovered service restarts from
+        // the bootstrap model, which turns today's live specialized model
+        // into one more retired generation).
+        let mut retired_routes = Vec::new();
+        for id in self.streams.keys() {
+            let mut routing = self
+                .corpus
+                .retired_routes
+                .get(id)
+                .cloned()
+                .unwrap_or_default();
+            if let Some(model) = self.corpus.stream_models.get(id) {
+                if let Some(classes) = model.specialized_classes.as_deref() {
+                    routing.retire(classes);
+                }
+            }
+            if routing.generations > 0 {
+                retired_routes.push((id.0, routing));
+            }
+        }
         let state = ServiceState {
             version: SERVICE_STATE_VERSION,
             streams: self
@@ -760,6 +939,7 @@ impl FocusService {
                 .iter()
                 .map(|(id, s)| (id.0, s.segmenter.pipeline().fps()))
                 .collect(),
+            retired_routes,
         };
         let json = serde_json::to_string(&state)
             .map_err(|source| SegmentError::Persist(PersistError::Format { path: None, source }))?;
@@ -775,8 +955,18 @@ impl FocusService {
         self.server.retrain_ground_truth(gt.clone());
         for state in self.streams.values_mut() {
             state.lifecycle.set_ground_truth(gt.clone());
+            if let Some(controller) = state.controller.as_mut() {
+                controller.set_ground_truth(gt.clone());
+            }
         }
         self.gt_template = gt;
+    }
+
+    /// The adaptation controller of one stream (`None` for unregistered
+    /// streams or when the service runs without
+    /// [`ServiceConfig::adaptation`]).
+    pub fn stream_controller(&self, stream: StreamId) -> Option<&StreamController> {
+        self.streams.get(&stream)?.controller.as_ref()
     }
 
     /// The service configuration.
@@ -816,17 +1006,24 @@ impl FocusService {
         let mut frames = 0;
         let mut objects = 0;
         let mut retrains = 0;
+        let mut audit_labels = 0;
         for state in self.streams.values() {
             let stats = state.segmenter.pipeline().stats();
             frames += stats.frames;
             objects += stats.objects;
             retrains += state.lifecycle.retrains();
+            if let Some(controller) = state.controller.as_ref() {
+                audit_labels += controller.audit_labels();
+            }
         }
         ServiceStats {
             streams: self.streams.len(),
             frames_ingested: frames,
             objects_indexed: objects,
             retrains,
+            reconfigurations: self.reconfigurations,
+            audit_labels,
+            governor_retargets: self.governor.as_ref().map_or(0, |g| g.retargets()),
             segments: self.corpus.store().len(),
             store_clusters: self.corpus.store().total_clusters(),
             segments_sealed: self.segments_sealed,
@@ -965,6 +1162,208 @@ mod tests {
         // The scheduler's meter carries the ordinary per-phase accounting.
         assert!(service.scheduler().meter().phase("ingest").seconds() > 0.0);
         assert!(service.scheduler().meter().phase("query").seconds() > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn adaptive_service_audits_on_the_shared_budget() {
+        let profile = profile_by_name("auburn_c").unwrap();
+        let ds = VideoDataset::generate(profile.clone(), 30.0);
+        let dir = test_dir("adaptive_audit");
+        let config = ServiceConfig {
+            adaptation: Some(crate::adapt::AdaptationConfig {
+                audit_fraction: 0.05,
+                ..crate::adapt::AdaptationConfig::default()
+            }),
+            ..quiet_config()
+        };
+        let mut service = FocusService::create(&dir, config, GroundTruthCnn::resnet152()).unwrap();
+        service
+            .register_stream(profile.stream_id, profile.fps)
+            .unwrap();
+        service.advance(&ds.frames).unwrap();
+        service.maintain().unwrap();
+
+        let stats = service.stats();
+        assert!(stats.audit_labels > 0, "the controller drew audit labels");
+        assert_eq!(stats.reconfigurations, 0, "no drift, no reconfiguration");
+        // Audit labelling went through the shared scheduler as ingest-side
+        // work.
+        assert!(stats.gpu.submitted_by_phase["audit"] > 0.0);
+        assert!(
+            service.stream_controller(profile.stream_id).is_some(),
+            "controller attached to the stream"
+        );
+        // The whole snapshot still round-trips.
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ServiceStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retired_routing_survives_recovery() {
+        use crate::ingest::IngestParams;
+        use crate::params::{ConfigurationPoint, ModelChoice, SelectedConfiguration};
+        use focus_cnn::{Classifier, ModelSpec, SpecializedCnn, OTHER_CLASS};
+        use focus_video::ClassId;
+
+        fn selection_of(model: IngestCnn, k: usize) -> SelectedConfiguration {
+            SelectedConfiguration {
+                point: ConfigurationPoint {
+                    model: ModelChoice::Generic(ModelSpec::cheap_cnn_1()),
+                    k,
+                    threshold: 1.5,
+                    ingest_cost_norm: 0.0,
+                    query_latency_norm: 0.0,
+                    precision: 1.0,
+                    recall: 1.0,
+                    worst_precision: 1.0,
+                    worst_recall: 1.0,
+                },
+                model,
+                params: IngestParams {
+                    k,
+                    ..IngestParams::default()
+                },
+                met_targets: true,
+            }
+        }
+
+        let profile = profile_by_name("auburn_c").unwrap();
+        let ds = VideoDataset::generate(profile.clone(), 120.0);
+        let gt = GroundTruthCnn::resnet152();
+        let sample: Vec<_> = ds
+            .objects()
+            .map(|o| (o.clone(), gt.classify_top1(o)))
+            .collect();
+        // Gen 1 specializes WITHOUT some class C (its records post under
+        // OTHER); gen 2 specializes FOR C.
+        let gen1 = IngestCnn::specialized(
+            SpecializedCnn::train(
+                "recover-gen1",
+                focus_cnn::specialize::SpecializationLevel::Medium,
+                &sample,
+                1,
+            )
+            .unwrap(),
+        );
+        let gen2 = IngestCnn::specialized(
+            SpecializedCnn::train(
+                "recover-gen2",
+                focus_cnn::specialize::SpecializationLevel::Medium,
+                &sample,
+                8,
+            )
+            .unwrap(),
+        );
+        // The split class must really occur during the gen1 era (the GT
+        // sample's tail ranks can be flicker-only labels with no objects
+        // behind them), so gen1-era OTHER records of it exist. The gen1
+        // era covers three quarters of the recording because the
+        // generator's busy/quiet bursts can keep a class entirely out of
+        // the first half.
+        let cut = ds.frames.len() * 3 / 4;
+        let occurs = |class: ClassId, frames: &[Frame]| {
+            frames
+                .iter()
+                .flat_map(|f| f.objects.iter())
+                .filter(|o| o.true_class == class)
+                .count()
+                > 20
+        };
+        let split_class = *gen2
+            .specialized_classes
+            .as_ref()
+            .unwrap()
+            .iter()
+            .find(|c| {
+                !gen1.specialized_classes.as_ref().unwrap().contains(c)
+                    && occurs(**c, &ds.frames[..cut])
+            })
+            .expect("gen2 covers a real class gen1 lacks");
+
+        let dir = test_dir("retired_recover");
+        let mut service =
+            FocusService::create(&dir, quiet_config(), GroundTruthCnn::resnet152()).unwrap();
+        service
+            .register_stream(profile.stream_id, profile.fps)
+            .unwrap();
+        service
+            .install_configuration(profile.stream_id, &selection_of(gen1, 4))
+            .unwrap();
+        service.advance(&ds.frames[..cut]).unwrap();
+        service
+            .install_configuration(profile.stream_id, &selection_of(gen2, 4))
+            .unwrap();
+        service.advance(&ds.frames[cut..]).unwrap();
+        service.seal_all().unwrap();
+        let request = QueryRequest::new(split_class);
+        let before = service.serve(std::slice::from_ref(&request)).unwrap();
+        assert!(
+            !before[0].frames.is_empty(),
+            "the split class has gen1-era records"
+        );
+        drop(service);
+
+        // A recovered service has no models (process state), but the
+        // routing history must still reach gen1's OTHER-indexed epochs.
+        let (recovered, _) =
+            FocusService::recover(&dir, quiet_config(), GroundTruthCnn::resnet152()).unwrap();
+        let routing = &recovered.corpus().retired_routes[&profile.stream_id];
+        assert!(routing.generations >= 2);
+        assert!(routing.specialized_union.contains(&split_class));
+        assert!(!routing.specialized_intersection.contains(&split_class));
+        assert_eq!(
+            recovered.corpus().route(profile.stream_id, split_class),
+            split_class,
+            "no live override after recovery: the default generic routes"
+        );
+        let after = recovered.serve(std::slice::from_ref(&request)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&before[0].frames).unwrap(),
+            serde_json::to_string(&after[0].frames).unwrap(),
+            "recovery must not hide any generation's records"
+        );
+        // And OTHER records really were involved (the scan needed the
+        // retired routing, not just the class itself).
+        let other_records = recovered
+            .corpus()
+            .lookup(OTHER_CLASS, &focus_index::QueryFilter::any())
+            .unwrap();
+        assert!(!other_records.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn governor_retargets_the_shared_scheduler() {
+        let profile = profile_by_name("auburn_c").unwrap();
+        let ds = VideoDataset::generate(profile.clone(), 30.0);
+        let dir = test_dir("governor");
+        let config = ServiceConfig {
+            priority: GpuPriorityPolicy::Weighted { query_share: 0.9 },
+            governor: Some(crate::adapt::GovernorConfig::default()),
+            ..quiet_config()
+        };
+        let mut service = FocusService::create(&dir, config, GroundTruthCnn::resnet152()).unwrap();
+        service
+            .register_stream(profile.stream_id, profile.fps)
+            .unwrap();
+        // A pure-ingest backlog: the governor must walk the query share
+        // down towards ingest.
+        service.advance(&ds.frames).unwrap();
+        let report = service.maintain().unwrap();
+        let share = report
+            .governor_query_share
+            .expect("imbalanced backlog retargets");
+        assert!(share < 0.9);
+        let stats = service.stats();
+        assert_eq!(stats.governor_retargets, 1);
+        assert_eq!(stats.gpu.retargets, 1);
+        assert_eq!(
+            service.scheduler().policy(),
+            GpuPriorityPolicy::Weighted { query_share: share }
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

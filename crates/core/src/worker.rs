@@ -146,6 +146,19 @@ impl SpecializationLifecycle {
         self.objects_gt_labelled
     }
 
+    /// Class histogram of the ground-truth-labelled sample accumulated so
+    /// far — the reference distribution the drift detector
+    /// ([`crate::adapt::DriftDetector`]) compares live audit labels
+    /// against: a configuration chosen from this sample is only as good as
+    /// the sample's class mix, so drift is measured relative to it.
+    pub fn sample_class_histogram(&self) -> std::collections::HashMap<ClassId, usize> {
+        let mut hist = std::collections::HashMap::new();
+        for (_, class) in &self.labelled_sample {
+            *hist.entry(*class).or_insert(0) += 1;
+        }
+        hist
+    }
+
     /// Number of times a specialized model was (re)trained.
     pub fn retrains(&self) -> usize {
         self.retrains

@@ -18,7 +18,12 @@
 //!   or a weighted split with spillover;
 //! * [`GpuSchedulerStats`] reports the split, the backlogs and the modelled
 //!   utilization, which is what the service folds into its unified stats
-//!   snapshot.
+//!   snapshot;
+//! * the policy can be **retargeted live** ([`GpuScheduler::retarget`],
+//!   [`GpuScheduler::set_query_share`]): a workload governor watching the
+//!   backlogs can move a `Weighted` split between ticks without losing a
+//!   single queued GPU-second — submissions and backlogs are untouched by a
+//!   retarget, so budget conservation holds bitwise across policy changes.
 //!
 //! Scheduling here is an *accounting and latency model*, like
 //! [`GpuClusterSpec::latency_secs`]: work is never dropped or reordered —
@@ -118,6 +123,10 @@ pub struct GpuSchedulerStats {
     pub ticks: u64,
     /// GPU-seconds of capacity offered per tick.
     pub capacity_secs_per_tick: f64,
+    /// The priority policy currently in force (retargets swap it live).
+    pub policy: GpuPriorityPolicy,
+    /// Times the policy was retargeted since the scheduler was created.
+    pub retargets: u64,
 }
 
 impl GpuSchedulerStats {
@@ -133,9 +142,12 @@ impl GpuSchedulerStats {
     }
 }
 
-/// Mutable scheduling state behind the scheduler's mutex.
+/// Mutable scheduling state behind the scheduler's mutex. The policy lives
+/// here (not as a per-handle field) so a retarget through any cloned handle
+/// is immediately visible to every other handle's next tick.
 #[derive(Debug, Default)]
 struct SchedState {
+    policy: GpuPriorityPolicy,
     ingest_submitted: f64,
     query_submitted: f64,
     ingest_served: f64,
@@ -143,6 +155,7 @@ struct SchedState {
     ingest_backlog: f64,
     query_backlog: f64,
     ticks: u64,
+    retargets: u64,
 }
 
 /// The shared GPU scheduler (see the module docs).
@@ -180,7 +193,6 @@ struct SchedState {
 #[derive(Debug, Clone)]
 pub struct GpuScheduler {
     gpus: GpuClusterSpec,
-    policy: GpuPriorityPolicy,
     tick_secs: f64,
     meter: GpuMeter,
     state: std::sync::Arc<Mutex<SchedState>>,
@@ -206,18 +218,24 @@ impl GpuScheduler {
             tick_secs > 0.0 && tick_secs.is_finite(),
             "tick length must be positive"
         );
+        Self::validate_policy(policy);
+        Self {
+            gpus,
+            tick_secs,
+            meter: GpuMeter::new(),
+            state: std::sync::Arc::new(Mutex::new(SchedState {
+                policy,
+                ..SchedState::default()
+            })),
+        }
+    }
+
+    fn validate_policy(policy: GpuPriorityPolicy) {
         if let GpuPriorityPolicy::Weighted { query_share } = policy {
             assert!(
                 (0.0..=1.0).contains(&query_share),
                 "query share must be in [0, 1]"
             );
-        }
-        Self {
-            gpus,
-            policy,
-            tick_secs,
-            meter: GpuMeter::new(),
-            state: std::sync::Arc::new(Mutex::new(SchedState::default())),
         }
     }
 
@@ -226,9 +244,30 @@ impl GpuScheduler {
         self.gpus
     }
 
-    /// The configured priority policy.
+    /// The priority policy currently in force.
     pub fn policy(&self) -> GpuPriorityPolicy {
-        self.policy
+        self.state.lock().policy
+    }
+
+    /// Swaps the priority policy live. Submissions and backlogs are
+    /// untouched — queued work is simply drained under the new policy from
+    /// the next tick on, so budget conservation holds bitwise across the
+    /// retarget (regression-pinned in this module's tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Weighted` policy's `query_share` is outside `[0, 1]`.
+    pub fn retarget(&self, policy: GpuPriorityPolicy) {
+        Self::validate_policy(policy);
+        let mut state = self.state.lock();
+        state.policy = policy;
+        state.retargets += 1;
+    }
+
+    /// Convenience for workload governors:
+    /// [`retarget`](Self::retarget) to `Weighted` with the given share.
+    pub fn set_query_share(&self, query_share: f64) {
+        self.retarget(GpuPriorityPolicy::Weighted { query_share });
     }
 
     /// GPU-seconds of capacity one tick offers.
@@ -279,7 +318,7 @@ impl GpuScheduler {
     pub fn tick(&self) -> TickReport {
         let capacity = self.capacity_secs_per_tick();
         let mut state = self.state.lock();
-        let (query_served, ingest_served) = match self.policy {
+        let (query_served, ingest_served) = match state.policy {
             GpuPriorityPolicy::QueryFirst => {
                 let q = state.query_backlog.min(capacity);
                 let i = state.ingest_backlog.min(capacity - q);
@@ -329,6 +368,8 @@ impl GpuScheduler {
             query_backlog_secs: state.query_backlog,
             ticks: state.ticks,
             capacity_secs_per_tick: self.capacity_secs_per_tick(),
+            policy: state.policy,
+            retargets: state.retargets,
         }
     }
 }
@@ -462,6 +503,85 @@ mod tests {
     #[should_panic(expected = "tick length")]
     fn zero_tick_panics() {
         let _ = GpuScheduler::new(GpuClusterSpec::new(1), GpuPriorityPolicy::QueryFirst, 0.0);
+    }
+
+    #[test]
+    fn weighted_share_zero_and_one_degenerate_to_strict_priorities() {
+        // share 0.0: everything is reserved for ingest, but an idle ingest
+        // side still spills its reservation to queued query work.
+        let s = sched(GpuPriorityPolicy::Weighted { query_share: 0.0 });
+        s.submit("ingest", GpuCost(10.0));
+        s.submit("query", GpuCost(10.0));
+        let tick = s.tick();
+        assert_eq!(tick.ingest_served_secs, 2.0);
+        assert_eq!(tick.query_served_secs, 0.0);
+        let s = sched(GpuPriorityPolicy::Weighted { query_share: 0.0 });
+        s.submit("query", GpuCost(10.0));
+        let tick = s.tick();
+        assert_eq!(tick.query_served_secs, 2.0, "idle reservation spills");
+        assert_eq!(tick.utilization(), 1.0);
+
+        // share 1.0: the mirror image.
+        let s = sched(GpuPriorityPolicy::Weighted { query_share: 1.0 });
+        s.submit("ingest", GpuCost(10.0));
+        s.submit("query", GpuCost(10.0));
+        let tick = s.tick();
+        assert_eq!(tick.query_served_secs, 2.0);
+        assert_eq!(tick.ingest_served_secs, 0.0);
+        let s = sched(GpuPriorityPolicy::Weighted { query_share: 1.0 });
+        s.submit("ingest", GpuCost(10.0));
+        let tick = s.tick();
+        assert_eq!(tick.ingest_served_secs, 2.0, "idle reservation spills");
+    }
+
+    #[test]
+    fn retarget_between_drains_conserves_the_budget_bitwise() {
+        let s = sched(GpuPriorityPolicy::Weighted { query_share: 0.25 });
+        s.submit("ingest", GpuCost(7.5));
+        s.submit("query", GpuCost(4.25));
+        s.tick();
+        // Retarget mid-backlog: nothing queued may be lost or duplicated.
+        // All costs and shares are dyadic, so every drain is exact float
+        // arithmetic and the bitwise assertion has no rounding slack.
+        s.retarget(GpuPriorityPolicy::Weighted { query_share: 0.75 });
+        s.tick();
+        s.retarget(GpuPriorityPolicy::IngestFirst);
+        s.submit("query", GpuCost(1.5));
+        for _ in 0..8 {
+            s.tick();
+        }
+        let stats = s.stats();
+        assert_eq!(stats.retargets, 2);
+        assert_eq!(stats.policy, GpuPriorityPolicy::IngestFirst);
+        // Bitwise conservation: served + backlog is exactly the submitted
+        // total on each side, with no float drift introduced by retargets.
+        assert_eq!(
+            (stats.ingest_served_secs + stats.ingest_backlog_secs).to_bits(),
+            stats.ingest_submitted_secs.to_bits()
+        );
+        assert_eq!(
+            (stats.query_served_secs + stats.query_backlog_secs).to_bits(),
+            stats.query_submitted_secs.to_bits()
+        );
+        // The backlog fully drained.
+        assert_eq!(stats.ingest_backlog_secs, 0.0);
+        assert_eq!(stats.query_backlog_secs, 0.0);
+    }
+
+    #[test]
+    fn retargets_are_visible_through_cloned_handles() {
+        let s = sched(GpuPriorityPolicy::QueryFirst);
+        let clone = s.clone();
+        clone.set_query_share(0.5);
+        assert_eq!(s.policy(), GpuPriorityPolicy::Weighted { query_share: 0.5 });
+        assert_eq!(s.stats().retargets, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "query share")]
+    fn out_of_range_retarget_panics() {
+        let s = sched(GpuPriorityPolicy::QueryFirst);
+        s.set_query_share(-0.1);
     }
 
     #[test]

@@ -71,6 +71,68 @@ impl VideoDataset {
         }
     }
 
+    /// Splices `tail` onto this recording as a *continuation of the same
+    /// stream*: the tail's frame ids, timestamps, object ids and track ids
+    /// are rebased past this recording's, producing one contiguous
+    /// recording whose statistics shift at the splice point.
+    ///
+    /// This is the drift-injection primitive: generate the continuation
+    /// from a [`StreamProfile::drifted`] variant of the same camera and
+    /// splice it on, and every consumer — pipelines, segment clocks
+    /// (derived from frame ids), ground-truth labelling — sees a single
+    /// stream whose class distribution changed mid-way, with no id
+    /// collisions (object ids keep their stream namespace; the counter
+    /// part is shifted past this recording's).
+    ///
+    /// The result keeps this recording's profile (the tail's drifted
+    /// profile describes generation, not identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two datasets disagree on stream id or frame rate.
+    pub fn continue_with(&self, tail: &VideoDataset) -> VideoDataset {
+        assert_eq!(
+            self.profile.stream_id, tail.profile.stream_id,
+            "a continuation must belong to the same stream"
+        );
+        assert_eq!(
+            self.profile.fps, tail.profile.fps,
+            "a continuation must keep the stream's frame rate"
+        );
+        let frame_offset = self
+            .frames
+            .iter()
+            .map(|f| f.frame_id.0 + 1)
+            .max()
+            .unwrap_or(0);
+        let object_offset = self
+            .objects()
+            .map(|o| o.object_id.0 + 1)
+            .max()
+            .unwrap_or(0)
+            .saturating_sub((self.profile.stream_id.0 as u64) << 40);
+        let track_offset = self.objects().map(|o| o.track_id.0 + 1).max().unwrap_or(0);
+        let fps = self.profile.fps;
+        let mut frames = self.frames.clone();
+        frames.extend(tail.frames.iter().map(|frame| {
+            let frame_id = crate::FrameId(frame.frame_id.0 + frame_offset);
+            let mut frame = frame.clone();
+            frame.frame_id = frame_id;
+            frame.timestamp_secs = frame_id.timestamp_secs(fps);
+            for obj in &mut frame.objects {
+                obj.frame_id = frame_id;
+                obj.object_id = crate::types::ObjectId(obj.object_id.0 + object_offset);
+                obj.track_id = crate::types::TrackId(obj.track_id.0 + track_offset);
+            }
+            frame
+        }));
+        VideoDataset {
+            profile: self.profile.clone(),
+            duration_secs: self.duration_secs + tail.duration_secs,
+            frames,
+        }
+    }
+
     /// Iterates over every object observation in the dataset.
     pub fn objects(&self) -> impl Iterator<Item = &ObjectObservation> {
         self.frames.iter().flat_map(|f| f.objects.iter())
@@ -276,6 +338,53 @@ mod tests {
             .collect();
         let j = average_pairwise_jaccard(&datasets);
         assert!(j > 0.05 && j < 0.95, "average jaccard = {j}");
+    }
+
+    #[test]
+    fn drifted_continuation_is_one_contiguous_stream() {
+        use crate::profile::StreamDomain;
+        let profile = profile_by_name("auburn_c").unwrap();
+        let base = VideoDataset::generate(profile.clone(), 60.0);
+        let drifted = profile.drifted("night", StreamDomain::News, 7);
+        assert_eq!(drifted.stream_id, profile.stream_id);
+        assert_eq!(drifted.fps, profile.fps);
+        assert_ne!(drifted.seed, profile.seed);
+        let tail = VideoDataset::generate(drifted, 60.0);
+        let spliced = base.continue_with(&tail);
+
+        assert_eq!(spliced.frames.len(), base.frames.len() + tail.frames.len());
+        assert_eq!(
+            spliced.object_count(),
+            base.object_count() + tail.object_count()
+        );
+        assert!((spliced.duration_secs - 120.0).abs() < 1e-9);
+        // Frame ids are strictly increasing and timestamps follow them.
+        for w in spliced.frames.windows(2) {
+            assert_eq!(w[1].frame_id.0, w[0].frame_id.0 + 1);
+        }
+        let last = spliced.frames.last().unwrap();
+        assert!((last.timestamp_secs - last.frame_id.timestamp_secs(profile.fps)).abs() < 1e-9);
+        // No object or track id collides across the splice, and ids keep
+        // the stream namespace.
+        let mut ids = HashSet::new();
+        for o in spliced.objects() {
+            assert!(ids.insert(o.object_id), "object id reused across splice");
+            assert_eq!(o.object_id.0 >> 40, profile.stream_id.0 as u64);
+            assert_eq!(o.stream_id, profile.stream_id);
+        }
+        // The class mix genuinely shifts: the halves' dominant classes
+        // differ (traffic head vs news head).
+        let head_before = base.dominant_classes(3);
+        let head_after = tail.dominant_classes(3);
+        assert_ne!(head_before, head_after);
+    }
+
+    #[test]
+    #[should_panic(expected = "same stream")]
+    fn continuation_of_a_different_stream_panics() {
+        let a = small_dataset("auburn_c");
+        let b = small_dataset("lausanne");
+        let _ = a.continue_with(&b);
     }
 
     #[test]

@@ -86,6 +86,33 @@ impl StreamProfile {
         (self.mean_dwell_secs * self.fps as f64).max(1.0)
     }
 
+    /// A drifted variant of this stream: the *same camera* (stream id and
+    /// frame rate are preserved) whose content statistics have shifted —
+    /// the day/night or weekday/weekend class-mix change a long-lived
+    /// deployment sees. The palette is rebuilt from a fresh seed under the
+    /// given domain, so the dominant classes after the drift genuinely
+    /// differ from the ones a model specialized before it was trained on.
+    ///
+    /// Used together with
+    /// [`VideoDataset::continue_with`](crate::VideoDataset::continue_with)
+    /// to splice a drifted continuation onto a recording, which is how the
+    /// adaptation tests and benches inject distribution shifts.
+    pub fn drifted(
+        &self,
+        name_suffix: &str,
+        domain: StreamDomain,
+        seed_bump: u64,
+    ) -> StreamProfile {
+        StreamProfile {
+            name: format!("{}-{name_suffix}", self.name),
+            domain,
+            // A multiplicative odd constant keeps bumped seeds distinct from
+            // every built-in profile seed and from other bumps.
+            seed: self.seed ^ (seed_bump.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
+            ..self.clone()
+        }
+    }
+
     /// Sanity-checks the profile parameters, returning a description of the
     /// first problem found.
     pub fn validate(&self) -> Result<(), String> {
