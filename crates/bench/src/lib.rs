@@ -262,6 +262,21 @@ pub mod guard {
                 tolerance: 1.25,
             },
             MetricRule {
+                // Block fetches hitting disk (binary segments read
+                // per-block): a footer regression that starts pulling
+                // whole files again shows up here first.
+                pattern: "blocks_read",
+                direction: MetricDirection::LowerIsBetter,
+                tolerance: 1.25,
+            },
+            MetricRule {
+                // Cold-path read volume is deterministic per workload; the
+                // smoke run's halved workload only ever shrinks it.
+                pattern: "bytes_read",
+                direction: MetricDirection::LowerIsBetter,
+                tolerance: 1.25,
+            },
+            MetricRule {
                 // Cost-share metrics (e.g. the adaptive service's
                 // audit+re-selection GPU bill as a share of GT-ingest-all)
                 // are deterministic per workload: a controller that starts
@@ -627,6 +642,28 @@ pub mod guard {
             assert!(!checks[0].passes(), "a costlier controller must fail");
             let same = compare_metrics(&baseline, &baseline, &rules).unwrap();
             assert!(same[0].passes());
+        }
+
+        #[test]
+        fn block_and_byte_read_metrics_are_guarded_lower_is_better() {
+            let rules = default_rules(0.7);
+            let baseline = parse(
+                r#"{"pruning": {"blocks_read_per_query_cold": 4.0, "cold_bytes_read": 1000}}"#,
+            );
+            let regressed = parse(
+                r#"{"pruning": {"blocks_read_per_query_cold": 9.0, "cold_bytes_read": 400}}"#,
+            );
+            let checks = compare_metrics(&baseline, &regressed, &rules).unwrap();
+            assert_eq!(checks.len(), 2);
+            assert!(checks
+                .iter()
+                .all(|c| c.direction == MetricDirection::LowerIsBetter));
+            let failed: Vec<&str> = checks
+                .iter()
+                .filter(|c| !c.passes())
+                .map(|c| c.path.as_str())
+                .collect();
+            assert_eq!(failed, vec!["pruning.blocks_read_per_query_cold"]);
         }
 
         #[test]

@@ -343,6 +343,11 @@ impl QueryServer {
             let segmented = result?;
             io.record_loads(segmented.access.cold_loads, segmented.access.bytes_read);
             io.record_cache_hits(segmented.access.cache_hits);
+            io.record_blocks(
+                segmented.access.blocks_read,
+                segmented.access.block_raw_hits,
+                segmented.access.block_hits,
+            );
             plans.push(segmented.plan);
             records.push(segmented.records);
         }

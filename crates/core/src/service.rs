@@ -50,7 +50,9 @@ use serde::{Deserialize, Serialize};
 
 use focus_cnn::GroundTruthCnn;
 use focus_index::persist::{write_atomic, PersistError};
-use focus_index::{LruOccupancy, SegmentError, SegmentMeta, SegmentStore, TopKIndex};
+use focus_index::{
+    LruOccupancy, SegmentError, SegmentFormat, SegmentMeta, SegmentStore, TopKIndex,
+};
 use focus_runtime::{
     GpuClusterSpec, GpuMeter, GpuPriorityPolicy, GpuScheduler, GpuSchedulerStats, IoMeter, IoStats,
     TickReport,
@@ -104,6 +106,23 @@ pub struct ServiceConfig {
     /// Fold budget handed to [`SegmentStore::compact`]: adjacent segments
     /// are merged while their combined record count stays within this.
     pub compact_max_clusters: usize,
+    /// On-disk format newly sealed segments are written in. Binary by
+    /// default; pinning [`SegmentFormat::Json`] keeps a store
+    /// human-readable (existing JSON segments are still served either way,
+    /// and migrated when [`ServiceConfig::migrate_per_maintain`] allows).
+    #[serde(default)]
+    pub seal_format: SegmentFormat,
+    /// JSON segments rewritten to the binary format per maintenance tick
+    /// ([`SegmentStore::migrate_format`]; 0 disables migration — the value
+    /// a config persisted before this field existed deserializes to).
+    #[serde(default)]
+    pub migrate_per_maintain: usize,
+    /// Manifest-adjacent segments prefetched into the cache per maintenance
+    /// tick ([`SegmentStore::prefetch_adjacent`]; 0 disables prefetch —
+    /// the value a config persisted before this field existed deserializes
+    /// to).
+    #[serde(default)]
+    pub prefetch_per_maintain: usize,
     /// Drift-aware per-stream adaptation (`None` disables it): every
     /// stream gets a [`StreamController`] auditing the live class
     /// distribution and re-selecting the configuration when it drifts
@@ -128,6 +147,9 @@ impl Default for ServiceConfig {
             small_segment_clusters: 32,
             compact_small_threshold: 8,
             compact_max_clusters: 256,
+            seal_format: SegmentFormat::Binary,
+            migrate_per_maintain: 2,
+            prefetch_per_maintain: 2,
             adaptation: None,
             governor: None,
         }
@@ -155,6 +177,14 @@ pub struct MaintenanceReport {
     /// Segments folded away by compaction (zero when the small-segment
     /// trigger was not crossed).
     pub segments_folded: usize,
+    /// JSON segments rewritten to the binary format this tick (see
+    /// [`ServiceConfig::migrate_per_maintain`]).
+    #[serde(default)]
+    pub segments_migrated: usize,
+    /// Recently-cold-adjacent segments prefetched into the cache this tick
+    /// (see [`ServiceConfig::prefetch_per_maintain`]).
+    #[serde(default)]
+    pub segments_prefetched: usize,
     /// Streams whose controller detected drift and installed a re-selected
     /// configuration during this tick.
     #[serde(default)]
@@ -211,7 +241,9 @@ pub struct ServiceStats {
     pub cache: CacheStats,
     /// Storage-I/O counters (cold loads, cache hits, bytes).
     pub io: IoStats,
-    /// Decoded-segment LRU occupancy.
+    /// Tiered segment-cache snapshot: decoded-block and raw-bytes
+    /// occupancy plus per-tier hit counters, so dashboards see where cold
+    /// reads actually land.
     pub lru: LruOccupancy,
     /// Shared GPU scheduler breakdown (per-phase submissions, per-side
     /// served/backlog, utilization inputs).
@@ -499,6 +531,7 @@ impl FocusService {
     }
 
     fn assemble(store: SegmentStore, config: ServiceConfig, gt: GroundTruthCnn) -> Self {
+        let store = store.with_seal_format(config.seal_format);
         let bootstrap = IngestCnn::generic(config.worker.bootstrap_model);
         let corpus = SegmentedCorpus::new(store, HashMap::new(), bootstrap);
         let server = QueryServer::new(gt.clone(), config.gpus);
@@ -675,6 +708,8 @@ impl FocusService {
         }
         self.io.record_loads(access.cold_loads, access.bytes_read);
         self.io.record_cache_hits(access.cache_hits);
+        self.io
+            .record_blocks(access.blocks_read, access.block_raw_hits, access.block_hits);
         self.tail_candidates_served
             .fetch_add(tail_candidates, Ordering::SeqCst);
         self.candidates_served
@@ -715,10 +750,14 @@ impl FocusService {
     /// hit its seal budget (exactly the segments the next frame push would
     /// have sealed, so maintenance never changes the partitioning),
     /// compacts the store when the small-segment count crosses the
-    /// configured threshold, runs the adaptation controllers (drift check
-    /// → re-select → install, when [`ServiceConfig::adaptation`] is on)
-    /// and the workload governor (when [`ServiceConfig::governor`] is on),
-    /// and drains one GPU-scheduler tick.
+    /// configured threshold, migrates a bounded number of JSON segments to
+    /// the binary format and prefetches segments adjacent to recently-cold
+    /// ones (see [`ServiceConfig::migrate_per_maintain`] /
+    /// [`ServiceConfig::prefetch_per_maintain`]), runs the adaptation
+    /// controllers (drift check → re-select → install, when
+    /// [`ServiceConfig::adaptation`] is on) and the workload governor
+    /// (when [`ServiceConfig::governor`] is on), and drains one
+    /// GPU-scheduler tick.
     pub fn maintain(&mut self) -> Result<MaintenanceReport, SegmentError> {
         let mut report = MaintenanceReport::default();
         let due: Vec<StreamId> = self
@@ -749,6 +788,20 @@ impl FocusService {
             if report.segments_folded > 0 {
                 self.compactions += 1;
             }
+        }
+        // Format migration and adjacency prefetch are steady background
+        // work: a bounded budget each tick, never a stop-the-world pass.
+        if self.config.migrate_per_maintain > 0 {
+            report.segments_migrated = self
+                .corpus
+                .store_mut()
+                .migrate_format(self.config.migrate_per_maintain)?;
+        }
+        if self.config.prefetch_per_maintain > 0 {
+            report.segments_prefetched = self
+                .corpus
+                .store()
+                .prefetch_adjacent(self.config.prefetch_per_maintain)?;
         }
 
         // Drift check → re-select → install, one pass over the streams.

@@ -1,0 +1,897 @@
+//! The binary columnar segment format (`seg-*.bin`).
+//!
+//! JSON segments pay their whole decode cost on every cold load — the
+//! ~32× cold/warm cliff `BENCH_segments.json` measured. This format makes
+//! cold reads proportional to what a query actually touches:
+//!
+//! ```text
+//! ┌──────────┬───────────────┬────────────────┬────────┬─────────┐
+//! │ magic    │ record blocks │ postings blocks│ footer │ trailer │
+//! │ "FSG1"   │ (≤32 records  │ (one per class,│        │ (fixed  │
+//! │          │  each)        │  delta keys)   │        │  28 B)  │
+//! └──────────┴───────────────┴────────────────┴────────┴─────────┘
+//! ```
+//!
+//! * **Record blocks** hold the cluster records sorted by [`ClusterKey`],
+//!   chunked into groups of [`RECORDS_PER_BLOCK`]; keys are delta-encoded
+//!   (LEB128 varints, restarting at every block so blocks decode
+//!   independently) and floats are stored bit-exact.
+//! * **Postings blocks** hold, per class, the sorted keys of every cluster
+//!   whose ingest top-K contains that class — the on-disk mirror of
+//!   [`TopKIndex`]'s inverted index.
+//! * The **footer** is the block index: per record block its key range,
+//!   byte range, FNV-1a checksum and record count; per class its postings
+//!   block's byte range and checksum; plus the segment's time bounds and
+//!   stream list.
+//! * The **trailer** locates and checksums the footer, so a reader seeks
+//!   to the end, reads the footer, and then reads *only* the blocks a
+//!   query needs — each one verified against its own checksum.
+//!
+//! A class+filter lookup therefore reads: trailer + footer (once,
+//! cached), the class's postings block, and the record blocks whose key
+//! ranges cover the candidate keys. Everything else stays on disk.
+//!
+//! [`encode`]/[`decode`] round-trip an entire [`TopKIndex`]
+//! byte-identically under the canonical JSON representation
+//! (`tests/segment_durability.rs` holds the property test); the encoding
+//! itself is deterministic (records and postings are sorted), so equal
+//! indexes produce equal files.
+
+use std::collections::BTreeMap;
+
+use focus_video::{ClassId, FrameId, ObjectId, StreamId};
+
+use crate::cluster_store::{ClusterKey, ClusterRecord, MemberRef};
+use crate::manifest::fnv1a64;
+use crate::topk::TopKIndex;
+
+/// Magic bytes opening a binary segment file (and closing its trailer).
+/// The trailing `1` is the format version.
+pub const BINSEG_MAGIC: [u8; 4] = *b"FSG1";
+
+/// Records per record block — the unit of a partial read. Small enough
+/// that a point lookup reads little, large enough that varint/delta
+/// framing amortizes.
+pub const RECORDS_PER_BLOCK: usize = 32;
+
+/// Byte length of the fixed trailer: footer offset, footer length, footer
+/// checksum (u64 little-endian each) + closing magic.
+pub const TRAILER_LEN: usize = 8 + 8 + 8 + 4;
+
+/// Decode errors for binary segments. Checksum failures carry both sums so
+/// the store can surface them exactly like manifest-level corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinsegError {
+    /// The bytes end before the structure they should hold.
+    Truncated,
+    /// The leading or trailing magic is wrong — not a binary segment.
+    BadMagic,
+    /// A structural invariant failed (named for diagnostics).
+    Malformed(&'static str),
+    /// A block's bytes do not match the checksum its footer recorded.
+    ChecksumMismatch {
+        /// Checksum recorded in the footer.
+        expected: u64,
+        /// Checksum of the bytes read.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for BinsegError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinsegError::Truncated => write!(f, "binary segment truncated"),
+            BinsegError::BadMagic => write!(f, "not a binary segment (bad magic)"),
+            BinsegError::Malformed(what) => write!(f, "malformed binary segment: {what}"),
+            BinsegError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "binary segment block checksum mismatch: found {found:#018x}, footer says {expected:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BinsegError {}
+
+/// Footer entry for one record block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecordBlockMeta {
+    /// Smallest cluster key in the block (blocks are sorted and disjoint).
+    pub first_key: ClusterKey,
+    /// Largest cluster key in the block.
+    pub last_key: ClusterKey,
+    /// Byte offset of the block within the segment file.
+    pub offset: u64,
+    /// Byte length of the block.
+    pub len: u64,
+    /// FNV-1a 64 checksum of the block's bytes.
+    pub checksum: u64,
+    /// Records stored in the block.
+    pub count: usize,
+}
+
+/// Footer entry for one class's postings block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PostingsBlockMeta {
+    /// The class whose postings the block holds.
+    pub class: ClassId,
+    /// Byte offset of the block within the segment file.
+    pub offset: u64,
+    /// Byte length of the block.
+    pub len: u64,
+    /// FNV-1a 64 checksum of the block's bytes.
+    pub checksum: u64,
+    /// Keys stored in the block.
+    pub count: usize,
+}
+
+/// The decoded footer: the block index a reader navigates by, plus the
+/// segment-level bounds (the same cover the manifest records).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SegmentFooter {
+    /// Earliest `start_secs` of any record (`+inf` for an empty segment).
+    pub t_start: f64,
+    /// Latest `end_secs` of any record (`-inf` for an empty segment).
+    pub t_end: f64,
+    /// Total records across all record blocks.
+    pub clusters: usize,
+    /// The streams with at least one record, sorted.
+    pub streams: Vec<StreamId>,
+    /// Record blocks in key order.
+    pub record_blocks: Vec<RecordBlockMeta>,
+    /// Postings blocks in class order.
+    pub postings: Vec<PostingsBlockMeta>,
+}
+
+impl SegmentFooter {
+    /// The postings block for `class`, if the segment indexes it.
+    pub fn postings_for(&self, class: ClassId) -> Option<&PostingsBlockMeta> {
+        self.postings
+            .binary_search_by_key(&class, |p| p.class)
+            .ok()
+            .map(|i| &self.postings[i])
+    }
+
+    /// Indices of the record blocks whose key range could contain any of
+    /// `keys` (which must be sorted). Blocks are key-ordered and disjoint,
+    /// so this is a linear merge over the two sorted sequences.
+    pub fn blocks_covering(&self, keys: &[ClusterKey]) -> Vec<usize> {
+        let mut wanted = Vec::new();
+        let mut block = 0usize;
+        for key in keys {
+            while block < self.record_blocks.len() && self.record_blocks[block].last_key < *key {
+                block += 1;
+            }
+            if block >= self.record_blocks.len() {
+                break;
+            }
+            if self.record_blocks[block].first_key <= *key && wanted.last() != Some(&block) {
+                wanted.push(block);
+            }
+        }
+        wanted
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoders/decoders
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn varint(&mut self) -> Result<u64, BinsegError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = *self.bytes.get(self.pos).ok_or(BinsegError::Truncated)?;
+            self.pos += 1;
+            if shift >= 64 {
+                return Err(BinsegError::Malformed("varint overflows u64"));
+            }
+            value |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    fn byte(&mut self) -> Result<u8, BinsegError> {
+        let b = *self.bytes.get(self.pos).ok_or(BinsegError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn f64(&mut self) -> Result<f64, BinsegError> {
+        let end = self.pos.checked_add(8).ok_or(BinsegError::Truncated)?;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(BinsegError::Truncated)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(slice);
+        self.pos = end;
+        Ok(f64::from_bits(u64::from_le_bytes(buf)))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn narrow_u32(v: u64, what: &'static str) -> Result<u32, BinsegError> {
+    u32::try_from(v).map_err(|_| BinsegError::Malformed(what))
+}
+
+fn narrow_u16(v: u64, what: &'static str) -> Result<u16, BinsegError> {
+    u16::try_from(v).map_err(|_| BinsegError::Malformed(what))
+}
+
+fn narrow_usize(v: u64, what: &'static str) -> Result<usize, BinsegError> {
+    usize::try_from(v).map_err(|_| BinsegError::Malformed(what))
+}
+
+/// Delta encoder for a sorted run of cluster keys. The first key is
+/// absolute; later keys in the same stream store only `local - prev.local`
+/// behind a same-stream tag, and a stream change restarts absolute.
+struct KeyEncoder {
+    prev: Option<ClusterKey>,
+}
+
+impl KeyEncoder {
+    fn new() -> Self {
+        Self { prev: None }
+    }
+
+    fn push(&mut self, out: &mut Vec<u8>, key: ClusterKey) {
+        match self.prev {
+            None => {
+                put_varint(out, key.stream.0 as u64);
+                put_varint(out, key.local);
+            }
+            Some(prev) if prev.stream == key.stream => {
+                debug_assert!(key.local > prev.local, "keys must be strictly increasing");
+                out.push(0);
+                put_varint(out, key.local - prev.local);
+            }
+            Some(_) => {
+                out.push(1);
+                put_varint(out, key.stream.0 as u64);
+                put_varint(out, key.local);
+            }
+        }
+        self.prev = Some(key);
+    }
+}
+
+struct KeyDecoder {
+    prev: Option<ClusterKey>,
+}
+
+impl KeyDecoder {
+    fn new() -> Self {
+        Self { prev: None }
+    }
+
+    fn next(&mut self, r: &mut Reader<'_>) -> Result<ClusterKey, BinsegError> {
+        let key = match self.prev {
+            None => {
+                let stream = narrow_u32(r.varint()?, "stream id overflows u32")?;
+                ClusterKey::new(StreamId(stream), r.varint()?)
+            }
+            Some(prev) => match r.byte()? {
+                0 => {
+                    let delta = r.varint()?;
+                    if delta == 0 {
+                        return Err(BinsegError::Malformed("zero key delta"));
+                    }
+                    let local = prev
+                        .local
+                        .checked_add(delta)
+                        .ok_or(BinsegError::Malformed("key delta overflows u64"))?;
+                    ClusterKey::new(prev.stream, local)
+                }
+                1 => {
+                    let stream = narrow_u32(r.varint()?, "stream id overflows u32")?;
+                    ClusterKey::new(StreamId(stream), r.varint()?)
+                }
+                _ => return Err(BinsegError::Malformed("bad key tag")),
+            },
+        };
+        self.prev = Some(key);
+        Ok(key)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocks
+// ---------------------------------------------------------------------------
+
+fn encode_record_block(records: &[&ClusterRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, records.len() as u64);
+    let mut keys = KeyEncoder::new();
+    for record in records {
+        keys.push(&mut out, record.key);
+        put_varint(&mut out, record.centroid_object.0);
+        put_varint(&mut out, record.centroid_frame.0);
+        put_varint(&mut out, record.top_k_classes.len() as u64);
+        for class in &record.top_k_classes {
+            put_varint(&mut out, class.0 as u64);
+        }
+        put_varint(&mut out, record.members.len() as u64);
+        for member in &record.members {
+            put_varint(&mut out, member.object.0);
+            put_varint(&mut out, member.frame.0);
+        }
+        put_f64(&mut out, record.start_secs);
+        put_f64(&mut out, record.end_secs);
+    }
+    out
+}
+
+/// Decodes one record block (the exact byte range the footer describes).
+pub fn decode_record_block(bytes: &[u8]) -> Result<Vec<ClusterRecord>, BinsegError> {
+    let mut r = Reader::new(bytes);
+    let count = narrow_usize(r.varint()?, "record count overflows usize")?;
+    let mut keys = KeyDecoder::new();
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key = keys.next(&mut r)?;
+        let centroid_object = ObjectId(r.varint()?);
+        let centroid_frame = FrameId(r.varint()?);
+        let classes = narrow_usize(r.varint()?, "class count overflows usize")?;
+        let mut top_k_classes = Vec::with_capacity(classes);
+        for _ in 0..classes {
+            top_k_classes.push(ClassId(narrow_u16(r.varint()?, "class id overflows u16")?));
+        }
+        let members = narrow_usize(r.varint()?, "member count overflows usize")?;
+        let mut member_refs = Vec::with_capacity(members);
+        for _ in 0..members {
+            member_refs.push(MemberRef {
+                object: ObjectId(r.varint()?),
+                frame: FrameId(r.varint()?),
+            });
+        }
+        let start_secs = r.f64()?;
+        let end_secs = r.f64()?;
+        records.push(ClusterRecord {
+            key,
+            centroid_object,
+            centroid_frame,
+            top_k_classes,
+            members: member_refs,
+            start_secs,
+            end_secs,
+        });
+    }
+    if !r.done() {
+        return Err(BinsegError::Malformed("trailing bytes in record block"));
+    }
+    Ok(records)
+}
+
+fn encode_postings_block(keys: &[ClusterKey]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, keys.len() as u64);
+    let mut enc = KeyEncoder::new();
+    for key in keys {
+        enc.push(&mut out, *key);
+    }
+    out
+}
+
+/// Decodes one postings block into its sorted cluster keys.
+pub fn decode_postings_block(bytes: &[u8]) -> Result<Vec<ClusterKey>, BinsegError> {
+    let mut r = Reader::new(bytes);
+    let count = narrow_usize(r.varint()?, "postings count overflows usize")?;
+    let mut dec = KeyDecoder::new();
+    let mut keys = Vec::with_capacity(count);
+    for _ in 0..count {
+        keys.push(dec.next(&mut r)?);
+    }
+    if !r.done() {
+        return Err(BinsegError::Malformed("trailing bytes in postings block"));
+    }
+    Ok(keys)
+}
+
+// ---------------------------------------------------------------------------
+// Footer + trailer
+// ---------------------------------------------------------------------------
+
+fn encode_footer(footer: &SegmentFooter) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_f64(&mut out, footer.t_start);
+    put_f64(&mut out, footer.t_end);
+    put_varint(&mut out, footer.clusters as u64);
+    put_varint(&mut out, footer.streams.len() as u64);
+    for stream in &footer.streams {
+        put_varint(&mut out, stream.0 as u64);
+    }
+    put_varint(&mut out, footer.record_blocks.len() as u64);
+    for block in &footer.record_blocks {
+        put_varint(&mut out, block.first_key.stream.0 as u64);
+        put_varint(&mut out, block.first_key.local);
+        put_varint(&mut out, block.last_key.stream.0 as u64);
+        put_varint(&mut out, block.last_key.local);
+        put_varint(&mut out, block.offset);
+        put_varint(&mut out, block.len);
+        out.extend_from_slice(&block.checksum.to_le_bytes());
+        put_varint(&mut out, block.count as u64);
+    }
+    put_varint(&mut out, footer.postings.len() as u64);
+    for block in &footer.postings {
+        put_varint(&mut out, block.class.0 as u64);
+        put_varint(&mut out, block.offset);
+        put_varint(&mut out, block.len);
+        out.extend_from_slice(&block.checksum.to_le_bytes());
+        put_varint(&mut out, block.count as u64);
+    }
+    out
+}
+
+/// Decodes a footer from the exact byte range the trailer describes.
+pub fn decode_footer(bytes: &[u8]) -> Result<SegmentFooter, BinsegError> {
+    let mut r = Reader::new(bytes);
+    let t_start = r.f64()?;
+    let t_end = r.f64()?;
+    let clusters = narrow_usize(r.varint()?, "cluster count overflows usize")?;
+    let stream_count = narrow_usize(r.varint()?, "stream count overflows usize")?;
+    let mut streams = Vec::with_capacity(stream_count);
+    for _ in 0..stream_count {
+        streams.push(StreamId(narrow_u32(
+            r.varint()?,
+            "stream id overflows u32",
+        )?));
+    }
+    let block_count = narrow_usize(r.varint()?, "record block count overflows usize")?;
+    let mut record_blocks = Vec::with_capacity(block_count);
+    for _ in 0..block_count {
+        let first_key = ClusterKey::new(
+            StreamId(narrow_u32(r.varint()?, "stream id overflows u32")?),
+            r.varint()?,
+        );
+        let last_key = ClusterKey::new(
+            StreamId(narrow_u32(r.varint()?, "stream id overflows u32")?),
+            r.varint()?,
+        );
+        let offset = r.varint()?;
+        let len = r.varint()?;
+        let mut sum = [0u8; 8];
+        for b in sum.iter_mut() {
+            *b = r.byte()?;
+        }
+        let count = narrow_usize(r.varint()?, "record count overflows usize")?;
+        record_blocks.push(RecordBlockMeta {
+            first_key,
+            last_key,
+            offset,
+            len,
+            checksum: u64::from_le_bytes(sum),
+            count,
+        });
+    }
+    let postings_count = narrow_usize(r.varint()?, "postings block count overflows usize")?;
+    let mut postings = Vec::with_capacity(postings_count);
+    for _ in 0..postings_count {
+        let class = ClassId(narrow_u16(r.varint()?, "class id overflows u16")?);
+        let offset = r.varint()?;
+        let len = r.varint()?;
+        let mut sum = [0u8; 8];
+        for b in sum.iter_mut() {
+            *b = r.byte()?;
+        }
+        let count = narrow_usize(r.varint()?, "postings count overflows usize")?;
+        postings.push(PostingsBlockMeta {
+            class,
+            offset,
+            len,
+            checksum: u64::from_le_bytes(sum),
+            count,
+        });
+    }
+    if !r.done() {
+        return Err(BinsegError::Malformed("trailing bytes in footer"));
+    }
+    Ok(SegmentFooter {
+        t_start,
+        t_end,
+        clusters,
+        streams,
+        record_blocks,
+        postings,
+    })
+}
+
+/// Where a file's footer lives, per its trailer: `(offset, len, checksum)`.
+///
+/// `trailer` must be the file's final [`TRAILER_LEN`] bytes.
+pub fn parse_trailer(trailer: &[u8]) -> Result<(u64, u64, u64), BinsegError> {
+    if trailer.len() != TRAILER_LEN {
+        return Err(BinsegError::Truncated);
+    }
+    if trailer[24..28] != BINSEG_MAGIC {
+        return Err(BinsegError::BadMagic);
+    }
+    let word = |at: usize| {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&trailer[at..at + 8]);
+        u64::from_le_bytes(buf)
+    };
+    Ok((word(0), word(8), word(16)))
+}
+
+// ---------------------------------------------------------------------------
+// Whole-segment encode/decode
+// ---------------------------------------------------------------------------
+
+/// Encodes an index into a complete binary segment file.
+///
+/// Deterministic: records are sorted by key and postings by class, so two
+/// equal indexes always produce identical bytes (the property sharded
+/// ingest equivalence relies on).
+pub fn encode(index: &TopKIndex) -> Vec<u8> {
+    let mut records: Vec<&ClusterRecord> = index.clusters().collect();
+    records.sort_by_key(|r| r.key);
+
+    let mut t_start = f64::INFINITY;
+    let mut t_end = f64::NEG_INFINITY;
+    let mut postings: BTreeMap<ClassId, Vec<ClusterKey>> = BTreeMap::new();
+    for record in &records {
+        t_start = t_start.min(record.start_secs);
+        t_end = t_end.max(record.end_secs);
+        for class in &record.top_k_classes {
+            postings.entry(*class).or_default().push(record.key);
+        }
+    }
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&BINSEG_MAGIC);
+
+    let mut record_blocks = Vec::new();
+    for chunk in records.chunks(RECORDS_PER_BLOCK) {
+        let bytes = encode_record_block(chunk);
+        record_blocks.push(RecordBlockMeta {
+            first_key: chunk[0].key,
+            last_key: chunk[chunk.len() - 1].key,
+            offset: out.len() as u64,
+            len: bytes.len() as u64,
+            checksum: fnv1a64(&bytes),
+            count: chunk.len(),
+        });
+        out.extend_from_slice(&bytes);
+    }
+
+    let mut postings_blocks = Vec::new();
+    for (class, keys) in &postings {
+        let bytes = encode_postings_block(keys);
+        postings_blocks.push(PostingsBlockMeta {
+            class: *class,
+            offset: out.len() as u64,
+            len: bytes.len() as u64,
+            checksum: fnv1a64(&bytes),
+            count: keys.len(),
+        });
+        out.extend_from_slice(&bytes);
+    }
+
+    let footer = SegmentFooter {
+        t_start,
+        t_end,
+        clusters: records.len(),
+        streams: index.streams(),
+        record_blocks,
+        postings: postings_blocks,
+    };
+    let footer_bytes = encode_footer(&footer);
+    let footer_offset = out.len() as u64;
+    out.extend_from_slice(&footer_bytes);
+    out.extend_from_slice(&footer_offset.to_le_bytes());
+    out.extend_from_slice(&(footer_bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(&footer_bytes).to_le_bytes());
+    out.extend_from_slice(&BINSEG_MAGIC);
+    out
+}
+
+/// Whether `bytes` carry the binary segment magic.
+pub fn is_binseg(bytes: &[u8]) -> bool {
+    bytes.len() >= BINSEG_MAGIC.len() && bytes[..BINSEG_MAGIC.len()] == BINSEG_MAGIC
+}
+
+/// Reads and verifies the footer out of a complete segment's bytes.
+pub fn footer_of(bytes: &[u8]) -> Result<SegmentFooter, BinsegError> {
+    if !is_binseg(bytes) {
+        return Err(BinsegError::BadMagic);
+    }
+    if bytes.len() < BINSEG_MAGIC.len() + TRAILER_LEN {
+        return Err(BinsegError::Truncated);
+    }
+    let (offset, len, checksum) = parse_trailer(&bytes[bytes.len() - TRAILER_LEN..])?;
+    let offset = narrow_usize(offset, "footer offset overflows usize")?;
+    let len = narrow_usize(len, "footer length overflows usize")?;
+    let end = offset
+        .checked_add(len)
+        .filter(|end| *end <= bytes.len() - TRAILER_LEN)
+        .ok_or(BinsegError::Truncated)?;
+    let footer_bytes = &bytes[offset..end];
+    let found = fnv1a64(footer_bytes);
+    if found != checksum {
+        return Err(BinsegError::ChecksumMismatch {
+            expected: checksum,
+            found,
+        });
+    }
+    decode_footer(footer_bytes)
+}
+
+/// Verifies and extracts one block's byte range out of a complete
+/// segment's bytes.
+fn block_bytes(bytes: &[u8], offset: u64, len: u64, checksum: u64) -> Result<&[u8], BinsegError> {
+    let offset = narrow_usize(offset, "block offset overflows usize")?;
+    let len = narrow_usize(len, "block length overflows usize")?;
+    let end = offset
+        .checked_add(len)
+        .filter(|end| *end <= bytes.len())
+        .ok_or(BinsegError::Truncated)?;
+    let block = &bytes[offset..end];
+    let found = fnv1a64(block);
+    if found != checksum {
+        return Err(BinsegError::ChecksumMismatch {
+            expected: checksum,
+            found,
+        });
+    }
+    Ok(block)
+}
+
+/// Decodes an entire binary segment back into an index, verifying every
+/// block checksum along the way. The inverse of [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<TopKIndex, BinsegError> {
+    let footer = footer_of(bytes)?;
+    let mut index = TopKIndex::new();
+    for meta in &footer.record_blocks {
+        let block = block_bytes(bytes, meta.offset, meta.len, meta.checksum)?;
+        let records = decode_record_block(block)?;
+        if records.len() != meta.count {
+            return Err(BinsegError::Malformed("record block count mismatch"));
+        }
+        for record in records {
+            index.insert(record);
+        }
+    }
+    // Postings blocks are derived data (rebuilt by the inserts above), but
+    // verify their integrity anyway so decode() vouches for every byte.
+    for meta in &footer.postings {
+        block_bytes(bytes, meta.offset, meta.len, meta.checksum)?;
+    }
+    if index.len() != footer.clusters {
+        return Err(BinsegError::Malformed("footer cluster count mismatch"));
+    }
+    Ok(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist;
+
+    fn record(stream: u32, local: u64, classes: &[u16], start: f64) -> ClusterRecord {
+        ClusterRecord {
+            key: ClusterKey::new(StreamId(stream), local),
+            centroid_object: ObjectId(((stream as u64) << 32) | local),
+            centroid_frame: FrameId(local.wrapping_mul(3)),
+            top_k_classes: classes.iter().map(|c| ClassId(*c)).collect(),
+            members: vec![
+                MemberRef {
+                    object: ObjectId(((stream as u64) << 32) | local),
+                    frame: FrameId(local.wrapping_mul(3)),
+                },
+                MemberRef {
+                    object: ObjectId(((stream as u64) << 32) | local.wrapping_add(1000)),
+                    frame: FrameId(local.wrapping_mul(3).wrapping_add(1)),
+                },
+            ],
+            start_secs: start,
+            end_secs: start + 4.5,
+        }
+    }
+
+    fn sample() -> TopKIndex {
+        let mut index = TopKIndex::new();
+        for local in 0..100u64 {
+            index.insert(record(
+                (local % 3) as u32,
+                local,
+                &[(local % 7) as u16, 900],
+                local as f64,
+            ));
+        }
+        index
+    }
+
+    #[test]
+    fn roundtrip_is_canonically_identical() {
+        let index = sample();
+        let bytes = encode(&index);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(
+            persist::to_json(&decoded).unwrap(),
+            persist::to_json(&index).unwrap()
+        );
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        // Same records inserted in different orders must produce identical
+        // bytes — sharded-ingest equivalence depends on it.
+        let a = sample();
+        let mut b = TopKIndex::new();
+        for r in {
+            let mut rs: Vec<ClusterRecord> = a.clusters().cloned().collect();
+            rs.reverse();
+            rs
+        } {
+            b.insert(r);
+        }
+        assert_eq!(encode(&a), encode(&b));
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let bytes = encode(&TopKIndex::new());
+        let decoded = decode(&bytes).unwrap();
+        assert!(decoded.is_empty());
+        let footer = footer_of(&bytes).unwrap();
+        assert!(footer.record_blocks.is_empty());
+        assert!(footer.postings.is_empty());
+        assert_eq!(footer.clusters, 0);
+    }
+
+    #[test]
+    fn footer_indexes_blocks_and_bounds() {
+        let index = sample();
+        let bytes = encode(&index);
+        let footer = footer_of(&bytes).unwrap();
+        assert_eq!(footer.clusters, 100);
+        assert_eq!(
+            footer.record_blocks.len(),
+            100usize.div_ceil(RECORDS_PER_BLOCK)
+        );
+        assert_eq!(footer.streams, index.streams());
+        assert_eq!(footer.t_start, 0.0);
+        assert_eq!(footer.t_end, 99.0 + 4.5);
+        // Record blocks are key-ordered and disjoint.
+        for pair in footer.record_blocks.windows(2) {
+            assert!(pair[0].last_key < pair[1].first_key);
+        }
+        // Every indexed class has a postings block, sorted by class.
+        assert_eq!(footer.postings.len(), index.indexed_classes().len());
+        for pair in footer.postings.windows(2) {
+            assert!(pair[0].class < pair[1].class);
+        }
+        assert!(footer.postings_for(ClassId(900)).is_some());
+        assert!(footer.postings_for(ClassId(901)).is_none());
+    }
+
+    #[test]
+    fn postings_blocks_decode_to_sorted_keys() {
+        let index = sample();
+        let bytes = encode(&index);
+        let footer = footer_of(&bytes).unwrap();
+        let meta = footer.postings_for(ClassId(900)).unwrap();
+        let block = block_bytes(&bytes, meta.offset, meta.len, meta.checksum).unwrap();
+        let keys = decode_postings_block(block).unwrap();
+        assert_eq!(keys.len(), 100);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn blocks_covering_maps_keys_to_block_indices() {
+        let index = sample();
+        let bytes = encode(&index);
+        let footer = footer_of(&bytes).unwrap();
+        let all: Vec<ClusterKey> = {
+            let mut keys: Vec<ClusterKey> = index.clusters().map(|r| r.key).collect();
+            keys.sort();
+            keys
+        };
+        // All keys touch all blocks.
+        assert_eq!(
+            footer.blocks_covering(&all),
+            (0..footer.record_blocks.len()).collect::<Vec<_>>()
+        );
+        // One key touches exactly the block that holds it.
+        let one = footer.blocks_covering(&all[..1]);
+        assert_eq!(one.len(), 1);
+        assert!(footer.record_blocks[one[0]].first_key <= all[0]);
+        assert!(all[0] <= footer.record_blocks[one[0]].last_key);
+        // A key beyond every block touches nothing.
+        let beyond = vec![ClusterKey::new(StreamId(u32::MAX), u64::MAX)];
+        assert!(footer.blocks_covering(&beyond).is_empty());
+    }
+
+    #[test]
+    fn bit_flips_fail_block_checksums() {
+        let index = sample();
+        let mut bytes = encode(&index);
+        let footer = footer_of(&bytes).unwrap();
+        let victim = footer.record_blocks[0];
+        bytes[victim.offset as usize + 2] ^= 0x01;
+        match block_bytes(&bytes, victim.offset, victim.len, victim.checksum) {
+            Err(BinsegError::ChecksumMismatch { expected, found }) => {
+                assert_eq!(expected, victim.checksum);
+                assert_ne!(found, expected);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        assert!(matches!(
+            decode(&bytes),
+            Err(BinsegError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_are_detected() {
+        let bytes = encode(&sample());
+        assert_eq!(decode(&bytes[..10]).unwrap_err(), BinsegError::Truncated);
+        assert_eq!(decode(b"nope").unwrap_err(), BinsegError::BadMagic);
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert_eq!(decode(&wrong).unwrap_err(), BinsegError::BadMagic);
+        assert!(is_binseg(&bytes));
+        assert!(!is_binseg(b"{\"version\":1}"));
+    }
+
+    #[test]
+    fn extreme_key_gaps_roundtrip() {
+        let mut index = TopKIndex::new();
+        index.insert(record(0, 0, &[1], 0.0));
+        index.insert(record(0, u64::MAX, &[1], 1.0));
+        index.insert(record(u32::MAX, 7, &[1], 2.0));
+        let decoded = decode(&encode(&index)).unwrap();
+        assert_eq!(
+            persist::to_json(&decoded).unwrap(),
+            persist::to_json(&index).unwrap()
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            BinsegError::Truncated,
+            BinsegError::BadMagic,
+            BinsegError::Malformed("x"),
+            BinsegError::ChecksumMismatch {
+                expected: 1,
+                found: 2,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -24,10 +24,13 @@
 //! ingest seals immutable checksummed [`segment`] files under a crash-safe
 //! [`manifest`], and time/camera-restricted lookups open only the segments
 //! whose bounds intersect the filter (see `docs/storage.md` at the
-//! workspace root).
+//! workspace root). Segments persist in the binary columnar [`binseg`]
+//! format by default (block-granular reads, per-block checksums), with
+//! JSON kept as a per-segment migration/debug format.
 
 #![deny(missing_docs)]
 
+pub mod binseg;
 pub mod cluster_store;
 pub mod manifest;
 pub mod persist;
@@ -35,8 +38,9 @@ pub mod query;
 pub mod segment;
 pub mod topk;
 
+pub use binseg::BinsegError;
 pub use cluster_store::{ClusterKey, ClusterRecord, MemberRef};
-pub use manifest::{Manifest, SegmentMeta};
+pub use manifest::{Manifest, SegmentFormat, SegmentMeta};
 pub use query::QueryFilter;
 pub use segment::{
     LruOccupancy, OpenReport, SegmentAccess, SegmentError, SegmentLookup, SegmentStore,

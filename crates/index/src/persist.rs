@@ -183,6 +183,14 @@ pub fn from_json(json: &str) -> Result<TopKIndex, PersistError> {
 /// path race on it; callers that share a path must serialize writes (the
 /// segment store does, by requiring `&mut self` for all writes).
 pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    write_atomic_bytes(path, contents.as_bytes())
+}
+
+/// Byte-level twin of [`write_atomic`], for non-text payloads (the binary
+/// segment format). Same protocol: temp file, fsync, rename, parent-dir
+/// fsync; same deterministic temp name, so the same single-writer rule
+/// applies.
+pub fn write_atomic_bytes(path: &Path, contents: &[u8]) -> io::Result<()> {
     let mut file_name = path
         .file_name()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
@@ -191,7 +199,7 @@ pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
     let tmp = path.with_file_name(file_name);
     {
         let mut file = fs::File::create(&tmp)?;
-        file.write_all(contents.as_bytes())?;
+        file.write_all(contents)?;
         file.sync_all()?;
     }
     fs::rename(&tmp, path)?;

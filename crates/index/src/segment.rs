@@ -12,10 +12,18 @@
 //! ```text
 //! store/
 //!   MANIFEST.json      # versioned list of live segments (see `manifest`)
-//!   seg-000000.json    # one immutable index snapshot per segment
-//!   seg-000001.json
+//!   seg-000000.bin     # one immutable index snapshot per segment
+//!   seg-000001.bin     # (binary columnar, see `binseg`)
+//!   seg-000002.json    # legacy/debug JSON segments still serve
 //!   ...
 //! ```
+//!
+//! Segments are written in the binary columnar format of [`crate::binseg`]
+//! by default; the manifest records each segment's format tag, so JSON
+//! segments from older stores (or stores pinned to
+//! [`SegmentFormat::Json`](crate::manifest::SegmentFormat) for debugging)
+//! keep serving, and [`migrate_format`](SegmentStore::migrate_format)
+//! rewrites them to binary one at a time without a stop-the-world step.
 //!
 //! Durability protocol: a segment file is written atomically (temp +
 //! rename), then the manifest is rewritten atomically to list it. The
@@ -25,41 +33,66 @@
 //! instead of silently loaded. See [`crate::manifest`] for the crash
 //! analysis.
 //!
-//! Reads go through a small LRU cache of decoded segments, so repeated
-//! queries against a warm working set skip both disk and JSON decoding;
-//! [`SegmentAccess`] reports per-call pruning and cache behaviour so
-//! callers can account for storage cost (the runtime crate's `IoMeter`).
+//! Reads go through a two-tier cache: a decoded-block LRU (whole indexes,
+//! footers, record blocks, postings blocks) above a raw-bytes LRU, so a
+//! decoded eviction costs a re-decode rather than a disk read. Binary
+//! lookups read and checksum-verify only the blocks a query needs — the
+//! trailer/footer, one postings block, and the record blocks covering the
+//! candidate keys; [`SegmentAccess`] reports per-call pruning, cache and
+//! block behaviour so callers can account for storage cost (the runtime
+//! crate's `IoMeter`).
 
 use std::collections::{HashMap, VecDeque};
 use std::fs;
+use std::io::{Read as _, Seek as _, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use focus_video::ClassId;
 
-use crate::cluster_store::ClusterRecord;
-use crate::manifest::{fnv1a64, Manifest, SegmentMeta, MANIFEST_FILE};
-use crate::persist::{self, write_atomic, PersistError};
+use crate::binseg::{self, BinsegError, SegmentFooter};
+use crate::cluster_store::{ClusterKey, ClusterRecord};
+use crate::manifest::{fnv1a64, Manifest, SegmentFormat, SegmentMeta, MANIFEST_FILE};
+use crate::persist::{self, write_atomic_bytes, PersistError};
 use crate::query::QueryFilter;
 use crate::topk::{CentroidHandle, TopKIndex};
 
-/// Default capacity of the decoded-segment LRU cache.
-pub const DEFAULT_CACHE_CAPACITY: usize = 16;
+/// Default capacity of the decoded-block LRU cache, in entries. An entry is
+/// one decoded unit — a whole segment index, a footer, a record block or a
+/// postings block — so block-granular binary reads get a much deeper cache
+/// than the old whole-segment-only LRU at similar memory.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Default capacity of the raw-bytes LRU tier, in bytes.
+pub const DEFAULT_RAW_CACHE_BYTES: u64 = 8 * 1024 * 1024;
+
+/// How many recently-cold segment ids the cache remembers for
+/// [`SegmentStore::prefetch_adjacent`].
+const RECENT_COLD_CAP: usize = 32;
 
 /// Errors produced by the segment store.
 #[derive(Debug)]
 pub enum SegmentError {
     /// Reading or writing a snapshot/manifest failed (carries the path).
     Persist(PersistError),
-    /// A segment file's bytes do not match the checksum recorded in the
-    /// manifest (torn write or bit rot).
+    /// A segment file's bytes (or one of its blocks) do not match the
+    /// recorded checksum (torn write or bit rot).
     Corrupt {
         /// The corrupt segment file.
         path: PathBuf,
-        /// Checksum recorded in the manifest.
+        /// Checksum recorded in the manifest (or the segment's footer, for
+        /// block-level reads).
         expected: u64,
         /// Checksum of the bytes actually on disk.
         found: u64,
+    },
+    /// A binary segment file could not be parsed (bad magic, truncation, or
+    /// a structural invariant failure).
+    InvalidSegment {
+        /// The unparsable segment file.
+        path: PathBuf,
+        /// What the binary decoder rejected.
+        source: BinsegError,
     },
     /// A segment id was requested that the manifest does not list.
     UnknownSegment {
@@ -78,7 +111,12 @@ impl std::fmt::Display for SegmentError {
                 found,
             } => write!(
                 f,
-                "segment store: corrupt segment `{}`: checksum {found:#018x}, manifest says {expected:#018x}",
+                "segment store: corrupt segment `{}`: checksum {found:#018x}, expected {expected:#018x}",
+                path.display()
+            ),
+            SegmentError::InvalidSegment { path, source } => write!(
+                f,
+                "segment store: invalid segment `{}`: {source}",
                 path.display()
             ),
             SegmentError::UnknownSegment { id } => {
@@ -92,6 +130,7 @@ impl std::error::Error for SegmentError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SegmentError::Persist(e) => Some(e),
+            SegmentError::InvalidSegment { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -128,8 +167,9 @@ impl OpenReport {
 }
 
 /// Per-call account of what a pruned lookup touched: how many segments the
-/// store holds, how many survived pruning, and how the opened ones were
-/// served (cold disk load vs LRU hit).
+/// store holds, how many survived pruning, how the opened ones were served
+/// (cold disk load vs cache), and at block granularity how many block
+/// fetches went to disk vs either cache tier.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SegmentAccess {
     /// Live segments in the store at lookup time.
@@ -137,12 +177,19 @@ pub struct SegmentAccess {
     /// Segments whose bounds intersected the filter (the rest were pruned
     /// without being opened).
     pub segments_considered: usize,
-    /// Considered segments that had to be read and decoded from disk.
+    /// Considered segments that needed at least one disk read.
     pub cold_loads: usize,
-    /// Considered segments served from the decoded-segment LRU cache.
+    /// Considered segments served entirely from the cache tiers.
     pub cache_hits: usize,
     /// Bytes read from disk for the cold loads.
     pub bytes_read: u64,
+    /// Block fetches that went to disk (a whole-file JSON read counts as
+    /// one block).
+    pub blocks_read: usize,
+    /// Block fetches served by re-decoding bytes from the raw tier.
+    pub block_raw_hits: usize,
+    /// Block fetches served from the decoded tier.
+    pub block_hits: usize,
 }
 
 impl SegmentAccess {
@@ -164,27 +211,82 @@ impl SegmentAccess {
         self.cold_loads += other.cold_loads;
         self.cache_hits += other.cache_hits;
         self.bytes_read += other.bytes_read;
+        self.blocks_read += other.blocks_read;
+        self.block_raw_hits += other.block_raw_hits;
+        self.block_hits += other.block_hits;
     }
 }
 
-/// Occupancy snapshot of the decoded-segment LRU cache, as returned by
+/// Occupancy and hit-rate snapshot of the two cache tiers, as returned by
 /// [`SegmentStore::cache_occupancy`] — what a serving layer folds into its
-/// stats to see how much of the working set is resident.
+/// stats to see how much of the working set is resident and where cold
+/// reads actually land.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct LruOccupancy {
-    /// Decoded segments currently resident.
+    /// Decoded entries currently resident (whole indexes, footers, record
+    /// and postings blocks).
     pub occupancy: usize,
-    /// Maximum decoded segments the cache holds.
+    /// Maximum decoded entries the cache holds.
     pub capacity: usize,
+    /// Bytes currently resident in the raw tier.
+    #[serde(default)]
+    pub raw_occupancy_bytes: u64,
+    /// Byte capacity of the raw tier (0 disables it).
+    #[serde(default)]
+    pub raw_capacity_bytes: u64,
+    /// Entries currently resident in the raw tier.
+    #[serde(default)]
+    pub raw_entries: usize,
+    /// Cumulative fetches served from the decoded tier.
+    #[serde(default)]
+    pub decoded_hits: u64,
+    /// Cumulative fetches served by re-decoding raw-tier bytes.
+    #[serde(default)]
+    pub raw_hits: u64,
+    /// Cumulative fetches that went to disk.
+    #[serde(default)]
+    pub disk_reads: u64,
 }
 
 impl LruOccupancy {
-    /// Fraction of the cache in use (0.0 for an unbounded-but-empty cache).
+    /// Fraction of the decoded tier in use (0.0 for an unbounded-but-empty
+    /// cache).
     pub fn fill_fraction(&self) -> f64 {
         if self.capacity == 0 {
             0.0
         } else {
             self.occupancy as f64 / self.capacity as f64
+        }
+    }
+
+    /// Fraction of the raw tier's byte budget in use.
+    pub fn raw_fill_fraction(&self) -> f64 {
+        if self.raw_capacity_bytes == 0 {
+            0.0
+        } else {
+            self.raw_occupancy_bytes as f64 / self.raw_capacity_bytes as f64
+        }
+    }
+
+    /// Fraction of all fetches served from the decoded tier (0.0 before any
+    /// fetch).
+    pub fn decoded_hit_rate(&self) -> f64 {
+        let total = self.decoded_hits + self.raw_hits + self.disk_reads;
+        if total == 0 {
+            0.0
+        } else {
+            self.decoded_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of decoded-tier misses rescued by the raw tier (0.0 before
+    /// any miss).
+    pub fn raw_hit_rate(&self) -> f64 {
+        let misses = self.raw_hits + self.disk_reads;
+        if misses == 0 {
+            0.0
+        } else {
+            self.raw_hits as f64 / misses as f64
         }
     }
 }
@@ -200,50 +302,243 @@ pub struct SegmentLookup {
     pub access: SegmentAccess,
 }
 
-/// A bounded LRU of decoded segments, keyed by segment id.
-#[derive(Debug)]
-struct SegmentCache {
-    capacity: usize,
-    /// Ids in recency order, least recent first.
-    order: VecDeque<u64>,
-    decoded: HashMap<u64, Arc<TopKIndex>>,
+/// What a cache entry holds for one segment: the whole decoded index, its
+/// footer, one record block, or one class's postings block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum BlockKey {
+    Whole,
+    Footer,
+    Records(u32),
+    Postings(u16),
 }
 
-impl SegmentCache {
-    fn new(capacity: usize) -> Self {
+type CacheKey = (u64, BlockKey);
+
+/// A decoded unit in the top cache tier.
+#[derive(Debug, Clone)]
+enum DecodedEntry {
+    Whole(Arc<TopKIndex>),
+    Footer(Arc<SegmentFooter>),
+    Records(Arc<Vec<ClusterRecord>>),
+    Postings(Arc<Vec<ClusterKey>>),
+}
+
+/// The two-tier cache: a decoded-block LRU (entry-capped) above a raw-bytes
+/// LRU (byte-capped). A decoded miss that hits the raw tier costs a
+/// re-decode instead of a disk read; only a miss in both goes to disk.
+#[derive(Debug)]
+struct TieredCache {
+    decoded_capacity: usize,
+    decoded_order: VecDeque<CacheKey>,
+    decoded: HashMap<CacheKey, DecodedEntry>,
+    raw_capacity: u64,
+    raw_used: u64,
+    raw_order: VecDeque<CacheKey>,
+    raw: HashMap<CacheKey, Arc<Vec<u8>>>,
+    decoded_hits: u64,
+    raw_hits: u64,
+    disk_reads: u64,
+    /// Segment ids that recently went to disk on the query path, feeding
+    /// adjacency prefetch. Deduplicated, capped, drained by
+    /// [`SegmentStore::prefetch_adjacent`].
+    recent_cold: VecDeque<u64>,
+}
+
+impl TieredCache {
+    fn new(decoded_capacity: usize, raw_capacity: u64) -> Self {
         Self {
-            capacity: capacity.max(1),
-            order: VecDeque::new(),
+            decoded_capacity: decoded_capacity.max(1),
+            decoded_order: VecDeque::new(),
             decoded: HashMap::new(),
+            raw_capacity,
+            raw_used: 0,
+            raw_order: VecDeque::new(),
+            raw: HashMap::new(),
+            decoded_hits: 0,
+            raw_hits: 0,
+            disk_reads: 0,
+            recent_cold: VecDeque::new(),
         }
     }
 
-    fn get(&mut self, id: u64) -> Option<Arc<TopKIndex>> {
-        let index = self.decoded.get(&id)?;
-        let index = Arc::clone(index);
-        if let Some(pos) = self.order.iter().position(|x| *x == id) {
-            self.order.remove(pos);
+    fn touch(order: &mut VecDeque<CacheKey>, key: CacheKey) {
+        if let Some(pos) = order.iter().position(|x| *x == key) {
+            order.remove(pos);
         }
-        self.order.push_back(id);
-        Some(index)
+        order.push_back(key);
     }
 
-    fn insert(&mut self, id: u64, index: Arc<TopKIndex>) {
-        if self.decoded.insert(id, index).is_none() {
-            self.order.push_back(id);
+    fn decoded_get(&mut self, key: CacheKey) -> Option<DecodedEntry> {
+        let entry = self.decoded.get(&key)?.clone();
+        Self::touch(&mut self.decoded_order, key);
+        self.decoded_hits += 1;
+        Some(entry)
+    }
+
+    fn decoded_contains(&self, key: CacheKey) -> bool {
+        self.decoded.contains_key(&key)
+    }
+
+    fn decoded_insert(&mut self, key: CacheKey, entry: DecodedEntry) {
+        if self.decoded.insert(key, entry).is_none() {
+            self.decoded_order.push_back(key);
+        } else {
+            Self::touch(&mut self.decoded_order, key);
         }
-        while self.decoded.len() > self.capacity {
-            if let Some(evicted) = self.order.pop_front() {
+        while self.decoded.len() > self.decoded_capacity {
+            if let Some(evicted) = self.decoded_order.pop_front() {
                 self.decoded.remove(&evicted);
             }
         }
     }
 
-    fn remove(&mut self, id: u64) {
-        if self.decoded.remove(&id).is_some() {
-            if let Some(pos) = self.order.iter().position(|x| *x == id) {
-                self.order.remove(pos);
+    fn raw_get(&mut self, key: CacheKey) -> Option<Arc<Vec<u8>>> {
+        let bytes = Arc::clone(self.raw.get(&key)?);
+        Self::touch(&mut self.raw_order, key);
+        self.raw_hits += 1;
+        Some(bytes)
+    }
+
+    fn raw_insert(&mut self, key: CacheKey, bytes: Arc<Vec<u8>>) {
+        let len = bytes.len() as u64;
+        // An entry bigger than the whole tier would evict everything for
+        // nothing; skip it (and everything, when the tier is disabled).
+        if len > self.raw_capacity {
+            return;
+        }
+        if let Some(old) = self.raw.insert(key, bytes) {
+            self.raw_used -= old.len() as u64;
+            Self::touch(&mut self.raw_order, key);
+        } else {
+            self.raw_order.push_back(key);
+        }
+        self.raw_used += len;
+        while self.raw_used > self.raw_capacity {
+            if let Some(evicted) = self.raw_order.pop_front() {
+                if let Some(old) = self.raw.remove(&evicted) {
+                    self.raw_used -= old.len() as u64;
+                }
             }
+        }
+    }
+
+    /// Drops every entry (both tiers) belonging to segment `id`.
+    fn remove_segment(&mut self, id: u64) {
+        self.decoded_order.retain(|k| k.0 != id);
+        self.decoded.retain(|k, _| k.0 != id);
+        self.raw_order.retain(|k| k.0 != id);
+        let raw_used = &mut self.raw_used;
+        self.raw.retain(|k, v| {
+            if k.0 == id {
+                *raw_used -= v.len() as u64;
+                false
+            } else {
+                true
+            }
+        });
+        self.recent_cold.retain(|x| *x != id);
+    }
+
+    /// Drops segment `id`'s raw-tier bytes only (its decoded entries stay
+    /// valid — used when migration rewrites the file under a new format).
+    fn remove_raw_segment(&mut self, id: u64) {
+        self.raw_order.retain(|k| k.0 != id);
+        let raw_used = &mut self.raw_used;
+        self.raw.retain(|k, v| {
+            if k.0 == id {
+                *raw_used -= v.len() as u64;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    fn note_cold(&mut self, id: u64) {
+        if self.recent_cold.contains(&id) {
+            return;
+        }
+        if self.recent_cold.len() >= RECENT_COLD_CAP {
+            self.recent_cold.pop_front();
+        }
+        self.recent_cold.push_back(id);
+    }
+
+    fn take_recent_cold(&mut self) -> Vec<u64> {
+        self.recent_cold.drain(..).collect()
+    }
+
+    fn occupancy(&self) -> LruOccupancy {
+        LruOccupancy {
+            occupancy: self.decoded.len(),
+            capacity: self.decoded_capacity,
+            raw_occupancy_bytes: self.raw_used,
+            raw_capacity_bytes: self.raw_capacity,
+            raw_entries: self.raw.len(),
+            decoded_hits: self.decoded_hits,
+            raw_hits: self.raw_hits,
+            disk_reads: self.disk_reads,
+        }
+    }
+}
+
+/// How a whole-segment load was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoadServed {
+    /// Straight from the decoded tier.
+    Decoded,
+    /// Re-decoded from raw-tier bytes (no disk).
+    Raw,
+    /// Read from disk.
+    Disk,
+}
+
+/// A lazily opened read handle on one segment file. A block-granular
+/// lookup may read several ranges of the same file; opening it once and
+/// seeking keeps the cold path at one `open` syscall per segment instead
+/// of one per block.
+struct SegmentFile<'a> {
+    path: &'a Path,
+    file: Option<fs::File>,
+}
+
+impl<'a> SegmentFile<'a> {
+    fn new(path: &'a Path) -> Self {
+        Self { path, file: None }
+    }
+
+    fn io_err(&self, source: std::io::Error) -> SegmentError {
+        SegmentError::Persist(PersistError::Io {
+            path: self.path.to_path_buf(),
+            source,
+        })
+    }
+
+    /// The open descriptor, opening the file on first use.
+    fn open(&mut self) -> Result<&mut fs::File, SegmentError> {
+        if self.file.is_none() {
+            let file = fs::File::open(self.path).map_err(|e| self.io_err(e))?;
+            self.file = Some(file);
+        }
+        Ok(self.file.as_mut().expect("just opened"))
+    }
+
+    /// Total length of the file in bytes.
+    fn len(&mut self) -> Result<u64, SegmentError> {
+        let metadata = self.open()?.metadata();
+        metadata.map(|m| m.len()).map_err(|e| self.io_err(e))
+    }
+
+    /// Reads `len` bytes at `offset`.
+    fn read_range(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, SegmentError> {
+        let file = self.open()?;
+        if let Err(source) = file.seek(SeekFrom::Start(offset)) {
+            return Err(self.io_err(source));
+        }
+        let mut buf = vec![0u8; len];
+        match file.read_exact(&mut buf) {
+            Ok(()) => Ok(buf),
+            Err(source) => Err(self.io_err(source)),
         }
     }
 }
@@ -251,9 +546,10 @@ impl SegmentCache {
 /// A durable, time-partitioned index store (see the module docs for the
 /// on-disk layout and durability protocol).
 ///
-/// All mutations (`seal`, `compact`) take `&mut self` and serialize their
-/// atomic writes; reads (`load`, `lookup`) take `&self` and share the LRU
-/// cache behind a mutex, so a store can serve concurrent queries.
+/// All mutations (`seal`, `compact`, `migrate_format`) take `&mut self` and
+/// serialize their atomic writes; reads (`load`, `lookup`,
+/// `prefetch_adjacent`) take `&self` and share the tiered cache behind a
+/// mutex, so a store can serve concurrent queries.
 ///
 /// # Examples
 ///
@@ -292,7 +588,8 @@ impl SegmentCache {
 pub struct SegmentStore {
     dir: PathBuf,
     manifest: Manifest,
-    cache: Mutex<SegmentCache>,
+    seal_format: SegmentFormat,
+    cache: Mutex<TieredCache>,
 }
 
 // The query layer shares one store across its worker threads; keep the
@@ -304,7 +601,9 @@ const _: () = {
 
 impl SegmentStore {
     /// Creates a fresh, empty store at `dir` (creating the directory if
-    /// needed) and writes its initial manifest.
+    /// needed) and writes its initial manifest. New segments seal in the
+    /// binary format unless [`with_seal_format`](Self::with_seal_format)
+    /// pins JSON.
     ///
     /// Fails with an I/O error if `dir` already contains a manifest — use
     /// [`open`](Self::open) for an existing store.
@@ -331,7 +630,11 @@ impl SegmentStore {
         Ok(SegmentStore {
             dir,
             manifest,
-            cache: Mutex::new(SegmentCache::new(DEFAULT_CACHE_CAPACITY)),
+            seal_format: SegmentFormat::Binary,
+            cache: Mutex::new(TieredCache::new(
+                DEFAULT_CACHE_CAPACITY,
+                DEFAULT_RAW_CACHE_BYTES,
+            )),
         })
     }
 
@@ -375,7 +678,8 @@ impl SegmentStore {
         manifest.segments = verified;
 
         // Sweep the directory for crash leftovers: interrupted temp writes
-        // and complete segments the manifest never acknowledged.
+        // and complete segments (either format) the manifest never
+        // acknowledged.
         let listed: HashMap<&str, ()> = manifest
             .segments
             .iter()
@@ -389,7 +693,7 @@ impl SegmentStore {
                     let _ = fs::remove_file(&path);
                     report.removed_temp.push(name);
                 } else if name.starts_with("seg-")
-                    && name.ends_with(".json")
+                    && (name.ends_with(".json") || name.ends_with(".bin"))
                     && !listed.contains_key(name.as_str())
                 {
                     let _ = fs::rename(&path, quarantine_path(&path));
@@ -405,19 +709,48 @@ impl SegmentStore {
             SegmentStore {
                 dir,
                 manifest,
-                cache: Mutex::new(SegmentCache::new(DEFAULT_CACHE_CAPACITY)),
+                seal_format: SegmentFormat::Binary,
+                cache: Mutex::new(TieredCache::new(
+                    DEFAULT_CACHE_CAPACITY,
+                    DEFAULT_RAW_CACHE_BYTES,
+                )),
             },
             report,
         ))
     }
 
-    /// Returns the store with the decoded-segment LRU capacity set to
-    /// `capacity` (minimum 1; the default is [`DEFAULT_CACHE_CAPACITY`]).
+    /// Returns the store with the decoded-block LRU capacity set to
+    /// `capacity` entries (minimum 1; the default is
+    /// [`DEFAULT_CACHE_CAPACITY`]).
     pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        let raw_capacity = self.cache.lock().unwrap().raw_capacity;
         SegmentStore {
-            cache: Mutex::new(SegmentCache::new(capacity)),
+            cache: Mutex::new(TieredCache::new(capacity, raw_capacity)),
             ..self
         }
+    }
+
+    /// Returns the store with the raw-bytes tier capped at `bytes` (0
+    /// disables the tier; the default is [`DEFAULT_RAW_CACHE_BYTES`]).
+    pub fn with_raw_capacity(self, bytes: u64) -> Self {
+        let decoded_capacity = self.cache.lock().unwrap().decoded_capacity;
+        SegmentStore {
+            cache: Mutex::new(TieredCache::new(decoded_capacity, bytes)),
+            ..self
+        }
+    }
+
+    /// Returns the store sealing new segments in `format` (the default is
+    /// [`SegmentFormat::Binary`]; pin [`SegmentFormat::Json`] for the
+    /// debug/migration reader).
+    pub fn with_seal_format(mut self, format: SegmentFormat) -> Self {
+        self.seal_format = format;
+        self
+    }
+
+    /// The format new segments seal in.
+    pub fn seal_format(&self) -> SegmentFormat {
+        self.seal_format
     }
 
     /// The store directory.
@@ -445,12 +778,40 @@ impl SegmentStore {
         self.manifest.segments.iter().map(|s| s.clusters).sum()
     }
 
-    /// Occupancy of the decoded-segment LRU cache.
+    /// Occupancy and hit rates of both cache tiers.
     pub fn cache_occupancy(&self) -> LruOccupancy {
-        let cache = self.cache.lock().unwrap();
-        LruOccupancy {
-            occupancy: cache.decoded.len(),
-            capacity: cache.capacity,
+        self.cache.lock().unwrap().occupancy()
+    }
+
+    /// Serializes `index` in `format`.
+    fn encode_payload(index: &TopKIndex, format: SegmentFormat) -> Result<Vec<u8>, SegmentError> {
+        Ok(match format {
+            SegmentFormat::Json => persist::to_json(index)?.into_bytes(),
+            SegmentFormat::Binary => binseg::encode(index),
+        })
+    }
+
+    /// Decodes a whole segment's bytes per its manifest format tag.
+    fn decode_segment(&self, meta: &SegmentMeta, bytes: &[u8]) -> Result<TopKIndex, SegmentError> {
+        match meta.format {
+            SegmentFormat::Json => {
+                let json = String::from_utf8_lossy(bytes);
+                persist::from_json(&json).map_err(|e| {
+                    SegmentError::Persist(match e {
+                        PersistError::Format { source, .. } => PersistError::Format {
+                            path: Some(self.dir.join(&meta.file)),
+                            source,
+                        },
+                        other => other,
+                    })
+                })
+            }
+            SegmentFormat::Binary => {
+                binseg::decode(bytes).map_err(|source| SegmentError::InvalidSegment {
+                    path: self.dir.join(&meta.file),
+                    source,
+                })
+            }
         }
     }
 
@@ -472,8 +833,9 @@ impl SegmentStore {
             t_end = t_end.max(record.end_secs);
         }
         let id = self.manifest.allocate_id();
-        let file = format!("seg-{id:06}.json");
-        let payload = persist::to_json(index)?;
+        let format = self.seal_format;
+        let file = format.file_name(id);
+        let payload = Self::encode_payload(index, format)?;
         let meta = SegmentMeta {
             id,
             file: file.clone(),
@@ -481,35 +843,50 @@ impl SegmentStore {
             t_end,
             streams: index.streams(),
             clusters: index.len(),
-            checksum: fnv1a64(payload.as_bytes()),
+            checksum: fnv1a64(&payload),
+            format,
         };
         let path = self.dir.join(&file);
-        write_atomic(&path, &payload)
+        write_atomic_bytes(&path, &payload)
             .map_err(|source| SegmentError::Persist(PersistError::Io { path, source }))?;
         self.manifest.segments.push(meta.clone());
         self.manifest.save(&self.dir.join(MANIFEST_FILE))?;
         Ok(Some(meta))
     }
 
-    /// Loads segment `id`, serving it from the LRU cache when possible and
-    /// verifying the manifest checksum on every cold load.
+    /// Loads segment `id`, serving it from the cache tiers when possible
+    /// and verifying the manifest checksum on every cold load.
     pub fn load(&self, id: u64) -> Result<Arc<TopKIndex>, SegmentError> {
         let meta = self
             .manifest
             .segment(id)
             .ok_or(SegmentError::UnknownSegment { id })?;
-        let (index, _, _) = self.load_counted(meta)?;
+        let (index, _, _) = self.load_counted(meta, true)?;
         Ok(index)
     }
 
-    /// Loads a segment through the cache; returns the decoded index, whether
-    /// the load was cold, and the bytes read (zero on a cache hit).
+    /// Loads a whole segment through the cache tiers; returns the decoded
+    /// index, how it was served, and the bytes read (zero off-disk).
     fn load_counted(
         &self,
         meta: &SegmentMeta,
-    ) -> Result<(Arc<TopKIndex>, bool, u64), SegmentError> {
-        if let Some(index) = self.cache.lock().unwrap().get(meta.id) {
-            return Ok((index, false, 0));
+        note_cold: bool,
+    ) -> Result<(Arc<TopKIndex>, LoadServed, u64), SegmentError> {
+        let key = (meta.id, BlockKey::Whole);
+        let raw = {
+            let mut cache = self.cache.lock().unwrap();
+            if let Some(DecodedEntry::Whole(index)) = cache.decoded_get(key) {
+                return Ok((index, LoadServed::Decoded, 0));
+            }
+            cache.raw_get(key)
+        };
+        if let Some(bytes) = raw {
+            let index = Arc::new(self.decode_segment(meta, &bytes)?);
+            self.cache
+                .lock()
+                .unwrap()
+                .decoded_insert(key, DecodedEntry::Whole(Arc::clone(&index)));
+            return Ok((index, LoadServed::Raw, 0));
         }
         let path = self.dir.join(&meta.file);
         let bytes = fs::read(&path).map_err(|source| {
@@ -526,22 +903,219 @@ impl SegmentStore {
                 found,
             });
         }
-        let json = String::from_utf8_lossy(&bytes);
-        let index = Arc::new(persist::from_json(&json).map_err(|e| {
-            SegmentError::Persist(match e {
-                PersistError::Format { source, .. } => PersistError::Format {
-                    path: Some(path.clone()),
-                    source,
-                },
-                other => other,
-            })
-        })?);
+        let index = Arc::new(self.decode_segment(meta, &bytes)?);
         let len = bytes.len() as u64;
-        self.cache
-            .lock()
-            .unwrap()
-            .insert(meta.id, Arc::clone(&index));
-        Ok((index, true, len))
+        let mut cache = self.cache.lock().unwrap();
+        cache.disk_reads += 1;
+        if note_cold {
+            cache.note_cold(meta.id);
+        }
+        cache.raw_insert(key, Arc::new(bytes));
+        cache.decoded_insert(key, DecodedEntry::Whole(Arc::clone(&index)));
+        Ok((index, LoadServed::Disk, len))
+    }
+
+    /// The footer of a binary segment: from the decoded tier when resident,
+    /// otherwise a trailer + footer range read (never the whole file).
+    fn binary_footer(
+        &self,
+        meta: &SegmentMeta,
+        file: &mut SegmentFile<'_>,
+        access: &mut SegmentAccess,
+        touched_disk: &mut bool,
+    ) -> Result<Arc<SegmentFooter>, SegmentError> {
+        let key = (meta.id, BlockKey::Footer);
+        if let Some(DecodedEntry::Footer(footer)) = self.cache.lock().unwrap().decoded_get(key) {
+            access.block_hits += 1;
+            return Ok(footer);
+        }
+        let invalid = |source| SegmentError::InvalidSegment {
+            path: file.path.to_path_buf(),
+            source,
+        };
+        let file_len = file.len()?;
+        if (file_len as usize) < binseg::BINSEG_MAGIC.len() + binseg::TRAILER_LEN {
+            return Err(invalid(BinsegError::Truncated));
+        }
+        let trailer_offset = file_len - binseg::TRAILER_LEN as u64;
+        let trailer = file.read_range(trailer_offset, binseg::TRAILER_LEN)?;
+        let (offset, len, checksum) = binseg::parse_trailer(&trailer).map_err(invalid)?;
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > trailer_offset)
+        {
+            return Err(invalid(BinsegError::Truncated));
+        }
+        let footer_bytes = file.read_range(offset, len as usize)?;
+        let found = fnv1a64(&footer_bytes);
+        if found != checksum {
+            return Err(SegmentError::Corrupt {
+                path: file.path.to_path_buf(),
+                expected: checksum,
+                found,
+            });
+        }
+        let footer = Arc::new(binseg::decode_footer(&footer_bytes).map_err(invalid)?);
+        access.blocks_read += 1;
+        access.bytes_read += binseg::TRAILER_LEN as u64 + len;
+        *touched_disk = true;
+        let mut cache = self.cache.lock().unwrap();
+        cache.disk_reads += 1;
+        cache.decoded_insert(key, DecodedEntry::Footer(Arc::clone(&footer)));
+        Ok(footer)
+    }
+
+    /// One verified block of a binary segment, through both cache tiers.
+    /// `decode` turns verified raw bytes into the decoded entry; `extract`
+    /// pulls the typed payload back out of a cached entry.
+    #[allow(clippy::too_many_arguments)]
+    fn binary_block<T>(
+        &self,
+        meta: &SegmentMeta,
+        file: &mut SegmentFile<'_>,
+        key: BlockKey,
+        offset: u64,
+        len: u64,
+        checksum: u64,
+        access: &mut SegmentAccess,
+        touched_disk: &mut bool,
+        decode: impl Fn(&[u8]) -> Result<T, BinsegError>,
+        wrap: impl Fn(Arc<T>) -> DecodedEntry,
+        extract: impl Fn(DecodedEntry) -> Option<Arc<T>>,
+    ) -> Result<Arc<T>, SegmentError> {
+        let cache_key = (meta.id, key);
+        let raw = {
+            let mut cache = self.cache.lock().unwrap();
+            if let Some(entry) = cache.decoded_get(cache_key) {
+                if let Some(value) = extract(entry) {
+                    access.block_hits += 1;
+                    return Ok(value);
+                }
+            }
+            cache.raw_get(cache_key)
+        };
+        let invalid = |source| SegmentError::InvalidSegment {
+            path: file.path.to_path_buf(),
+            source,
+        };
+        if let Some(bytes) = raw {
+            let value = Arc::new(decode(&bytes).map_err(invalid)?);
+            access.block_raw_hits += 1;
+            self.cache
+                .lock()
+                .unwrap()
+                .decoded_insert(cache_key, wrap(Arc::clone(&value)));
+            return Ok(value);
+        }
+        let bytes = file.read_range(offset, len as usize)?;
+        let found = fnv1a64(&bytes);
+        if found != checksum {
+            return Err(SegmentError::Corrupt {
+                path: file.path.to_path_buf(),
+                expected: checksum,
+                found,
+            });
+        }
+        let value = Arc::new(decode(&bytes).map_err(invalid)?);
+        access.blocks_read += 1;
+        access.bytes_read += len;
+        *touched_disk = true;
+        let mut cache = self.cache.lock().unwrap();
+        cache.disk_reads += 1;
+        cache.note_cold(meta.id);
+        cache.raw_insert(cache_key, Arc::new(bytes));
+        cache.decoded_insert(cache_key, wrap(Arc::clone(&value)));
+        Ok(value)
+    }
+
+    /// Block-granular lookup in one binary segment: trailer/footer, the
+    /// class's postings block, then only the record blocks covering the
+    /// candidate keys — each read verified against its footer checksum.
+    fn lookup_binary(
+        &self,
+        meta: &SegmentMeta,
+        class: ClassId,
+        filter: &QueryFilter,
+        access: &mut SegmentAccess,
+        out: &mut Vec<ClusterRecord>,
+    ) -> Result<(), SegmentError> {
+        let mut touched_disk = false;
+        // One descriptor serves every cold block of this lookup: the cache
+        // tiers absorb repeats, so re-opening the file per block would only
+        // add syscalls to the cold path.
+        let path = self.dir.join(&meta.file);
+        let mut file = SegmentFile::new(&path);
+        let footer = self.binary_footer(meta, &mut file, access, &mut touched_disk)?;
+        if let Some(pmeta) = footer.postings_for(class).copied() {
+            let keys = self.binary_block(
+                meta,
+                &mut file,
+                BlockKey::Postings(class.0),
+                pmeta.offset,
+                pmeta.len,
+                pmeta.checksum,
+                access,
+                &mut touched_disk,
+                binseg::decode_postings_block,
+                DecodedEntry::Postings,
+                |entry| match entry {
+                    DecodedEntry::Postings(keys) => Some(keys),
+                    _ => None,
+                },
+            )?;
+            // A stream restriction narrows the candidate keys before any
+            // record block is chosen — fewer blocks read, fewer bytes.
+            let narrowed: Vec<ClusterKey>;
+            let candidates: &[ClusterKey] = match &filter.streams {
+                Some(streams) => {
+                    narrowed = keys
+                        .iter()
+                        .copied()
+                        .filter(|k| streams.contains(&k.stream))
+                        .collect();
+                    &narrowed
+                }
+                None => &keys,
+            };
+            for block_idx in footer.blocks_covering(candidates) {
+                let bmeta = footer.record_blocks[block_idx];
+                let records = self.binary_block(
+                    meta,
+                    &mut file,
+                    BlockKey::Records(block_idx as u32),
+                    bmeta.offset,
+                    bmeta.len,
+                    bmeta.checksum,
+                    access,
+                    &mut touched_disk,
+                    binseg::decode_record_block,
+                    DecodedEntry::Records,
+                    |entry| match entry {
+                        DecodedEntry::Records(records) => Some(records),
+                        _ => None,
+                    },
+                )?;
+                for record in records.iter() {
+                    if candidates.binary_search(&record.key).is_err() {
+                        continue;
+                    }
+                    if let Some(kx) = filter.kx {
+                        if !record.matches_class(class, kx) {
+                            continue;
+                        }
+                    }
+                    if filter.admits(record) {
+                        out.push(record.clone());
+                    }
+                }
+            }
+        }
+        if touched_disk {
+            access.cold_loads += 1;
+        } else {
+            access.cache_hits += 1;
+        }
+        Ok(())
     }
 
     /// The segments whose bounds intersect `filter` — the ones a query must
@@ -556,10 +1130,11 @@ impl SegmentStore {
     }
 
     /// Pruned lookup: opens only the segments intersecting `filter`, runs
-    /// [`TopKIndex::lookup`] in each, and returns the union sorted by
-    /// cluster key — byte-identical to looking `class` up in the merged
-    /// in-memory index (segments are key-disjoint, so no deduplication
-    /// across segments is ever needed).
+    /// [`TopKIndex::lookup`] in each (reading only the needed blocks of
+    /// binary segments), and returns the union sorted by cluster key —
+    /// byte-identical to looking `class` up in the merged in-memory index
+    /// (segments are key-disjoint, so no deduplication across segments is
+    /// ever needed).
     pub fn lookup(
         &self,
         class: ClassId,
@@ -577,14 +1152,43 @@ impl SegmentStore {
             .filter(|m| m.admits_filter(filter))
         {
             access.segments_considered += 1;
-            let (index, cold, bytes) = self.load_counted(meta)?;
-            if cold {
-                access.cold_loads += 1;
-                access.bytes_read += bytes;
-            } else {
+            // Whichever the format, a resident whole index is the fastest
+            // path: no block navigation at all.
+            if let Some(DecodedEntry::Whole(index)) = self
+                .cache
+                .lock()
+                .unwrap()
+                .decoded_get((meta.id, BlockKey::Whole))
+            {
                 access.cache_hits += 1;
+                access.block_hits += 1;
+                records.extend(index.lookup(class, filter).into_iter().cloned());
+                continue;
             }
-            records.extend(index.lookup(class, filter).into_iter().cloned());
+            match meta.format {
+                SegmentFormat::Json => {
+                    let (index, served, bytes) = self.load_counted(meta, true)?;
+                    match served {
+                        LoadServed::Disk => {
+                            access.cold_loads += 1;
+                            access.blocks_read += 1;
+                            access.bytes_read += bytes;
+                        }
+                        LoadServed::Raw => {
+                            access.cache_hits += 1;
+                            access.block_raw_hits += 1;
+                        }
+                        LoadServed::Decoded => {
+                            access.cache_hits += 1;
+                            access.block_hits += 1;
+                        }
+                    }
+                    records.extend(index.lookup(class, filter).into_iter().cloned());
+                }
+                SegmentFormat::Binary => {
+                    self.lookup_binary(meta, class, filter, &mut access, &mut records)?
+                }
+            }
         }
         records.sort_by_key(|r| r.key);
         // Segments are key-disjoint by construction; a duplicate here means
@@ -622,7 +1226,7 @@ impl SegmentStore {
     pub fn merged_index(&self) -> Result<TopKIndex, SegmentError> {
         let mut merged = TopKIndex::new();
         for meta in &self.manifest.segments {
-            let (index, _, _) = self.load_counted(meta)?;
+            let (index, _, _) = self.load_counted(meta, false)?;
             let replaced = merged.merge_from(&index);
             assert_eq!(replaced, 0, "segments must be key-disjoint");
         }
@@ -631,8 +1235,9 @@ impl SegmentStore {
 
     /// Folds runs of adjacent small segments into larger ones: consecutive
     /// segments (in seal order) whose combined record count stays within
-    /// `max_clusters` are merged into a single new segment. Query results
-    /// are unchanged — the same records end up live, in fewer files.
+    /// `max_clusters` are merged into a single new segment (sealed in the
+    /// store's current seal format). Query results are unchanged — the same
+    /// records end up live, in fewer files.
     ///
     /// Crash-safe in the same way as sealing: each replacement segment file
     /// is written atomically before the manifest commits the swap, and the
@@ -665,13 +1270,14 @@ impl SegmentStore {
             }
             let mut merged = TopKIndex::new();
             for meta in run.iter() {
-                let (index, _, _) = this.load_counted(meta)?;
+                let (index, _, _) = this.load_counted(meta, false)?;
                 let replaced = merged.merge_from(&index);
                 assert_eq!(replaced, 0, "segments must be key-disjoint");
             }
             let id = this.manifest.allocate_id();
-            let file = format!("seg-{id:06}.json");
-            let payload = persist::to_json(&merged)?;
+            let format = this.seal_format;
+            let file = format.file_name(id);
+            let payload = Self::encode_payload(&merged, format)?;
             let meta = SegmentMeta {
                 id,
                 file: file.clone(),
@@ -682,12 +1288,16 @@ impl SegmentStore {
                     .fold(f64::NEG_INFINITY, f64::max),
                 streams: merged.streams(),
                 clusters: merged.len(),
-                checksum: fnv1a64(payload.as_bytes()),
+                checksum: fnv1a64(&payload),
+                format,
             };
             let path = this.dir.join(&file);
-            write_atomic(&path, &payload)
+            write_atomic_bytes(&path, &payload)
                 .map_err(|source| SegmentError::Persist(PersistError::Io { path, source }))?;
-            this.cache.lock().unwrap().insert(id, Arc::new(merged));
+            this.cache
+                .lock()
+                .unwrap()
+                .decoded_insert((id, BlockKey::Whole), DecodedEntry::Whole(Arc::new(merged)));
             obsolete.append(run);
             new_segments.push(meta);
             Ok(())
@@ -716,11 +1326,114 @@ impl SegmentStore {
         }
         let mut cache = self.cache.lock().unwrap();
         for meta in &obsolete {
-            cache.remove(meta.id);
+            cache.remove_segment(meta.id);
             let _ = fs::remove_file(self.dir.join(&meta.file));
         }
         drop(cache);
         Ok(before - self.manifest.segments.len())
+    }
+
+    /// Rewrites up to `budget` JSON segments into the binary format, one
+    /// crash-safe step each: the binary file is written atomically first
+    /// (its name differs only by extension, so the JSON original is never
+    /// clobbered), then the manifest entry swaps file/checksum/format in one
+    /// atomic save, and only then is the JSON file deleted. A crash at any
+    /// point leaves either the old entry serving the old file or the new
+    /// entry serving the new file — a leftover file of the other format is
+    /// an unlisted orphan the next [`open`](Self::open) quarantines.
+    ///
+    /// Mixed-format stores serve correctly throughout: every read
+    /// dispatches on the manifest's per-segment format tag.
+    ///
+    /// Returns how many segments were migrated.
+    pub fn migrate_format(&mut self, budget: usize) -> Result<usize, SegmentError> {
+        let mut migrated = 0usize;
+        for pos in 0..self.manifest.segments.len() {
+            if migrated >= budget {
+                break;
+            }
+            if self.manifest.segments[pos].format != SegmentFormat::Json {
+                continue;
+            }
+            let old_meta = self.manifest.segments[pos].clone();
+            let (index, _, _) = self.load_counted(&old_meta, false)?;
+            let payload = binseg::encode(&index);
+            let file = SegmentFormat::Binary.file_name(old_meta.id);
+            let path = self.dir.join(&file);
+            write_atomic_bytes(&path, &payload)
+                .map_err(|source| SegmentError::Persist(PersistError::Io { path, source }))?;
+            let new_meta = SegmentMeta {
+                file,
+                checksum: fnv1a64(&payload),
+                format: SegmentFormat::Binary,
+                ..old_meta.clone()
+            };
+            self.manifest.segments[pos] = new_meta;
+            if let Err(e) = self.manifest.save(&self.dir.join(MANIFEST_FILE)) {
+                // Keep the in-memory list matching the manifest on disk; the
+                // already-written binary file is an orphan open() quarantines.
+                self.manifest.segments[pos] = old_meta;
+                return Err(e.into());
+            }
+            let _ = fs::remove_file(self.dir.join(&old_meta.file));
+            // The raw tier holds the old JSON bytes; the decoded whole index
+            // is format-independent and stays.
+            self.cache.lock().unwrap().remove_raw_segment(old_meta.id);
+            migrated += 1;
+        }
+        Ok(migrated)
+    }
+
+    /// Warms up to `budget` segments that are manifest-adjacent to segments
+    /// recently served cold on the query path — the background prefetch
+    /// `FocusService::maintain()` drives between queries. Segments already
+    /// resident in the decoded tier are skipped, and prefetch loads are
+    /// never fed back into the recently-cold set (no cascading).
+    ///
+    /// Returns how many segments were actually warmed.
+    pub fn prefetch_adjacent(&self, budget: usize) -> Result<usize, SegmentError> {
+        if budget == 0 || self.manifest.segments.is_empty() {
+            return Ok(0);
+        }
+        let cold = self.cache.lock().unwrap().take_recent_cold();
+        if cold.is_empty() {
+            return Ok(0);
+        }
+        let mut targets: Vec<u64> = Vec::new();
+        for id in cold {
+            if let Some(pos) = self.manifest.segments.iter().position(|m| m.id == id) {
+                if pos > 0 {
+                    targets.push(self.manifest.segments[pos - 1].id);
+                }
+                if pos + 1 < self.manifest.segments.len() {
+                    targets.push(self.manifest.segments[pos + 1].id);
+                }
+            }
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        let mut warmed = 0usize;
+        for id in targets {
+            if warmed >= budget {
+                break;
+            }
+            let Some(meta) = self.manifest.segment(id) else {
+                continue;
+            };
+            if self
+                .cache
+                .lock()
+                .unwrap()
+                .decoded_contains((id, BlockKey::Whole))
+            {
+                continue;
+            }
+            let (_, served, _) = self.load_counted(meta, false)?;
+            if served != LoadServed::Decoded {
+                warmed += 1;
+            }
+        }
+        Ok(warmed)
     }
 }
 
@@ -770,10 +1483,7 @@ mod tests {
         idx
     }
 
-    /// Seals three segments: stream 0 at [0,15], stream 0 at [100,115],
-    /// stream 1 at [0,15].
-    fn populated(dir: &Path) -> SegmentStore {
-        let mut store = SegmentStore::create(dir).unwrap();
+    fn seal_populated(store: &mut SegmentStore) {
         store
             .seal(&segment_of(&[record(0, 0, 5, 0.0), record(0, 1, 5, 10.0)]))
             .unwrap();
@@ -786,6 +1496,22 @@ mod tests {
         store
             .seal(&segment_of(&[record(1, 0, 5, 0.0), record(1, 1, 7, 10.0)]))
             .unwrap();
+    }
+
+    /// Seals three binary segments: stream 0 at [0,15], stream 0 at
+    /// [100,115], stream 1 at [0,15].
+    fn populated(dir: &Path) -> SegmentStore {
+        let mut store = SegmentStore::create(dir).unwrap();
+        seal_populated(&mut store);
+        store
+    }
+
+    /// The same three segments, pinned to the JSON format.
+    fn populated_json(dir: &Path) -> SegmentStore {
+        let mut store = SegmentStore::create(dir)
+            .unwrap()
+            .with_seal_format(SegmentFormat::Json);
+        seal_populated(&mut store);
         store
     }
 
@@ -798,15 +1524,36 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(meta.id, 0);
+        assert_eq!(meta.file, "seg-000000.bin");
+        assert_eq!(meta.format, SegmentFormat::Binary);
         assert_eq!(meta.t_start, 2.0);
         assert_eq!(meta.t_end, 35.0);
         assert_eq!(meta.streams, vec![StreamId(0)]);
         assert_eq!(meta.clusters, 2);
         let bytes = fs::read(dir.join(&meta.file)).unwrap();
         assert_eq!(fnv1a64(&bytes), meta.checksum);
+        assert!(crate::binseg::is_binseg(&bytes));
         // Sealing an empty index is a no-op.
         assert!(store.seal(&TopKIndex::new()).unwrap().is_none());
         assert_eq!(store.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seal_format_can_pin_json() {
+        let dir = test_dir("seal_json");
+        let mut store = SegmentStore::create(&dir)
+            .unwrap()
+            .with_seal_format(SegmentFormat::Json);
+        assert_eq!(store.seal_format(), SegmentFormat::Json);
+        let meta = store
+            .seal(&segment_of(&[record(0, 0, 5, 0.0)]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(meta.file, "seg-000000.json");
+        assert_eq!(meta.format, SegmentFormat::Json);
+        let bytes = fs::read(dir.join(&meta.file)).unwrap();
+        assert!(!crate::binseg::is_binseg(&bytes));
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -860,9 +1607,79 @@ mod tests {
     }
 
     #[test]
+    fn binary_and_json_stores_answer_identically() {
+        let bin_dir = test_dir("parity_bin");
+        let json_dir = test_dir("parity_json");
+        let bin = populated(&bin_dir);
+        let json = populated_json(&json_dir);
+        // Same logical contents, canonically identical.
+        assert_eq!(
+            persist::to_json(&bin.merged_index().unwrap()).unwrap(),
+            persist::to_json(&json.merged_index().unwrap()).unwrap()
+        );
+        for class in [5u16, 6, 7, 0, 99] {
+            for filter in [
+                QueryFilter::any(),
+                QueryFilter::any().with_time_range(0.0, 20.0),
+                QueryFilter::for_stream(StreamId(1)),
+                QueryFilter::any().with_kx(1),
+            ] {
+                let b = bin.lookup(ClassId(class), &filter).unwrap();
+                let j = json.lookup(ClassId(class), &filter).unwrap();
+                assert_eq!(b.records, j.records, "class {class} filter {filter:?}");
+            }
+        }
+        fs::remove_dir_all(&bin_dir).ok();
+        fs::remove_dir_all(&json_dir).ok();
+    }
+
+    #[test]
+    fn binary_cold_lookup_reads_only_needed_blocks() {
+        let dir = test_dir("block_reads");
+        let mut store = SegmentStore::create(&dir).unwrap();
+        // One big segment: 256 records, classes spread 0..8, so one class's
+        // postings + covering record blocks are a fraction of the file.
+        let mut idx = TopKIndex::new();
+        for local in 0..256u64 {
+            idx.insert(record(0, local, (local % 8) as u16 + 1, local as f64));
+        }
+        let meta = store.seal(&idx).unwrap().unwrap();
+        let file_len = fs::metadata(dir.join(&meta.file)).unwrap().len();
+
+        // Cold class-filtered lookup reads footer + 1 postings block + the
+        // record blocks covering that class's keys — not the whole file.
+        let lookup = store.lookup(ClassId(3), &QueryFilter::any()).unwrap();
+        assert_eq!(lookup.records.len(), 32);
+        assert_eq!(lookup.access.cold_loads, 1);
+        assert!(lookup.access.blocks_read >= 2, "{:?}", lookup.access);
+        assert!(
+            lookup.access.bytes_read < file_len,
+            "block reads ({}) must undercut the whole file ({file_len})",
+            lookup.access.bytes_read
+        );
+        // The same lookup again is all decoded-tier hits.
+        let warm = store.lookup(ClassId(3), &QueryFilter::any()).unwrap();
+        assert_eq!(warm.access.cache_hits, 1);
+        assert_eq!(warm.access.blocks_read, 0);
+        assert_eq!(warm.access.bytes_read, 0);
+        assert!(warm.access.block_hits > 0);
+        assert_eq!(warm.records, lookup.records);
+        // An unindexed class reads only the footer.
+        let store = SegmentStore::open(&dir).unwrap().0;
+        let none = store.lookup(ClassId(99), &QueryFilter::any()).unwrap();
+        assert!(none.records.is_empty());
+        assert_eq!(none.access.blocks_read, 1, "{:?}", none.access);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn lru_cache_serves_warm_lookups_without_reads() {
         let dir = test_dir("lru");
-        let store = populated(&dir).with_cache_capacity(2);
+        // JSON store with the raw tier disabled: the original whole-segment
+        // LRU semantics.
+        let store = populated_json(&dir)
+            .with_cache_capacity(2)
+            .with_raw_capacity(0);
         let cold = store.lookup(ClassId(5), &QueryFilter::any()).unwrap();
         assert_eq!(cold.access.cold_loads, 3);
         assert_eq!(cold.access.cache_hits, 0);
@@ -885,6 +1702,29 @@ mod tests {
         assert_eq!(warm.access.cache_hits, 3);
         assert_eq!(warm.access.cold_loads, 0);
         assert_eq!(warm.access.bytes_read, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn raw_tier_rescues_decoded_evictions_without_disk() {
+        let dir = test_dir("raw_tier");
+        // Decoded tier too small for the working set, raw tier roomy: the
+        // rescan that used to thrash to disk is served by re-decoding.
+        let store = populated_json(&dir).with_cache_capacity(2);
+        let cold = store.lookup(ClassId(5), &QueryFilter::any()).unwrap();
+        assert_eq!(cold.access.cold_loads, 3);
+        let rescan = store.lookup(ClassId(5), &QueryFilter::any()).unwrap();
+        assert_eq!(rescan.access.cold_loads, 0);
+        assert_eq!(rescan.access.cache_hits, 3);
+        assert_eq!(rescan.access.block_raw_hits, 3);
+        assert_eq!(rescan.access.bytes_read, 0);
+        assert_eq!(rescan.records, cold.records);
+        let occ = store.cache_occupancy();
+        assert_eq!(occ.raw_entries, 3);
+        assert!(occ.raw_occupancy_bytes > 0);
+        assert_eq!(occ.disk_reads, 3);
+        assert_eq!(occ.raw_hits, 3);
+        assert!(occ.raw_hit_rate() > 0.0);
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -957,24 +1797,57 @@ mod tests {
     }
 
     #[test]
+    fn block_corruption_is_detected_at_lookup_time() {
+        let dir = test_dir("block_corrupt");
+        let store = populated(&dir);
+        // Corrupt a byte early in the file — inside a record or postings
+        // block, leaving the trailer/footer intact — after open-time
+        // verification already passed.
+        let meta = store.segments()[0].clone();
+        let path = dir.join(&meta.file);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[6] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        match store.lookup(ClassId(5), &QueryFilter::any()) {
+            Err(SegmentError::Corrupt {
+                expected, found, ..
+            }) => assert_ne!(expected, found),
+            other => panic!("expected block corruption error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn open_sweeps_temp_files_and_orphans() {
         let dir = test_dir("sweep");
         let store = populated(&dir);
         let expected = persist::to_json(&store.merged_index().unwrap()).unwrap();
         drop(store);
         // A crash mid-write leaves a temp file; a crash between segment
-        // rename and manifest update leaves a complete but unlisted segment.
+        // rename and manifest update leaves a complete but unlisted segment
+        // — of either format.
         fs::write(dir.join("seg-000099.json.tmp"), "{\"partial").unwrap();
         fs::write(
             dir.join("seg-000098.json"),
             "{\"version\":1,\"index\":{\"clusters\":[]}}",
         )
         .unwrap();
+        fs::write(
+            dir.join("seg-000097.bin"),
+            crate::binseg::encode(&TopKIndex::new()),
+        )
+        .unwrap();
         let (reopened, report) = SegmentStore::open(&dir).unwrap();
         assert_eq!(report.removed_temp, vec!["seg-000099.json.tmp".to_string()]);
-        assert_eq!(report.quarantined, vec!["seg-000098.json".to_string()]);
+        let mut quarantined = report.quarantined.clone();
+        quarantined.sort();
+        assert_eq!(
+            quarantined,
+            vec!["seg-000097.bin".to_string(), "seg-000098.json".to_string()]
+        );
         assert!(!dir.join("seg-000099.json.tmp").exists());
         assert!(dir.join("seg-000098.json.quarantined").exists());
+        assert!(dir.join("seg-000097.bin.quarantined").exists());
         // Every sealed segment survived untouched.
         assert_eq!(
             persist::to_json(&reopened.merged_index().unwrap()).unwrap(),
@@ -1047,18 +1920,92 @@ mod tests {
     }
 
     #[test]
-    fn cache_occupancy_tracks_decoded_segments() {
+    fn migrate_format_rewrites_json_segments_one_at_a_time() {
+        let dir = test_dir("migrate");
+        let mut store = populated_json(&dir);
+        let before = persist::to_json(&store.merged_index().unwrap()).unwrap();
+        let old_files: Vec<String> = store.segments().iter().map(|m| m.file.clone()).collect();
+
+        // Budget 1 migrates exactly one segment, leaving a mixed store.
+        assert_eq!(store.migrate_format(1).unwrap(), 1);
+        assert_eq!(store.segments()[0].format, SegmentFormat::Binary);
+        assert_eq!(store.segments()[1].format, SegmentFormat::Json);
+        assert!(!dir.join(&old_files[0]).exists());
+        assert!(dir.join(&store.segments()[0].file).exists());
+        // The mixed-format store answers identically.
+        assert_eq!(
+            persist::to_json(&store.merged_index().unwrap()).unwrap(),
+            before
+        );
+        let lookup = store.lookup(ClassId(5), &QueryFilter::any()).unwrap();
+        assert_eq!(lookup.records.len(), 4);
+        // And reopens cleanly mid-migration.
+        let (mut reopened, report) = SegmentStore::open(&dir).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(
+            persist::to_json(&reopened.merged_index().unwrap()).unwrap(),
+            before
+        );
+
+        // A large budget finishes the job; another call is a no-op.
+        assert_eq!(reopened.migrate_format(usize::MAX).unwrap(), 2);
+        assert!(reopened
+            .segments()
+            .iter()
+            .all(|m| m.format == SegmentFormat::Binary));
+        assert_eq!(reopened.migrate_format(usize::MAX).unwrap(), 0);
+        assert_eq!(
+            persist::to_json(&reopened.merged_index().unwrap()).unwrap(),
+            before
+        );
+        for file in &old_files {
+            assert!(!dir.join(file).exists(), "JSON original {file} must go");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prefetch_warms_manifest_adjacent_segments() {
+        let dir = test_dir("prefetch");
+        let store = populated(&dir);
+        // Nothing recently cold: prefetch is a no-op.
+        assert_eq!(store.prefetch_adjacent(8).unwrap(), 0);
+        // A pruned cold lookup touches only the middle segment...
+        let mid = QueryFilter::for_stream(StreamId(0)).with_time_range(90.0, 200.0);
+        let cold = store.lookup(ClassId(5), &mid).unwrap();
+        assert_eq!(cold.access.cold_loads, 1);
+        // ...so prefetch warms its two manifest neighbours.
+        assert_eq!(store.prefetch_adjacent(8).unwrap(), 2);
+        let warm = store.lookup(ClassId(5), &QueryFilter::any()).unwrap();
+        assert_eq!(warm.access.cold_loads, 0);
+        assert_eq!(warm.access.cache_hits, 3);
+        // The recently-cold set was drained; prefetch loads did not refill
+        // it (no cascade).
+        assert_eq!(store.prefetch_adjacent(8).unwrap(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_occupancy_tracks_both_tiers() {
         let dir = test_dir("occupancy");
-        let store = populated(&dir).with_cache_capacity(2);
+        let store = populated_json(&dir).with_cache_capacity(2);
         let empty = store.cache_occupancy();
         assert_eq!(empty.occupancy, 0);
         assert_eq!(empty.capacity, 2);
         assert_eq!(empty.fill_fraction(), 0.0);
+        assert_eq!(empty.decoded_hit_rate(), 0.0);
+        assert_eq!(empty.raw_hit_rate(), 0.0);
         store.lookup(ClassId(5), &QueryFilter::any()).unwrap();
         let full = store.cache_occupancy();
         assert_eq!(full.occupancy, 2, "3 segments thrash a 2-entry LRU");
         assert_eq!(full.fill_fraction(), 1.0);
+        assert_eq!(full.disk_reads, 3);
+        assert_eq!(full.raw_entries, 3);
+        assert!(full.raw_occupancy_bytes > 0);
+        assert!(full.raw_fill_fraction() > 0.0);
+        assert_eq!(full.raw_capacity_bytes, DEFAULT_RAW_CACHE_BYTES);
         assert_eq!(LruOccupancy::default().fill_fraction(), 0.0);
+        assert_eq!(LruOccupancy::default().raw_fill_fraction(), 0.0);
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -1070,6 +2017,9 @@ mod tests {
             cold_loads: 1,
             cache_hits: 1,
             bytes_read: 100,
+            blocks_read: 2,
+            block_raw_hits: 1,
+            block_hits: 3,
         };
         assert_eq!(a.segments_opened(), 2);
         assert_eq!(a.segments_pruned(), 3);
@@ -1079,16 +2029,22 @@ mod tests {
             cold_loads: 2,
             cache_hits: 1,
             bytes_read: 50,
+            blocks_read: 4,
+            block_raw_hits: 2,
+            block_hits: 1,
         });
         assert_eq!(a.segments_considered, 5);
         assert_eq!(a.cold_loads, 3);
         assert_eq!(a.bytes_read, 150);
         assert_eq!(a.segments_total, 5);
+        assert_eq!(a.blocks_read, 6);
+        assert_eq!(a.block_raw_hits, 3);
+        assert_eq!(a.block_hits, 4);
     }
 
     #[test]
     fn errors_display_their_context() {
-        let errors: [SegmentError; 3] = [
+        let errors: [SegmentError; 4] = [
             SegmentError::Persist(PersistError::VersionMismatch {
                 path: None,
                 found: 9,
@@ -1098,6 +2054,10 @@ mod tests {
                 path: PathBuf::from("/s/seg-000001.json"),
                 expected: 1,
                 found: 2,
+            },
+            SegmentError::InvalidSegment {
+                path: PathBuf::from("/s/seg-000002.bin"),
+                source: BinsegError::BadMagic,
             },
             SegmentError::UnknownSegment { id: 7 },
         ];

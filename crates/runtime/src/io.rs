@@ -27,6 +27,16 @@ pub struct IoStats {
     pub cache_hits: usize,
     /// Bytes read from disk across all cold loads.
     pub bytes_read: u64,
+    /// Block fetches that went to disk (binary segments read per-block; a
+    /// whole-file JSON read counts as one block).
+    #[serde(default)]
+    pub block_loads: usize,
+    /// Block fetches served by re-decoding bytes held in the raw cache tier.
+    #[serde(default)]
+    pub block_raw_hits: usize,
+    /// Block fetches served from the decoded cache tier.
+    #[serde(default)]
+    pub block_hits: usize,
 }
 
 impl IoStats {
@@ -43,6 +53,22 @@ impl IoStats {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Total block fetches, from disk or either cache tier.
+    pub fn blocks_fetched(&self) -> usize {
+        self.block_loads + self.block_raw_hits + self.block_hits
+    }
+
+    /// Fraction of block fetches served off-disk (0.0 when no block has
+    /// been fetched yet).
+    pub fn block_hit_rate(&self) -> f64 {
+        let total = self.blocks_fetched();
+        if total == 0 {
+            0.0
+        } else {
+            (self.block_raw_hits + self.block_hits) as f64 / total as f64
         }
     }
 }
@@ -94,6 +120,16 @@ impl IoMeter {
     /// Records `hits` segment opens served from the cache.
     pub fn record_cache_hits(&self, hits: usize) {
         self.inner.lock().cache_hits += hits;
+    }
+
+    /// Records block-level fetch outcomes: `loads` blocks read from disk,
+    /// `raw_hits` served from the raw-bytes tier, `hits` from the decoded
+    /// tier.
+    pub fn record_blocks(&self, loads: usize, raw_hits: usize, hits: usize) {
+        let mut inner = self.inner.lock();
+        inner.block_loads += loads;
+        inner.block_raw_hits += raw_hits;
+        inner.block_hits += hits;
     }
 
     /// Snapshot of the counters.
@@ -184,6 +220,22 @@ mod tests {
     }
 
     #[test]
+    fn block_counters_accumulate_and_rate() {
+        let io = IoMeter::new();
+        assert_eq!(io.snapshot().block_hit_rate(), 0.0);
+        io.record_blocks(2, 0, 0);
+        io.record_blocks(0, 1, 5);
+        let stats = io.snapshot();
+        assert_eq!(stats.block_loads, 2);
+        assert_eq!(stats.block_raw_hits, 1);
+        assert_eq!(stats.block_hits, 5);
+        assert_eq!(stats.blocks_fetched(), 8);
+        assert!((stats.block_hit_rate() - 6.0 / 8.0).abs() < 1e-12);
+        // Block counters ride along segment-level accounting untouched.
+        assert_eq!(stats.segments_opened(), 0);
+    }
+
+    #[test]
     fn cloned_meters_share_state_across_threads() {
         let io = IoMeter::new();
         std::thread::scope(|scope| {
@@ -215,6 +267,7 @@ mod tests {
             segment_loads: 2,
             cache_hits: 99,
             bytes_read: 1000,
+            ..IoStats::default()
         };
         // Cache hits are free.
         assert!((model.stats_secs(&stats) - 2.0).abs() < 1e-12);

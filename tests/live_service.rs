@@ -12,7 +12,7 @@ use focus::core::{
     IngestCnn, IngestOutput, IngestParams, QueryEngine, QueryRequest, SealPolicy,
     StreamWorkerConfig,
 };
-use focus::index::QueryFilter;
+use focus::index::{QueryFilter, SegmentFormat};
 use focus::runtime::{GpuClusterSpec, GpuMeter};
 use focus::video::profile::profile_by_name;
 use focus::video::{Frame, VideoDataset};
@@ -320,6 +320,79 @@ fn maintenance_seals_due_tails_and_compacts() {
     let stats = service.stats();
     assert!(stats.compactions >= 1);
     assert!(stats.gpu.ticks >= 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A service pinned to JSON sealing migrates its segments to the binary
+/// format one per maintenance tick, serving byte-identical answers the
+/// whole way, and the fully migrated store recovers cleanly.
+#[test]
+fn maintenance_migrates_json_segments_without_changing_results() {
+    let secs = 45.0;
+    let datasets = workload(secs);
+    let frames = interleave(&datasets, 64);
+    let requests = request_mix(&datasets, secs);
+    let cfg = ServiceConfig {
+        seal_format: SegmentFormat::Json,
+        migrate_per_maintain: 1,
+        // Compaction would also rewrite segments; park it so every format
+        // change below is attributable to migration.
+        compact_small_threshold: usize::MAX,
+        ..config(10.0)
+    };
+    let dir = test_dir("migrate_live");
+    let mut service = FocusService::create(&dir, cfg.clone(), GroundTruthCnn::resnet152()).unwrap();
+    for ds in &datasets {
+        service
+            .register_stream(ds.profile.stream_id, ds.profile.fps)
+            .unwrap();
+    }
+    service.advance(&frames).unwrap();
+    service.seal_all().unwrap();
+    assert!(service
+        .store()
+        .segments()
+        .iter()
+        .all(|m| m.format == SegmentFormat::Json));
+    // Warm the verdict cache so every wave below is fully cached and
+    // byte-comparable including its accounting.
+    service.serve(&requests).unwrap();
+    let baseline = serde_json::to_string(&service.serve(&requests).unwrap()).unwrap();
+
+    // One JSON segment becomes binary per tick; answers never change.
+    let mut migrated = 0usize;
+    for _ in 0..200 {
+        let report = service.maintain().unwrap();
+        let wave = serde_json::to_string(&service.serve(&requests).unwrap()).unwrap();
+        assert_eq!(baseline, wave, "migration changed results");
+        if report.segments_migrated == 0 && migrated > 0 {
+            break;
+        }
+        migrated += report.segments_migrated;
+    }
+    assert!(migrated > 0);
+    assert!(service
+        .store()
+        .segments()
+        .iter()
+        .all(|m| m.format == SegmentFormat::Binary));
+    // Both cache tiers are live and visible through the service stats.
+    let stats = service.stats();
+    assert!(stats.lru.capacity > 0);
+    assert!(stats.lru.raw_capacity_bytes > 0);
+    assert!(stats.lru.decoded_hits + stats.lru.raw_hits > 0);
+
+    // The fully migrated store recovers cleanly and serves identically.
+    drop(service);
+    let (recovered, report) =
+        FocusService::recover(&dir, cfg, GroundTruthCnn::resnet152()).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    // Warm the recovered verdict cache so the accounting matches too.
+    recovered.serve(&requests).unwrap();
+    assert_eq!(
+        baseline,
+        serde_json::to_string(&recovered.serve(&requests).unwrap()).unwrap()
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -9,10 +9,13 @@ use proptest::prelude::*;
 use focus::cnn::{GroundTruthCnn, ModelSpec};
 use focus::core::segment_ingest::{SealPolicy, SegmentedIngest, SegmentedIngestOutput};
 use focus::core::{IngestCnn, IngestParams, QueryRequest, QueryServer, SegmentedCorpus};
-use focus::index::{persist, QueryFilter, SegmentStore};
+use focus::index::{
+    binseg, persist, ClusterKey, ClusterRecord, MemberRef, QueryFilter, SegmentError,
+    SegmentFormat, SegmentStore, TopKIndex,
+};
 use focus::runtime::{GpuClusterSpec, GpuMeter, IoMeter};
 use focus::video::profile::profile_by_name;
-use focus::video::VideoDataset;
+use focus::video::{ClassId, FrameId, ObjectId, StreamId, VideoDataset};
 
 use std::path::PathBuf;
 
@@ -47,9 +50,19 @@ fn build(
     policy: SealPolicy,
     shards: usize,
 ) -> (Vec<VideoDataset>, SegmentedIngestOutput, PathBuf) {
+    build_with_format(name, secs, policy, shards, SegmentFormat::Binary)
+}
+
+fn build_with_format(
+    name: &str,
+    secs: f64,
+    policy: SealPolicy,
+    shards: usize,
+    format: SegmentFormat,
+) -> (Vec<VideoDataset>, SegmentedIngestOutput, PathBuf) {
     let datasets = workload(secs);
     let dir = test_dir(name);
-    let mut store = SegmentStore::create(&dir).unwrap();
+    let mut store = SegmentStore::create(&dir).unwrap().with_seal_format(format);
     let output = segmented(policy, shards)
         .ingest_to_store(&datasets, &mut store, &GpuMeter::new())
         .unwrap();
@@ -207,6 +220,181 @@ fn kill_between_writes_recovers_every_sealed_segment() {
     drop(recovered);
     let (_, report) = SegmentStore::open(&dir).unwrap();
     assert!(report.is_clean(), "{report:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Acceptance criterion: the binary segment format answers every query
+/// byte-identically to the JSON (whole-file) format — through the pruned
+/// query server as well as canonically via the merged index.
+#[test]
+fn binary_and_json_sealed_stores_answer_byte_identically() {
+    let policy = || SealPolicy::every_secs(15.0);
+    let (datasets, json_output, json_dir) =
+        build_with_format("fmt_json", 45.0, policy(), 2, SegmentFormat::Json);
+    let (_, bin_output, bin_dir) =
+        build_with_format("fmt_bin", 45.0, policy(), 2, SegmentFormat::Binary);
+
+    let (json_store, report) = SegmentStore::open(&json_dir).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    let (bin_store, report) = SegmentStore::open(&bin_dir).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    assert!(json_store
+        .segments()
+        .iter()
+        .all(|m| m.format == SegmentFormat::Json && m.file.ends_with(".json")));
+    assert!(bin_store
+        .segments()
+        .iter()
+        .all(|m| m.format == SegmentFormat::Binary && m.file.ends_with(".bin")));
+
+    // The canonical merged bytes agree across formats.
+    assert_eq!(
+        persist::to_json(&json_store.merged_index().unwrap()).unwrap(),
+        persist::to_json(&bin_store.merged_index().unwrap()).unwrap()
+    );
+
+    // So does everything the query server returns, filtered or not.
+    let classes = datasets[0].dominant_classes(3);
+    let requests: Vec<QueryRequest> = classes
+        .iter()
+        .flat_map(|c| {
+            [
+                QueryRequest::new(*c),
+                QueryRequest::new(*c).with_filter(QueryFilter::any().with_time_range(0.0, 20.0)),
+                QueryRequest::new(*c)
+                    .with_filter(QueryFilter::any().with_time_range(10.0, 40.0).with_kx(3)),
+            ]
+        })
+        .collect();
+    let json_corpus = SegmentedCorpus::from_output(json_store, &json_output);
+    let bin_corpus = SegmentedCorpus::from_output(bin_store, &bin_output);
+    let from_json = server()
+        .serve_segmented(&json_corpus, &requests, &GpuMeter::new(), &IoMeter::new())
+        .unwrap();
+    let from_bin = server()
+        .serve_segmented(&bin_corpus, &requests, &GpuMeter::new(), &IoMeter::new())
+        .unwrap();
+    let reference = server().serve(&bin_output.combined, &requests, &GpuMeter::new());
+    let canonical = serde_json::to_string(&reference).unwrap();
+    assert_eq!(serde_json::to_string(&from_json).unwrap(), canonical);
+    assert_eq!(serde_json::to_string(&from_bin).unwrap(), canonical);
+    std::fs::remove_dir_all(&json_dir).ok();
+    std::fs::remove_dir_all(&bin_dir).ok();
+}
+
+/// Satellite: format migration rewrites a JSON store to binary one segment
+/// at a time; the mixed-format store keeps serving byte-identical results
+/// mid-migration, reopens cleanly, and ends fully binary with the legacy
+/// files gone.
+#[test]
+fn migration_serves_identically_mid_and_post() {
+    let (datasets, output, dir) = build_with_format(
+        "migrate",
+        45.0,
+        SealPolicy::every_secs(15.0),
+        2,
+        SegmentFormat::Json,
+    );
+    let classes = datasets[0].dominant_classes(2);
+    let requests: Vec<QueryRequest> = classes
+        .iter()
+        .flat_map(|c| {
+            [
+                QueryRequest::new(*c),
+                QueryRequest::new(*c).with_filter(QueryFilter::any().with_time_range(5.0, 30.0)),
+            ]
+        })
+        .collect();
+    let reference =
+        serde_json::to_string(&server().serve(&output.combined, &requests, &GpuMeter::new()))
+            .unwrap();
+
+    let (mut store, report) = SegmentStore::open(&dir).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    let total = store.len();
+    assert!(store
+        .segments()
+        .iter()
+        .all(|m| m.format == SegmentFormat::Json));
+
+    // One segment at a time: after the first step the store is mixed.
+    assert_eq!(store.migrate_format(1).unwrap(), 1);
+    let formats: Vec<SegmentFormat> = store.segments().iter().map(|m| m.format).collect();
+    assert!(formats.contains(&SegmentFormat::Binary));
+    assert!(formats.contains(&SegmentFormat::Json));
+    let mixed_corpus = SegmentedCorpus::from_output(store, &output);
+    let mid = server()
+        .serve_segmented(&mixed_corpus, &requests, &GpuMeter::new(), &IoMeter::new())
+        .unwrap();
+    assert_eq!(serde_json::to_string(&mid).unwrap(), reference);
+    drop(mixed_corpus);
+
+    // The mixed store reopens cleanly (the manifest never dangles), and an
+    // unbounded budget finishes the rewrite.
+    let (mut store, report) = SegmentStore::open(&dir).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(store.migrate_format(usize::MAX).unwrap(), total - 1);
+    assert!(store
+        .segments()
+        .iter()
+        .all(|m| m.format == SegmentFormat::Binary && m.file.ends_with(".bin")));
+    for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        assert!(
+            !(name.starts_with("seg-") && name.ends_with(".json")),
+            "legacy segment file left behind: {name}"
+        );
+    }
+    let corpus = SegmentedCorpus::from_output(store, &output);
+    let post = server()
+        .serve_segmented(&corpus, &requests, &GpuMeter::new(), &IoMeter::new())
+        .unwrap();
+    assert_eq!(serde_json::to_string(&post).unwrap(), reference);
+    assert_eq!(
+        persist::to_json(&corpus.store().merged_index().unwrap()).unwrap(),
+        persist::to_json(&output.combined.index).unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite regression: a bit flipped inside a binary record block after
+/// the store was opened fails that block's checksum at lookup time (the
+/// whole-file manifest checksum never re-runs on the block path), and the
+/// next open quarantines the segment through the usual report machinery.
+#[test]
+fn bit_flipped_binary_block_fails_block_checksum_at_lookup() {
+    let (_, output, dir) = build("block_corrupt", 45.0, SealPolicy::every_secs(15.0), 2);
+    let victim = output.sealed[1].clone();
+    assert_eq!(victim.format, SegmentFormat::Binary);
+
+    // The class held by the victim's first record block, discovered via a
+    // scratch handle so the store under test caches nothing.
+    let first_class = {
+        let (scratch, _) = SegmentStore::open(&dir).unwrap();
+        let segment = scratch.load(victim.id).unwrap();
+        segment
+            .clusters()
+            .min_by_key(|r| r.key)
+            .expect("sealed segments are never empty")
+            .top_k_classes[0]
+    };
+
+    let (store, report) = SegmentStore::open(&dir).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    // Flip one bit inside the first record block (just past the magic).
+    let path = dir.join(&victim.file);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[6] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = store.lookup(first_class, &QueryFilter::any()).unwrap_err();
+    assert!(matches!(err, SegmentError::Corrupt { .. }), "{err:?}");
+
+    // Same detection, same quarantine machinery on the next open.
+    drop(store);
+    let (reopened, report) = SegmentStore::open(&dir).unwrap();
+    assert_eq!(report.quarantined, vec![victim.file.clone()]);
+    assert_eq!(reopened.len(), output.sealed.len() - 1);
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -384,5 +572,82 @@ proptest! {
             serde_json::to_string(&reference).unwrap()
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    /// Satellite: the binary segment codec round-trips *arbitrary* indexes
+    /// to canonical-JSON byte identity — including empty indexes, records
+    /// with empty top-K lists (no postings entry anywhere), single-class
+    /// segments, and key gaps far beyond one delta block's span — and
+    /// re-encoding the decoded index reproduces the exact bytes.
+    #[test]
+    fn binseg_roundtrip_is_byte_identical_for_arbitrary_indexes(
+        parts in prop::collection::vec(
+            (
+                (
+                    0u64..3,                                // stream
+                    prop_oneof![                            // key gap: small,
+                        1u64..1000,                         // beyond one block's
+                        (1u64 << 32)..(1u64 << 32) + 2,     // span, and near the
+                        (1u64 << 57)..(1u64 << 57) + 2,     // top of the space
+                    ],
+                    0u64..u64::MAX,                         // centroid object
+                    0u64..u64::MAX,                         // centroid frame
+                ),
+                (
+                    prop::collection::vec(0u64..50, 0..5),  // top-K classes
+                    prop::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..4),
+                    -1.0e9f64..1.0e9,                       // start_secs
+                    0.0f64..1.0e6,                          // duration
+                ),
+            ),
+            0..60,
+        ),
+        single_class in 0u64..2,
+    ) {
+        let single_class = single_class == 1;
+        let mut index = TopKIndex::new();
+        let mut local = 0u64;
+        for ((stream, gap, object, frame), (classes, members, start, duration)) in parts {
+            local += gap;
+            // A ranked top-K list never repeats a class; duplicates would
+            // double-post the key, which the postings codec rejects.
+            let mut top_k_classes: Vec<ClassId> = if single_class {
+                vec![ClassId(7)]
+            } else {
+                classes.into_iter().map(|c| ClassId(c as u16)).collect()
+            };
+            let mut seen = std::collections::HashSet::new();
+            top_k_classes.retain(|c| seen.insert(*c));
+            index.insert(ClusterRecord {
+                key: ClusterKey::new(StreamId(stream as u32), local),
+                centroid_object: ObjectId(object),
+                centroid_frame: FrameId(frame),
+                top_k_classes,
+                members: members
+                    .into_iter()
+                    .map(|(o, f)| MemberRef {
+                        object: ObjectId(o),
+                        frame: FrameId(f),
+                    })
+                    .collect(),
+                start_secs: start,
+                end_secs: start + duration,
+            });
+        }
+        let bytes = binseg::encode(&index);
+        let decoded = binseg::decode(&bytes).unwrap();
+        prop_assert_eq!(
+            persist::to_json(&index).unwrap(),
+            persist::to_json(&decoded).unwrap()
+        );
+        // Deterministic codec: re-encoding reproduces the bytes exactly.
+        prop_assert_eq!(bytes, binseg::encode(&decoded));
     }
 }
