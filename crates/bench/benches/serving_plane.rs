@@ -1,0 +1,252 @@
+//! Criterion benchmark for the multi-tenant request plane: an open-loop
+//! arrival process drives [`RequestPlane`] in front of a fully ingested
+//! [`FocusService`] at two fixed rates — below and above the plane's
+//! admission capacity — on a **virtual clock**, so queueing, batching and
+//! shedding dynamics are exact and machine-independent.
+//!
+//! Besides the usual bench output this writes `BENCH_serving.json` to the
+//! workspace root: for each arrival rate, the shed fraction and the
+//! p50/p99/p999 submit-to-answer latencies read from the plane's
+//! log-bucketed histograms. CI's bench-smoke job guards the file with the
+//! direction-aware `bench_guard` — tail percentiles and the shed fraction
+//! must not rise. The above-capacity run is the paper-level claim in
+//! miniature: overload surfaces as explicit `Overloaded` backpressure
+//! while p999 stays bounded by the deadline, instead of an unbounded
+//! queue.
+//!
+//! Like `service_adaptive`, this bench runs the **same workload under
+//! `FOCUS_BENCH_SMOKE`**: every metric derives from a deterministic
+//! virtual-clock simulation that takes wall-clock milliseconds, so there
+//! is nothing to cut.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use focus_cnn::GroundTruthCnn;
+use focus_core::service::{FocusService, ServiceConfig};
+use focus_core::serving::{RequestPlane, ServingConfig, TenantConfig, TenantId};
+use focus_core::{IngestParams, QueryRequest, SealPolicy, StreamWorkerConfig};
+use focus_index::QueryFilter;
+use focus_runtime::{Clock, GpuClusterSpec, VirtualClock};
+use focus_video::profile::profile_by_name;
+use focus_video::VideoDataset;
+
+/// Seconds of recording ingested into the backend before the query storm.
+const INGEST_SECS: f64 = 30.0;
+/// Fixed per-batch dispatch overhead added to the modelled GPU latency.
+const BATCH_OVERHEAD_SECS: f64 = 0.002;
+/// Arrivals in the below-capacity run.
+const N_BELOW: usize = 1500;
+/// Arrivals in the above-capacity run.
+const N_ABOVE: usize = 4000;
+/// Below-capacity offered load (requests/sec across both tenants).
+const RATE_BELOW: f64 = 80.0;
+/// Above-capacity offered load: ~6.7× the 120/s the buckets sustain.
+const RATE_ABOVE: f64 = 800.0;
+
+fn plane_config() -> ServingConfig {
+    let tenant = TenantConfig {
+        weight: 1.0,
+        rate_per_sec: 60.0,
+        burst: 24.0,
+        deadline_secs: 1.0,
+    };
+    ServingConfig {
+        queue_bound: 64,
+        batch_max_requests: 16,
+        dispatch_margin_secs: 0.05,
+        default_tenant: tenant.clone(),
+        tenants: Vec::new(),
+    }
+    .with_tenant(TenantId(0), tenant.clone())
+    .with_tenant(
+        TenantId(1),
+        TenantConfig {
+            weight: 2.0,
+            ..tenant
+        },
+    )
+}
+
+fn backend() -> (FocusService, std::path::PathBuf, Vec<QueryRequest>) {
+    let dir = std::env::temp_dir().join("focus_bench_serving_plane");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServiceConfig {
+        worker: StreamWorkerConfig {
+            params: IngestParams {
+                k: 10,
+                ..IngestParams::default()
+            },
+            bootstrap_secs: 1e9,
+            retrain_interval_secs: 1e9,
+            gt_label_fraction: 0.0,
+            ..StreamWorkerConfig::default()
+        },
+        seal: SealPolicy::every_secs(10.0),
+        gpus: GpuClusterSpec::new(4),
+        ..ServiceConfig::default()
+    };
+    let dataset = VideoDataset::generate(profile_by_name("auburn_c").unwrap(), INGEST_SECS);
+    let mut service = FocusService::create(&dir, config, GroundTruthCnn::resnet152()).unwrap();
+    service
+        .register_stream(dataset.profile.stream_id, dataset.profile.fps)
+        .unwrap();
+    service.advance(&dataset.frames).unwrap();
+    service.seal_all().unwrap();
+
+    let classes = dataset.dominant_classes(2);
+    let second = classes.get(1).copied().unwrap_or(classes[0]);
+    let pool = vec![
+        QueryRequest::new(classes[0]),
+        QueryRequest::new(classes[0])
+            .with_filter(QueryFilter::any().with_time_range(0.0, INGEST_SECS / 2.0)),
+        QueryRequest::new(second),
+        QueryRequest::new(second)
+            .with_filter(QueryFilter::any().with_time_range(INGEST_SECS / 3.0, INGEST_SECS)),
+    ];
+    (service, dir, pool)
+}
+
+struct RateRun {
+    offered_per_sec: f64,
+    submitted: u64,
+    answered: u64,
+    expired: u64,
+    shed_fraction: f64,
+    max_queue_len: u64,
+    p50_secs: f64,
+    p99_secs: f64,
+    p999_secs: f64,
+}
+
+/// One open-loop run: `n` arrivals at `rate` requests/sec, alternating
+/// between two tenants, dispatching exactly when the plane says a batch is
+/// due. The clock advances by a modelled batch service time (overhead +
+/// the batch's modelled GPU latency) inside each dispatch, so recorded
+/// latencies include queueing, batching *and* service.
+fn open_loop(service: &FocusService, pool: &[QueryRequest], rate: f64, n: usize) -> RateRun {
+    let clock = VirtualClock::new();
+    let plane = RequestPlane::new(plane_config(), Arc::new(clock.clone()));
+    let dispatch = |plane: &RequestPlane| {
+        plane
+            .dispatch_with(|batch| {
+                let outcomes = service.serve(batch)?;
+                let gpu_secs = outcomes
+                    .iter()
+                    .map(|o| o.latency_secs)
+                    .fold(0.0f64, f64::max);
+                clock.advance(BATCH_OVERHEAD_SECS + gpu_secs);
+                Ok(outcomes)
+            })
+            .unwrap()
+    };
+
+    for i in 0..n {
+        let due = i as f64 / rate;
+        // Serve every batch that closes before this arrival.
+        while let Some(at) = plane.next_dispatch_at() {
+            if at > due {
+                break;
+            }
+            if at > clock.now_secs() {
+                clock.advance(at - clock.now_secs());
+            }
+            dispatch(&plane);
+        }
+        if due > clock.now_secs() {
+            clock.advance(due - clock.now_secs());
+        }
+        let _ = plane.submit(TenantId((i % 2) as u32), pool[i % pool.len()].clone());
+    }
+    // Drain the leftovers on the plane's own schedule.
+    while plane.queue_len() > 0 {
+        if let Some(at) = plane.next_dispatch_at() {
+            if at > clock.now_secs() {
+                clock.advance(at - clock.now_secs());
+            }
+        }
+        dispatch(&plane);
+    }
+
+    let stats = plane.serving_stats();
+    assert!(stats.conserves(0), "request conservation: {stats:?}");
+    RateRun {
+        offered_per_sec: rate,
+        submitted: stats.submitted,
+        answered: stats.answered,
+        expired: stats.expired,
+        shed_fraction: stats.shed_fraction(),
+        max_queue_len: stats.max_queue_len,
+        p50_secs: stats.latency.p50(),
+        p99_secs: stats.latency.p99(),
+        p999_secs: stats.latency.p999(),
+    }
+}
+
+fn bench_serving_plane(c: &mut Criterion) {
+    let (service, dir, pool) = backend();
+
+    let mut group = c.benchmark_group("serving_plane");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N_BELOW as u64));
+    group.bench_function("open_loop_below_capacity", |b| {
+        b.iter(|| open_loop(&service, &pool, RATE_BELOW, N_BELOW).answered)
+    });
+    group.throughput(Throughput::Elements(N_ABOVE as u64));
+    group.bench_function("open_loop_above_capacity", |b| {
+        b.iter(|| open_loop(&service, &pool, RATE_ABOVE, N_ABOVE).answered)
+    });
+    group.finish();
+
+    write_trajectory(&service, &pool);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Runs both rates once and writes `BENCH_serving.json` for future PRs to
+/// compare against.
+fn write_trajectory(service: &FocusService, pool: &[QueryRequest]) {
+    let below = open_loop(service, pool, RATE_BELOW, N_BELOW);
+    let above = open_loop(service, pool, RATE_ABOVE, N_ABOVE);
+
+    // The plane's contract under overload: explicit sheds, bounded tails.
+    assert!(below.shed_fraction < 0.05, "below capacity barely sheds");
+    assert!(above.shed_fraction > 0.5, "overload sheds most submits");
+    assert!(
+        above.p999_secs < 1.0,
+        "p999 stays inside the deadline under 6.7x overload"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"ingest_secs\": {INGEST_SECS}, \"queue_bound\": 64, \"batch_max_requests\": 16,\n"
+    ));
+    json.push_str("  \"rates\": {\n");
+    for (name, run) in [("below_capacity", &below), ("above_capacity", &above)] {
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"offered_per_sec\": {:.1}, \"submitted\": {}, \
+             \"answered\": {}, \"expired\": {}, \"max_queue_len\": {}, \
+             \"shed_fraction\": {:.4}, \"latency_p50_secs\": {:.6}, \
+             \"latency_p99_secs\": {:.6}, \"latency_p999_secs\": {:.6} }}{}\n",
+            run.offered_per_sec,
+            run.submitted,
+            run.answered,
+            run.expired,
+            run.max_queue_len,
+            run.shed_fraction,
+            run.p50_secs,
+            run.p99_secs,
+            run.p999_secs,
+            if name == "below_capacity" { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_serving_plane);
+criterion_main!(benches);

@@ -287,6 +287,25 @@ pub mod guard {
                 tolerance: 1.15,
             },
             MetricRule {
+                // Tail-latency percentiles from the serving plane's
+                // log-bucketed histograms (latency_p50_secs /
+                // latency_p99_secs / latency_p999_secs). The bench runs on
+                // a virtual clock, so the values are deterministic; the
+                // tolerance is ~one histogram bucket (G = 2^(1/4) ≈ 1.19).
+                pattern: "latency_p",
+                direction: MetricDirection::LowerIsBetter,
+                tolerance: 1.25,
+            },
+            MetricRule {
+                // Fraction of submits the request plane shed. Deterministic
+                // per workload on the virtual clock: a plane that starts
+                // over-shedding (admission or queue-bound regression) fails
+                // here even while every latency metric improves.
+                pattern: "shed_fraction",
+                direction: MetricDirection::LowerIsBetter,
+                tolerance: 1.15,
+            },
+            MetricRule {
                 pattern: "latency_secs",
                 direction: MetricDirection::LowerIsBetter,
                 tolerance: 1.0 / rate_tolerance,
@@ -574,6 +593,62 @@ pub mod guard {
         }
 
         #[test]
+        fn serving_percentile_keys_hit_the_dedicated_latency_rule() {
+            let rules = default_rules(0.7);
+            for key in ["latency_p50_secs", "latency_p99_secs", "latency_p999_secs"] {
+                let rule = rule_for(key, &rules).expect(key);
+                assert_eq!(rule.pattern, "latency_p", "{key}");
+                assert_eq!(rule.direction, MetricDirection::LowerIsBetter);
+                assert!(rule.tolerance < 1.0 / 0.7, "tighter than generic latency");
+            }
+            // The generic rule still owns plain latency keys, and the shed
+            // fraction gets its own lower-is-better bound.
+            assert_eq!(
+                rule_for("serve_latency_secs", &rules).unwrap().pattern,
+                "latency_secs"
+            );
+            let shed = rule_for("shed_fraction", &rules).unwrap();
+            assert_eq!(shed.direction, MetricDirection::LowerIsBetter);
+        }
+
+        #[test]
+        fn serving_tail_regressions_fail_and_improvements_pass() {
+            let rules = default_rules(0.7);
+            let baseline = parse(
+                r#"{"rates": {"above_capacity": {"latency_p99_secs": 0.2,
+                    "latency_p999_secs": 0.4, "shed_fraction": 0.8}}}"#,
+            );
+            // p999 blows past one histogram bucket: must fail even though
+            // every other metric is unchanged.
+            let regressed = parse(
+                r#"{"rates": {"above_capacity": {"latency_p99_secs": 0.2,
+                    "latency_p999_secs": 0.6, "shed_fraction": 0.8}}}"#,
+            );
+            let checks = compare_metrics(&baseline, &regressed, &rules).unwrap();
+            let p999 = checks.iter().find(|c| c.path.contains("p999")).unwrap();
+            assert!(!p999.passes());
+            assert!(checks.iter().filter(|c| !c.passes()).count() == 1);
+
+            // Across-the-board improvement (lower tails, fewer sheds)
+            // passes.
+            let better = parse(
+                r#"{"rates": {"above_capacity": {"latency_p99_secs": 0.1,
+                    "latency_p999_secs": 0.3, "shed_fraction": 0.7}}}"#,
+            );
+            let checks = compare_metrics(&baseline, &better, &rules).unwrap();
+            assert!(checks.iter().all(|c| c.passes()));
+
+            // An over-shedding plane fails on shed_fraction alone.
+            let shedding = parse(
+                r#"{"rates": {"above_capacity": {"latency_p99_secs": 0.2,
+                    "latency_p999_secs": 0.4, "shed_fraction": 0.95}}}"#,
+            );
+            let checks = compare_metrics(&baseline, &shedding, &rules).unwrap();
+            let shed = checks.iter().find(|c| c.path.contains("shed")).unwrap();
+            assert!(!shed.passes());
+        }
+
+        #[test]
         fn direction_aware_rules_classify_and_judge() {
             let rules = default_rules(0.7);
             let baseline = parse(
@@ -702,6 +777,7 @@ pub mod guard {
                 "BENCH_segments.json",
                 "BENCH_service.json",
                 "BENCH_adaptive.json",
+                "BENCH_serving.json",
             ] {
                 let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../").to_string() + file;
                 let text = std::fs::read_to_string(&path).unwrap();

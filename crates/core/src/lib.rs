@@ -73,6 +73,7 @@ pub mod query;
 pub mod query_server;
 pub mod segment_ingest;
 pub mod service;
+pub mod serving;
 pub mod shard;
 pub mod worker;
 
@@ -97,6 +98,10 @@ pub use query::{QueryEngine, QueryOutcome, QueryPlan, QueryRequest, SegmentedCor
 pub use query_server::{CacheStats, QueryServer};
 pub use segment_ingest::{SealPolicy, SegmentedIngest, SegmentedIngestOutput, StreamSegmenter};
 pub use service::{AdvanceReport, FocusService, MaintenanceReport, ServiceConfig, ServiceStats};
+pub use serving::{
+    Completed, Overloaded, RequestPlane, Response, ServingConfig, ServingStats, ShedReason,
+    TenantConfig, TenantId, Ticket,
+};
 pub use shard::{ingest_serial, MultiIngestOutput, ShardedIngest};
 pub use worker::{SpecializationLifecycle, StreamWorker, StreamWorkerConfig, StreamWorkerStats};
 
@@ -113,6 +118,7 @@ pub mod prelude {
     pub use crate::query_server::{CacheStats, QueryServer};
     pub use crate::segment_ingest::{SealPolicy, SegmentedIngest};
     pub use crate::service::{FocusService, ServiceConfig, ServiceStats};
+    pub use crate::serving::{RequestPlane, ServingConfig, TenantConfig, TenantId};
     pub use crate::shard::{MultiIngestOutput, ShardedIngest};
     pub use crate::worker::{StreamWorker, StreamWorkerConfig};
 }

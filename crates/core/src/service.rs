@@ -69,6 +69,7 @@ use crate::query::segmented::{SegmentedCorpus, TailOverlay};
 use crate::query::{QueryOutcome, QueryRequest};
 use crate::query_server::{CacheStats, QueryServer};
 use crate::segment_ingest::{SealPolicy, StreamSegmenter};
+use crate::serving::ServingStats;
 use crate::worker::{SpecializationLifecycle, StreamWorkerConfig};
 
 /// Name of the service's durable sidecar next to the store's manifest.
@@ -248,6 +249,12 @@ pub struct ServiceStats {
     /// Shared GPU scheduler breakdown (per-phase submissions, per-side
     /// served/backlog, utilization inputs).
     pub gpu: GpuSchedulerStats,
+    /// Request-plane SLO counters and latency histograms (admission,
+    /// shedding, deadlines). Empty unless a
+    /// [`RequestPlane`](crate::serving::RequestPlane) fronts the service —
+    /// see [`RequestPlane::stats`](crate::serving::RequestPlane::stats).
+    #[serde(default)]
+    pub serving: ServingStats,
 }
 
 impl ServiceStats {
@@ -1088,6 +1095,7 @@ impl FocusService {
             io: self.io.snapshot(),
             lru: self.corpus.store().cache_occupancy(),
             gpu: self.scheduler.stats(),
+            serving: ServingStats::default(),
         }
     }
 }

@@ -1,0 +1,172 @@
+//! Per-tenant token buckets: the admission-control half of the request
+//! plane.
+//!
+//! A bucket holds at most `burst` tokens and refills continuously at
+//! `rate_per_sec`. Every admitted request spends one token; a submit that
+//! finds less than one token is shed with the exact time until a full
+//! token will have accrued, so clients can honour `retry_after` instead of
+//! hammering the queue. All time comes from the caller (the plane reads
+//! its [`Clock`](focus_runtime::Clock) once per operation), which is what
+//! makes refill behaviour exactly `rate × dt` under a virtual clock.
+
+/// A continuously refilling token bucket (see the module docs).
+///
+/// Invariants, pinned by this module's tests:
+///
+/// * the token level never goes negative and never exceeds `burst`;
+/// * between two operations at `t0 < t1` with no grants, the level rises
+///   by exactly `rate_per_sec × (t1 - t0)` (one multiplication and one
+///   addition — bitwise reproducible for dyadic inputs) until the cap;
+/// * a denied admission leaves the level untouched.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    tokens: f64,
+    burst: f64,
+    rate_per_sec: f64,
+    last_refill_secs: f64,
+}
+
+impl TokenBucket {
+    /// A full bucket observed first at `now_secs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not positive or `burst < 1` (a bucket
+    /// that can never hold a whole token would shed everything).
+    pub fn new(rate_per_sec: f64, burst: f64, now_secs: f64) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "token rate must be positive"
+        );
+        assert!(
+            burst >= 1.0 && burst.is_finite(),
+            "burst must be at least 1"
+        );
+        Self {
+            tokens: burst,
+            burst,
+            rate_per_sec,
+            last_refill_secs: now_secs,
+        }
+    }
+
+    /// Brings the level up to date: adds `rate × dt` tokens, capped at
+    /// `burst`. A caller whose clock has not moved (or that replays the
+    /// same instant) adds exactly zero.
+    pub fn refill(&mut self, now_secs: f64) {
+        let dt = now_secs - self.last_refill_secs;
+        assert!(dt >= 0.0, "the admission clock is monotone");
+        self.tokens = (self.tokens + self.rate_per_sec * dt).min(self.burst);
+        self.last_refill_secs = now_secs;
+    }
+
+    /// Tries to spend one token at `now_secs`. On refusal, returns the
+    /// seconds until a full token will have accrued — the `retry_after` an
+    /// [`Overloaded`](crate::serving::Overloaded) response carries.
+    pub fn try_admit(&mut self, now_secs: f64) -> Result<(), f64> {
+        self.refill(now_secs);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err((1.0 - self.tokens) / self.rate_per_sec)
+        }
+    }
+
+    /// The current token level (diagnostics and tests).
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refill_is_exactly_rate_times_dt() {
+        // Dyadic rate and instants: every refill is exact float
+        // arithmetic, so the equalities below are bitwise.
+        let mut bucket = TokenBucket::new(4.0, 8.0, 0.0);
+        for _ in 0..8 {
+            bucket.try_admit(0.0).unwrap();
+        }
+        assert_eq!(bucket.tokens(), 0.0);
+        bucket.refill(0.25);
+        assert_eq!(bucket.tokens().to_bits(), 1.0f64.to_bits(), "4/s × 0.25s");
+        bucket.refill(0.75);
+        assert_eq!(bucket.tokens().to_bits(), 3.0f64.to_bits(), "+4/s × 0.5s");
+        // Refill past the cap clamps to burst.
+        bucket.refill(100.0);
+        assert_eq!(bucket.tokens(), 8.0);
+    }
+
+    #[test]
+    fn tokens_never_go_negative() {
+        let mut bucket = TokenBucket::new(2.0, 1.0, 0.0);
+        bucket.try_admit(0.0).unwrap();
+        assert_eq!(bucket.tokens(), 0.0);
+        for i in 0..100 {
+            // Denials at a standstill clock must not drive the level below
+            // zero no matter how often they are retried.
+            let retry = bucket.try_admit(0.0).unwrap_err();
+            assert!(bucket.tokens() >= 0.0, "retry {i}");
+            assert_eq!(retry, 0.5, "a whole token at 2/s is half a second away");
+        }
+    }
+
+    #[test]
+    fn denial_leaves_the_level_untouched() {
+        let mut bucket = TokenBucket::new(1.0, 1.0, 0.0);
+        bucket.try_admit(0.0).unwrap();
+        bucket.refill(0.25);
+        let before = bucket.tokens();
+        let retry = bucket.try_admit(0.25).unwrap_err();
+        assert_eq!(bucket.tokens().to_bits(), before.to_bits());
+        assert_eq!(retry, 0.75, "0.75 tokens missing at 1/s");
+    }
+
+    #[test]
+    fn retry_after_is_honest() {
+        let mut bucket = TokenBucket::new(8.0, 2.0, 0.0);
+        bucket.try_admit(0.0).unwrap();
+        bucket.try_admit(0.0).unwrap();
+        let retry = bucket.try_admit(0.0).unwrap_err();
+        assert_eq!(retry, 0.125, "a whole token at 8/s");
+        // Waiting less than retry_after still sheds…
+        assert!(bucket.try_admit(retry / 2.0).is_err());
+        // …and at exactly retry_after past the denial, the admit succeeds.
+        bucket.try_admit(retry).unwrap();
+    }
+
+    #[test]
+    fn burst_bounds_an_idle_tenant() {
+        let mut bucket = TokenBucket::new(1000.0, 4.0, 0.0);
+        // A long idle period accrues only `burst` tokens.
+        bucket.refill(3600.0);
+        assert_eq!(bucket.tokens(), 4.0);
+        for _ in 0..4 {
+            bucket.try_admit(3600.0).unwrap();
+        }
+        assert!(bucket.try_admit(3600.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = TokenBucket::new(0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst")]
+    fn sub_token_burst_panics() {
+        let _ = TokenBucket::new(1.0, 0.5, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn backwards_clock_panics() {
+        let mut bucket = TokenBucket::new(1.0, 1.0, 5.0);
+        bucket.refill(4.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Time as a capability: every serving-layer decision reads the clock
+//! through a trait, so tests can drive it deterministically.
+//!
+//! Admission control, deadline-aware batching and load shedding are all
+//! time-dependent policies. If they read `std::time::Instant` directly,
+//! their behaviour under a *specific* arrival schedule cannot be pinned in
+//! a test — the schedule would have to be reproduced in real time. The
+//! request plane therefore takes an `Arc<dyn Clock>`:
+//!
+//! * [`RealClock`] — monotonic wall-clock seconds since the clock was
+//!   created (production).
+//! * [`VirtualClock`] — a shared counter the test (or an event-driven
+//!   bench) advances explicitly; reads never block and time never moves on
+//!   its own, so a token-bucket refill or a batch close happens at exactly
+//!   the instant the schedule says.
+//!
+//! Cloned [`VirtualClock`] handles share one underlying instant, mirroring
+//! [`GpuMeter`](crate::GpuMeter)'s shared-handle idiom, so the driver and
+//! the plane observe the same timeline.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// A monotonic source of "now", in seconds from an arbitrary epoch.
+///
+/// Implementations must be monotone non-decreasing; consumers may cache
+/// and difference readings freely.
+pub trait Clock: Send + Sync {
+    /// Seconds elapsed since this clock's epoch.
+    fn now_secs(&self) -> f64;
+}
+
+/// Production clock: seconds since the clock was created, from the OS
+/// monotonic clock.
+#[derive(Debug, Clone)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    /// A clock whose epoch is the moment of creation.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now_secs(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+/// Test clock: time moves only when the owner advances it.
+///
+/// # Examples
+///
+/// ```
+/// use focus_runtime::{Clock, VirtualClock};
+///
+/// let clock = VirtualClock::new();
+/// let handle = clock.clone(); // shares the same instant
+/// assert_eq!(clock.now_secs(), 0.0);
+/// clock.advance(2.5);
+/// assert_eq!(handle.now_secs(), 2.5);
+/// handle.set(10.0);
+/// assert_eq!(clock.now_secs(), 10.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: Arc<Mutex<f64>>,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves time forward by `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or not finite (virtual time is monotone
+    /// by construction).
+    pub fn advance(&self, dt: f64) {
+        assert!(dt >= 0.0 && dt.is_finite(), "time only moves forward");
+        *self.now.lock() += dt;
+    }
+
+    /// Jumps time to `at` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current instant or not finite.
+    pub fn set(&self, at: f64) {
+        let mut now = self.now.lock();
+        assert!(
+            at >= *now && at.is_finite(),
+            "time only moves forward ({} -> {at})",
+            *now
+        );
+        *now = at;
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_secs(&self) -> f64 {
+        *self.now.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotone() {
+        let clock = RealClock::new();
+        let a = clock.now_secs();
+        let b = clock.now_secs();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_when_told() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now_secs(), 0.0);
+        assert_eq!(clock.now_secs(), 0.0);
+        clock.advance(1.25);
+        clock.advance(0.0);
+        assert_eq!(clock.now_secs(), 1.25);
+    }
+
+    #[test]
+    fn cloned_handles_share_the_instant() {
+        let clock = VirtualClock::new();
+        let handle = clock.clone();
+        handle.advance(3.0);
+        assert_eq!(clock.now_secs(), 3.0);
+        let dynamic: Arc<dyn Clock> = Arc::new(clock.clone());
+        clock.set(7.5);
+        assert_eq!(dynamic.now_secs(), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward")]
+    fn negative_advance_panics() {
+        VirtualClock::new().advance(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward")]
+    fn backwards_set_panics() {
+        let clock = VirtualClock::new();
+        clock.advance(5.0);
+        clock.set(4.0);
+    }
+}

@@ -1,0 +1,403 @@
+//! Log-bucketed latency histograms: constant-space tail-percentile
+//! estimates that merge exactly.
+//!
+//! Serving-layer SLOs are stated as percentiles (p50/p99/p999), and the
+//! tail-at-scale literature's first lesson is that means hide the tail. A
+//! sorted sample gives exact percentiles but costs O(requests) memory and
+//! cannot be combined across shards; [`LatencyHistogram`] instead counts
+//! into geometrically spaced buckets:
+//!
+//! * bucket `i` covers `[MIN·G^i, MIN·G^(i+1))` with `G = 2^(1/4)` — four
+//!   buckets per octave, so any percentile estimate is within one bucket
+//!   (≤ ~19% relative error) of the exact-sort answer;
+//! * values below [`LatencyHistogram::MIN_SECS`] (including the zero
+//!   latencies of an instantaneous virtual-clock serve) land in a dedicated
+//!   underflow bucket whose representative is `0.0`;
+//! * two histograms [`merge`](LatencyHistogram::merge) by elementwise
+//!   `u64` addition — exact, associative and commutative, which is what a
+//!   future scatter-gather query plane needs to fold per-node histograms
+//!   into one service-level tail.
+//!
+//! Bucket geometry is a crate-level constant rather than a per-histogram
+//! parameter: any two histograms are always mergeable.
+
+use serde::{Deserialize, Serialize};
+
+/// Buckets per power of two (`G = 2^(1/4)`).
+const BUCKETS_PER_OCTAVE: f64 = 4.0;
+
+/// A mergeable log-bucketed histogram of non-negative latencies, in
+/// seconds.
+///
+/// # Examples
+///
+/// ```
+/// use focus_runtime::LatencyHistogram;
+///
+/// let mut hist = LatencyHistogram::new();
+/// for i in 1..=100 {
+///     hist.record(i as f64 * 1e-3); // 1ms..100ms
+/// }
+/// let p50 = hist.quantile(0.50);
+/// let p99 = hist.quantile(0.99);
+/// assert!((0.04..=0.06).contains(&p50), "{p50}");
+/// assert!((0.08..=0.12).contains(&p99), "{p99}");
+///
+/// // Merging is exact: two halves fold into the same tail.
+/// let mut a = LatencyHistogram::new();
+/// let mut b = LatencyHistogram::new();
+/// for i in 1..=50 {
+///     a.record(i as f64 * 1e-3);
+///     b.record((50 + i) as f64 * 1e-3);
+/// }
+/// a.merge(&b);
+/// assert_eq!(a, hist);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Samples below [`Self::MIN_SECS`] (instantaneous serves).
+    underflow: u64,
+    /// Bucket counts; bucket `i` covers `[MIN·G^i, MIN·G^(i+1))`. The
+    /// vector only ever grows to the highest bucket actually hit, and its
+    /// last element is always non-zero, so equal sample sets compare equal.
+    counts: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// Lower bound of bucket 0: one microsecond. Everything below counts
+    /// as "instantaneous" (underflow, representative `0.0`).
+    pub const MIN_SECS: f64 = 1e-6;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the bucket covering `secs`, or `None` for the underflow
+    /// bucket.
+    fn bucket_index(secs: f64) -> Option<usize> {
+        if secs < Self::MIN_SECS {
+            return None;
+        }
+        let raw = (BUCKETS_PER_OCTAVE * (secs / Self::MIN_SECS).log2()).floor();
+        let mut idx = raw.max(0.0) as usize;
+        // Float-proof the boundary: the log can land one bucket off for
+        // values within an ulp of a bound.
+        while Self::bucket_lower_bound(idx + 1) <= secs {
+            idx += 1;
+        }
+        while idx > 0 && Self::bucket_lower_bound(idx) > secs {
+            idx -= 1;
+        }
+        Some(idx)
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    fn bucket_lower_bound(i: usize) -> f64 {
+        Self::MIN_SECS * (i as f64 / BUCKETS_PER_OCTAVE).exp2()
+    }
+
+    /// The value a bucket reports for every sample it holds: the geometric
+    /// midpoint of its bounds (`None` = underflow, reported as `0.0`).
+    fn bucket_representative(i: Option<usize>) -> f64 {
+        match i {
+            None => 0.0,
+            Some(i) => (Self::bucket_lower_bound(i) * Self::bucket_lower_bound(i + 1)).sqrt(),
+        }
+    }
+
+    /// Largest ratio between a bucket's representative and any sample in
+    /// it: `G^(1/2) = 2^(1/8)`. Percentile estimates are exact-sort
+    /// percentiles up to this factor (plus the one-bucket tie rule).
+    pub fn relative_error_bound() -> f64 {
+        (1.0 / (2.0 * BUCKETS_PER_OCTAVE)).exp2()
+    }
+
+    /// Records one latency sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn record(&mut self, secs: f64) {
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "latencies are non-negative and finite (got {secs})"
+        );
+        match Self::bucket_index(secs) {
+            None => self.underflow += 1,
+            Some(idx) => {
+                if self.counts.len() <= idx {
+                    self.counts.resize(idx + 1, 0);
+                }
+                self.counts[idx] += 1;
+            }
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.underflow + self.counts.iter().sum::<u64>()
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Folds `other` into `self` by exact elementwise addition.
+    /// Associative and commutative: any merge tree over the same shards
+    /// yields the same histogram.
+    pub fn merge(&mut self, other: &Self) {
+        self.underflow += other.underflow;
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the representative of the
+    /// bucket holding the `ceil(q·count)`-th smallest sample (`0.0` on an
+    /// empty histogram). `q = 0` reports the first non-empty bucket,
+    /// `q = 1` the last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = self.underflow;
+        if seen >= rank {
+            return Self::bucket_representative(None);
+        }
+        for (i, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_representative(Some(i));
+            }
+        }
+        // Unreachable while counts stay canonical; report the top bucket.
+        Self::bucket_representative(Some(self.counts.len().saturating_sub(1)))
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile latency.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact percentile by sorting: the value at rank `ceil(q·n)`.
+    fn exact_quantile(samples: &mut [f64], q: f64) -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+        samples[rank - 1]
+    }
+
+    /// Asserts the histogram estimate lands within one bucket of the
+    /// exact-sort percentile.
+    fn assert_within_one_bucket(estimate: f64, exact: f64, context: &str) {
+        let est_bucket = LatencyHistogram::bucket_index(estimate);
+        let exact_bucket = LatencyHistogram::bucket_index(exact);
+        let (a, b) = match (est_bucket, exact_bucket) {
+            (None, None) => return,
+            (None, Some(b)) | (Some(b), None) => (0usize, b),
+            (Some(a), Some(b)) => (a, b),
+        };
+        assert!(
+            a.abs_diff(b) <= 1,
+            "{context}: estimate {estimate} (bucket {est_bucket:?}) vs exact {exact} \
+             (bucket {exact_bucket:?})"
+        );
+    }
+
+    fn check_distribution(samples: Vec<f64>, context: &str) {
+        let mut hist = LatencyHistogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        assert_eq!(hist.count(), samples.len() as u64);
+        let mut sorted = samples;
+        for q in [0.0, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&mut sorted, q);
+            let estimate = hist.quantile(q);
+            assert_within_one_bucket(estimate, exact, &format!("{context} q={q}"));
+        }
+    }
+
+    #[test]
+    fn bimodal_distribution_within_one_bucket() {
+        // 95% fast (≈1ms), 5% slow (≈2s): the shape that makes means lie.
+        let mut samples = Vec::new();
+        for i in 0..950 {
+            samples.push(1e-3 * (1.0 + (i % 7) as f64 * 0.01));
+        }
+        for i in 0..50 {
+            samples.push(2.0 * (1.0 + (i % 5) as f64 * 0.02));
+        }
+        check_distribution(samples, "bimodal");
+    }
+
+    #[test]
+    fn single_sample_distribution() {
+        check_distribution(vec![0.125], "single");
+        let mut hist = LatencyHistogram::new();
+        hist.record(0.125);
+        for q in [0.0, 0.5, 1.0] {
+            assert_within_one_bucket(hist.quantile(q), 0.125, "single-direct");
+        }
+    }
+
+    #[test]
+    fn all_equal_distribution() {
+        check_distribution(vec![0.031_25; 1000], "all-equal");
+    }
+
+    #[test]
+    fn uniform_and_heavy_tail_distributions() {
+        check_distribution((1..=1000).map(|i| i as f64 * 1e-4).collect(), "uniform");
+        // Powers of two: every sample in its own octave region.
+        check_distribution(
+            (0..30).map(|i| 1e-5 * (i as f64).exp2()).collect(),
+            "geometric",
+        );
+    }
+
+    #[test]
+    fn zero_and_underflow_samples_report_zero() {
+        let mut hist = LatencyHistogram::new();
+        hist.record(0.0);
+        hist.record(1e-9);
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.quantile(0.5), 0.0);
+        assert_eq!(hist.quantile(1.0), 0.0);
+        hist.record(1.0);
+        assert_eq!(hist.quantile(0.5), 0.0, "rank 2 of 3 is still underflow");
+        assert!(hist.quantile(1.0) > 0.5);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero_everywhere() {
+        let hist = LatencyHistogram::new();
+        assert!(hist.is_empty());
+        assert_eq!(hist.quantile(0.5), 0.0);
+        assert_eq!(hist.p50(), 0.0);
+        assert_eq!(hist.p99(), 0.0);
+        assert_eq!(hist.p999(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        // Three shards with disjoint regimes (scatter-gather shape).
+        let shard = |lo: f64, n: usize| {
+            let mut h = LatencyHistogram::new();
+            for i in 0..n {
+                h.record(lo * (1.0 + i as f64 * 0.37));
+            }
+            h
+        };
+        let a = shard(1e-4, 100);
+        let b = shard(3e-2, 57);
+        let c = shard(1.5, 9);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        let mut c_ba = c.clone();
+        c_ba.merge(&b);
+        c_ba.merge(&a);
+
+        assert_eq!(ab_c, a_bc, "associativity");
+        assert_eq!(ab_c, c_ba, "commutativity");
+        assert_eq!(ab_c.count(), 166);
+
+        // Merged percentiles match recording everything into one histogram.
+        let mut direct = LatencyHistogram::new();
+        for h in [&a, &b, &c] {
+            direct.merge(h);
+        }
+        assert_eq!(direct, ab_c);
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity() {
+        let mut a = LatencyHistogram::new();
+        a.record(0.5);
+        a.record(0.002);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+        let before = a.clone();
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        for i in 0..200 {
+            let lo = LatencyHistogram::bucket_lower_bound(i);
+            assert_eq!(
+                LatencyHistogram::bucket_index(lo),
+                Some(i),
+                "lower bound of {i}"
+            );
+            let rep = LatencyHistogram::bucket_representative(Some(i));
+            assert_eq!(
+                LatencyHistogram::bucket_index(rep),
+                Some(i),
+                "representative of {i}"
+            );
+        }
+        assert!(LatencyHistogram::relative_error_bound() < 1.2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut hist = LatencyHistogram::new();
+        for i in 0..100 {
+            hist.record(1e-3 * (1.0 + i as f64));
+        }
+        hist.record(0.0);
+        let json = serde_json::to_string(&hist).unwrap();
+        let back: LatencyHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, hist);
+        assert_eq!(back.p99(), hist.p99());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sample_panics() {
+        LatencyHistogram::new().record(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile_panics() {
+        let _ = LatencyHistogram::new().quantile(1.5);
+    }
+}

@@ -23,13 +23,22 @@
 //! * [`GpuScheduler`] — one metered budget shared by ingest classification
 //!   and query-time GT verification, drained in ticks under a configurable
 //!   ingest/query priority policy (the paper's §5 tradeoff, live).
+//! * [`Clock`] / [`RealClock`] / [`VirtualClock`] — time as a capability,
+//!   so the serving layer's admission, batching and shedding decisions are
+//!   deterministic under test.
+//! * [`LatencyHistogram`] — log-bucketed, exactly-mergeable latency
+//!   histograms for p50/p99/p999 SLO reporting.
 
+pub mod clock;
 pub mod gpu;
+pub mod hist;
 pub mod io;
 pub mod sched;
 pub mod workers;
 
+pub use clock::{Clock, RealClock, VirtualClock};
 pub use gpu::{BatchCostModel, GpuClusterSpec, GpuMeter, PhaseBreakdown};
+pub use hist::LatencyHistogram;
 pub use io::{IoMeter, IoStats, SegmentLoadCost};
 pub use sched::{GpuPriorityPolicy, GpuScheduler, GpuSchedulerStats, GpuSide, TickReport};
 pub use workers::WorkerPool;
