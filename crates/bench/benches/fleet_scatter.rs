@@ -1,0 +1,222 @@
+//! Criterion benchmark for the fleet's scatter-gather query path at 1, 2
+//! and 4 nodes, plus the simulated failover-to-first-answer time.
+//!
+//! Besides the usual bench output this writes `BENCH_cluster.json` to the
+//! workspace root: per node count, the mean scatter width of the standard
+//! request mix, the simulated bytes over the wire per query, and the
+//! wall-clock queries/sec; for the multi-node fleets also the virtual-clock
+//! seconds from a node loss to the first gathered answer. All transport
+//! accounting runs through `NetMeter`/`NetCostModel` on a virtual clock, so
+//! everything except `queries_per_sec` is exact and machine-independent.
+//! CI's bench-smoke job guards the file with the direction-aware
+//! `bench_guard`: scatter width, wire bytes and failover time must not
+//! rise, queries/sec must not fall.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use focus_bench::bench_workload_secs;
+use focus_cnn::GroundTruthCnn;
+use focus_core::fleet::{FleetConfig, FleetCoordinator};
+use focus_core::service::ServiceConfig;
+use focus_core::{IngestParams, QueryRequest, SealPolicy, StreamWorkerConfig};
+use focus_index::QueryFilter;
+use focus_runtime::{Clock, GpuClusterSpec, NetCostModel, VirtualClock};
+use focus_video::profile::profile_by_name;
+use focus_video::{Frame, VideoDataset};
+
+/// Serve waves averaged for the wall-clock queries/sec figure.
+const QUERY_WAVES: usize = 12;
+
+fn fleet_config(nodes: usize) -> FleetConfig {
+    FleetConfig {
+        nodes,
+        service: ServiceConfig {
+            worker: StreamWorkerConfig {
+                params: IngestParams {
+                    k: 10,
+                    ..IngestParams::default()
+                },
+                bootstrap_secs: 1e9,
+                retrain_interval_secs: 1e9,
+                gt_label_fraction: 0.0,
+                ..StreamWorkerConfig::default()
+            },
+            seal: SealPolicy::every_secs(6.0),
+            gpus: GpuClusterSpec::new(4),
+            ..ServiceConfig::default()
+        },
+        net: NetCostModel::default(),
+    }
+}
+
+fn workload(secs: f64) -> Vec<VideoDataset> {
+    ["auburn_c", "lausanne", "cnn"]
+        .iter()
+        .map(|n| VideoDataset::generate(profile_by_name(n).unwrap(), secs))
+        .collect()
+}
+
+fn interleave(datasets: &[VideoDataset], chunk: usize) -> Vec<Frame> {
+    let mut cursors = vec![0usize; datasets.len()];
+    let mut frames = Vec::new();
+    loop {
+        let mut progressed = false;
+        for (ds, cursor) in datasets.iter().zip(cursors.iter_mut()) {
+            let end = (*cursor + chunk).min(ds.frames.len());
+            if *cursor < end {
+                frames.extend(ds.frames[*cursor..end].iter().cloned());
+                *cursor = end;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return frames;
+        }
+    }
+}
+
+fn request_mix(datasets: &[VideoDataset], secs: f64) -> Vec<QueryRequest> {
+    let classes = datasets[0].dominant_classes(2);
+    let second = classes.get(1).copied().unwrap_or(classes[0]);
+    vec![
+        QueryRequest::new(classes[0]),
+        QueryRequest::new(classes[0])
+            .with_filter(QueryFilter::any().with_time_range(0.0, secs / 3.0)),
+        QueryRequest::new(classes[0])
+            .with_filter(QueryFilter::for_stream(datasets[0].profile.stream_id)),
+        QueryRequest::new(second),
+    ]
+}
+
+fn build_fleet(
+    nodes: usize,
+    datasets: &[VideoDataset],
+    frames: &[Frame],
+) -> (FleetCoordinator, VirtualClock, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("focus_bench_fleet_{nodes}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let clock = VirtualClock::new();
+    let mut fleet =
+        FleetCoordinator::create(&dir, fleet_config(nodes), GroundTruthCnn::resnet152())
+            .unwrap()
+            .with_clock(clock.clone());
+    for ds in datasets {
+        fleet
+            .register_stream(ds.profile.stream_id, ds.profile.fps)
+            .unwrap();
+    }
+    fleet.advance(frames).unwrap();
+    (fleet, clock, dir)
+}
+
+struct NodeRun {
+    scatter_width: f64,
+    wire_bytes_per_query: f64,
+    queries_per_sec: f64,
+    /// Virtual-clock seconds from node loss to the first gathered answer
+    /// (absent for the single-node fleet, which has no survivor to fail
+    /// over to).
+    failover_to_first_answer_secs: Option<f64>,
+}
+
+/// Measures one node count: scatter accounting on a fresh meter, wall-clock
+/// serve throughput, and (multi-node) the kill→failover→first-answer time
+/// on the virtual clock.
+fn measure(nodes: usize, datasets: &[VideoDataset], frames: &[Frame], secs: f64) -> NodeRun {
+    let requests = request_mix(datasets, secs);
+    let (mut fleet, clock, dir) = build_fleet(nodes, datasets, frames);
+
+    // Warm the verdict cache so the measured waves are steady-state.
+    fleet.serve(&requests).unwrap();
+    let meter = fleet.net_meter();
+    meter.reset();
+    let wall = std::time::Instant::now();
+    for _ in 0..QUERY_WAVES {
+        // One request per scatter: a batch would take the union of the
+        // mix's shard sets and hide the per-request pruning the scatter
+        // width metric guards.
+        for request in &requests {
+            fleet.serve(std::slice::from_ref(request)).unwrap();
+        }
+    }
+    let elapsed = wall.elapsed().as_secs_f64().max(1e-9);
+    let net = meter.snapshot();
+    let queries = (QUERY_WAVES * requests.len()) as f64;
+
+    let failover_to_first_answer_secs = (nodes > 1).then(|| {
+        let victim = fleet.manifest().assignments[0].node;
+        let from = clock.now_secs();
+        fleet.kill_node(victim);
+        fleet.failover().unwrap();
+        fleet.serve(&requests).unwrap();
+        clock.now_secs() - from
+    });
+
+    std::fs::remove_dir_all(&dir).ok();
+    NodeRun {
+        scatter_width: net.scatter_width(),
+        wire_bytes_per_query: net.bytes_total() as f64 / queries,
+        queries_per_sec: queries / elapsed,
+        failover_to_first_answer_secs,
+    }
+}
+
+fn bench_fleet_scatter(c: &mut Criterion) {
+    let secs = bench_workload_secs(40.0);
+    let datasets = workload(secs);
+    let frames = interleave(&datasets, 64);
+    let requests = request_mix(&datasets, secs);
+
+    let mut group = c.benchmark_group("fleet_scatter");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    for nodes in [1usize, 2, 4] {
+        let (mut fleet, _clock, dir) = build_fleet(nodes, &datasets, &frames);
+        fleet.serve(&requests).unwrap();
+        group.bench_function(format!("serve_{nodes}_nodes"), |b| {
+            b.iter(|| fleet.serve(&requests).unwrap().len())
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+
+    write_trajectory(&datasets, &frames, secs);
+}
+
+/// Runs each node count once and writes `BENCH_cluster.json` for future
+/// PRs to compare against.
+fn write_trajectory(datasets: &[VideoDataset], frames: &[Frame], secs: f64) {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"ingest_secs\": {secs},\n  \"nodes\": {{\n"));
+    for (i, nodes) in [1usize, 2, 4].iter().enumerate() {
+        let run = measure(*nodes, datasets, frames, secs);
+        // The fleet's distributed contract, pinned here so the bench
+        // itself fails loudly if scatter or failover break.
+        assert!(run.scatter_width <= datasets.len() as f64);
+        assert!(run.wire_bytes_per_query > 0.0);
+        let failover = run
+            .failover_to_first_answer_secs
+            .map(|s| {
+                assert!(s > 0.0, "failover must cost simulated time");
+                format!(", \"failover_to_first_answer_secs\": {s:.6}")
+            })
+            .unwrap_or_default();
+        json.push_str(&format!(
+            "    \"n{nodes}\": {{ \"scatter_width\": {:.4}, \
+             \"wire_bytes_per_query\": {:.1}, \"queries_per_sec\": {:.2}{failover} }}{}\n",
+            run.scatter_width,
+            run.wire_bytes_per_query,
+            run.queries_per_sec,
+            if i < 2 { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_fleet_scatter);
+criterion_main!(benches);

@@ -1,101 +1,138 @@
 //! CI regression guard for the committed `BENCH_*.json` trajectories.
 //!
-//! Usage: `bench_guard <baseline.json> <fresh.json> [rate_tolerance]`
+//! Usage: `bench_guard <baseline.json> <fresh.json> [more pairs ...] [rate_tolerance]`
+//!
+//! Takes any number of baseline/fresh *pairs* in one invocation; when the
+//! argument count is odd the trailing argument is the wall-clock rate
+//! tolerance (default 0.7, i.e. a >30% regression fails). All pairs are
+//! checked before the exit code is decided — **collect-then-fail** — so
+//! one run reports every violating metric across every file instead of
+//! stopping at the first bad pair.
 //!
 //! Direction-aware: every metric matched by the standard rule table
 //! ([`focus_bench::guard::default_rules`]) is compared against the
 //! committed baseline in its own direction with its own tolerance —
 //! throughput (`*_per_sec`) and hit rates / recall / precision must not
-//! fall, latencies and `segments_opened_per_query` must not rise. The
-//! optional `rate_tolerance` (default 0.7, i.e. a >30% regression fails)
-//! applies to the wall-clock metrics; deterministic workload metrics keep
-//! their built-in tighter bounds. CI's bench-smoke job stashes the
-//! committed files before running the benches and then points this guard
-//! at each pair.
+//! fall; latencies, `segments_opened_per_query`, scatter width, wire bytes
+//! and failover time must not rise. The rate tolerance applies to the
+//! wall-clock metrics; deterministic workload metrics keep their built-in
+//! tighter bounds. CI's bench-smoke job stashes the committed files before
+//! running the benches and then points this guard at all pairs at once.
 
 use std::process::ExitCode;
 
-use focus_bench::guard::{compare_metrics, default_rules, MetricDirection};
+use focus_bench::guard::{compare_metrics, default_rules, MetricCheck, MetricDirection};
 use focus_bench::TextTable;
 
+fn read(path: &str) -> Result<serde::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    serde_json::parse(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    if args.len() < 3 || args.len() > 4 {
-        eprintln!("usage: bench_guard <baseline.json> <fresh.json> [rate_tolerance]");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // An odd argument count means the last argument is the tolerance.
+    let rate_tolerance: f64 = if args.len() % 2 == 1 {
+        let raw = args.pop().expect("odd length implies non-empty");
+        match raw.parse() {
+            Ok(r) => r,
+            Err(_) => {
+                eprintln!("bench_guard: rate_tolerance must be a number, got `{raw}`");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        0.7
+    };
+    if args.is_empty() {
+        eprintln!(
+            "usage: bench_guard <baseline.json> <fresh.json> [more pairs ...] [rate_tolerance]"
+        );
         return ExitCode::from(2);
     }
-    let baseline_path = &args[1];
-    let fresh_path = &args[2];
-    let rate_tolerance: f64 = match args.get(3).map(|s| s.parse()) {
-        None => 0.7,
-        Some(Ok(r)) => r,
-        Some(Err(_)) => {
-            eprintln!(
-                "bench_guard: rate_tolerance must be a number, got `{}`",
-                args[3]
-            );
-            return ExitCode::from(2);
-        }
-    };
-
-    let read = |path: &str| -> Result<serde::Value, String> {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-        serde_json::parse(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))
-    };
-    let (baseline, fresh) = match (read(baseline_path), read(fresh_path)) {
-        (Ok(b), Ok(f)) => (b, f),
-        (Err(e), _) | (_, Err(e)) => {
-            eprintln!("bench_guard: {e}");
-            return ExitCode::from(2);
-        }
-    };
 
     let rules = default_rules(rate_tolerance);
-    let checks = match compare_metrics(&baseline, &fresh, &rules) {
-        Ok(checks) => checks,
-        Err(e) => {
-            eprintln!("bench_guard: {e}");
-            return ExitCode::from(2);
-        }
-    };
-
-    let mut table = TextTable::new(vec![
-        "metric", "dir", "baseline", "fresh", "ratio", "bound", "verdict",
-    ]);
-    let mut failures = 0usize;
-    for check in &checks {
-        let pass = check.passes();
-        if !pass {
-            failures += 1;
-        }
-        let (dir, bound) = match check.direction {
-            MetricDirection::HigherIsBetter => ("up", format!(">={:.2}", check.tolerance)),
-            MetricDirection::LowerIsBetter => ("down", format!("<={:.2}", check.tolerance)),
+    // Collect-then-fail: every pair is fully checked and reported before
+    // the verdict, so one CI run surfaces every violation at once.
+    let mut violations: Vec<(String, MetricCheck)> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    let mut total_checks = 0usize;
+    for pair in args.chunks(2) {
+        let (baseline_path, fresh_path) = (&pair[0], &pair[1]);
+        let (baseline, fresh) = match (read(baseline_path), read(fresh_path)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench_guard: {e}");
+                errors.push(e);
+                continue;
+            }
         };
-        table.row(vec![
-            check.path.clone(),
-            dir.to_string(),
-            format!("{:.2}", check.baseline),
-            format!("{:.2}", check.fresh),
-            format!("{:.2}", check.ratio()),
-            bound,
-            if pass {
-                "ok".to_string()
-            } else {
-                "REGRESSED".to_string()
-            },
+        let checks = match compare_metrics(&baseline, &fresh, &rules) {
+            Ok(checks) => checks,
+            Err(e) => {
+                let e = format!("{fresh_path} vs {baseline_path}: {e}");
+                eprintln!("bench_guard: {e}");
+                errors.push(e);
+                continue;
+            }
+        };
+
+        let mut table = TextTable::new(vec![
+            "metric", "dir", "baseline", "fresh", "ratio", "bound", "verdict",
         ]);
-    }
-    println!("bench_guard: {fresh_path} vs {baseline_path} (rate tolerance {rate_tolerance:.2})");
-    table.print();
-    if failures > 0 {
-        eprintln!(
-            "bench_guard: {failures} of {} metrics regressed past their direction-aware bound",
-            checks.len()
+        for check in &checks {
+            let pass = check.passes();
+            let (dir, bound) = match check.direction {
+                MetricDirection::HigherIsBetter => ("up", format!(">={:.2}", check.tolerance)),
+                MetricDirection::LowerIsBetter => ("down", format!("<={:.2}", check.tolerance)),
+            };
+            table.row(vec![
+                check.path.clone(),
+                dir.to_string(),
+                format!("{:.2}", check.baseline),
+                format!("{:.2}", check.fresh),
+                format!("{:.2}", check.ratio()),
+                bound,
+                if pass {
+                    "ok".to_string()
+                } else {
+                    "REGRESSED".to_string()
+                },
+            ]);
+            if !pass {
+                violations.push((fresh_path.clone(), check.clone()));
+            }
+        }
+        total_checks += checks.len();
+        println!(
+            "bench_guard: {fresh_path} vs {baseline_path} (rate tolerance {rate_tolerance:.2})"
         );
+        table.print();
+        println!();
+    }
+
+    if !violations.is_empty() || !errors.is_empty() {
+        eprintln!(
+            "bench_guard: {} of {total_checks} metrics regressed past their \
+             direction-aware bound ({} pair errors):",
+            violations.len(),
+            errors.len()
+        );
+        for (file, check) in &violations {
+            eprintln!(
+                "  {file}: {} {:.2} -> {:.2} (ratio {:.2}, bound {:.2})",
+                check.path,
+                check.baseline,
+                check.fresh,
+                check.ratio(),
+                check.tolerance
+            );
+        }
+        for error in &errors {
+            eprintln!("  error: {error}");
+        }
         return ExitCode::FAILURE;
     }
-    println!("bench_guard: all {} metrics within tolerance", checks.len());
+    println!("bench_guard: all {total_checks} metrics within tolerance");
     ExitCode::SUCCESS
 }

@@ -310,6 +310,29 @@ pub mod guard {
                 direction: MetricDirection::LowerIsBetter,
                 tolerance: 1.0 / rate_tolerance,
             },
+            MetricRule {
+                // Mean shards contacted per scattered query batch. Exact
+                // per placement/filter mix (simulated transport): a fleet
+                // that quietly degrades to broadcast fails here.
+                pattern: "scatter_width",
+                direction: MetricDirection::LowerIsBetter,
+                tolerance: 1.05,
+            },
+            MetricRule {
+                // Simulated bytes over the wire per query — deterministic;
+                // the smoke run's halved workload only ever shrinks it.
+                pattern: "wire_bytes",
+                direction: MetricDirection::LowerIsBetter,
+                tolerance: 1.25,
+            },
+            MetricRule {
+                // Virtual-clock seconds from node loss to the first
+                // gathered answer (detection + replay + manifest round +
+                // scatter).
+                pattern: "failover_to_first_answer",
+                direction: MetricDirection::LowerIsBetter,
+                tolerance: 1.25,
+            },
         ]
     }
 
@@ -742,6 +765,43 @@ pub mod guard {
         }
 
         #[test]
+        fn fleet_metrics_are_guarded_in_their_directions() {
+            let rules = default_rules(0.7);
+            let baseline = parse(
+                r#"{"nodes": {"n2": {"scatter_width": 2.5, "wire_bytes_per_query": 4000.0,
+                    "queries_per_sec": 120.0, "failover_to_first_answer_secs": 0.02}}}"#,
+            );
+            // A fleet that degrades to broadcast (wider scatter, more
+            // bytes) fails even though throughput held.
+            let broadcasty = parse(
+                r#"{"nodes": {"n2": {"scatter_width": 3.0, "wire_bytes_per_query": 9000.0,
+                    "queries_per_sec": 120.0, "failover_to_first_answer_secs": 0.02}}}"#,
+            );
+            let checks = compare_metrics(&baseline, &broadcasty, &rules).unwrap();
+            let failed: Vec<&str> = checks
+                .iter()
+                .filter(|c| !c.passes())
+                .map(|c| c.path.as_str())
+                .collect();
+            assert_eq!(
+                failed,
+                vec!["nodes.n2.scatter_width", "nodes.n2.wire_bytes_per_query"]
+            );
+            // A slower failover fails its own bound; a faster one passes.
+            let slow_failover = parse(
+                r#"{"nodes": {"n2": {"scatter_width": 2.5, "wire_bytes_per_query": 4000.0,
+                    "queries_per_sec": 120.0, "failover_to_first_answer_secs": 0.2}}}"#,
+            );
+            let checks = compare_metrics(&baseline, &slow_failover, &rules).unwrap();
+            let failover = checks.iter().find(|c| c.path.contains("failover")).unwrap();
+            assert_eq!(failover.direction, MetricDirection::LowerIsBetter);
+            assert!(!failover.passes());
+            let checks = compare_metrics(&baseline, &baseline, &rules).unwrap();
+            assert_eq!(checks.len(), 4, "queries_per_sec is guarded too");
+            assert!(checks.iter().all(MetricCheck::passes));
+        }
+
+        #[test]
         fn direction_aware_missing_metric_is_an_error() {
             let rules = default_rules(0.7);
             let baseline = parse(r#"{"live": {"cache_hit_rate": 0.9}}"#);
@@ -778,6 +838,7 @@ pub mod guard {
                 "BENCH_service.json",
                 "BENCH_adaptive.json",
                 "BENCH_serving.json",
+                "BENCH_cluster.json",
             ] {
                 let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../").to_string() + file;
                 let text = std::fs::read_to_string(&path).unwrap();

@@ -1,0 +1,1122 @@
+//! Scale-out: a coordinator fronting N in-process [`FocusService`] nodes.
+//!
+//! Everything below this module is one process; the fleet makes it a
+//! cluster. Streams are partitioned into single-stream **shards** (one
+//! durable [`FocusService`] store each — the stream-namespaced object ids
+//! and per-stream cluster keys make shards key-disjoint by construction),
+//! a replicated [`ClusterManifest`] maps shards to **nodes**, ingest is
+//! routed by stream shard, and queries **scatter** to only the nodes whose
+//! segment time/stream bounds intersect the request, then **gather**
+//! through the existing
+//! [`QueryServer::serve_resolved`](crate::query_server::QueryServer::serve_resolved)
+//! seam — so a fleet-served answer is byte-identical (canonical
+//! `serde_json`) to a single-node service over the union of streams
+//! (`tests/fleet.rs` pins this with a proptest over arbitrary placements
+//! and node-loss schedules).
+//!
+//! **Failover.** Node loss drops process state only: the lost shards'
+//! segments, centroid deltas and service sidecars are durable, so a
+//! survivor re-opens them with [`FocusService::recover`] and the
+//! coordinator replays each stream's since-last-seal frame suffix from its
+//! replay buffer. Every seal starts a fresh pipeline epoch (and resets the
+//! pixel-diff window), so the rebuilt hot tail — cluster keys, classes,
+//! geometry — is exactly the one that was lost, and post-failover answers
+//! stay byte-identical to a never-crashed single node.
+//!
+//! **Simulated transport.** No sockets: every coordinator↔node exchange
+//! is an in-process call whose serialized size is measured and charged to
+//! a [`NetMeter`]/[`NetCostModel`] (and, when attached, a
+//! [`VirtualClock`]), the same capability discipline `GpuMeter`/`IoMeter`
+//! apply to compute and storage. Scatter width, bytes over the wire and
+//! failover time are therefore exact and machine-independent — CI asserts
+//! them (`fleet-faults` job), the `fleet_scatter` bench guards them.
+
+pub mod manifest;
+
+pub use manifest::{ClusterManifest, ShardAssignment, CLUSTER_MANIFEST_FILE};
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use focus_cnn::GroundTruthCnn;
+use focus_index::{CentroidHandle, ClusterKey, ClusterRecord, SegmentError};
+use focus_runtime::{GpuMeter, NetCostModel, NetMeter, NetStats, VirtualClock};
+use focus_video::{ClassId, Frame, ObjectId, ObjectObservation, StreamId};
+
+use crate::ingest::IngestCnn;
+use crate::query::plan::{QueryPlan, QueryRequest};
+use crate::query::QueryOutcome;
+use crate::query_server::QueryServer;
+use crate::service::{AdvanceReport, FocusService, MaintenanceReport, ServiceConfig};
+
+/// Errors from fleet coordination (placement, routing, node liveness) or
+/// the per-shard services underneath.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A per-shard service operation failed.
+    Segment(SegmentError),
+    /// Reading or writing fleet state failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The cluster manifest is invalid (torn replica, version skew, or a
+    /// duplicate shard/stream claim — the split-brain guard).
+    Manifest(String),
+    /// A frame or query referenced a stream no shard owns.
+    UnknownStream(StreamId),
+    /// The shard's owning node is down and has not been failed over.
+    NodeDown {
+        /// The dead node.
+        node: u32,
+        /// The shard it still owns in the manifest.
+        shard: u32,
+    },
+    /// No alive node remains to take over a dead node's shards.
+    NoSurvivor,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Segment(err) => write!(f, "shard service error: {err}"),
+            Self::Io { path, source } => write!(f, "fleet i/o error at {path:?}: {source}"),
+            Self::Manifest(msg) => write!(f, "cluster manifest rejected: {msg}"),
+            Self::UnknownStream(stream) => write!(f, "no shard owns stream {}", stream.0),
+            Self::NodeDown { node, shard } => {
+                write!(
+                    f,
+                    "node {node} owning shard {shard} is down (failover pending)"
+                )
+            }
+            Self::NoSurvivor => write!(f, "no alive node left to adopt orphaned shards"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Segment(err) => Some(err),
+            Self::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<SegmentError> for FleetError {
+    fn from(err: SegmentError) -> Self {
+        Self::Segment(err)
+    }
+}
+
+/// Fleet-level configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Nodes in the fleet (fixed at creation; shards move, nodes do not).
+    pub nodes: usize,
+    /// Configuration of every per-shard [`FocusService`]. One shared config
+    /// keeps the default routing model identical across shards, which the
+    /// scatter planner's lookup-class union relies on.
+    pub service: ServiceConfig,
+    /// Latency/bandwidth model of the simulated transport.
+    pub net: NetCostModel,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 2,
+            service: ServiceConfig::default(),
+            net: NetCostModel::default(),
+        }
+    }
+}
+
+/// What one [`FleetCoordinator::advance`] call did, summed over shards.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetAdvanceReport {
+    /// Per-shard [`AdvanceReport`]s folded together.
+    pub frames: usize,
+    /// Segments sealed across all shards.
+    pub segments_sealed: usize,
+    /// Retrains across all shards (each invalidated the gather-side
+    /// verdict cache, mirroring the single-node epoch bump).
+    pub retrains: usize,
+    /// Shards that received at least one frame.
+    pub shards_touched: usize,
+}
+
+/// What one [`FleetCoordinator::failover`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FailoverReport {
+    /// Shards re-opened on survivors.
+    pub shards_recovered: usize,
+    /// Buffered tail frames replayed into the recovered services.
+    pub frames_replayed: usize,
+    /// Simulated wall-clock cost of the whole failover: loss detection,
+    /// shipping the replay buffers, and the manifest round.
+    pub secs: f64,
+}
+
+/// Point-in-time fleet statistics (serializable for benches).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// Nodes in the fleet.
+    pub nodes: usize,
+    /// Nodes currently alive.
+    pub nodes_alive: usize,
+    /// Shards placed.
+    pub shards: usize,
+    /// Streams registered.
+    pub streams: usize,
+    /// Current placement epoch.
+    pub manifest_epoch: u64,
+    /// Simulated-transport account.
+    pub net: NetStats,
+    /// Query batches served.
+    pub serves: usize,
+    /// Queries served.
+    pub queries: usize,
+    /// Segments opened by scattered plans, summed over serves.
+    pub segments_opened: usize,
+    /// Shards contacted by the most recent serve.
+    pub last_scatter_width: usize,
+    /// Node losses processed by [`failover`](FleetCoordinator::failover).
+    pub failovers: usize,
+    /// Simulated seconds the most recent failover took.
+    pub last_failover_secs: f64,
+    /// Shard migrations completed by
+    /// [`rebalance`](FleetCoordinator::rebalance).
+    pub rebalances: usize,
+    /// GPU seconds spent on gather-side verification.
+    pub query_gpu_secs: f64,
+}
+
+/// Scalar projection of a shard plan's `SegmentAccess` (the wire format
+/// carries plain counts; `SegmentAccess` itself is not serialized).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WireAccess {
+    /// Live segments in the shard's store.
+    pub segments_total: usize,
+    /// Segments whose bounds intersected the filter.
+    pub segments_considered: usize,
+    /// Considered segments needing a disk read.
+    pub cold_loads: usize,
+    /// Considered segments served from cache.
+    pub cache_hits: usize,
+    /// Bytes read from disk.
+    pub bytes_read: u64,
+}
+
+impl WireAccess {
+    fn opened(&self) -> usize {
+        self.cold_loads + self.cache_hits
+    }
+}
+
+/// One shard's answer for one request of a scattered batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardRequestPlan {
+    /// Matching records, sorted by cluster key (key-disjoint across shards
+    /// by construction, which is what makes the gather merge exactly-once).
+    pub records: Vec<ClusterRecord>,
+    /// The centroid observation behind every record, sorted by object id.
+    pub centroids: Vec<(ObjectId, ObjectObservation)>,
+    /// Records resolved from the shard's in-memory tail.
+    pub tail_records: usize,
+    /// Segment-access account of the shard-local plan.
+    pub access: WireAccess,
+}
+
+/// One shard's full response to a scattered plan request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardPlanMsg {
+    /// The responding shard.
+    pub shard: u32,
+    /// One entry per request in the scattered batch.
+    pub per_request: Vec<ShardRequestPlan>,
+}
+
+/// The coordinator→node plan request (serialized only to measure wire
+/// bytes; the call itself is in-process). Owned fields: the vendored serde
+/// derive does not support generic/borrowed derive targets.
+#[derive(Debug, Serialize)]
+struct PlanRequestMsg {
+    requests: Vec<QueryRequest>,
+    lookup_classes: Vec<Vec<ClassId>>,
+    prune_segments: bool,
+}
+
+/// A scattered query batch awaiting [`FleetCoordinator::gather`]. Holding
+/// the responses as owned data is what lets a rebalance (or failover)
+/// complete between scatter and gather without double- or zero-counting a
+/// shard: the batch pins exactly one response per contacted shard.
+#[derive(Debug)]
+pub struct ScatterBatch {
+    /// Placement epoch the batch was scattered under.
+    pub epoch: u64,
+    /// Shards contacted.
+    pub contacted: Vec<u32>,
+    /// Whether shard-level segment pruning was pushed down (`false` is the
+    /// broadcast baseline: every alive shard, no bound pruning).
+    pub prune: bool,
+    responses: Vec<ShardPlanMsg>,
+}
+
+struct NodeRuntime {
+    alive: bool,
+    shards: BTreeMap<u32, FocusService>,
+}
+
+/// The fleet coordinator: placement, ingest routing, scatter-gather
+/// serving, failover and rebalancing over N in-process nodes.
+pub struct FleetCoordinator {
+    root: PathBuf,
+    config: FleetConfig,
+    gt: GroundTruthCnn,
+    bootstrap: IngestCnn,
+    manifest: ClusterManifest,
+    nodes: BTreeMap<u32, NodeRuntime>,
+    fps: BTreeMap<StreamId, u32>,
+    /// Per-stream frames since that stream's last durable seal — exactly
+    /// the suffix a failover must replay to rebuild the lost hot tail.
+    replay: BTreeMap<StreamId, Vec<Frame>>,
+    /// Gather-side verification server: the verdict cache, dedupe and
+    /// batching live here, exactly as on a single node.
+    gather_server: QueryServer,
+    net: NetMeter,
+    clock: Option<VirtualClock>,
+    stats: FleetStats,
+}
+
+impl std::fmt::Debug for FleetCoordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetCoordinator")
+            .field("nodes", &self.nodes.len())
+            .field("shards", &self.manifest.assignments.len())
+            .field("epoch", &self.manifest.epoch)
+            .finish()
+    }
+}
+
+impl FleetCoordinator {
+    /// Creates a fresh fleet rooted at `root`: `nodes` empty nodes and an
+    /// epoch-0 manifest replicated to the root and every node directory.
+    pub fn create(
+        root: impl Into<PathBuf>,
+        config: FleetConfig,
+        gt: GroundTruthCnn,
+    ) -> Result<Self, FleetError> {
+        assert!(config.nodes > 0, "a fleet needs at least one node");
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|source| FleetError::Io {
+            path: root.clone(),
+            source,
+        })?;
+        let mut nodes = BTreeMap::new();
+        for node in 0..config.nodes as u32 {
+            let dir = root.join(format!("node-{node}"));
+            std::fs::create_dir_all(&dir).map_err(|source| FleetError::Io {
+                path: dir.clone(),
+                source,
+            })?;
+            nodes.insert(
+                node,
+                NodeRuntime {
+                    alive: true,
+                    shards: BTreeMap::new(),
+                },
+            );
+        }
+        let manifest = ClusterManifest::new();
+        let bootstrap = IngestCnn::generic(config.service.worker.bootstrap_model);
+        let gather_server = QueryServer::new(gt.clone(), config.service.gpus);
+        let coordinator = Self {
+            root,
+            config,
+            gt,
+            bootstrap,
+            manifest,
+            nodes,
+            fps: BTreeMap::new(),
+            replay: BTreeMap::new(),
+            gather_server,
+            net: NetMeter::new(),
+            clock: None,
+            stats: FleetStats::default(),
+        };
+        coordinator.manifest.save(&coordinator.replica_dirs())?;
+        Ok(coordinator)
+    }
+
+    /// Reopens a fleet from its root: loads the highest-epoch valid
+    /// manifest replica (rejecting duplicate shard/stream claims) and
+    /// recovers every shard's service on its assigned node. In-memory
+    /// tails and replay buffers are process state and start empty — a
+    /// planned restart should [`seal_all`](Self::seal_all) first.
+    pub fn recover(
+        root: impl Into<PathBuf>,
+        config: FleetConfig,
+        gt: GroundTruthCnn,
+    ) -> Result<Self, FleetError> {
+        let root = root.into();
+        let mut replicas = vec![root.clone()];
+        for node in 0..config.nodes as u32 {
+            replicas.push(root.join(format!("node-{node}")));
+        }
+        let manifest = ClusterManifest::load(&replicas)?;
+        let bootstrap = IngestCnn::generic(config.service.worker.bootstrap_model);
+        let gather_server = QueryServer::new(gt.clone(), config.service.gpus);
+        let mut nodes: BTreeMap<u32, NodeRuntime> = (0..config.nodes as u32)
+            .map(|node| {
+                (
+                    node,
+                    NodeRuntime {
+                        alive: true,
+                        shards: BTreeMap::new(),
+                    },
+                )
+            })
+            .collect();
+        let mut fps = BTreeMap::new();
+        for assignment in &manifest.assignments {
+            let (service, _report) = FocusService::recover(
+                root.join(&assignment.dir),
+                config.service.clone(),
+                gt.clone(),
+            )?;
+            for (stream, rate) in service.registered_streams() {
+                fps.insert(stream, rate);
+            }
+            nodes
+                .get_mut(&assignment.node)
+                .ok_or_else(|| {
+                    FleetError::Manifest(format!(
+                        "assignment of shard {} names node {} outside the fleet",
+                        assignment.shard, assignment.node
+                    ))
+                })?
+                .shards
+                .insert(assignment.shard, service);
+        }
+        Ok(Self {
+            root,
+            config,
+            gt,
+            bootstrap,
+            manifest,
+            nodes,
+            fps,
+            replay: BTreeMap::new(),
+            gather_server,
+            net: NetMeter::new(),
+            clock: None,
+            stats: FleetStats::default(),
+        })
+    }
+
+    /// Attaches a virtual clock; every simulated transport/failover cost
+    /// advances it, so CI can assert deterministic timings.
+    pub fn with_clock(mut self, clock: VirtualClock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// The current placement map.
+    pub fn manifest(&self) -> &ClusterManifest {
+        &self.manifest
+    }
+
+    /// The simulated-transport meter (cloneable shared handle).
+    pub fn net_meter(&self) -> NetMeter {
+        self.net.clone()
+    }
+
+    fn replica_dirs(&self) -> Vec<PathBuf> {
+        let mut dirs = vec![self.root.clone()];
+        for (id, node) in &self.nodes {
+            if node.alive {
+                dirs.push(self.root.join(format!("node-{id}")));
+            }
+        }
+        dirs
+    }
+
+    fn tick(&self, secs: f64) {
+        if let Some(clock) = &self.clock {
+            clock.advance(secs);
+        }
+    }
+
+    fn alive_node_ids(&self) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| n.alive)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// The alive node with the fewest shards (ties to the lowest id).
+    fn least_loaded_alive(&self) -> Option<u32> {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| n.alive)
+            .min_by_key(|(id, n)| (n.shards.len(), **id))
+            .map(|(id, _)| *id)
+    }
+
+    fn shard_of_stream(&self, stream: StreamId) -> Result<u32, FleetError> {
+        self.manifest
+            .assignments
+            .iter()
+            .find(|a| a.streams.contains(&stream.0))
+            .map(|a| a.shard)
+            .ok_or(FleetError::UnknownStream(stream))
+    }
+
+    fn shard_service(&self, shard: u32) -> Result<(u32, &FocusService), FleetError> {
+        let assignment = self
+            .manifest
+            .assignment(shard)
+            .ok_or_else(|| FleetError::Manifest(format!("shard {shard} has no assignment")))?;
+        let node =
+            self.nodes
+                .get(&assignment.node)
+                .filter(|n| n.alive)
+                .ok_or(FleetError::NodeDown {
+                    node: assignment.node,
+                    shard,
+                })?;
+        node.shards
+            .get(&shard)
+            .map(|service| (assignment.node, service))
+            .ok_or(FleetError::NodeDown {
+                node: assignment.node,
+                shard,
+            })
+    }
+
+    /// Registers a stream: a fresh single-stream shard is created on the
+    /// least-loaded alive node and the manifest epoch is bumped and
+    /// re-replicated.
+    pub fn register_stream(&mut self, stream: StreamId, fps: u32) -> Result<u32, FleetError> {
+        if self.shard_of_stream(stream).is_ok() {
+            return Err(FleetError::Manifest(format!(
+                "stream {} is already placed",
+                stream.0
+            )));
+        }
+        let shard = self
+            .manifest
+            .assignments
+            .iter()
+            .map(|a| a.shard + 1)
+            .max()
+            .unwrap_or(0);
+        let node = self.least_loaded_alive().ok_or(FleetError::NoSurvivor)?;
+        let dir = format!("shard-{shard:04}");
+        let mut service = FocusService::create(
+            self.root.join(&dir),
+            self.config.service.clone(),
+            self.gt.clone(),
+        )?;
+        service.register_stream(stream, fps)?;
+        let mut manifest = self.manifest.clone();
+        manifest.assignments.push(ShardAssignment {
+            shard,
+            node,
+            dir,
+            streams: vec![stream.0],
+        });
+        manifest.epoch += 1;
+        let manifest = manifest.seal();
+        manifest.validate()?;
+        manifest.save(&self.replica_dirs())?;
+        self.manifest = manifest;
+        self.nodes
+            .get_mut(&node)
+            .expect("alive node exists")
+            .shards
+            .insert(shard, service);
+        self.fps.insert(stream, fps);
+        self.replay.insert(stream, Vec::new());
+        Ok(shard)
+    }
+
+    /// Routes a batch of live frames to their owning shards (per-stream
+    /// order preserved — the only order a per-stream pipeline observes, so
+    /// routing is ingest-equivalent to a single node seeing the full
+    /// interleaving). Each touched shard costs one simulated exchange.
+    /// Replay buffers are extended and then trimmed to each stream's
+    /// since-last-seal suffix.
+    pub fn advance(&mut self, frames: &[Frame]) -> Result<FleetAdvanceReport, FleetError> {
+        let mut by_shard: BTreeMap<u32, Vec<Frame>> = BTreeMap::new();
+        for frame in frames {
+            let shard = self.shard_of_stream(frame.stream_id)?;
+            by_shard.entry(shard).or_default().push(frame.clone());
+            self.replay
+                .get_mut(&frame.stream_id)
+                .expect("placed stream has a replay buffer")
+                .push(frame.clone());
+        }
+        let mut report = FleetAdvanceReport::default();
+        for (shard, batch) in by_shard {
+            // Resolve ownership fresh per shard: an earlier error leaves
+            // untouched shards untouched.
+            let (node_id, _) = self.shard_service(shard)?;
+            let sent = wire_bytes(&batch);
+            let service = self
+                .nodes
+                .get_mut(&node_id)
+                .expect("owner checked alive")
+                .shards
+                .get_mut(&shard)
+                .expect("owner checked present");
+            let shard_report: AdvanceReport = service.advance(&batch)?;
+            let received = wire_bytes(&shard_report);
+            let pending = service.pending_frames_by_stream();
+            self.net.record_exchange(sent, received);
+            self.tick(self.config.net.exchange_secs(sent + received));
+            if shard_report.retrains > 0 {
+                // Mirror the single-node epoch bump: a new model generation
+                // invalidates the (gather-side) verdict cache.
+                self.gather_server.invalidate();
+            }
+            report.frames += shard_report.frames;
+            report.segments_sealed += shard_report.segments_sealed;
+            report.retrains += shard_report.retrains;
+            report.shards_touched += 1;
+            self.trim_replay(&pending);
+        }
+        Ok(report)
+    }
+
+    fn trim_replay(&mut self, pending: &BTreeMap<StreamId, usize>) {
+        for (stream, keep) in pending {
+            if let Some(buffer) = self.replay.get_mut(stream) {
+                if buffer.len() > *keep {
+                    let drop = buffer.len() - *keep;
+                    buffer.drain(..drop);
+                }
+            }
+        }
+    }
+
+    /// Runs one maintenance tick on every alive shard (budget-due seals,
+    /// compaction, migration, prefetch), trimming replay buffers after
+    /// maintenance-driven seals.
+    pub fn maintain(&mut self) -> Result<MaintenanceReport, FleetError> {
+        let mut total = MaintenanceReport::default();
+        let shards: Vec<u32> = self.manifest.assignments.iter().map(|a| a.shard).collect();
+        for shard in shards {
+            let Ok((node_id, _)) = self.shard_service(shard) else {
+                continue; // dead owner: maintenance resumes after failover
+            };
+            let service = self
+                .nodes
+                .get_mut(&node_id)
+                .expect("owner checked alive")
+                .shards
+                .get_mut(&shard)
+                .expect("owner checked present");
+            let report = service.maintain()?;
+            let pending = service.pending_frames_by_stream();
+            let received = wire_bytes(&report);
+            self.net.record_exchange(0, received);
+            self.tick(self.config.net.exchange_secs(received));
+            total.segments_sealed += report.segments_sealed;
+            total.segments_folded += report.segments_folded;
+            total.segments_migrated += report.segments_migrated;
+            total.segments_prefetched += report.segments_prefetched;
+            self.trim_replay(&pending);
+        }
+        Ok(total)
+    }
+
+    /// Seals every alive shard's pending tail durably (planned-shutdown /
+    /// pre-rebalance discipline). Replay buffers empty out: there is
+    /// nothing left to replay.
+    pub fn seal_all(&mut self) -> Result<usize, FleetError> {
+        let mut sealed = 0;
+        let shards: Vec<u32> = self.manifest.assignments.iter().map(|a| a.shard).collect();
+        for shard in shards {
+            let (node_id, _) = self.shard_service(shard)?;
+            let service = self
+                .nodes
+                .get_mut(&node_id)
+                .expect("owner checked alive")
+                .shards
+                .get_mut(&shard)
+                .expect("owner checked present");
+            sealed += service.seal_all()?.len();
+            let pending = service.pending_frames_by_stream();
+            self.trim_replay(&pending);
+        }
+        Ok(sealed)
+    }
+
+    /// The lookup classes a query for `class` must scan fleet-wide: the
+    /// union of every alive shard's routing (each shard only knows the
+    /// per-stream models of its own streams). Scattering this *global* set
+    /// to every contacted shard is what keeps scattered plans equal to a
+    /// single node's: stream A's specialized override may route the class
+    /// through OTHER, and stream B's shard must then scan OTHER too — a
+    /// single-node corpus would.
+    fn global_lookup_classes(&self, request: &QueryRequest) -> Vec<ClassId> {
+        let mut classes = vec![self.bootstrap.effective_query_class(request.class)];
+        for (_, node) in self.nodes.iter().filter(|(_, n)| n.alive) {
+            for service in node.shards.values() {
+                classes.extend(
+                    service
+                        .corpus()
+                        .lookup_classes(request.class, &request.filter),
+                );
+            }
+        }
+        classes.sort();
+        classes.dedup();
+        classes
+    }
+
+    /// Whether any of `request`'s records could live on this shard: its
+    /// streams must pass the stream filter, and under a time filter either
+    /// a sealed segment's bounds or the buffered tail interval must
+    /// intersect the range. Conservative by construction — sealed bounds
+    /// tightly cover sealed records and the replay buffer tightly covers
+    /// tail records — so skipping a shard never drops an answer.
+    fn shard_intersects(
+        &self,
+        assignment: &ShardAssignment,
+        service: &FocusService,
+        request: &QueryRequest,
+    ) -> bool {
+        let filter = &request.filter;
+        let reachable: Vec<StreamId> = assignment
+            .streams
+            .iter()
+            .map(|s| StreamId(*s))
+            .filter(|s| {
+                filter
+                    .streams
+                    .as_ref()
+                    .is_none_or(|streams| streams.contains(s))
+            })
+            .collect();
+        if reachable.is_empty() {
+            return false;
+        }
+        let Some((from, to)) = filter.time_range else {
+            return true;
+        };
+        let sealed_hit = service.store().segments().iter().any(|meta| {
+            meta.t_end >= from
+                && meta.t_start <= to
+                && meta.streams.iter().any(|s| reachable.contains(s))
+        });
+        if sealed_hit {
+            return true;
+        }
+        reachable.iter().any(|stream| {
+            let Some(buffer) = self.replay.get(stream) else {
+                return false;
+            };
+            let (Some(first), Some(last)) = (buffer.first(), buffer.last()) else {
+                return false;
+            };
+            let fps = self.fps.get(stream).copied().unwrap_or(1).max(1) as f64;
+            let t_first = first.frame_id.0 as f64 / fps;
+            let t_last = last.frame_id.0 as f64 / fps;
+            t_last >= from && t_first <= to
+        })
+    }
+
+    /// Scatters a query batch: computes the global lookup-class union,
+    /// selects the shards whose bounds intersect any request (all alive
+    /// shards when `prune` is false — the broadcast baseline, which also
+    /// disables shard-local segment-bound pruning), and collects one
+    /// response per contacted shard. Pure read phase: the returned batch
+    /// owns its data, so placement may change before
+    /// [`gather`](Self::gather).
+    pub fn scatter(
+        &self,
+        requests: &[QueryRequest],
+        prune: bool,
+    ) -> Result<ScatterBatch, FleetError> {
+        let lookup_classes: Vec<Vec<ClassId>> = requests
+            .iter()
+            .map(|request| self.global_lookup_classes(request))
+            .collect();
+        let mut contacted = Vec::new();
+        let mut responses = Vec::new();
+        let request_msg = PlanRequestMsg {
+            requests: requests.to_vec(),
+            lookup_classes: lookup_classes.clone(),
+            prune_segments: prune,
+        };
+        let sent = wire_bytes(&request_msg);
+        let mut per_node_bytes = Vec::new();
+        for assignment in &self.manifest.assignments {
+            let (_, service) = self.shard_service(assignment.shard)?;
+            let relevant = !prune
+                || requests
+                    .iter()
+                    .any(|request| self.shard_intersects(assignment, service, request));
+            if !relevant {
+                continue;
+            }
+            let response =
+                plan_on_shard(assignment.shard, service, requests, &lookup_classes, prune)?;
+            let received = wire_bytes(&response);
+            self.net.record_exchange(sent, received);
+            per_node_bytes.push(sent + received);
+            contacted.push(assignment.shard);
+            responses.push(response);
+        }
+        self.net.record_scatter(contacted.len());
+        // Parallel fan-out: the slowest exchange bounds the batch.
+        self.tick(self.config.net.scatter_secs(&per_node_bytes));
+        Ok(ScatterBatch {
+            epoch: self.manifest.epoch,
+            contacted,
+            prune,
+            responses,
+        })
+    }
+
+    /// Merges a scattered batch and verifies/assembles centrally through
+    /// [`QueryServer::serve_resolved`] — the exact single-node seam, fed
+    /// the exact single-node plan: shard record maps are key-disjoint, so
+    /// the merged, key-sorted candidate set is byte-identical to planning
+    /// on one node over the union of streams. A shard contributing the
+    /// same cluster twice (a double-counted scatter) panics rather than
+    /// double-serving.
+    pub fn gather(
+        &mut self,
+        requests: &[QueryRequest],
+        batch: ScatterBatch,
+    ) -> Result<Vec<QueryOutcome>, FleetError> {
+        let mut plans: Vec<QueryPlan> = Vec::with_capacity(requests.len());
+        let mut records: Vec<HashMap<ClusterKey, ClusterRecord>> =
+            Vec::with_capacity(requests.len());
+        let mut centroids: HashMap<ObjectId, ObjectObservation> = HashMap::new();
+        let mut segments_opened = 0;
+        for (i, request) in requests.iter().enumerate() {
+            let mut merged: BTreeMap<ClusterKey, ClusterRecord> = BTreeMap::new();
+            for response in &batch.responses {
+                let part = &response.per_request[i];
+                for record in &part.records {
+                    let replaced = merged.insert(record.key, record.clone());
+                    assert!(
+                        replaced.is_none(),
+                        "cluster {:?} contributed by two shards — scatter must be exactly-once",
+                        record.key
+                    );
+                }
+                for (id, observation) in &part.centroids {
+                    centroids.insert(*id, observation.clone());
+                }
+                if i == 0 {
+                    for p in &response.per_request {
+                        segments_opened += p.access.opened();
+                    }
+                }
+            }
+            let candidates: Vec<CentroidHandle> = merged
+                .values()
+                .map(|record| CentroidHandle {
+                    cluster: record.key,
+                    centroid: record.centroid_object,
+                    centroid_frame: record.centroid_frame,
+                })
+                .collect();
+            plans.push(QueryPlan {
+                class: request.class,
+                lookup_class: self.bootstrap.effective_query_class(request.class),
+                candidates,
+            });
+            records.push(merged.into_iter().collect());
+        }
+        let meter = GpuMeter::new();
+        let outcomes = self.gather_server.serve_resolved(
+            &plans,
+            &records,
+            |id| centroids.get(&id).cloned(),
+            &meter,
+        );
+        self.stats.serves += 1;
+        self.stats.queries += requests.len();
+        self.stats.segments_opened += segments_opened;
+        self.stats.last_scatter_width = batch.contacted.len();
+        self.stats.query_gpu_secs += meter.phase("query").0;
+        Ok(outcomes)
+    }
+
+    /// Scatter + gather with filter pushdown: queries touch only the
+    /// shards whose segment/tail bounds intersect them.
+    pub fn serve(&mut self, requests: &[QueryRequest]) -> Result<Vec<QueryOutcome>, FleetError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let batch = self.scatter(requests, true)?;
+        self.gather(requests, batch)
+    }
+
+    /// The broadcast baseline: every alive shard is contacted and plans
+    /// without segment-bound pruning. Answers are byte-identical to
+    /// [`serve`](Self::serve) (record-level filtering is unchanged); only
+    /// the cost differs — strictly more segments opened under a selective
+    /// time filter, which the fleet proptest and `fleet_scatter` bench
+    /// pin.
+    pub fn serve_broadcast(
+        &mut self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<QueryOutcome>, FleetError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let batch = self.scatter(requests, false)?;
+        self.gather(requests, batch)
+    }
+
+    /// Marks a node dead, dropping its in-process services (their durable
+    /// state — segments, manifests, sidecars, centroid deltas — stays on
+    /// disk). Queries and ingest for its shards fail with
+    /// [`FleetError::NodeDown`] until [`failover`](Self::failover) runs.
+    pub fn kill_node(&mut self, node: u32) {
+        if let Some(runtime) = self.nodes.get_mut(&node) {
+            runtime.alive = false;
+            runtime.shards.clear();
+        }
+    }
+
+    /// Restarts a previously killed node as empty and alive (shards it
+    /// owned before the kill stay wherever failover moved them).
+    pub fn restart_node(&mut self, node: u32) {
+        if let Some(runtime) = self.nodes.get_mut(&node) {
+            runtime.alive = true;
+        }
+    }
+
+    /// Adopts every dead node's shards onto survivors: re-opens each
+    /// shard's durable store ([`FocusService::recover`]), replays the
+    /// coordinator's buffered since-last-seal frames to rebuild the lost
+    /// hot tail byte-identically, reassigns the shard in a fresh manifest
+    /// epoch, and charges the simulated cost (detection RTT + replay
+    /// shipping + manifest round) to the meter/clock.
+    pub fn failover(&mut self) -> Result<FailoverReport, FleetError> {
+        let orphaned: Vec<ShardAssignment> = self
+            .manifest
+            .assignments
+            .iter()
+            // Orphaned: the owner is dead, or it restarted empty and no
+            // longer runs the shard it still claims on paper.
+            .filter(|a| {
+                self.nodes
+                    .get(&a.node)
+                    .is_none_or(|n| !n.alive || !n.shards.contains_key(&a.shard))
+            })
+            .cloned()
+            .collect();
+        let mut report = FailoverReport {
+            // Loss detection: one missed heartbeat round-trip.
+            secs: self.config.net.rtt_secs,
+            ..FailoverReport::default()
+        };
+        if orphaned.is_empty() {
+            return Ok(report);
+        }
+        let mut manifest = self.manifest.clone();
+        for assignment in orphaned {
+            let target = self.least_loaded_alive().ok_or(FleetError::NoSurvivor)?;
+            let (mut service, _open_report) = FocusService::recover(
+                self.root.join(&assignment.dir),
+                self.config.service.clone(),
+                self.gt.clone(),
+            )?;
+            // Replay the lost tail from the coordinator's buffers. Single
+            // stream per shard, so buffer order is exactly arrival order.
+            let mut replayed: Vec<Frame> = Vec::new();
+            for stream in assignment.streams.iter().map(|s| StreamId(*s)) {
+                if let Some(buffer) = self.replay.get(&stream) {
+                    replayed.extend(buffer.iter().cloned());
+                }
+            }
+            let replay_bytes = wire_bytes(&replayed);
+            if !replayed.is_empty() {
+                let shard_report = service.advance(&replayed)?;
+                if shard_report.retrains > 0 {
+                    self.gather_server.invalidate();
+                }
+                report.frames_replayed += replayed.len();
+            }
+            let pending = service.pending_frames_by_stream();
+            self.trim_replay(&pending);
+            self.net.record_exchange(replay_bytes, 0);
+            report.secs += self.config.net.exchange_secs(replay_bytes);
+            for entry in manifest.assignments.iter_mut() {
+                if entry.shard == assignment.shard {
+                    entry.node = target;
+                }
+            }
+            self.nodes
+                .get_mut(&target)
+                .expect("alive target exists")
+                .shards
+                .insert(assignment.shard, service);
+            report.shards_recovered += 1;
+        }
+        manifest.epoch += 1;
+        let manifest = manifest.seal();
+        manifest.validate()?;
+        let manifest_bytes = wire_bytes(&manifest);
+        manifest.save(&self.replica_dirs())?;
+        self.manifest = manifest;
+        report.secs += self.config.net.exchange_secs(manifest_bytes);
+        self.tick(report.secs);
+        self.stats.failovers += 1;
+        self.stats.last_failover_secs = report.secs;
+        Ok(report)
+    }
+
+    /// Migrates a shard to another alive node under the crash-safe
+    /// manifest discipline: seal the tail durably on the source, commit
+    /// the new placement epoch (data-durable-before-ownership-flips), then
+    /// open on the target and drop the source's handle. A crash between
+    /// commit and open recovers onto the target with nothing lost.
+    pub fn rebalance(&mut self, shard: u32, to_node: u32) -> Result<(), FleetError> {
+        let assignment = self
+            .manifest
+            .assignment(shard)
+            .ok_or_else(|| FleetError::Manifest(format!("shard {shard} has no assignment")))?
+            .clone();
+        if assignment.node == to_node {
+            return Ok(());
+        }
+        if !self.nodes.get(&to_node).is_some_and(|n| n.alive) {
+            return Err(FleetError::NodeDown {
+                node: to_node,
+                shard,
+            });
+        }
+        let (source_id, _) = self.shard_service(shard)?;
+        // 1. Drain the tail to durable segments on the source.
+        let source = self
+            .nodes
+            .get_mut(&source_id)
+            .expect("source checked alive")
+            .shards
+            .get_mut(&shard)
+            .expect("source checked present");
+        source.seal_all()?;
+        let pending = source.pending_frames_by_stream();
+        self.trim_replay(&pending);
+        // 2. Commit the new placement (the crash-safe point).
+        let mut manifest = self.manifest.clone();
+        for entry in manifest.assignments.iter_mut() {
+            if entry.shard == shard {
+                entry.node = to_node;
+            }
+        }
+        manifest.epoch += 1;
+        let manifest = manifest.seal();
+        manifest.validate()?;
+        let manifest_bytes = wire_bytes(&manifest);
+        manifest.save(&self.replica_dirs())?;
+        self.manifest = manifest;
+        // 3. Open on the target, drop the source handle.
+        self.nodes
+            .get_mut(&source_id)
+            .expect("source exists")
+            .shards
+            .remove(&shard);
+        let (service, _report) = FocusService::recover(
+            self.root.join(&assignment.dir),
+            self.config.service.clone(),
+            self.gt.clone(),
+        )?;
+        self.nodes
+            .get_mut(&to_node)
+            .expect("target checked alive")
+            .shards
+            .insert(shard, service);
+        self.net.record_exchange(manifest_bytes, 0);
+        self.tick(self.config.net.exchange_secs(manifest_bytes) + 2.0 * self.config.net.rtt_secs);
+        self.stats.rebalances += 1;
+        Ok(())
+    }
+
+    /// Point-in-time statistics (placement, transport account, scatter
+    /// widths, failover/rebalance counters).
+    pub fn stats(&self) -> FleetStats {
+        let mut stats = self.stats.clone();
+        stats.nodes = self.nodes.len();
+        stats.nodes_alive = self.alive_node_ids().len();
+        stats.shards = self.manifest.assignments.len();
+        stats.streams = self.fps.len();
+        stats.manifest_epoch = self.manifest.epoch;
+        stats.net = self.net.snapshot();
+        stats
+    }
+}
+
+/// Serialized size of a value on the simulated wire (canonical
+/// `serde_json`, the fleet's interchange format).
+fn wire_bytes<T: Serialize>(value: &T) -> u64 {
+    serde_json::to_string(value)
+        .expect("wire value serializes")
+        .len() as u64
+}
+
+/// The node-side plan handler: plans every request of the batch against
+/// this shard's sealed segments + hot tail with the coordinator's global
+/// lookup-class set, and resolves each record's centroid observation so
+/// the coordinator can verify centrally without another round trip.
+fn plan_on_shard(
+    shard: u32,
+    service: &FocusService,
+    requests: &[QueryRequest],
+    lookup_classes: &[Vec<ClassId>],
+    prune: bool,
+) -> Result<ShardPlanMsg, SegmentError> {
+    let tail = service.tail_snapshot();
+    let corpus = service.corpus();
+    let mut per_request = Vec::with_capacity(requests.len());
+    for (request, classes) in requests.iter().zip(lookup_classes) {
+        let planned = corpus.plan_with_tail_scoped(request, Some(&tail), classes, prune)?;
+        let mut records: Vec<ClusterRecord> = planned.records.into_values().collect();
+        records.sort_by_key(|record| record.key);
+        let mut centroids: Vec<(ObjectId, ObjectObservation)> = records
+            .iter()
+            .map(|record| {
+                let id = record.centroid_object;
+                let observation = corpus
+                    .centroids
+                    .get(&id)
+                    .or_else(|| tail.centroid(id))
+                    .cloned()
+                    .expect("planned record's centroid observation resolvable on its shard");
+                (id, observation)
+            })
+            .collect();
+        centroids.sort_by_key(|(id, _)| *id);
+        centroids.dedup_by_key(|(id, _)| *id);
+        per_request.push(ShardRequestPlan {
+            records,
+            centroids,
+            tail_records: planned.tail_records,
+            access: WireAccess {
+                segments_total: planned.access.segments_total,
+                segments_considered: planned.access.segments_considered,
+                cold_loads: planned.access.cold_loads,
+                cache_hits: planned.access.cache_hits,
+                bytes_read: planned.access.bytes_read,
+            },
+        });
+    }
+    Ok(ShardPlanMsg { shard, per_request })
+}

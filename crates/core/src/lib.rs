@@ -66,6 +66,7 @@ pub mod adapt;
 pub mod baselines;
 pub mod config;
 pub mod experiment;
+pub mod fleet;
 pub mod ingest;
 pub mod params;
 pub mod pipeline;
@@ -87,6 +88,10 @@ pub use config::{AblationMode, AccuracyTarget, TradeoffPolicy};
 pub use experiment::{
     AggregateFactors, ExperimentConfig, ExperimentError, ExperimentRunner, QueryReportEntry,
     StreamExperimentReport,
+};
+pub use fleet::{
+    ClusterManifest, FailoverReport, FleetConfig, FleetCoordinator, FleetError, FleetStats,
+    ShardAssignment,
 };
 pub use ingest::{IngestCnn, IngestEngine, IngestModelDescriptor, IngestOutput, IngestParams};
 pub use params::{
@@ -111,6 +116,7 @@ pub mod prelude {
     pub use crate::adapt::{AdaptationConfig, DriftDetector, GovernorConfig, WorkloadGovernor};
     pub use crate::config::{AblationMode, AccuracyTarget, TradeoffPolicy};
     pub use crate::experiment::{ExperimentConfig, ExperimentRunner, StreamExperimentReport};
+    pub use crate::fleet::{FleetConfig, FleetCoordinator};
     pub use crate::ingest::{IngestCnn, IngestEngine, IngestParams};
     pub use crate::params::{ParameterSelector, SweepSpace};
     pub use crate::pipeline::FramePipeline;

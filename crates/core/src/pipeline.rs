@@ -328,6 +328,14 @@ impl FramePipeline {
     /// epoch. The streaming driver calls this when its model changes; both
     /// drivers call it (via [`finish`](Self::finish)) at the end of input.
     pub fn seal_epoch(&mut self) {
+        // Pixel-diff reuse is scoped to one epoch (the gate in
+        // `ingest_object` already rejected cross-epoch duplicates), so the
+        // filter's signature window resets with the epoch. This keeps the
+        // whole per-epoch ingest state a function of the epoch's own
+        // frames: a recovered pipeline that replays the frames since its
+        // last sealed segment lands in exactly the state of one that never
+        // crashed, which fleet failover relies on.
+        self.pixel_diff.reset_window();
         let finished = std::mem::replace(&mut self.epoch, Epoch::new(&self.params));
         if self.params.enable_clustering {
             let (clusters, _stats) = finished.clusterer.finish();

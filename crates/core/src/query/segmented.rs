@@ -305,7 +305,7 @@ impl SegmentedCorpus {
     /// the scan (extra lookup classes cost segment opens and GT
     /// verifications). One entry for a single-model corpus; at most two
     /// (the class itself and OTHER) in practice.
-    fn lookup_classes(&self, class: ClassId, filter: &QueryFilter) -> Vec<ClassId> {
+    pub fn lookup_classes(&self, class: ClassId, filter: &QueryFilter) -> Vec<ClassId> {
         let reachable = |stream: &StreamId| {
             filter
                 .streams
@@ -368,13 +368,54 @@ impl SegmentedCorpus {
         request: &QueryRequest,
         tail: Option<&TailOverlay>,
     ) -> Result<SegmentedPlan, SegmentError> {
+        let classes = self.lookup_classes(request.class, &request.filter);
+        self.plan_with_tail_scoped(request, tail, &classes, true)
+    }
+
+    /// Like [`plan_with_tail`](Self::plan_with_tail), but scanning an
+    /// explicit lookup-class set instead of this corpus's own routing —
+    /// the scatter seam of a multi-node fleet. One shard only knows the
+    /// per-stream models of *its* streams; a coordinator must union the
+    /// lookup classes across every shard (a class another shard's override
+    /// routes through OTHER may have posted records here under OTHER too)
+    /// and plan each shard with the global set, or records a single-node
+    /// service would surface silently vanish from scattered queries.
+    ///
+    /// `prune_segments: false` disables segment-level bound pruning and
+    /// opens every segment indexing a lookup class — the broadcast
+    /// baseline. Record-level filtering is unchanged, so the candidates
+    /// are byte-identical either way (a segment whose bounds miss the
+    /// filter holds only records that miss it too); only the access
+    /// account differs.
+    pub fn plan_with_tail_scoped(
+        &self,
+        request: &QueryRequest,
+        tail: Option<&TailOverlay>,
+        lookup_classes: &[ClassId],
+        prune_segments: bool,
+    ) -> Result<SegmentedPlan, SegmentError> {
+        let open_filter = if prune_segments {
+            request.filter.clone()
+        } else {
+            // Keep record-level stream/time/kx semantics but defeat the
+            // segment-bound prune by scanning with an unbounded filter and
+            // re-applying the real one per record below.
+            QueryFilter {
+                kx: request.filter.kx,
+                ..QueryFilter::any()
+            }
+        };
         let mut access = SegmentAccess::default();
         let mut merged: BTreeMap<ClusterKey, ClusterRecord> = BTreeMap::new();
         let mut tail_hits: BTreeMap<ClusterKey, ClusterRecord> = BTreeMap::new();
-        for lookup_class in self.lookup_classes(request.class, &request.filter) {
-            let lookup = self.store.lookup(lookup_class, &request.filter)?;
+        for &lookup_class in lookup_classes {
+            let lookup = self.store.lookup(lookup_class, &open_filter)?;
             access.merge(&lookup.access);
-            for record in lookup.records {
+            let mut records = lookup.records;
+            if !prune_segments {
+                records.retain(|record| request.filter.admits(record));
+            }
+            for record in records {
                 merged.insert(record.key, record);
             }
             if let Some(tail) = tail {

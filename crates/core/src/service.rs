@@ -687,6 +687,29 @@ impl FocusService {
         Ok(report)
     }
 
+    /// Frames pushed since each registered stream's last durable seal —
+    /// exactly the suffix of that stream's pushed frame sequence whose
+    /// records live only in the in-memory tail. A coordinator that keeps a
+    /// replay buffer per stream trims it to this count after every
+    /// [`advance`](Self::advance)/[`maintain`](Self::maintain): replaying
+    /// the retained suffix into a [`recover`](Self::recover)ed service
+    /// rebuilds the tail byte-identically (each seal starts a fresh
+    /// pipeline epoch, so the tail is a pure function of these frames).
+    pub fn pending_frames_by_stream(&self) -> BTreeMap<StreamId, usize> {
+        self.streams
+            .iter()
+            .map(|(stream, state)| (*stream, state.segmenter.pending_frames()))
+            .collect()
+    }
+
+    /// The registered streams and their frame rates.
+    pub fn registered_streams(&self) -> BTreeMap<StreamId, u32> {
+        self.streams
+            .iter()
+            .map(|(stream, state)| (*stream, state.segmenter.pipeline().fps()))
+            .collect()
+    }
+
     /// Serves a batch of queries over the snapshot-consistent union of
     /// sealed segments and every stream's hot tail. The tail overlay is
     /// built once per call; the verdict cache, dedupe and batched GT

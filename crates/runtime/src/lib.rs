@@ -33,6 +33,7 @@ pub mod clock;
 pub mod gpu;
 pub mod hist;
 pub mod io;
+pub mod net;
 pub mod sched;
 pub mod workers;
 
@@ -40,5 +41,6 @@ pub use clock::{Clock, RealClock, VirtualClock};
 pub use gpu::{BatchCostModel, GpuClusterSpec, GpuMeter, PhaseBreakdown};
 pub use hist::LatencyHistogram;
 pub use io::{IoMeter, IoStats, SegmentLoadCost};
+pub use net::{NetCostModel, NetMeter, NetStats};
 pub use sched::{GpuPriorityPolicy, GpuScheduler, GpuSchedulerStats, GpuSide, TickReport};
 pub use workers::WorkerPool;

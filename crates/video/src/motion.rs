@@ -142,6 +142,19 @@ impl PixelDiff {
         }
     }
 
+    /// Forgets the per-cell last-processed signatures while keeping the
+    /// cumulative savings counters. Callers that segment ingest into model
+    /// epochs reset the window at each epoch boundary: a duplicate of an
+    /// observation from a *previous* epoch could never reuse its
+    /// classification anyway (the model may have changed), and dropping the
+    /// stale signatures makes the filter's decisions a pure function of the
+    /// current epoch's frames — which is what lets a crash-recovered
+    /// pipeline replaying its unsealed frames reproduce a never-crashed
+    /// pipeline exactly.
+    pub fn reset_window(&mut self) {
+        self.last_processed.clear();
+    }
+
     /// Number of observations reported as duplicates so far.
     pub fn duplicates(&self) -> usize {
         self.duplicates
