@@ -247,6 +247,34 @@ pub mod guard {
                 tolerance: 0.80,
             },
             MetricRule {
+                // Anytime-query cost-to-first metrics
+                // (`time_to_first_result_secs`,
+                // `inferences_to_first_result`): the whole point of the
+                // anytime path is reaching the first distinct result
+                // cheaply, so creeping back toward exhaustive cost must
+                // fail even while total throughput holds.
+                pattern: "_to_first_result",
+                direction: MetricDirection::LowerIsBetter,
+                tolerance: 1.25,
+            },
+            MetricRule {
+                // Anytime inference budgets to a recall level
+                // (`inferences_to_90_recall`). Must sit before the
+                // `_recall` rule: that one is higher-is-better and would
+                // otherwise claim the key by substring.
+                pattern: "inferences_to_",
+                direction: MetricDirection::LowerIsBetter,
+                tolerance: 1.25,
+            },
+            MetricRule {
+                // Distinct results surfaced per fresh GT inference — the
+                // anytime sampler's efficiency. Deterministic per workload;
+                // the smoke run's halved archive shifts it a little.
+                pattern: "results_per_inference",
+                direction: MetricDirection::HigherIsBetter,
+                tolerance: 0.80,
+            },
+            MetricRule {
                 pattern: "_recall",
                 direction: MetricDirection::HigherIsBetter,
                 tolerance: 0.95,
@@ -635,6 +663,109 @@ pub mod guard {
         }
 
         #[test]
+        fn anytime_keys_hit_their_own_rules_without_shadowing() {
+            let rules = default_rules(0.7);
+            // The new anytime rules claim their keys in the right
+            // directions...
+            for key in ["time_to_first_result_secs", "inferences_to_first_result"] {
+                let rule = rule_for(key, &rules).expect(key);
+                assert_eq!(rule.pattern, "_to_first_result", "{key}");
+                assert_eq!(rule.direction, MetricDirection::LowerIsBetter);
+            }
+            let to_recall = rule_for("inferences_to_90_recall", &rules).unwrap();
+            assert_eq!(
+                to_recall.pattern, "inferences_to_",
+                "an inference *budget* to a recall level is lower-is-better; \
+                 the higher-is-better _recall rule must not claim it"
+            );
+            assert_eq!(to_recall.direction, MetricDirection::LowerIsBetter);
+            let rpi = rule_for("results_per_inference", &rules).unwrap();
+            assert_eq!(rpi.pattern, "results_per_inference");
+            assert_eq!(rpi.direction, MetricDirection::HigherIsBetter);
+
+            // ...and the pre-existing keys keep the rules they had: the
+            // new patterns shadow neither the latency family nor the
+            // fleet's failover / recall metrics.
+            assert_eq!(
+                rule_for("latency_p99_secs", &rules).unwrap().pattern,
+                "latency_p"
+            );
+            assert_eq!(
+                rule_for("serve_latency_secs", &rules).unwrap().pattern,
+                "latency_secs"
+            );
+            assert_eq!(
+                rule_for("failover_to_first_answer_secs", &rules)
+                    .unwrap()
+                    .pattern,
+                "failover_to_first_answer"
+            );
+            let recall = rule_for("post_drift_recall", &rules).unwrap();
+            assert_eq!(recall.pattern, "_recall");
+            assert_eq!(recall.direction, MetricDirection::HigherIsBetter);
+        }
+
+        #[test]
+        fn anytime_cost_regressions_fail_in_their_directions() {
+            let rules = default_rules(0.7);
+            let baseline = parse(
+                r#"{"anytime": {"time_to_first_result_secs": 0.02,
+                    "inferences_to_first_result": 3.0,
+                    "inferences_to_90_recall": 40.0,
+                    "results_per_inference": 0.5,
+                    "exhaustive_recall": 1.0}}"#,
+            );
+            // Creeping back toward exhaustive: more inferences before the
+            // first result and before 90% recall must fail even though
+            // recall itself held.
+            let lazier = parse(
+                r#"{"anytime": {"time_to_first_result_secs": 0.02,
+                    "inferences_to_first_result": 9.0,
+                    "inferences_to_90_recall": 80.0,
+                    "results_per_inference": 0.5,
+                    "exhaustive_recall": 1.0}}"#,
+            );
+            let checks = compare_metrics(&baseline, &lazier, &rules).unwrap();
+            let failed: Vec<&str> = checks
+                .iter()
+                .filter(|c| !c.passes())
+                .map(|c| c.path.as_str())
+                .collect();
+            assert_eq!(
+                failed,
+                vec![
+                    "anytime.inferences_to_first_result",
+                    "anytime.inferences_to_90_recall"
+                ]
+            );
+            // A collapsed sampler (fewer results per inference) fails its
+            // higher-is-better bound; an improvement on every axis passes.
+            let inefficient = parse(
+                r#"{"anytime": {"time_to_first_result_secs": 0.02,
+                    "inferences_to_first_result": 3.0,
+                    "inferences_to_90_recall": 40.0,
+                    "results_per_inference": 0.2,
+                    "exhaustive_recall": 1.0}}"#,
+            );
+            let checks = compare_metrics(&baseline, &inefficient, &rules).unwrap();
+            let rpi = checks
+                .iter()
+                .find(|c| c.path.ends_with("results_per_inference"))
+                .unwrap();
+            assert_eq!(rpi.direction, MetricDirection::HigherIsBetter);
+            assert!(!rpi.passes());
+            let better = parse(
+                r#"{"anytime": {"time_to_first_result_secs": 0.01,
+                    "inferences_to_first_result": 1.0,
+                    "inferences_to_90_recall": 25.0,
+                    "results_per_inference": 0.8,
+                    "exhaustive_recall": 1.0}}"#,
+            );
+            let checks = compare_metrics(&baseline, &better, &rules).unwrap();
+            assert!(checks.iter().all(MetricCheck::passes), "{checks:?}");
+        }
+
+        #[test]
         fn serving_tail_regressions_fail_and_improvements_pass() {
             let rules = default_rules(0.7);
             let baseline = parse(
@@ -839,6 +970,7 @@ pub mod guard {
                 "BENCH_adaptive.json",
                 "BENCH_serving.json",
                 "BENCH_cluster.json",
+                "BENCH_anytime.json",
             ] {
                 let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../").to_string() + file;
                 let text = std::fs::read_to_string(&path).unwrap();

@@ -23,18 +23,27 @@
 //!   [`SegmentStore`](focus_index::SegmentStore): time/camera-restricted
 //!   queries open only the segments whose bounds intersect (see
 //!   `docs/storage.md`).
+//! * [`anytime`] — incremental execution: the candidate set partitioned
+//!   into per-segment chunks, GT verification spent adaptively on the
+//!   chunk most likely to yield new distinct results, and partial results
+//!   streamed out after every round (see `docs/query-path.md`).
 //!
 //! Concurrent serving — many queries at once, batched GT-CNN verification
 //! of the *deduplicated* union of their candidate sets, and a cross-query
 //! centroid-verdict cache — lives in [`crate::query_server`]. See
 //! `docs/query-path.md` for the end-to-end walkthrough.
 
+pub mod anytime;
 pub mod execute;
 pub mod plan;
 pub mod segmented;
 pub mod serve;
 
+pub use anytime::{
+    pick_most_promising, run_anytime, run_anytime_with_picker, AnytimeChunk, AnytimeOutcome,
+    AnytimePartial, AnytimePlan, AnytimeTermination, ChunkEstimate, ChunkSource,
+};
 pub use execute::{assemble_outcome, assemble_outcome_from, QueryOutcome};
-pub use plan::{QueryPlan, QueryRequest};
+pub use plan::{AnytimeMode, QueryPlan, QueryRequest};
 pub use segmented::{RetiredRouting, SegmentedCorpus, SegmentedPlan, TailOverlay};
 pub use serve::QueryEngine;

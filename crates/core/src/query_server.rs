@@ -394,6 +394,125 @@ impl QueryServer {
         })
     }
 
+    /// One round of centroid verification for the anytime query path:
+    /// classifies exactly the given centroids (in order) through the same
+    /// pin-epoch / dedupe-against-cache / batched-classify / memoize
+    /// pipeline as [`serve`](Self::serve), charging the amortized batch
+    /// cost to `meter` under the caller-named `phase` (the anytime loop
+    /// passes `"anytime"` so the [`GpuScheduler`] can arbitrate it on the
+    /// query side of the budget).
+    ///
+    /// The returned [`VerifiedBatch`] keeps cache hits and fresh GT
+    /// inferences separate: a cached verdict costs nothing and must not
+    /// feed the anytime sampler's per-chunk yield estimates, while every
+    /// fresh verdict is both charged and memoized for future queries —
+    /// anytime rounds and exhaustive serves share one verdict cache.
+    ///
+    /// [`GpuScheduler`]: focus_runtime::GpuScheduler
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolve_centroid` fails for a centroid that needs a
+    /// fresh inference.
+    pub fn verify_round(
+        &self,
+        centroids: &[ObjectId],
+        resolve_centroid: impl Fn(ObjectId) -> Option<ObjectObservation>,
+        meter: &GpuMeter,
+        phase: &str,
+    ) -> VerifiedBatch {
+        // Pin the (model, epoch) pair for the round.
+        let (gt, epoch) = {
+            let guard = self.gt.lock();
+            (Arc::clone(&guard), self.epoch())
+        };
+
+        // Dedupe against the cache (and within the round) exactly as one
+        // serve batch would; each verdict source is captured locally so a
+        // concurrent epoch bump cannot starve the in-flight round.
+        let mut fresh: Vec<ObjectId> = Vec::new();
+        let mut sources: Vec<VerdictSource> = Vec::with_capacity(centroids.len());
+        let mut hits = 0usize;
+        {
+            let cache = self.cache.lock();
+            let mut scheduled: HashMap<ObjectId, usize> = HashMap::new();
+            for id in centroids {
+                if let Some(label) = cache.get(&(*id, epoch)) {
+                    hits += 1;
+                    sources.push(VerdictSource::Cached(*label));
+                } else if let Some(&index) = scheduled.get(id) {
+                    hits += 1;
+                    sources.push(VerdictSource::Fresh(index));
+                } else {
+                    let index = fresh.len();
+                    scheduled.insert(*id, index);
+                    fresh.push(*id);
+                    sources.push(VerdictSource::Fresh(index));
+                }
+            }
+        }
+        self.hits.fetch_add(hits, Ordering::SeqCst);
+        self.misses.fetch_add(fresh.len(), Ordering::SeqCst);
+
+        // Batched GT-CNN verification of the fresh set.
+        let batches: Vec<Vec<ObjectObservation>> = fresh
+            .chunks(self.batching.max_batch)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|id| {
+                        resolve_centroid(*id).expect("ingest stored every centroid observation")
+                    })
+                    .collect()
+            })
+            .collect();
+        let gt_worker = Arc::clone(&gt);
+        let fresh_labels: Vec<ClassId> = self
+            .pool
+            .map(batches, move |batch| gt_worker.classify_batch(batch))
+            .into_iter()
+            .flatten()
+            .collect();
+        let cost = self
+            .batching
+            .batch_cost(gt.cost_per_inference(), fresh.len());
+        meter.charge(phase, cost);
+
+        // Memoize under the pinned epoch, shared with every other path.
+        {
+            let mut cache = self.cache.lock();
+            for (id, label) in fresh.iter().zip(fresh_labels.iter()) {
+                cache.insert((*id, epoch), *label);
+            }
+        }
+
+        let mut labels = Vec::with_capacity(sources.len());
+        let mut fresh_mask = Vec::with_capacity(sources.len());
+        let mut first_use: Vec<bool> = vec![true; fresh.len()];
+        for source in &sources {
+            match source {
+                VerdictSource::Cached(label) => {
+                    labels.push(*label);
+                    fresh_mask.push(false);
+                }
+                VerdictSource::Fresh(index) => {
+                    labels.push(fresh_labels[*index]);
+                    // Only the position that scheduled the inference counts
+                    // as fresh; a within-round duplicate rides for free.
+                    fresh_mask.push(std::mem::take(&mut first_use[*index]));
+                }
+            }
+        }
+        VerifiedBatch {
+            labels,
+            fresh_mask,
+            fresh_inferences: fresh.len(),
+            cached_verdicts: hits,
+            cost,
+            latency_secs: self.gpus.latency_secs(cost),
+        }
+    }
+
     /// QT3/QT4 shared by the in-memory and segmented paths: pin the
     /// (model, epoch) pair, dedupe the union of candidate centroids against
     /// the verdict cache, verify the fresh set in GPU batches, memoize, and
@@ -528,6 +647,31 @@ impl QueryServer {
 enum VerdictSource {
     Cached(ClassId),
     Fresh(usize),
+}
+
+/// The result of one [`QueryServer::verify_round`] call: one verdict per
+/// input centroid (input order), with cache hits and fresh GT inferences
+/// accounted separately so the anytime sampler's yield estimates only see
+/// work that actually cost GPU time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifiedBatch {
+    /// One GT verdict per input centroid, in input order.
+    pub labels: Vec<ClassId>,
+    /// `fresh_mask[i]` is true when `labels[i]` came from a fresh GT
+    /// inference scheduled by position `i` (false for cache hits and
+    /// within-round duplicates). Sampling estimators must only learn from
+    /// positions marked fresh.
+    pub fresh_mask: Vec<bool>,
+    /// Fresh GT-CNN inferences this round performed (deduplicated).
+    pub fresh_inferences: usize,
+    /// Verdicts served from the cross-query cache (or deduplicated within
+    /// the round) — free, and excluded from sampling estimates.
+    pub cached_verdicts: usize,
+    /// Amortized GPU cost of the fresh inferences, as charged to the
+    /// meter under the caller's phase.
+    pub cost: GpuCost,
+    /// Wall-clock latency of the round on the GPU cluster.
+    pub latency_secs: f64,
 }
 
 #[cfg(test)]

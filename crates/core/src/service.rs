@@ -65,6 +65,7 @@ use crate::adapt::{
 use crate::ingest::IngestCnn;
 use crate::params::SelectedConfiguration;
 use crate::pipeline::FramePipeline;
+use crate::query::anytime::{run_anytime, AnytimeOutcome, AnytimePartial};
 use crate::query::segmented::{SegmentedCorpus, TailOverlay};
 use crate::query::{QueryOutcome, QueryRequest};
 use crate::query_server::{CacheStats, QueryServer};
@@ -761,6 +762,64 @@ impl FocusService {
         self.queries_served
             .fetch_add(requests.len(), Ordering::SeqCst);
         Ok(outcomes)
+    }
+
+    /// Serves one query incrementally through the anytime loop
+    /// ([`crate::query::anytime`]): the candidate set is chunked by
+    /// sealed segment (plus the hot tail), GT verification is spent
+    /// adaptively on the most promising chunk, and the returned
+    /// [`AnytimeOutcome`] carries every round's [`AnytimePartial`]. The
+    /// per-round verification work is submitted to the shared scheduler
+    /// under the `"anytime"` phase, so interactive anytime queries
+    /// coexist with exact queries and ingest on one GPU budget.
+    ///
+    /// Termination (budget / confidence / exhaustion) follows
+    /// `request.anytime`; run to candidate exhaustion, the outcome's
+    /// frames and objects are byte-identical to [`serve`](Self::serve)'s.
+    pub fn serve_anytime(&self, request: &QueryRequest) -> Result<AnytimeOutcome, SegmentError> {
+        self.serve_anytime_with(request, |_| {})
+    }
+
+    /// [`serve_anytime`](Self::serve_anytime), streaming each round's
+    /// [`AnytimePartial`] to `on_partial` as it is produced — the hook the
+    /// request plane's streaming-partials dispatch uses.
+    pub fn serve_anytime_with(
+        &self,
+        request: &QueryRequest,
+        on_partial: impl FnMut(&AnytimePartial),
+    ) -> Result<AnytimeOutcome, SegmentError> {
+        let tail = self.tail_snapshot();
+        let plan = self.corpus.plan_anytime_with_tail(request, Some(&tail))?;
+        self.io
+            .record_loads(plan.access.cold_loads, plan.access.bytes_read);
+        self.io.record_cache_hits(plan.access.cache_hits);
+        self.io.record_blocks(
+            plan.access.blocks_read,
+            plan.access.block_raw_hits,
+            plan.access.block_hits,
+        );
+        self.tail_candidates_served
+            .fetch_add(plan.tail_records, Ordering::SeqCst);
+        self.candidates_served
+            .fetch_add(plan.total_candidates(), Ordering::SeqCst);
+        let meter = GpuMeter::new();
+        let outcome = run_anytime(
+            &self.server,
+            &plan,
+            &request.anytime,
+            |id| {
+                self.corpus
+                    .centroids
+                    .get(&id)
+                    .or_else(|| tail.centroid(id))
+                    .cloned()
+            },
+            &meter,
+            on_partial,
+        );
+        self.scheduler.submit("anytime", meter.phase("anytime"));
+        self.queries_served.fetch_add(1, Ordering::SeqCst);
+        Ok(outcome)
     }
 
     /// A snapshot of every stream's not-yet-sealed records, taken at one

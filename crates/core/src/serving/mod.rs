@@ -50,7 +50,7 @@ use serde::{Deserialize, Serialize};
 use focus_runtime::LatencyHistogram;
 
 pub use bucket::TokenBucket;
-pub use plane::{Completed, RequestPlane, Ticket};
+pub use plane::{AnytimeCompleted, AnytimeResponse, Completed, RequestPlane, Ticket};
 pub use queue::MIN_WEIGHT;
 
 use crate::query::QueryOutcome;
@@ -222,6 +222,12 @@ pub struct ServingStats {
     /// Submit-to-answer latency across all tenants (log-bucketed,
     /// exactly mergeable).
     pub latency: LatencyHistogram,
+    /// Submit-to-first-result latency of anytime requests: the GPU time
+    /// accumulated up to the first round that surfaced a new distinct
+    /// result (queue wait included). Empty unless anytime requests were
+    /// dispatched through the plane.
+    #[serde(default)]
+    pub first_result_latency: LatencyHistogram,
     /// Per-tenant breakdown, ordered by tenant id.
     pub per_tenant: Vec<TenantServingStats>,
 }
@@ -289,6 +295,7 @@ impl ServingStats {
         self.batches += other.batches;
         self.max_queue_len = self.max_queue_len.max(other.max_queue_len);
         self.latency.merge(&other.latency);
+        self.first_result_latency.merge(&other.first_result_latency);
         for theirs in &other.per_tenant {
             let mine = self.tenant_mut(theirs.tenant);
             mine.submitted += theirs.submitted;

@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 use focus_index::SegmentError;
 use focus_runtime::Clock;
 
+use crate::query::anytime::{AnytimeOutcome, AnytimePartial};
 use crate::query::{QueryOutcome, QueryRequest};
 use crate::service::{FocusService, ServiceStats};
 use crate::serving::{
@@ -37,6 +38,37 @@ pub struct Completed {
     /// Whether completion happened after the request's deadline. Always
     /// `true` for [`Response::DeadlineExpired`]; for answered requests it
     /// can only be `true` when the clock advanced during the backend call.
+    pub deadline_missed: bool,
+}
+
+/// The terminal answer of an admitted anytime request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnytimeResponse {
+    /// The backend ran the anytime loop; the outcome carries the partial
+    /// trail and the termination reason.
+    Answered(AnytimeOutcome),
+    /// The request's deadline passed while it was queued; no round ran.
+    DeadlineExpired,
+}
+
+/// One finished anytime request, with first-result timing alongside the
+/// terminal answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnytimeCompleted {
+    /// The ticket handed back by [`RequestPlane::submit`].
+    pub ticket: Ticket,
+    /// The tenant that submitted the request.
+    pub tenant: TenantId,
+    /// The answer (or the expiry).
+    pub response: AnytimeResponse,
+    /// Submit-to-completion time as seen by the plane's clock.
+    pub latency_secs: f64,
+    /// Queue wait plus GPU time up to the end of the first round that
+    /// surfaced a new distinct result; `f64::INFINITY` when no round did
+    /// (nothing matched, or the request expired). Finite values land in
+    /// [`ServingStats::first_result_latency`].
+    pub first_result_latency_secs: f64,
+    /// Whether completion happened after the request's deadline.
     pub deadline_missed: bool,
 }
 
@@ -289,6 +321,149 @@ impl RequestPlane {
     /// [`serve`](FocusService::serve) seam.
     pub fn dispatch(&self, service: &FocusService) -> Result<Vec<Completed>, SegmentError> {
         self.dispatch_with(|batch| service.serve(batch))
+    }
+
+    /// Closes one batch and serves each request through the anytime loop,
+    /// streaming every round's [`AnytimePartial`] to `on_partial` (tagged
+    /// with the request's ticket) as it is produced, and returning one
+    /// [`AnytimeCompleted`] per finished request.
+    ///
+    /// Admission is unchanged: an anytime request spent exactly one token
+    /// at [`submit`](Self::submit) time, and its partials cost the tenant
+    /// nothing more — the admission fee covers the whole stream. Batch
+    /// formation and expiry follow [`dispatch_with`](Self::dispatch_with);
+    /// requests are then served *sequentially* outside the plane lock
+    /// (the anytime loop batches internally per round). If the backend
+    /// fails, the failing request and every not-yet-served one are
+    /// restored to the queue front; requests already served stay
+    /// completed (their partials were already streamed).
+    ///
+    /// Each answered request whose rounds surfaced at least one result
+    /// records queue-wait-plus-GPU-time-to-that-round into
+    /// [`ServingStats::first_result_latency`].
+    pub fn dispatch_anytime_with<F>(
+        &self,
+        mut serve: F,
+        mut on_partial: impl FnMut(Ticket, &AnytimePartial),
+    ) -> Result<Vec<AnytimeCompleted>, SegmentError>
+    where
+        F: FnMut(
+            &QueryRequest,
+            &mut dyn FnMut(&AnytimePartial),
+        ) -> Result<AnytimeOutcome, SegmentError>,
+    {
+        let now = self.clock.now_secs();
+        let mut completed = Vec::new();
+        let mut batch: Vec<Queued> = Vec::new();
+        {
+            let mut state = self.inner.lock();
+            if state.queue.is_empty() {
+                return Ok(completed);
+            }
+            while batch.len() < self.config.batch_max_requests {
+                let Some(queued) = state.queue.pop() else {
+                    break;
+                };
+                if now > queued.deadline_secs {
+                    state.stats.expired += 1;
+                    let tenant = state.stats.tenant_mut(queued.tenant);
+                    tenant.expired += 1;
+                    completed.push(AnytimeCompleted {
+                        ticket: Ticket(queued.ticket),
+                        tenant: queued.tenant,
+                        response: AnytimeResponse::DeadlineExpired,
+                        latency_secs: now - queued.arrival_secs,
+                        first_result_latency_secs: f64::INFINITY,
+                        deadline_missed: true,
+                    });
+                } else {
+                    batch.push(queued);
+                }
+            }
+            if batch.is_empty() {
+                return Ok(completed);
+            }
+            state.stats.batches += 1;
+        }
+
+        let mut answered: Vec<(Queued, AnytimeOutcome, f64)> = Vec::new();
+        let mut iter = batch.into_iter();
+        while let Some(queued) = iter.next() {
+            let ticket = Ticket(queued.ticket);
+            // GPU time accumulated up to (and including) the first round
+            // that surfaced a new distinct result.
+            let mut gpu_latency = 0.0f64;
+            let mut to_first_result = f64::INFINITY;
+            let result = serve(&queued.request, &mut |partial: &AnytimePartial| {
+                gpu_latency += partial.latency_secs;
+                if !partial.new_results.is_empty() && to_first_result.is_infinite() {
+                    to_first_result = gpu_latency;
+                }
+                on_partial(ticket, partial);
+            });
+            match result {
+                Ok(outcome) => answered.push((queued, outcome, to_first_result)),
+                Err(err) => {
+                    // Restore the failing request ahead of the untouched
+                    // tail; the already-served prefix stays completed.
+                    let mut state = self.inner.lock();
+                    if answered.is_empty() {
+                        state.stats.batches -= 1;
+                    }
+                    let mut restore = vec![queued];
+                    restore.extend(iter);
+                    for q in restore.into_iter().rev() {
+                        state.queue.requeue_front(q);
+                    }
+                    return Err(err);
+                }
+            }
+        }
+
+        let finished = self.clock.now_secs();
+        let mut state = self.inner.lock();
+        for (queued, outcome, to_first) in answered {
+            let latency_secs = finished - queued.arrival_secs;
+            let deadline_missed = finished > queued.deadline_secs;
+            let queue_wait = now - queued.arrival_secs;
+            let first_result_latency_secs = if to_first.is_finite() {
+                let total = queue_wait + to_first;
+                state.stats.first_result_latency.record(total);
+                total
+            } else {
+                f64::INFINITY
+            };
+            state.stats.answered += 1;
+            state.stats.deadline_misses += u64::from(deadline_missed);
+            state.stats.latency.record(latency_secs);
+            let tenant = state.stats.tenant_mut(queued.tenant);
+            tenant.answered += 1;
+            tenant.deadline_misses += u64::from(deadline_missed);
+            tenant.latency.record(latency_secs);
+            completed.push(AnytimeCompleted {
+                ticket: Ticket(queued.ticket),
+                tenant: queued.tenant,
+                response: AnytimeResponse::Answered(outcome),
+                latency_secs,
+                first_result_latency_secs,
+                deadline_missed,
+            });
+        }
+        Ok(completed)
+    }
+
+    /// [`dispatch_anytime_with`](Self::dispatch_anytime_with) against a
+    /// live service's [`serve_anytime_with`](FocusService::serve_anytime_with)
+    /// seam.
+    pub fn dispatch_anytime(
+        &self,
+        service: &FocusService,
+        on_partial: impl FnMut(Ticket, &AnytimePartial),
+    ) -> Result<Vec<AnytimeCompleted>, SegmentError> {
+        self.dispatch_anytime_with(
+            |request, stream| service.serve_anytime_with(request, stream),
+            on_partial,
+        )
     }
 
     /// Drains the queue completely (repeated dispatches), regardless of

@@ -43,6 +43,7 @@ pub use cluster_store::{ClusterKey, ClusterRecord, MemberRef};
 pub use manifest::{Manifest, SegmentFormat, SegmentMeta};
 pub use query::QueryFilter;
 pub use segment::{
-    LruOccupancy, OpenReport, SegmentAccess, SegmentError, SegmentLookup, SegmentStore,
+    GroupedLookup, LruOccupancy, OpenReport, SegmentAccess, SegmentError, SegmentLookup,
+    SegmentStore,
 };
 pub use topk::{CentroidHandle, IndexStats, TopKIndex};

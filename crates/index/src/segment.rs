@@ -302,6 +302,21 @@ pub struct SegmentLookup {
     pub access: SegmentAccess,
 }
 
+/// The result of a pruned lookup kept grouped by contributing segment:
+/// one `(segment id, records)` entry per segment that matched the filter
+/// and contributed at least one record, in manifest (seal) order.
+/// Flattening the groups and sorting by cluster key reproduces
+/// [`SegmentLookup::records`] exactly — segments are key-disjoint, so the
+/// groups partition the result set. This is the shape the anytime query
+/// planner consumes: each group is one sampling chunk.
+#[derive(Debug, Clone)]
+pub struct GroupedLookup {
+    /// Per-segment record groups, manifest order, empty groups omitted.
+    pub groups: Vec<(u64, Vec<ClusterRecord>)>,
+    /// What the lookup touched (summed across all opened segments).
+    pub access: SegmentAccess,
+}
+
 /// What a cache entry holds for one segment: the whole decoded index, its
 /// footer, one record block, or one class's postings block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -1140,11 +1155,36 @@ impl SegmentStore {
         class: ClassId,
         filter: &QueryFilter,
     ) -> Result<SegmentLookup, SegmentError> {
+        let GroupedLookup { groups, access } = self.lookup_grouped(class, filter)?;
+        let mut records: Vec<ClusterRecord> = groups
+            .into_iter()
+            .flat_map(|(_, records)| records)
+            .collect();
+        records.sort_by_key(|r| r.key);
+        // Segments are key-disjoint by construction; a duplicate here means
+        // a corrupt store, and silently dropping one record would mask it —
+        // fail as loudly as merged_index() does.
+        assert!(
+            records.windows(2).all(|w| w[0].key != w[1].key),
+            "segments must be key-disjoint"
+        );
+        Ok(SegmentLookup { records, access })
+    }
+
+    /// The same pruned lookup as [`lookup`](Self::lookup), but keeping each
+    /// contributing segment's records as a separate group (manifest order,
+    /// empty groups dropped) instead of flattening into one sorted run.
+    /// The anytime query planner samples these groups as chunks.
+    pub fn lookup_grouped(
+        &self,
+        class: ClassId,
+        filter: &QueryFilter,
+    ) -> Result<GroupedLookup, SegmentError> {
         let mut access = SegmentAccess {
             segments_total: self.manifest.segments.len(),
             ..SegmentAccess::default()
         };
-        let mut records: Vec<ClusterRecord> = Vec::new();
+        let mut groups: Vec<(u64, Vec<ClusterRecord>)> = Vec::new();
         for meta in self
             .manifest
             .segments
@@ -1152,6 +1192,7 @@ impl SegmentStore {
             .filter(|m| m.admits_filter(filter))
         {
             access.segments_considered += 1;
+            let mut records: Vec<ClusterRecord> = Vec::new();
             // Whichever the format, a resident whole index is the fastest
             // path: no block navigation at all.
             if let Some(DecodedEntry::Whole(index)) = self
@@ -1163,6 +1204,9 @@ impl SegmentStore {
                 access.cache_hits += 1;
                 access.block_hits += 1;
                 records.extend(index.lookup(class, filter).into_iter().cloned());
+                if !records.is_empty() {
+                    groups.push((meta.id, records));
+                }
                 continue;
             }
             match meta.format {
@@ -1189,16 +1233,11 @@ impl SegmentStore {
                     self.lookup_binary(meta, class, filter, &mut access, &mut records)?
                 }
             }
+            if !records.is_empty() {
+                groups.push((meta.id, records));
+            }
         }
-        records.sort_by_key(|r| r.key);
-        // Segments are key-disjoint by construction; a duplicate here means
-        // a corrupt store, and silently dropping one record would mask it —
-        // fail as loudly as merged_index() does.
-        assert!(
-            records.windows(2).all(|w| w[0].key != w[1].key),
-            "segments must be key-disjoint"
-        );
-        Ok(SegmentLookup { records, access })
+        Ok(GroupedLookup { groups, access })
     }
 
     /// Like [`lookup`](Self::lookup), but returns stable

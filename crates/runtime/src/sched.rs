@@ -280,11 +280,12 @@ impl GpuScheduler {
         &self.meter
     }
 
-    /// Which side of the budget a phase name belongs to: `"query"` is
+    /// Which side of the budget a phase name belongs to: `"query"` and
+    /// `"anytime"` (incremental anytime verification rounds) are
     /// query-side, everything else (classification, specialization
     /// labelling, maintenance) is ingest-side.
     pub fn side_of_phase(phase: &str) -> GpuSide {
-        if phase == "query" {
+        if phase == "query" || phase == "anytime" {
             GpuSide::Query
         } else {
             GpuSide::Ingest
@@ -481,6 +482,7 @@ mod tests {
     #[test]
     fn phases_map_onto_sides() {
         assert_eq!(GpuScheduler::side_of_phase("query"), GpuSide::Query);
+        assert_eq!(GpuScheduler::side_of_phase("anytime"), GpuSide::Query);
         assert_eq!(GpuScheduler::side_of_phase("ingest"), GpuSide::Ingest);
         assert_eq!(
             GpuScheduler::side_of_phase("specialization"),
