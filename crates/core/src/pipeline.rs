@@ -39,7 +39,7 @@ use std::collections::HashMap;
 
 use focus_cluster::IncrementalClusterer;
 use focus_cnn::{Classifier, GpuCost};
-use focus_index::{ClusterKey, ClusterRecord, MemberRef, TopKIndex};
+use focus_index::{ClusterKey, ClusterRecord, MemberRef, TopKIndex, TrackSketcher};
 use focus_video::motion::PixelDiffOutcome;
 use focus_video::{
     ClassId, Frame, FrameId, MotionFilter, ObjectId, ObjectObservation, PixelDiff, StreamId,
@@ -109,6 +109,7 @@ pub struct FramePipeline {
     motion: MotionFilter,
     pixel_diff: PixelDiff,
     epoch: Epoch,
+    sketcher: TrackSketcher,
     index: TopKIndex,
     centroids: HashMap<ObjectId, ObjectObservation>,
     next_cluster_key: u64,
@@ -138,6 +139,7 @@ impl FramePipeline {
             motion: MotionFilter::new(),
             pixel_diff: PixelDiff::new(),
             epoch: Epoch::new(&params),
+            sketcher: TrackSketcher::new(stream),
             index: TopKIndex::new(),
             centroids: HashMap::new(),
             next_cluster_key: 0,
@@ -258,14 +260,19 @@ impl FramePipeline {
             return;
         }
         for obj in &frame.objects {
-            self.ingest_object(obj, classifier);
+            self.ingest_object(obj, frame.timestamp_secs, classifier);
             observer(obj, self.objects);
         }
     }
 
     /// IT2–IT4 for a single object observation.
-    fn ingest_object(&mut self, obj: &ObjectObservation, classifier: &dyn Classifier) {
+    fn ingest_object(&mut self, obj: &ObjectObservation, secs: f64, classifier: &dyn Classifier) {
         self.objects += 1;
+        // Every motion-admitted observation (even pixel-diff duplicates)
+        // feeds its track's spatio-temporal sketch — the sketch must cover
+        // the raw trajectory, or track-scoped planning loses recall.
+        let (cx, cy) = obj.bbox.center();
+        self.sketcher.observe(obj.track_id, secs, cx, cy);
         let source = if self.params.pixel_differencing {
             match self.pixel_diff.check(obj) {
                 // Only duplicates of an object classified in the *current*
@@ -317,6 +324,7 @@ impl FramePipeline {
                 vec![MemberRef {
                     object: obj.object_id,
                     frame: obj.frame_id,
+                    track: obj.track_id,
                 }],
             );
             self.index.insert(record);
@@ -347,6 +355,7 @@ impl FramePipeline {
                     .map(|m| MemberRef {
                         object: ObjectId(m.item),
                         frame: FrameId(m.tag),
+                        track: finished.observations[&ObjectId(m.item)].track_id,
                     })
                     .collect();
                 let record = build_record(
@@ -377,8 +386,16 @@ impl FramePipeline {
     /// schedule would have built. Centroid observations and counters stay
     /// with the pipeline (cumulative), so [`finish`](Self::finish) still
     /// reports whole-stream stats and the full centroid map.
+    /// Sketch windows drain with the segment: every track observed since
+    /// the last drain contributes one window sketch (the sketcher carries
+    /// each track's last position across the boundary, so per-window
+    /// absorb-merging downstream reconstructs exactly the continuous
+    /// sketch — seal boundaries never change a track query's answer).
     pub fn seal_segment(&mut self) -> TopKIndex {
         self.seal_epoch();
+        for sketch in self.sketcher.drain_window() {
+            self.index.insert_sketch(sketch);
+        }
         std::mem::take(&mut self.index)
     }
 
@@ -417,6 +434,7 @@ impl FramePipeline {
                     .map(|m| MemberRef {
                         object: ObjectId(m.item),
                         frame: FrameId(m.tag),
+                        track: self.epoch.observations[&ObjectId(m.item)].track_id,
                     })
                     .collect();
                 let record = build_record(
@@ -431,6 +449,9 @@ impl FramePipeline {
                 );
                 index.insert(record);
             }
+        }
+        for sketch in self.sketcher.snapshot_window() {
+            index.insert_sketch(sketch);
         }
         (index, centroids)
     }
@@ -464,6 +485,9 @@ impl FramePipeline {
     /// whole run.
     pub fn finish(mut self) -> PipelineOutput {
         self.seal_epoch();
+        for sketch in self.sketcher.drain_window() {
+            self.index.insert_sketch(sketch);
+        }
         let stats = self.stats();
         PipelineOutput {
             index: self.index,

@@ -47,13 +47,16 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use serde::{Deserialize, Serialize};
 
 use focus_cnn::GpuCost;
-use focus_index::{CentroidHandle, ClusterKey, ClusterRecord, SegmentAccess, SegmentError};
+use focus_index::{
+    CentroidHandle, ClusterKey, ClusterRecord, SegmentAccess, SegmentError, TrackKey,
+};
 use focus_runtime::GpuMeter;
 use focus_video::{ClassId, FrameId, ObjectId, ObjectObservation};
 
 use crate::query::execute::assemble_outcome_from;
 use crate::query::plan::{AnytimeMode, QueryPlan, QueryRequest};
 use crate::query::segmented::{SegmentedCorpus, TailOverlay};
+use crate::query::track::TrackScope;
 use crate::query::QueryOutcome;
 use crate::query_server::QueryServer;
 
@@ -96,6 +99,9 @@ pub struct AnytimePlan {
     pub access: SegmentAccess,
     /// Candidates resolved from the tail overlay (the tail chunk's size).
     pub tail_records: usize,
+    /// The planner's track-sketch verdict, applied to member assembly in
+    /// every round exactly as the exhaustive path applies it.
+    pub track_scope: TrackScope,
 }
 
 impl AnytimePlan {
@@ -121,6 +127,7 @@ impl AnytimePlan {
             class: self.class,
             lookup_class: self.lookup_class,
             candidates,
+            track_scope: self.track_scope.clone(),
         }
     }
 }
@@ -163,9 +170,27 @@ impl SegmentedCorpus {
                 }
             }
         }
+        let track_scope = self.track_scope_with_tail(request, tail, &mut access)?;
+        if !track_scope.is_empty() {
+            // Same intersection-before-verification rule as the exhaustive
+            // planner: all-rejected candidates never reach a sampling chunk.
+            let admits = |record: &ClusterRecord| {
+                record
+                    .members
+                    .iter()
+                    .any(|m| track_scope.admits(TrackKey::new(record.key.stream, m.track)))
+            };
+            for chunk in by_segment.values_mut() {
+                chunk.retain(|_, record| admits(record));
+            }
+            tail_hits.retain(|_, record| admits(record));
+        }
         let mut chunks = Vec::with_capacity(by_segment.len() + 1);
         let mut records: HashMap<ClusterKey, ClusterRecord> = HashMap::new();
         for (segment, chunk_records) in by_segment {
+            if chunk_records.is_empty() {
+                continue;
+            }
             let candidates = chunk_records.values().map(handle_of).collect();
             chunks.push(AnytimeChunk {
                 source: ChunkSource::Segment(segment),
@@ -194,6 +219,7 @@ impl SegmentedCorpus {
             records,
             access,
             tail_records,
+            track_scope,
         })
     }
 }
@@ -426,6 +452,15 @@ pub fn run_anytime_with_picker(
                 .get(&handle.cluster)
                 .expect("planned cluster resolved by the planner");
             for member in &record.members {
+                // Same member-level track filtering as exhaustive assembly
+                // (`assemble_outcome_from`), so partial results never leak
+                // a rejected track's frames.
+                if !plan
+                    .track_scope
+                    .admits(TrackKey::new(handle.cluster.stream, member.track))
+                {
+                    continue;
+                }
                 if seen_objects.insert(member.object) {
                     new_objects.insert(member.object);
                     // Only fresh inferences teach the sampler; results a
@@ -485,6 +520,7 @@ pub fn run_anytime_with_picker(
         class: plan.class,
         lookup_class: plan.lookup_class,
         candidates,
+        track_scope: plan.track_scope.clone(),
     };
     let outcome = assemble_outcome_from(
         &verified_plan,

@@ -113,6 +113,16 @@ pub fn assemble_outcome_from<'a>(
         confirmed += 1;
         let record = get_record(handle);
         for member in &record.members {
+            // A confirmed cluster may still mix tracks; members whose track
+            // the planner's sketch scope rejected are filtered here (the
+            // pruned and unpruned planned paths apply the same scope, so
+            // their frames and objects agree byte-for-byte).
+            if !plan
+                .track_scope
+                .admits(focus_index::TrackKey::new(record.key.stream, member.track))
+            {
+                continue;
+            }
             frames.insert(member.frame);
             objects.push(member.object);
         }

@@ -27,6 +27,11 @@
 //!   into per-segment chunks, GT verification spent adaptively on the
 //!   chunk most likely to yield new distinct results, and partial results
 //!   streamed out after every round (see `docs/query-path.md`).
+//! * [`track`] — trajectory restrictions: the [`TrackFilter`] predicate
+//!   language (region entry/exit/visit, transit, dwell, speed bands)
+//!   evaluated conservatively against the per-track sketches persisted in
+//!   segments, so candidates whose tracks cannot match are dropped
+//!   *before* GT verification (see `docs/query-path.md`).
 //!
 //! Concurrent serving — many queries at once, batched GT-CNN verification
 //! of the *deduplicated* union of their candidate sets, and a cross-query
@@ -38,6 +43,7 @@ pub mod execute;
 pub mod plan;
 pub mod segmented;
 pub mod serve;
+pub mod track;
 
 pub use anytime::{
     pick_most_promising, run_anytime, run_anytime_with_picker, AnytimeChunk, AnytimeOutcome,
@@ -47,3 +53,4 @@ pub use execute::{assemble_outcome, assemble_outcome_from, QueryOutcome};
 pub use plan::{AnytimeMode, QueryPlan, QueryRequest};
 pub use segmented::{RetiredRouting, SegmentedCorpus, SegmentedPlan, TailOverlay};
 pub use serve::QueryEngine;
+pub use track::{Region, TrackFilter, TrackPredicate, TrackPredicateKind, TrackScope};

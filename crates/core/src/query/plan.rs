@@ -8,10 +8,11 @@
 
 use serde::{Deserialize, Serialize};
 
-use focus_index::{CentroidHandle, QueryFilter};
+use focus_index::{CentroidHandle, QueryFilter, TrackKey};
 use focus_video::ClassId;
 
 use crate::ingest::IngestOutput;
+use crate::query::track::{TrackFilter, TrackScope};
 
 /// One class query as submitted to the query layer: the class the user asks
 /// for plus the camera / time / `Kx` restrictions.
@@ -39,6 +40,11 @@ pub struct QueryRequest {
     /// default) or incrementally under an anytime budget.
     #[serde(default)]
     pub anytime: AnytimeMode,
+    /// Trajectory restrictions, ANDed with everything above: only tracks
+    /// admitted by every predicate may contribute results. Empty (the
+    /// default) restricts nothing. See [`crate::query::track`].
+    #[serde(default)]
+    pub tracks: TrackFilter,
 }
 
 impl QueryRequest {
@@ -48,6 +54,7 @@ impl QueryRequest {
             class,
             filter: QueryFilter::any(),
             anytime: AnytimeMode::default(),
+            tracks: TrackFilter::default(),
         }
     }
 
@@ -60,6 +67,12 @@ impl QueryRequest {
     /// Returns a copy of the request with the anytime mode applied.
     pub fn with_anytime(mut self, anytime: AnytimeMode) -> Self {
         self.anytime = anytime;
+        self
+    }
+
+    /// Returns a copy of the request with a trajectory restriction applied.
+    pub fn with_tracks(mut self, tracks: TrackFilter) -> Self {
+        self.tracks = tracks;
         self
     }
 }
@@ -179,19 +192,57 @@ pub struct QueryPlan {
     /// key. The GT-CNN verdict on `candidates[i].centroid` decides whether
     /// cluster `candidates[i].cluster`'s members are returned.
     pub candidates: Vec<CentroidHandle>,
+    /// The planner's verdict on the request's [`TrackFilter`]: tracks whose
+    /// sketches rejected it. Members of rejected tracks are filtered out at
+    /// assembly, and clusters made entirely of rejected tracks were dropped
+    /// from `candidates` before any GT verification. Empty for requests
+    /// without a track filter.
+    #[serde(default)]
+    pub track_scope: TrackScope,
 }
 
 impl QueryPlan {
     /// Plans `request` against an ingested stream: maps the class through
     /// the ingest model's OTHER handling (QT1) and retrieves the matching
-    /// cluster centroids from the top-K index (QT2).
+    /// cluster centroids from the top-K index (QT2). A request with a
+    /// [`TrackFilter`] additionally evaluates it against the index's
+    /// whole-life track sketches and drops every candidate cluster whose
+    /// members all belong to rejected tracks — before any of them would
+    /// cost a GT inference.
     pub fn build(ingest: &IngestOutput, request: &QueryRequest) -> QueryPlan {
         let lookup_class = ingest.model.effective_query_class(request.class);
-        let candidates = ingest.index.lookup_centroids(lookup_class, &request.filter);
+        if request.tracks.is_empty() {
+            return QueryPlan {
+                class: request.class,
+                lookup_class,
+                candidates: ingest.index.lookup_centroids(lookup_class, &request.filter),
+                track_scope: TrackScope::default(),
+            };
+        }
+        let track_scope = request
+            .tracks
+            .scope_over(&request.filter, ingest.index.sketches());
+        let candidates = ingest
+            .index
+            .lookup(lookup_class, &request.filter)
+            .into_iter()
+            .filter(|record| {
+                record
+                    .members
+                    .iter()
+                    .any(|m| track_scope.admits(TrackKey::new(record.key.stream, m.track)))
+            })
+            .map(|record| CentroidHandle {
+                cluster: record.key,
+                centroid: record.centroid_object,
+                centroid_frame: record.centroid_frame,
+            })
+            .collect();
         QueryPlan {
             class: request.class,
             lookup_class,
             candidates,
+            track_scope,
         }
     }
 

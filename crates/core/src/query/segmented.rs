@@ -35,11 +35,13 @@ use serde::{Deserialize, Serialize};
 use focus_cnn::OTHER_CLASS;
 use focus_index::{
     ClusterKey, ClusterRecord, QueryFilter, SegmentAccess, SegmentError, SegmentStore, TopKIndex,
+    TrackKey,
 };
 use focus_video::{ClassId, ObjectId, ObjectObservation, StreamId};
 
 use crate::ingest::IngestCnn;
 use crate::query::plan::{QueryPlan, QueryRequest};
+use crate::query::track::TrackScope;
 use crate::segment_ingest::SegmentedIngestOutput;
 
 /// The not-yet-sealed tail of a live corpus: cluster records drained from
@@ -369,7 +371,39 @@ impl SegmentedCorpus {
         tail: Option<&TailOverlay>,
     ) -> Result<SegmentedPlan, SegmentError> {
         let classes = self.lookup_classes(request.class, &request.filter);
-        self.plan_with_tail_scoped(request, tail, &classes, true)
+        self.plan_with_tail_scoped(request, tail, &classes, true, true)
+    }
+
+    /// The planner's verdict on the request's track filter: the whole-life
+    /// sketch of every track on a filter-admitted stream (absorb-merged
+    /// across every sealed segment plus the tail overlay — deliberately
+    /// *not* time-pruned, since a truncated sketch would not be
+    /// conservative), evaluated against the filter's predicates. Sketch
+    /// loads are charged to `access`.
+    pub(crate) fn track_scope_with_tail(
+        &self,
+        request: &QueryRequest,
+        tail: Option<&TailOverlay>,
+        access: &mut SegmentAccess,
+    ) -> Result<TrackScope, SegmentError> {
+        if request.tracks.is_empty() {
+            return Ok(TrackScope::default());
+        }
+        let (mut sketches, sketch_access) = self.store.sketches(&request.filter)?;
+        access.merge(&sketch_access);
+        if let Some(tail) = tail {
+            for sketch in tail.index().sketches() {
+                match sketches.get_mut(&sketch.key) {
+                    Some(merged) => merged.absorb(sketch),
+                    None => {
+                        sketches.insert(sketch.key, sketch.clone());
+                    }
+                }
+            }
+        }
+        Ok(request
+            .tracks
+            .scope_over(&request.filter, sketches.values()))
     }
 
     /// Like [`plan_with_tail`](Self::plan_with_tail), but scanning an
@@ -387,12 +421,22 @@ impl SegmentedCorpus {
     /// are byte-identical either way (a segment whose bounds miss the
     /// filter holds only records that miss it too); only the access
     /// account differs.
+    ///
+    /// `prune_tracks: false` disables track-sketch candidate pruning: the
+    /// plan keeps every class-matched candidate (and so verifies every one
+    /// of them against the GT CNN) but still carries the same
+    /// [`TrackScope`], so member filtering at assembly — and therefore the
+    /// outcome's frames and objects — is byte-identical to the pruned
+    /// plan's (`tests/track_queries.rs` pins this). It is the
+    /// intersection-before-verification baseline; production paths pass
+    /// `true`.
     pub fn plan_with_tail_scoped(
         &self,
         request: &QueryRequest,
         tail: Option<&TailOverlay>,
         lookup_classes: &[ClassId],
         prune_segments: bool,
+        prune_tracks: bool,
     ) -> Result<SegmentedPlan, SegmentError> {
         let open_filter = if prune_segments {
             request.filter.clone()
@@ -424,13 +468,27 @@ impl SegmentedCorpus {
                 }
             }
         }
-        let tail_records = tail_hits.len();
+        let tail_keys: Vec<ClusterKey> = tail_hits.keys().copied().collect();
         for (key, record) in tail_hits {
             assert!(
                 merged.insert(key, record).is_none(),
                 "tail and segment records must be key-disjoint"
             );
         }
+        let track_scope = self.track_scope_with_tail(request, tail, &mut access)?;
+        if prune_tracks && !track_scope.is_empty() {
+            // Intersection before verification: a candidate whose members
+            // all belong to sketch-rejected tracks can contribute nothing
+            // after member filtering, so verifying its centroid would be a
+            // wasted GT inference.
+            merged.retain(|key, record| {
+                record
+                    .members
+                    .iter()
+                    .any(|m| track_scope.admits(TrackKey::new(key.stream, m.track)))
+            });
+        }
+        let tail_records = tail_keys.iter().filter(|k| merged.contains_key(k)).count();
         let candidates = merged
             .values()
             .map(|record| focus_index::CentroidHandle {
@@ -445,6 +503,7 @@ impl SegmentedCorpus {
                 class: request.class,
                 lookup_class: self.model.effective_query_class(request.class),
                 candidates,
+                track_scope,
             },
             records,
             access,

@@ -5,11 +5,11 @@
 //! cold reads proportional to what a query actually touches:
 //!
 //! ```text
-//! ┌──────────┬───────────────┬────────────────┬────────┬─────────┐
-//! │ magic    │ record blocks │ postings blocks│ footer │ trailer │
-//! │ "FSG1"   │ (≤32 records  │ (one per class,│        │ (fixed  │
-//! │          │  each)        │  delta keys)   │        │  28 B)  │
-//! └──────────┴───────────────┴────────────────┴────────┴─────────┘
+//! ┌──────────┬───────────────┬────────────────┬──────────┬────────┬─────────┐
+//! │ magic    │ record blocks │ postings blocks│ tracks   │ footer │ trailer │
+//! │ "FSG2"   │ (≤32 records  │ (one per class,│ block    │        │ (fixed  │
+//! │          │  each)        │  delta keys)   │ (v2 only)│        │  28 B)  │
+//! └──────────┴───────────────┴────────────────┴──────────┴────────┴─────────┘
 //! ```
 //!
 //! * **Record blocks** hold the cluster records sorted by [`ClusterKey`],
@@ -19,10 +19,13 @@
 //! * **Postings blocks** hold, per class, the sorted keys of every cluster
 //!   whose ingest top-K contains that class — the on-disk mirror of
 //!   [`TopKIndex`]'s inverted index.
+//! * The **tracks block** (version 2) holds the per-track spatio-temporal
+//!   [`TrackSketch`]es sorted by [`TrackKey`] — one checksummed block per
+//!   segment, read only by trajectory-restricted query planning.
 //! * The **footer** is the block index: per record block its key range,
 //!   byte range, FNV-1a checksum and record count; per class its postings
-//!   block's byte range and checksum; plus the segment's time bounds and
-//!   stream list.
+//!   block's byte range and checksum; the tracks block's byte range and
+//!   checksum; plus the segment's time bounds and stream list.
 //! * The **trailer** locates and checksums the footer, so a reader seeks
 //!   to the end, reads the footer, and then reads *only* the blocks a
 //!   query needs — each one verified against its own checksum.
@@ -31,23 +34,67 @@
 //! cached), the class's postings block, and the record blocks whose key
 //! ranges cover the candidate keys. Everything else stays on disk.
 //!
+//! Two versions coexist, distinguished by the magic (`FSG1` / `FSG2`).
+//! Version 1 predates track sketches: its record blocks carry no member
+//! track ids and it has no tracks block. Readers accept both (v1 members
+//! decode with the default track id and an empty sketch set); [`encode`]
+//! writes version 2, and [`encode_with_version`] can still produce v1
+//! files so the store's format-migration path stays testable.
+//!
 //! [`encode`]/[`decode`] round-trip an entire [`TopKIndex`]
 //! byte-identically under the canonical JSON representation
 //! (`tests/segment_durability.rs` holds the property test); the encoding
-//! itself is deterministic (records and postings are sorted), so equal
-//! indexes produce equal files.
+//! itself is deterministic (records, postings and sketches are sorted), so
+//! equal indexes produce equal files.
 
 use std::collections::BTreeMap;
 
-use focus_video::{ClassId, FrameId, ObjectId, StreamId};
+use focus_video::{ClassId, FrameId, ObjectId, StreamId, TrackId};
 
 use crate::cluster_store::{ClusterKey, ClusterRecord, MemberRef};
 use crate::manifest::fnv1a64;
 use crate::topk::TopKIndex;
+use crate::track::{TrackKey, TrackSketch};
 
-/// Magic bytes opening a binary segment file (and closing its trailer).
-/// The trailing `1` is the format version.
+/// Magic bytes opening a version-1 binary segment file (and closing its
+/// trailer). The trailing digit is the format version.
 pub const BINSEG_MAGIC: [u8; 4] = *b"FSG1";
+
+/// Magic bytes of the current (version 2) format: members carry their
+/// track id and the segment persists a tracks block of [`TrackSketch`]es.
+pub const BINSEG_MAGIC_V2: [u8; 4] = *b"FSG2";
+
+/// The binary segment format versions a reader accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BinsegVersion {
+    /// `FSG1`: no member track ids, no tracks block.
+    V1,
+    /// `FSG2`: member track ids + a per-segment tracks block. The version
+    /// [`encode`] writes.
+    #[default]
+    V2,
+}
+
+impl BinsegVersion {
+    /// The magic bytes this version opens and closes files with.
+    pub fn magic(self) -> [u8; 4] {
+        match self {
+            BinsegVersion::V1 => BINSEG_MAGIC,
+            BinsegVersion::V2 => BINSEG_MAGIC_V2,
+        }
+    }
+
+    /// The version a magic identifies, if any.
+    pub fn from_magic(magic: &[u8]) -> Option<BinsegVersion> {
+        if magic == BINSEG_MAGIC {
+            Some(BinsegVersion::V1)
+        } else if magic == BINSEG_MAGIC_V2 {
+            Some(BinsegVersion::V2)
+        } else {
+            None
+        }
+    }
+}
 
 /// Records per record block — the unit of a partial read. Small enough
 /// that a point lookup reads little, large enough that varint/delta
@@ -125,10 +172,25 @@ pub struct PostingsBlockMeta {
     pub count: usize,
 }
 
+/// Footer entry for the segment's tracks block (version 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracksBlockMeta {
+    /// Byte offset of the block within the segment file.
+    pub offset: u64,
+    /// Byte length of the block.
+    pub len: u64,
+    /// FNV-1a 64 checksum of the block's bytes.
+    pub checksum: u64,
+    /// Sketches stored in the block.
+    pub count: usize,
+}
+
 /// The decoded footer: the block index a reader navigates by, plus the
 /// segment-level bounds (the same cover the manifest records).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SegmentFooter {
+    /// The format version the file was written in (from its magic).
+    pub version: BinsegVersion,
     /// Earliest `start_secs` of any record (`+inf` for an empty segment).
     pub t_start: f64,
     /// Latest `end_secs` of any record (`-inf` for an empty segment).
@@ -141,6 +203,9 @@ pub struct SegmentFooter {
     pub record_blocks: Vec<RecordBlockMeta>,
     /// Postings blocks in class order.
     pub postings: Vec<PostingsBlockMeta>,
+    /// The tracks block, when the segment holds any sketches (always
+    /// `None` for version-1 files).
+    pub tracks: Option<TracksBlockMeta>,
 }
 
 impl SegmentFooter {
@@ -331,7 +396,7 @@ impl KeyDecoder {
 // Blocks
 // ---------------------------------------------------------------------------
 
-fn encode_record_block(records: &[&ClusterRecord]) -> Vec<u8> {
+fn encode_record_block(records: &[&ClusterRecord], version: BinsegVersion) -> Vec<u8> {
     let mut out = Vec::new();
     put_varint(&mut out, records.len() as u64);
     let mut keys = KeyEncoder::new();
@@ -347,6 +412,9 @@ fn encode_record_block(records: &[&ClusterRecord]) -> Vec<u8> {
         for member in &record.members {
             put_varint(&mut out, member.object.0);
             put_varint(&mut out, member.frame.0);
+            if version == BinsegVersion::V2 {
+                put_varint(&mut out, member.track.0);
+            }
         }
         put_f64(&mut out, record.start_secs);
         put_f64(&mut out, record.end_secs);
@@ -355,7 +423,12 @@ fn encode_record_block(records: &[&ClusterRecord]) -> Vec<u8> {
 }
 
 /// Decodes one record block (the exact byte range the footer describes).
-pub fn decode_record_block(bytes: &[u8]) -> Result<Vec<ClusterRecord>, BinsegError> {
+/// Version-1 blocks carry no member track ids; their members decode with
+/// the default track.
+pub fn decode_record_block(
+    bytes: &[u8],
+    version: BinsegVersion,
+) -> Result<Vec<ClusterRecord>, BinsegError> {
     let mut r = Reader::new(bytes);
     let count = narrow_usize(r.varint()?, "record count overflows usize")?;
     let mut keys = KeyDecoder::new();
@@ -375,6 +448,10 @@ pub fn decode_record_block(bytes: &[u8]) -> Result<Vec<ClusterRecord>, BinsegErr
             member_refs.push(MemberRef {
                 object: ObjectId(r.varint()?),
                 frame: FrameId(r.varint()?),
+                track: match version {
+                    BinsegVersion::V1 => TrackId::default(),
+                    BinsegVersion::V2 => TrackId(r.varint()?),
+                },
             });
         }
         let start_secs = r.f64()?;
@@ -420,6 +497,88 @@ pub fn decode_postings_block(bytes: &[u8]) -> Result<Vec<ClusterKey>, BinsegErro
     Ok(keys)
 }
 
+fn encode_tracks_block(sketches: &[&TrackSketch]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, sketches.len() as u64);
+    for sketch in sketches {
+        put_varint(&mut out, sketch.key.stream.0 as u64);
+        put_varint(&mut out, sketch.key.track.0);
+        put_varint(&mut out, sketch.entry_cell as u64);
+        put_varint(&mut out, sketch.exit_cell as u64);
+        put_f64(&mut out, sketch.t_start);
+        put_f64(&mut out, sketch.t_end);
+        put_varint(&mut out, sketch.observations);
+        put_varint(&mut out, sketch.speed_pairs);
+        put_f64(&mut out, sketch.min_speed);
+        put_f64(&mut out, sketch.max_speed);
+        // Cells are sorted and strictly increasing: delta-encode them.
+        put_varint(&mut out, sketch.cells.len() as u64);
+        let mut prev = 0u64;
+        for (i, cell) in sketch.cells.iter().enumerate() {
+            let cell = *cell as u64;
+            if i == 0 {
+                put_varint(&mut out, cell);
+            } else {
+                put_varint(&mut out, cell - prev);
+            }
+            prev = cell;
+        }
+    }
+    out
+}
+
+/// Decodes one tracks block into its sketches, sorted by track key.
+pub fn decode_tracks_block(bytes: &[u8]) -> Result<Vec<TrackSketch>, BinsegError> {
+    let mut r = Reader::new(bytes);
+    let count = narrow_usize(r.varint()?, "sketch count overflows usize")?;
+    let mut sketches = Vec::with_capacity(count);
+    for _ in 0..count {
+        let stream = StreamId(narrow_u32(r.varint()?, "stream id overflows u32")?);
+        let track = TrackId(r.varint()?);
+        let entry_cell = narrow_u32(r.varint()?, "entry cell overflows u32")?;
+        let exit_cell = narrow_u32(r.varint()?, "exit cell overflows u32")?;
+        let t_start = r.f64()?;
+        let t_end = r.f64()?;
+        let observations = r.varint()?;
+        let speed_pairs = r.varint()?;
+        let min_speed = r.f64()?;
+        let max_speed = r.f64()?;
+        let cell_count = narrow_usize(r.varint()?, "cell count overflows usize")?;
+        let mut cells = Vec::with_capacity(cell_count);
+        let mut prev = 0u64;
+        for i in 0..cell_count {
+            let delta = r.varint()?;
+            let cell = if i == 0 {
+                delta
+            } else {
+                if delta == 0 {
+                    return Err(BinsegError::Malformed("zero cell delta"));
+                }
+                prev.checked_add(delta)
+                    .ok_or(BinsegError::Malformed("cell delta overflows u64"))?
+            };
+            cells.push(narrow_u32(cell, "cell code overflows u32")?);
+            prev = cell;
+        }
+        sketches.push(TrackSketch {
+            key: TrackKey::new(stream, track),
+            cells,
+            entry_cell,
+            exit_cell,
+            t_start,
+            t_end,
+            observations,
+            speed_pairs,
+            min_speed,
+            max_speed,
+        });
+    }
+    if !r.done() {
+        return Err(BinsegError::Malformed("trailing bytes in tracks block"));
+    }
+    Ok(sketches)
+}
+
 // ---------------------------------------------------------------------------
 // Footer + trailer
 // ---------------------------------------------------------------------------
@@ -452,11 +611,24 @@ fn encode_footer(footer: &SegmentFooter) -> Vec<u8> {
         out.extend_from_slice(&block.checksum.to_le_bytes());
         put_varint(&mut out, block.count as u64);
     }
+    if footer.version == BinsegVersion::V2 {
+        match &footer.tracks {
+            Some(block) => {
+                out.push(1);
+                put_varint(&mut out, block.offset);
+                put_varint(&mut out, block.len);
+                out.extend_from_slice(&block.checksum.to_le_bytes());
+                put_varint(&mut out, block.count as u64);
+            }
+            None => out.push(0),
+        }
+    }
     out
 }
 
 /// Decodes a footer from the exact byte range the trailer describes.
-pub fn decode_footer(bytes: &[u8]) -> Result<SegmentFooter, BinsegError> {
+/// `version` comes from the trailer's magic (see [`parse_trailer`]).
+pub fn decode_footer(bytes: &[u8], version: BinsegVersion) -> Result<SegmentFooter, BinsegError> {
     let mut r = Reader::new(bytes);
     let t_start = r.f64()?;
     let t_end = r.f64()?;
@@ -515,47 +687,75 @@ pub fn decode_footer(bytes: &[u8]) -> Result<SegmentFooter, BinsegError> {
             count,
         });
     }
+    let tracks = if version == BinsegVersion::V2 && r.byte()? == 1 {
+        let offset = r.varint()?;
+        let len = r.varint()?;
+        let mut sum = [0u8; 8];
+        for b in sum.iter_mut() {
+            *b = r.byte()?;
+        }
+        let count = narrow_usize(r.varint()?, "sketch count overflows usize")?;
+        Some(TracksBlockMeta {
+            offset,
+            len,
+            checksum: u64::from_le_bytes(sum),
+            count,
+        })
+    } else {
+        None
+    };
     if !r.done() {
         return Err(BinsegError::Malformed("trailing bytes in footer"));
     }
     Ok(SegmentFooter {
+        version,
         t_start,
         t_end,
         clusters,
         streams,
         record_blocks,
         postings,
+        tracks,
     })
 }
 
-/// Where a file's footer lives, per its trailer: `(offset, len, checksum)`.
+/// Where a file's footer lives, per its trailer:
+/// `(offset, len, checksum, version)`. Both format versions are accepted;
+/// the version (from the closing magic) tells the caller how to decode the
+/// footer and record blocks.
 ///
 /// `trailer` must be the file's final [`TRAILER_LEN`] bytes.
-pub fn parse_trailer(trailer: &[u8]) -> Result<(u64, u64, u64), BinsegError> {
+pub fn parse_trailer(trailer: &[u8]) -> Result<(u64, u64, u64, BinsegVersion), BinsegError> {
     if trailer.len() != TRAILER_LEN {
         return Err(BinsegError::Truncated);
     }
-    if trailer[24..28] != BINSEG_MAGIC {
-        return Err(BinsegError::BadMagic);
-    }
+    let version = BinsegVersion::from_magic(&trailer[24..28]).ok_or(BinsegError::BadMagic)?;
     let word = |at: usize| {
         let mut buf = [0u8; 8];
         buf.copy_from_slice(&trailer[at..at + 8]);
         u64::from_le_bytes(buf)
     };
-    Ok((word(0), word(8), word(16)))
+    Ok((word(0), word(8), word(16), version))
 }
 
 // ---------------------------------------------------------------------------
 // Whole-segment encode/decode
 // ---------------------------------------------------------------------------
 
-/// Encodes an index into a complete binary segment file.
+/// Encodes an index into a complete binary segment file in the current
+/// format version.
 ///
-/// Deterministic: records are sorted by key and postings by class, so two
-/// equal indexes always produce identical bytes (the property sharded
-/// ingest equivalence relies on).
+/// Deterministic: records are sorted by key, postings by class and
+/// sketches by track key, so two equal indexes always produce identical
+/// bytes (the property sharded ingest equivalence relies on).
 pub fn encode(index: &TopKIndex) -> Vec<u8> {
+    encode_with_version(index, BinsegVersion::V2)
+}
+
+/// Encodes an index as a specific format version. Version 1 drops member
+/// track ids and the tracks block — it exists so the store's per-segment
+/// format migration (v1 file in, v2 file out) stays testable end to end.
+pub fn encode_with_version(index: &TopKIndex, version: BinsegVersion) -> Vec<u8> {
     let mut records: Vec<&ClusterRecord> = index.clusters().collect();
     records.sort_by_key(|r| r.key);
 
@@ -571,11 +771,11 @@ pub fn encode(index: &TopKIndex) -> Vec<u8> {
     }
 
     let mut out = Vec::new();
-    out.extend_from_slice(&BINSEG_MAGIC);
+    out.extend_from_slice(&version.magic());
 
     let mut record_blocks = Vec::new();
     for chunk in records.chunks(RECORDS_PER_BLOCK) {
-        let bytes = encode_record_block(chunk);
+        let bytes = encode_record_block(chunk, version);
         record_blocks.push(RecordBlockMeta {
             first_key: chunk[0].key,
             last_key: chunk[chunk.len() - 1].key,
@@ -600,13 +800,31 @@ pub fn encode(index: &TopKIndex) -> Vec<u8> {
         out.extend_from_slice(&bytes);
     }
 
+    let mut tracks_meta = None;
+    if version == BinsegVersion::V2 {
+        let mut sketches: Vec<&TrackSketch> = index.sketches().collect();
+        sketches.sort_by_key(|s| s.key);
+        if !sketches.is_empty() {
+            let bytes = encode_tracks_block(&sketches);
+            tracks_meta = Some(TracksBlockMeta {
+                offset: out.len() as u64,
+                len: bytes.len() as u64,
+                checksum: fnv1a64(&bytes),
+                count: sketches.len(),
+            });
+            out.extend_from_slice(&bytes);
+        }
+    }
+
     let footer = SegmentFooter {
+        version,
         t_start,
         t_end,
         clusters: records.len(),
         streams: index.streams(),
         record_blocks,
         postings: postings_blocks,
+        tracks: tracks_meta,
     };
     let footer_bytes = encode_footer(&footer);
     let footer_offset = out.len() as u64;
@@ -614,13 +832,13 @@ pub fn encode(index: &TopKIndex) -> Vec<u8> {
     out.extend_from_slice(&footer_offset.to_le_bytes());
     out.extend_from_slice(&(footer_bytes.len() as u64).to_le_bytes());
     out.extend_from_slice(&fnv1a64(&footer_bytes).to_le_bytes());
-    out.extend_from_slice(&BINSEG_MAGIC);
+    out.extend_from_slice(&version.magic());
     out
 }
 
-/// Whether `bytes` carry the binary segment magic.
+/// Whether `bytes` carry a binary segment magic (either version).
 pub fn is_binseg(bytes: &[u8]) -> bool {
-    bytes.len() >= BINSEG_MAGIC.len() && bytes[..BINSEG_MAGIC.len()] == BINSEG_MAGIC
+    bytes.len() >= 4 && BinsegVersion::from_magic(&bytes[..4]).is_some()
 }
 
 /// Reads and verifies the footer out of a complete segment's bytes.
@@ -631,7 +849,7 @@ pub fn footer_of(bytes: &[u8]) -> Result<SegmentFooter, BinsegError> {
     if bytes.len() < BINSEG_MAGIC.len() + TRAILER_LEN {
         return Err(BinsegError::Truncated);
     }
-    let (offset, len, checksum) = parse_trailer(&bytes[bytes.len() - TRAILER_LEN..])?;
+    let (offset, len, checksum, version) = parse_trailer(&bytes[bytes.len() - TRAILER_LEN..])?;
     let offset = narrow_usize(offset, "footer offset overflows usize")?;
     let len = narrow_usize(len, "footer length overflows usize")?;
     let end = offset
@@ -646,7 +864,7 @@ pub fn footer_of(bytes: &[u8]) -> Result<SegmentFooter, BinsegError> {
             found,
         });
     }
-    decode_footer(footer_bytes)
+    decode_footer(footer_bytes, version)
 }
 
 /// Verifies and extracts one block's byte range out of a complete
@@ -676,7 +894,7 @@ pub fn decode(bytes: &[u8]) -> Result<TopKIndex, BinsegError> {
     let mut index = TopKIndex::new();
     for meta in &footer.record_blocks {
         let block = block_bytes(bytes, meta.offset, meta.len, meta.checksum)?;
-        let records = decode_record_block(block)?;
+        let records = decode_record_block(block, footer.version)?;
         if records.len() != meta.count {
             return Err(BinsegError::Malformed("record block count mismatch"));
         }
@@ -688,6 +906,16 @@ pub fn decode(bytes: &[u8]) -> Result<TopKIndex, BinsegError> {
     // verify their integrity anyway so decode() vouches for every byte.
     for meta in &footer.postings {
         block_bytes(bytes, meta.offset, meta.len, meta.checksum)?;
+    }
+    if let Some(meta) = &footer.tracks {
+        let block = block_bytes(bytes, meta.offset, meta.len, meta.checksum)?;
+        let sketches = decode_tracks_block(block)?;
+        if sketches.len() != meta.count {
+            return Err(BinsegError::Malformed("tracks block count mismatch"));
+        }
+        for sketch in sketches {
+            index.insert_sketch(sketch);
+        }
     }
     if index.len() != footer.clusters {
         return Err(BinsegError::Malformed("footer cluster count mismatch"));
@@ -710,10 +938,12 @@ mod tests {
                 MemberRef {
                     object: ObjectId(((stream as u64) << 32) | local),
                     frame: FrameId(local.wrapping_mul(3)),
+                    track: TrackId(local % 5),
                 },
                 MemberRef {
                     object: ObjectId(((stream as u64) << 32) | local.wrapping_add(1000)),
                     frame: FrameId(local.wrapping_mul(3).wrapping_add(1)),
+                    track: TrackId(local % 5),
                 },
             ],
             start_secs: start,
@@ -730,6 +960,23 @@ mod tests {
                 &[(local % 7) as u16, 900],
                 local as f64,
             ));
+        }
+        for stream in 0..3u32 {
+            for track in 0..5u64 {
+                let mut sketch = TrackSketch::first(
+                    TrackKey::new(StreamId(stream), TrackId(track)),
+                    track as f64,
+                    10.0 * track as f64,
+                    20.0,
+                );
+                sketch.absorb(&TrackSketch::first(
+                    TrackKey::new(StreamId(stream), TrackId(track)),
+                    track as f64 + 2.0,
+                    10.0 * track as f64 + 300.0,
+                    180.0,
+                ));
+                index.insert_sketch(sketch);
+            }
         }
         index
     }
@@ -757,6 +1004,12 @@ mod tests {
             rs
         } {
             b.insert(r);
+        }
+        let mut sketches: Vec<TrackSketch> = a.sketches().cloned().collect();
+        sketches.sort_by_key(|s| s.key);
+        sketches.reverse();
+        for s in sketches {
+            b.insert_sketch(s);
         }
         assert_eq!(encode(&a), encode(&b));
     }
@@ -833,6 +1086,74 @@ mod tests {
         // A key beyond every block touches nothing.
         let beyond = vec![ClusterKey::new(StreamId(u32::MAX), u64::MAX)];
         assert!(footer.blocks_covering(&beyond).is_empty());
+    }
+
+    #[test]
+    fn v1_files_decode_without_tracks() {
+        let index = sample();
+        let v1 = encode_with_version(&index, BinsegVersion::V1);
+        assert!(is_binseg(&v1));
+        assert_eq!(&v1[..4], &BINSEG_MAGIC);
+        let footer = footer_of(&v1).unwrap();
+        assert_eq!(footer.version, BinsegVersion::V1);
+        assert!(footer.tracks.is_none());
+        let decoded = decode(&v1).unwrap();
+        assert_eq!(decoded.len(), index.len());
+        assert_eq!(decoded.sketch_count(), 0);
+        // Members decode with the default track id.
+        assert!(decoded
+            .clusters()
+            .all(|r| r.members.iter().all(|m| m.track == TrackId::default())));
+        // Re-encoding the decoded v1 index as v2 is a valid migration.
+        let migrated = encode(&decode(&v1).unwrap());
+        assert_eq!(&migrated[..4], &BINSEG_MAGIC_V2);
+        let refooter = footer_of(&migrated).unwrap();
+        assert_eq!(refooter.version, BinsegVersion::V2);
+        assert_eq!(refooter.clusters, index.len());
+    }
+
+    #[test]
+    fn v2_roundtrips_sketches_through_the_tracks_block() {
+        let index = sample();
+        let bytes = encode(&index);
+        assert_eq!(&bytes[..4], &BINSEG_MAGIC_V2);
+        let footer = footer_of(&bytes).unwrap();
+        let tracks = footer.tracks.expect("sample index has sketches");
+        assert_eq!(tracks.count, 15);
+        let block = block_bytes(&bytes, tracks.offset, tracks.len, tracks.checksum).unwrap();
+        let sketches = decode_tracks_block(block).unwrap();
+        assert_eq!(sketches.len(), 15);
+        assert!(sketches.windows(2).all(|w| w[0].key < w[1].key));
+        for sketch in &sketches {
+            assert_eq!(index.sketch(sketch.key), Some(sketch));
+        }
+        // The full decode carries them back into the index.
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded.sketch_count(), 15);
+        assert_eq!(
+            persist::to_json(&decoded).unwrap(),
+            persist::to_json(&index).unwrap()
+        );
+    }
+
+    #[test]
+    fn bit_flips_fail_the_tracks_block_checksum() {
+        let index = sample();
+        let mut bytes = encode(&index);
+        let footer = footer_of(&bytes).unwrap();
+        let tracks = footer.tracks.unwrap();
+        bytes[tracks.offset as usize + 3] ^= 0x01;
+        match block_bytes(&bytes, tracks.offset, tracks.len, tracks.checksum) {
+            Err(BinsegError::ChecksumMismatch { expected, found }) => {
+                assert_eq!(expected, tracks.checksum);
+                assert_ne!(found, expected);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        assert!(matches!(
+            decode(&bytes),
+            Err(BinsegError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]

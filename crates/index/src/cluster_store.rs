@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use focus_video::{ClassId, FrameId, ObjectId, StreamId};
+use focus_video::{ClassId, FrameId, ObjectId, StreamId, TrackId};
 
 /// Globally unique identifier of a cluster in the index: the stream it was
 /// ingested from plus the stream-local cluster number.
@@ -28,6 +28,12 @@ pub struct MemberRef {
     pub object: ObjectId,
     /// The frame that contains it.
     pub frame: FrameId,
+    /// The stream-local track the observation belongs to (qualify with the
+    /// cluster key's stream to get a [`crate::track::TrackKey`]). Defaults
+    /// to track 0 when absent, e.g. in pre-track snapshots or v1 binary
+    /// segments.
+    #[serde(default)]
+    pub track: TrackId,
 }
 
 /// A cluster as stored in the top-K index.
@@ -113,14 +119,17 @@ mod tests {
                 MemberRef {
                     object: ObjectId(100),
                     frame: FrameId(10),
+                    track: TrackId(1),
                 },
                 MemberRef {
                     object: ObjectId(101),
                     frame: FrameId(11),
+                    track: TrackId(1),
                 },
                 MemberRef {
                     object: ObjectId(102),
                     frame: FrameId(11),
+                    track: TrackId(2),
                 },
             ],
             start_secs: 0.33,

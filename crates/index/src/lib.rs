@@ -37,6 +37,7 @@ pub mod persist;
 pub mod query;
 pub mod segment;
 pub mod topk;
+pub mod track;
 
 pub use binseg::BinsegError;
 pub use cluster_store::{ClusterKey, ClusterRecord, MemberRef};
@@ -47,3 +48,4 @@ pub use segment::{
     SegmentStore,
 };
 pub use topk::{CentroidHandle, IndexStats, TopKIndex};
+pub use track::{TrackKey, TrackSketch, TrackSketcher, TRACK_CELL_PX};

@@ -240,7 +240,7 @@ mod tests {
     use super::*;
     use crate::cluster_store::{ClusterKey, ClusterRecord, MemberRef};
     use crate::query::QueryFilter;
-    use focus_video::{ClassId, FrameId, ObjectId, StreamId};
+    use focus_video::{ClassId, FrameId, ObjectId, StreamId, TrackId};
 
     fn sample_index() -> TopKIndex {
         let mut idx = TopKIndex::new();
@@ -253,6 +253,7 @@ mod tests {
                 members: vec![MemberRef {
                     object: ObjectId(local),
                     frame: FrameId(local),
+                    track: TrackId(local),
                 }],
                 start_secs: local as f64,
                 end_secs: local as f64 + 1.0,
@@ -302,6 +303,7 @@ mod tests {
             members: vec![MemberRef {
                 object: ObjectId(0),
                 frame: FrameId(0),
+                track: TrackId(0),
             }],
             start_secs: 0.0,
             end_secs: 1.0,

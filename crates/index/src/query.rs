@@ -108,7 +108,7 @@ impl QueryFilter {
 mod tests {
     use super::*;
     use crate::cluster_store::{ClusterKey, MemberRef};
-    use focus_video::{ClassId, FrameId, ObjectId};
+    use focus_video::{ClassId, FrameId, ObjectId, TrackId};
 
     fn record(stream: u32, start: f64, end: f64) -> ClusterRecord {
         ClusterRecord {
@@ -119,6 +119,7 @@ mod tests {
             members: vec![MemberRef {
                 object: ObjectId(0),
                 frame: FrameId(0),
+                track: TrackId(0),
             }],
             start_secs: start,
             end_secs: end,

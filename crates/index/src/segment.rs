@@ -56,6 +56,7 @@ use crate::manifest::{fnv1a64, Manifest, SegmentFormat, SegmentMeta, MANIFEST_FI
 use crate::persist::{self, write_atomic_bytes, PersistError};
 use crate::query::QueryFilter;
 use crate::topk::{CentroidHandle, TopKIndex};
+use crate::track::{TrackKey, TrackSketch};
 
 /// Default capacity of the decoded-block LRU cache, in entries. An entry is
 /// one decoded unit — a whole segment index, a footer, a record block or a
@@ -325,6 +326,7 @@ enum BlockKey {
     Footer,
     Records(u32),
     Postings(u16),
+    Tracks,
 }
 
 type CacheKey = (u64, BlockKey);
@@ -336,6 +338,7 @@ enum DecodedEntry {
     Footer(Arc<SegmentFooter>),
     Records(Arc<Vec<ClusterRecord>>),
     Postings(Arc<Vec<ClusterKey>>),
+    Tracks(Arc<Vec<TrackSketch>>),
 }
 
 /// The two-tier cache: a decoded-block LRU (entry-capped) above a raw-bytes
@@ -570,7 +573,7 @@ impl<'a> SegmentFile<'a> {
 ///
 /// ```
 /// use focus_index::{ClusterKey, ClusterRecord, MemberRef, QueryFilter, SegmentStore, TopKIndex};
-/// use focus_video::{ClassId, FrameId, ObjectId, StreamId};
+/// use focus_video::{ClassId, FrameId, ObjectId, StreamId, TrackId};
 ///
 /// let dir = std::env::temp_dir().join("focus_segment_doc_example");
 /// let _ = std::fs::remove_dir_all(&dir);
@@ -584,7 +587,7 @@ impl<'a> SegmentFile<'a> {
 ///         centroid_object: ObjectId(local),
 ///         centroid_frame: FrameId(local),
 ///         top_k_classes: vec![ClassId(7)],
-///         members: vec![MemberRef { object: ObjectId(local), frame: FrameId(local) }],
+///         members: vec![MemberRef { object: ObjectId(local), frame: FrameId(local), track: TrackId(0) }],
 ///         start_secs: start,
 ///         end_secs: start + 10.0,
 ///     });
@@ -954,7 +957,7 @@ impl SegmentStore {
         }
         let trailer_offset = file_len - binseg::TRAILER_LEN as u64;
         let trailer = file.read_range(trailer_offset, binseg::TRAILER_LEN)?;
-        let (offset, len, checksum) = binseg::parse_trailer(&trailer).map_err(invalid)?;
+        let (offset, len, checksum, version) = binseg::parse_trailer(&trailer).map_err(invalid)?;
         if offset
             .checked_add(len)
             .is_none_or(|end| end > trailer_offset)
@@ -970,7 +973,7 @@ impl SegmentStore {
                 found,
             });
         }
-        let footer = Arc::new(binseg::decode_footer(&footer_bytes).map_err(invalid)?);
+        let footer = Arc::new(binseg::decode_footer(&footer_bytes, version).map_err(invalid)?);
         access.blocks_read += 1;
         access.bytes_read += binseg::TRAILER_LEN as u64 + len;
         *touched_disk = true;
@@ -1103,7 +1106,7 @@ impl SegmentStore {
                     bmeta.checksum,
                     access,
                     &mut touched_disk,
-                    binseg::decode_record_block,
+                    |block| binseg::decode_record_block(block, footer.version),
                     DecodedEntry::Records,
                     |entry| match entry {
                         DecodedEntry::Records(records) => Some(records),
@@ -1257,6 +1260,124 @@ impl SegmentStore {
             })
             .collect();
         Ok((handles, access))
+    }
+
+    /// All track sketches reachable under `filter`'s *stream* restriction,
+    /// absorb-merged per track across segments.
+    ///
+    /// Only stream pruning applies: a sketch summarises a track's whole
+    /// life, so a time-restricted query must still see the complete path —
+    /// pruning by the filter's time range would truncate sketches at
+    /// segment boundaries and turn the conservative track planner unsound.
+    /// JSON segments load whole (their sketches ride in the snapshot);
+    /// binary segments read only the trailer/footer and the tracks block,
+    /// each verified against its checksum — a flipped bit inside the tracks
+    /// block surfaces as [`SegmentError::Corrupt`] exactly like record and
+    /// postings blocks.
+    pub fn sketches(
+        &self,
+        filter: &QueryFilter,
+    ) -> Result<(HashMap<TrackKey, TrackSketch>, SegmentAccess), SegmentError> {
+        let mut access = SegmentAccess {
+            segments_total: self.manifest.segments.len(),
+            ..SegmentAccess::default()
+        };
+        let mut merged: HashMap<TrackKey, TrackSketch> = HashMap::new();
+        let absorb = |merged: &mut HashMap<TrackKey, TrackSketch>, sketch: &TrackSketch| {
+            if let Some(streams) = &filter.streams {
+                if !streams.contains(&sketch.key.stream) {
+                    return;
+                }
+            }
+            match merged.get_mut(&sketch.key) {
+                Some(existing) => existing.absorb(sketch),
+                None => {
+                    merged.insert(sketch.key, sketch.clone());
+                }
+            }
+        };
+        for meta in self
+            .manifest
+            .segments
+            .iter()
+            .filter(|m| match &filter.streams {
+                Some(streams) => m.streams.iter().any(|s| streams.contains(s)),
+                None => true,
+            })
+        {
+            access.segments_considered += 1;
+            // A resident whole index is the fastest path for either format.
+            if let Some(DecodedEntry::Whole(index)) = self
+                .cache
+                .lock()
+                .unwrap()
+                .decoded_get((meta.id, BlockKey::Whole))
+            {
+                access.cache_hits += 1;
+                access.block_hits += 1;
+                for sketch in index.sketches() {
+                    absorb(&mut merged, sketch);
+                }
+                continue;
+            }
+            match meta.format {
+                SegmentFormat::Json => {
+                    let (index, served, bytes) = self.load_counted(meta, true)?;
+                    match served {
+                        LoadServed::Disk => {
+                            access.cold_loads += 1;
+                            access.blocks_read += 1;
+                            access.bytes_read += bytes;
+                        }
+                        LoadServed::Raw => {
+                            access.cache_hits += 1;
+                            access.block_raw_hits += 1;
+                        }
+                        LoadServed::Decoded => {
+                            access.cache_hits += 1;
+                            access.block_hits += 1;
+                        }
+                    }
+                    for sketch in index.sketches() {
+                        absorb(&mut merged, sketch);
+                    }
+                }
+                SegmentFormat::Binary => {
+                    let mut touched_disk = false;
+                    let path = self.dir.join(&meta.file);
+                    let mut file = SegmentFile::new(&path);
+                    let footer =
+                        self.binary_footer(meta, &mut file, &mut access, &mut touched_disk)?;
+                    if let Some(tmeta) = footer.tracks {
+                        let sketches = self.binary_block(
+                            meta,
+                            &mut file,
+                            BlockKey::Tracks,
+                            tmeta.offset,
+                            tmeta.len,
+                            tmeta.checksum,
+                            &mut access,
+                            &mut touched_disk,
+                            binseg::decode_tracks_block,
+                            DecodedEntry::Tracks,
+                            |entry| match entry {
+                                DecodedEntry::Tracks(sketches) => Some(sketches),
+                                _ => None,
+                            },
+                        )?;
+                        for sketch in sketches.iter() {
+                            absorb(&mut merged, sketch);
+                        }
+                    }
+                    if touched_disk {
+                        access.cold_loads += 1;
+                    } else {
+                        access.cache_hits += 1;
+                    }
+                }
+            }
+        }
+        Ok((merged, access))
     }
 
     /// Merges every live segment into one in-memory index (manifest order).
@@ -1491,7 +1612,7 @@ fn quarantine_path(path: &Path) -> PathBuf {
 mod tests {
     use super::*;
     use crate::cluster_store::{ClusterKey, MemberRef};
-    use focus_video::{FrameId, ObjectId, StreamId};
+    use focus_video::{FrameId, ObjectId, StreamId, TrackId};
 
     fn test_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("focus_segment_{name}"));
@@ -1508,6 +1629,7 @@ mod tests {
             members: vec![MemberRef {
                 object: ObjectId((stream as u64) << 32 | local),
                 frame: FrameId(local),
+                track: TrackId(local % 4),
             }],
             start_secs: start,
             end_secs: start + 5.0,
@@ -1853,6 +1975,117 @@ mod tests {
             }) => assert_ne!(expected, found),
             other => panic!("expected block corruption error, got {other:?}"),
         }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// One-record index with a two-observation sketch for `track` on
+    /// `stream`, windowed at `start`.
+    fn sketched_index(stream: u32, local: u64, start: f64, track: u64) -> TopKIndex {
+        let mut idx = segment_of(&[record(stream, local, 5, start)]);
+        let key = TrackKey {
+            stream: StreamId(stream),
+            track: TrackId(track),
+        };
+        let mut sketch = TrackSketch::first(key, start, 40.0, 40.0);
+        sketch.absorb(&TrackSketch::first(key, start + 2.0, 200.0, 40.0));
+        idx.insert_sketch(sketch);
+        idx
+    }
+
+    #[test]
+    fn sketches_merge_across_segments_and_ignore_time_pruning() {
+        let dir = test_dir("sketches_store");
+        let mut store = SegmentStore::create(&dir).unwrap();
+        // The same track appears in two segments (key-disjoint records);
+        // a third segment covers another stream.
+        store.seal(&sketched_index(0, 0, 0.0, 7)).unwrap();
+        store.seal(&sketched_index(0, 1, 100.0, 7)).unwrap();
+        store.seal(&sketched_index(1, 2, 0.0, 3)).unwrap();
+
+        let (all, access) = store.sketches(&QueryFilter::any()).unwrap();
+        assert_eq!(access.segments_considered, 3);
+        assert_eq!(all.len(), 2);
+        let merged = &all[&TrackKey {
+            stream: StreamId(0),
+            track: TrackId(7),
+        }];
+        assert_eq!(merged.observations, 4);
+        assert_eq!(merged.t_start, 0.0);
+        assert_eq!(merged.t_end, 102.0);
+
+        // A time restriction does not truncate sketches: the merged sketch
+        // is identical to the unrestricted one.
+        let (timed, timed_access) = store
+            .sketches(&QueryFilter::any().with_time_range(0.0, 10.0))
+            .unwrap();
+        assert_eq!(timed_access.segments_considered, 3);
+        assert_eq!(timed[&merged.key], *merged);
+
+        // A stream restriction prunes segments and sketches.
+        let (scoped, scoped_access) = store
+            .sketches(&QueryFilter::for_stream(StreamId(1)))
+            .unwrap();
+        assert_eq!(scoped_access.segments_considered, 1);
+        assert_eq!(scoped.len(), 1);
+        assert!(scoped.contains_key(&TrackKey {
+            stream: StreamId(1),
+            track: TrackId(3),
+        }));
+
+        // JSON segments answer identically: sketches ride the snapshot.
+        let json_dir = test_dir("sketches_store_json");
+        let mut json_store = SegmentStore::create(&json_dir)
+            .unwrap()
+            .with_seal_format(SegmentFormat::Json);
+        json_store.seal(&sketched_index(0, 0, 0.0, 7)).unwrap();
+        json_store.seal(&sketched_index(0, 1, 100.0, 7)).unwrap();
+        json_store.seal(&sketched_index(1, 2, 0.0, 3)).unwrap();
+        let (from_json, _) = json_store.sketches(&QueryFilter::any()).unwrap();
+        assert_eq!(from_json, all);
+
+        fs::remove_dir_all(&dir).ok();
+        fs::remove_dir_all(&json_dir).ok();
+    }
+
+    #[test]
+    fn sketch_block_corruption_fails_checksum_and_quarantines_on_open() {
+        let dir = test_dir("sketch_corrupt");
+        let mut store = SegmentStore::create(&dir).unwrap();
+        store.seal(&sketched_index(0, 0, 0.0, 1)).unwrap();
+        let meta = store.segments()[0].clone();
+        let path = dir.join(&meta.file);
+        // Flip one byte inside the tracks block (located via the trailer
+        // and footer), leaving every other block intact.
+        let mut bytes = fs::read(&path).unwrap();
+        let trailer = bytes[bytes.len() - binseg::TRAILER_LEN..].to_vec();
+        let (foff, flen, _, version) = binseg::parse_trailer(&trailer).unwrap();
+        let footer =
+            binseg::decode_footer(&bytes[foff as usize..(foff + flen) as usize], version).unwrap();
+        let tmeta = footer
+            .tracks
+            .expect("sealed segment carries a tracks block");
+        bytes[tmeta.offset as usize + 2] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        // Lookup-time: the tracks block fails its footer checksum, exactly
+        // like record/postings block corruption.
+        match store.sketches(&QueryFilter::any()) {
+            Err(SegmentError::Corrupt {
+                expected, found, ..
+            }) => assert_ne!(expected, found),
+            other => panic!("expected tracks-block corruption, got {other:?}"),
+        }
+        // The damage is confined: record lookups in the same segment still
+        // serve (their blocks verify).
+        let lookup = store.lookup(ClassId(5), &QueryFilter::any()).unwrap();
+        assert_eq!(lookup.records.len(), 1);
+        drop(store);
+
+        // Open-time: the whole-file checksum quarantines the segment via
+        // the same OpenReport machinery as any other corruption.
+        let (reopened, report) = SegmentStore::open(&dir).unwrap();
+        assert_eq!(report.quarantined, vec![meta.file.clone()]);
+        assert_eq!(reopened.len(), 0);
         fs::remove_dir_all(&dir).ok();
     }
 

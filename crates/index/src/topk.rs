@@ -8,6 +8,7 @@ use focus_video::{ClassId, FrameId, ObjectId, StreamId};
 
 use crate::cluster_store::{ClusterKey, ClusterRecord};
 use crate::query::QueryFilter;
+use crate::track::{TrackKey, TrackSketch};
 
 /// A stable reference to the centroid of one matched cluster, as returned by
 /// [`TopKIndex::lookup_centroids`].
@@ -60,20 +61,25 @@ pub struct IndexStats {
 /// whose ingest-time top-K contains that class, plus the cluster records
 /// themselves.
 ///
-/// Serialization stores only the cluster records; the inverted postings are
-/// rebuilt on deserialization (they are derived data, and JSON maps require
-/// string keys anyway).
+/// Serialization stores only the cluster records and track sketches; the
+/// inverted postings are rebuilt on deserialization (they are derived data,
+/// and JSON maps require string keys anyway).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 #[serde(from = "SerializedIndex", into = "SerializedIndex")]
 pub struct TopKIndex {
     clusters: HashMap<ClusterKey, ClusterRecord>,
     postings: HashMap<ClassId, Vec<ClusterKey>>,
+    sketches: HashMap<TrackKey, TrackSketch>,
 }
 
-/// On-disk shape of [`TopKIndex`]: just the records.
+/// On-disk shape of [`TopKIndex`]: the records plus the per-track sketches
+/// (both sorted by key for canonical output; `sketches` defaults to empty
+/// so pre-track snapshots still load).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct SerializedIndex {
     clusters: Vec<ClusterRecord>,
+    #[serde(default)]
+    sketches: Vec<TrackSketch>,
 }
 
 impl From<SerializedIndex> for TopKIndex {
@@ -81,6 +87,9 @@ impl From<SerializedIndex> for TopKIndex {
         let mut index = TopKIndex::new();
         for record in s.clusters {
             index.insert(record);
+        }
+        for sketch in s.sketches {
+            index.insert_sketch(sketch);
         }
         index
     }
@@ -90,7 +99,9 @@ impl From<TopKIndex> for SerializedIndex {
     fn from(index: TopKIndex) -> Self {
         let mut clusters: Vec<ClusterRecord> = index.clusters.into_values().collect();
         clusters.sort_by_key(|r| r.key);
-        SerializedIndex { clusters }
+        let mut sketches: Vec<TrackSketch> = index.sketches.into_values().collect();
+        sketches.sort_by_key(|s| s.key);
+        SerializedIndex { clusters, sketches }
     }
 }
 
@@ -149,6 +160,34 @@ impl TopKIndex {
         self.clusters.is_empty()
     }
 
+    /// Folds a per-window track sketch into the index, absorbing it into
+    /// any sketch already stored for the same track (so re-inserting is a
+    /// merge, never a replacement — the union over windows is what
+    /// whole-life track predicates evaluate against).
+    pub fn insert_sketch(&mut self, sketch: TrackSketch) {
+        match self.sketches.get_mut(&sketch.key) {
+            Some(existing) => existing.absorb(&sketch),
+            None => {
+                self.sketches.insert(sketch.key, sketch);
+            }
+        }
+    }
+
+    /// Looks up the sketch of one track.
+    pub fn sketch(&self, key: TrackKey) -> Option<&TrackSketch> {
+        self.sketches.get(&key)
+    }
+
+    /// All track sketches, in unspecified order.
+    pub fn sketches(&self) -> impl Iterator<Item = &TrackSketch> {
+        self.sketches.values()
+    }
+
+    /// Number of tracks with a sketch.
+    pub fn sketch_count(&self) -> usize {
+        self.sketches.len()
+    }
+
     /// The classes that have at least one posting.
     pub fn indexed_classes(&self) -> Vec<ClassId> {
         let mut classes: Vec<ClassId> = self.postings.keys().copied().collect();
@@ -190,7 +229,7 @@ impl TopKIndex {
     ///
     /// ```
     /// use focus_index::{ClusterKey, ClusterRecord, MemberRef, QueryFilter, TopKIndex};
-    /// use focus_video::{ClassId, FrameId, ObjectId, StreamId};
+    /// use focus_video::{ClassId, FrameId, ObjectId, StreamId, TrackId};
     ///
     /// let mut index = TopKIndex::new();
     /// index.insert(ClusterRecord {
@@ -198,7 +237,7 @@ impl TopKIndex {
     ///     centroid_object: ObjectId(10),
     ///     centroid_frame: FrameId(5),
     ///     top_k_classes: vec![ClassId(2), ClassId(4)],
-    ///     members: vec![MemberRef { object: ObjectId(10), frame: FrameId(5) }],
+    ///     members: vec![MemberRef { object: ObjectId(10), frame: FrameId(5), track: TrackId(0) }],
     ///     start_secs: 0.0,
     ///     end_secs: 1.0,
     /// });
@@ -262,6 +301,9 @@ impl TopKIndex {
             }
             self.insert(record);
         }
+        for (_, sketch) in other.sketches {
+            self.insert_sketch(sketch);
+        }
         replaced
     }
 
@@ -275,6 +317,9 @@ impl TopKIndex {
                 replaced += 1;
             }
             self.insert(record.clone());
+        }
+        for sketch in other.sketches.values() {
+            self.insert_sketch(sketch.clone());
         }
         replaced
     }
@@ -306,7 +351,7 @@ impl TopKIndex {
 mod tests {
     use super::*;
     use crate::cluster_store::MemberRef;
-    use focus_video::{FrameId, ObjectId};
+    use focus_video::{FrameId, ObjectId, TrackId};
 
     fn record(
         stream: u32,
@@ -324,6 +369,7 @@ mod tests {
                 .map(|i| MemberRef {
                     object: ObjectId(local * 1000 + i as u64),
                     frame: FrameId(local * 10 + i as u64),
+                    track: TrackId(local),
                 })
                 .collect(),
             start_secs: start,
@@ -522,5 +568,68 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn insert_sketch_absorbs_same_track_windows() {
+        use crate::track::{TrackKey, TrackSketch};
+        let mut idx = TopKIndex::new();
+        let key = TrackKey::new(StreamId(0), TrackId(4));
+        idx.insert_sketch(TrackSketch::first(key, 0.0, 10.0, 10.0));
+        idx.insert_sketch(TrackSketch::first(key, 3.0, 300.0, 10.0));
+        assert_eq!(idx.sketch_count(), 1);
+        let s = idx.sketch(key).unwrap();
+        assert_eq!(s.observations, 2);
+        assert_eq!(s.t_start, 0.0);
+        assert_eq!(s.t_end, 3.0);
+        assert_eq!(s.cells.len(), 2);
+        assert!(idx.sketch(TrackKey::new(StreamId(1), TrackId(4))).is_none());
+    }
+
+    #[test]
+    fn sketches_survive_serialization_and_merge() {
+        use crate::track::{TrackKey, TrackSketch};
+        let mut a = TopKIndex::new();
+        a.insert(record(0, 1, &[0], 2, 0.0));
+        a.insert_sketch(TrackSketch::first(
+            TrackKey::new(StreamId(0), TrackId(1)),
+            0.0,
+            5.0,
+            5.0,
+        ));
+        let json = crate::persist::to_json(&a).unwrap();
+        let restored = crate::persist::from_json(&json).unwrap();
+        assert_eq!(restored.sketch_count(), 1);
+        assert_eq!(crate::persist::to_json(&restored).unwrap(), json);
+
+        // Merging indexes absorbs same-track sketches instead of replacing.
+        let mut b = TopKIndex::new();
+        b.insert(record(1, 1, &[0], 1, 5.0));
+        b.insert_sketch(TrackSketch::first(
+            TrackKey::new(StreamId(0), TrackId(1)),
+            2.0,
+            200.0,
+            5.0,
+        ));
+        b.insert_sketch(TrackSketch::first(
+            TrackKey::new(StreamId(1), TrackId(1)),
+            5.0,
+            5.0,
+            5.0,
+        ));
+        let mut borrowed = a.clone();
+        assert_eq!(borrowed.merge_from(&b), 0);
+        assert_eq!(a.merge(b), 0);
+        assert_eq!(a.sketch_count(), 2);
+        assert_eq!(
+            a.sketch(TrackKey::new(StreamId(0), TrackId(1)))
+                .unwrap()
+                .observations,
+            2
+        );
+        assert_eq!(
+            crate::persist::to_json(&a).unwrap(),
+            crate::persist::to_json(&borrowed).unwrap()
+        );
     }
 }

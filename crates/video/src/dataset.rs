@@ -6,14 +6,19 @@
 //! dominant classes, and the Jaccard overlap of class sets between streams
 //! (§2.2.2).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
 use crate::class::ClassId;
 use crate::profile::StreamProfile;
 use crate::stream::VideoStream;
-use crate::types::{Frame, ObjectObservation};
+use crate::types::{Frame, ObjectObservation, StreamId, TrackId};
+
+/// Time-ordered `(timestamp_secs, center_x, center_y)` samples of one
+/// track — the exact-evaluation form of a track's raw observations (see
+/// [`VideoDataset::track_traces`]).
+pub type TrackTrace = Vec<(f64, f64, f64)>;
 
 /// A recorded, materialized slice of a single video stream.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -136,6 +141,29 @@ impl VideoDataset {
     /// Iterates over every object observation in the dataset.
     pub fn objects(&self) -> impl Iterator<Item = &ObjectObservation> {
         self.frames.iter().flat_map(|f| f.objects.iter())
+    }
+
+    /// Time-ordered trace of every track: for each `(stream, track)` pair,
+    /// the `(timestamp_secs, center_x, center_y)` sequence of its
+    /// observations, in frame order.
+    ///
+    /// This is the brute-force ground truth for track-level queries: it
+    /// replays the raw observations with the exact position definition
+    /// ([`crate::types::BoundingBox::center`]) and timestamps the ingest
+    /// pipeline folds into its track sketches, so a scan over these traces
+    /// is the reference any sketch-planned answer must match.
+    pub fn track_traces(&self) -> BTreeMap<(StreamId, TrackId), TrackTrace> {
+        let mut traces: BTreeMap<(StreamId, TrackId), TrackTrace> = BTreeMap::new();
+        for frame in &self.frames {
+            for obj in &frame.objects {
+                let (cx, cy) = obj.bbox.center();
+                traces
+                    .entry((obj.stream_id, obj.track_id))
+                    .or_default()
+                    .push((frame.timestamp_secs, cx, cy));
+            }
+        }
+        traces
     }
 
     /// Total number of object observations.

@@ -39,7 +39,7 @@ pub mod stream;
 pub mod types;
 
 pub use class::{ClassId, ClassRegistry, NUM_CLASSES};
-pub use dataset::{DatasetStats, VideoDataset};
+pub use dataset::{DatasetStats, TrackTrace, VideoDataset};
 pub use motion::{MotionFilter, PixelDiff};
 pub use profile::{StreamDomain, StreamProfile};
 pub use stream::{StreamGenerator, VideoStream};

@@ -35,10 +35,15 @@ pub struct ObjectId(pub u64);
 /// Identifier of a *track*: the same physical object observed across
 /// multiple consecutive frames (e.g. one car crossing the intersection).
 ///
-/// Tracks are a property of the synthetic workload generator only; the Focus
-/// pipelines never read the track id (the real system has no access to it).
-/// It exists so that tests and the feature-vector simulation can reason
-/// about "the same object in consecutive frames".
+/// Track ids are stream-local (every stream numbers its tracks from zero),
+/// so cross-stream code must qualify them with the stream — the index layer
+/// does this with its `TrackKey`. The generator owns track *identity*: it
+/// assigns the id when it synthesizes an object's dwell through the scene,
+/// standing in for the real system's ingest-time tracker (background
+/// subtraction + association), which the paper treats as given. The Focus
+/// pipelines consume the id at seal time to fold each observation's
+/// position into its track's spatio-temporal sketch; the ground-truth
+/// oracle and tests also read it to reconstruct whole trajectories.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
 )]
@@ -61,6 +66,18 @@ impl BoundingBox {
     /// Area of the box in square pixels.
     pub fn area(&self) -> f32 {
         self.width * self.height
+    }
+
+    /// Center of the box in pixels.
+    ///
+    /// This is *the* position of an observation for track purposes: the
+    /// ingest pipeline folds it into track sketches and the brute-force
+    /// track scan replays it, so both sides must share one definition.
+    pub fn center(&self) -> (f64, f64) {
+        (
+            (self.x + self.width * 0.5) as f64,
+            (self.y + self.height * 0.5) as f64,
+        )
     }
 
     /// Intersection-over-union with another box; 0.0 if they do not overlap.

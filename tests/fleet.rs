@@ -383,6 +383,8 @@ fn fleet_faults_4_nodes() {
 /// Nightly soak: repeated kill → failover → rebalance → ingest rounds on a
 /// longer recording, checking twin equivalence after every round.
 #[test]
+// nightly: multi-round failover soak takes minutes; nightly.yml's
+// failover-soak job runs it with --ignored.
 #[ignore = "nightly failover soak (minutes): run with --ignored"]
 fn fleet_failover_soak() {
     let secs = 90.0;

@@ -15,7 +15,7 @@ use focus::index::{
 };
 use focus::runtime::{GpuClusterSpec, GpuMeter, IoMeter};
 use focus::video::profile::profile_by_name;
-use focus::video::{ClassId, FrameId, ObjectId, StreamId, VideoDataset};
+use focus::video::{ClassId, FrameId, ObjectId, StreamId, TrackId, VideoDataset};
 
 use std::path::PathBuf;
 
@@ -635,6 +635,7 @@ proptest! {
                     .map(|(o, f)| MemberRef {
                         object: ObjectId(o),
                         frame: FrameId(f),
+                        track: TrackId(o % 7),
                     })
                     .collect(),
                 start_secs: start,
